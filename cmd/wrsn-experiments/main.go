@@ -1,0 +1,183 @@
+// Command wrsn-experiments regenerates the paper's evaluation: every
+// figure of Section II (field experiments) and Section VI (simulations).
+//
+// Usage:
+//
+//	wrsn-experiments -fig all            # everything, paper-scale
+//	wrsn-experiments -fig 8 -seeds 5     # one figure, fewer seeds
+//	wrsn-experiments -fig 7a -quick      # scaled-down quick run
+//	wrsn-experiments -fig 6 -csv         # emit CSV instead of tables
+//
+// Figures: 1 (field experiment / Table II), 6 (iterative RFH
+// convergence), 7a/7b (heuristics vs optimal), 8 (node-count sweep),
+// 9 (post-count sweep), 10 (power-level sweep).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"wrsn/internal/experiments"
+	"wrsn/internal/render"
+	"wrsn/internal/texttable"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wrsn-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("wrsn-experiments", flag.ContinueOnError)
+	var (
+		fig   = fs.String("fig", "all", "figure to regenerate: 1, 6, 7a, 7b, 8, 9, 10 or all")
+		seeds = fs.Int("seeds", 0, "random post distributions to average (0 = paper default)")
+		seed  = fs.Int64("seed", 1, "base random seed")
+		quick = fs.Bool("quick", false, "scaled-down run (fewer seeds/points, same trends)")
+		csv   = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		chart = fs.Bool("chart", false, "additionally draw each figure as an ASCII chart")
+		jsonP = fs.String("json", "", "additionally write the structured figures as JSON to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := experiments.Options{Seeds: *seeds, BaseSeed: *seed, Quick: *quick}
+
+	wanted := strings.Split(strings.ToLower(*fig), ",")
+	selected := map[string]bool{}
+	for _, w := range wanted {
+		w = strings.TrimSpace(w)
+		switch w {
+		case "all":
+			for _, id := range []string{"1", "6", "7a", "7b", "8", "9", "10"} {
+				selected[id] = true
+			}
+		case "ext":
+			for _, id := range []string{"ext-gain", "ext-overhead", "ext-charger", "ext-layout", "ext-delta", "ext-validation", "ext-fault", "portfolio"} {
+				selected[id] = true
+			}
+		default:
+			selected[strings.TrimPrefix(w, "fig")] = true
+		}
+	}
+
+	type runner struct {
+		id string
+		fn func() ([]*texttable.Table, []*experiments.Figure, error)
+	}
+	comparison := func(f func(experiments.Options) (*experiments.Figure, error)) func() ([]*texttable.Table, []*experiments.Figure, error) {
+		return func() ([]*texttable.Table, []*experiments.Figure, error) {
+			fig, err := f(opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			return []*texttable.Table{experiments.ComparisonTable(fig)}, []*experiments.Figure{fig}, nil
+		}
+	}
+	runners := []runner{
+		{"1", func() ([]*texttable.Table, []*experiments.Figure, error) {
+			res, err := experiments.Fig1(opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			figs := make([]*experiments.Figure, len(res.Figures))
+			for i := range res.Figures {
+				figs[i] = &res.Figures[i]
+			}
+			return res.Tables(), figs, nil
+		}},
+		{"6", func() ([]*texttable.Table, []*experiments.Figure, error) {
+			fig, err := experiments.Fig6(opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			return []*texttable.Table{experiments.Fig6Table(fig)}, []*experiments.Figure{fig}, nil
+		}},
+		{"7a", comparison(experiments.Fig7a)},
+		{"7b", comparison(experiments.Fig7b)},
+		{"8", comparison(experiments.Fig8)},
+		{"9", comparison(experiments.Fig9)},
+		{"10", comparison(experiments.Fig10)},
+		{"ext-gain", comparison(experiments.ExtGain)},
+		{"ext-overhead", comparison(experiments.ExtOverhead)},
+		{"ext-charger", comparison(experiments.ExtChargerPolicy)},
+		{"ext-layout", comparison(experiments.ExtLayout)},
+		{"ext-delta", comparison(experiments.ExtDelta)},
+		{"ext-validation", comparison(experiments.ExtSimValidation)},
+		{"ext-fault", comparison(experiments.ExtFaultTolerance)},
+		{"portfolio", func() ([]*texttable.Table, []*experiments.Figure, error) {
+			entries, err := experiments.ExtPortfolio(opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			t := texttable.New("Solver portfolio (350x350m, 40 posts, 200 nodes)",
+				"solver", "mean cost (µJ)", "gap to best (%)", "runtime (ms)")
+			for _, e := range entries {
+				t.AddRow(e.Solver, e.MeanCost, e.MeanGapPct, e.MeanRuntimeMS)
+			}
+			return []*texttable.Table{t}, nil, nil
+		}},
+	}
+
+	ran := 0
+	var allFigures []*experiments.Figure
+	for _, r := range runners {
+		if !selected[r.id] {
+			continue
+		}
+		ran++
+		start := time.Now()
+		tables, figures, err := r.fn()
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", r.id, err)
+		}
+		allFigures = append(allFigures, figures...)
+		fmt.Fprintf(stdout, "=== Figure %s (%.1fs) ===\n\n", r.id, time.Since(start).Seconds())
+		for _, t := range tables {
+			if *csv {
+				fmt.Fprint(stdout, t.CSV())
+			} else {
+				fmt.Fprintln(stdout, t.String())
+			}
+		}
+		if *chart {
+			for _, f := range figures {
+				series := make([]render.ChartSeries, len(f.Series))
+				for si, s := range f.Series {
+					series[si] = render.ChartSeries{Label: s.Label, Y: s.Y}
+				}
+				drawn, err := render.Chart(f.Title+" ("+f.YLabel+")", f.X, series, 64, 14)
+				if err != nil {
+					return fmt.Errorf("figure %s chart: %w", r.id, err)
+				}
+				fmt.Fprintln(stdout, drawn)
+			}
+		}
+	}
+	if *jsonP != "" && ran > 0 {
+		f, err := os.Create(*jsonP)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(allFigures); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if ran == 0 {
+		return fmt.Errorf("no figure matches %q (valid: 1, 6, 7a, 7b, 8, 9, 10, all, ext, ext-gain, ext-overhead, ext-charger)", *fig)
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestQuickFigureTable(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "7a", "-quick", "-seeds", "1"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "=== Figure 7a") {
+		t.Errorf("missing figure banner:\n%s", s)
+	}
+	for _, col := range []string{"Optimal (µJ)", "IDB(δ=1) (µJ)", "RFH (µJ)"} {
+		if !strings.Contains(s, col) {
+			t.Errorf("missing column %q:\n%s", col, s)
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "6", "-quick", "-seeds", "1", "-csv"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "iteration,") {
+		t.Errorf("missing CSV header:\n%s", s)
+	}
+	if strings.Contains(s, "---") {
+		t.Errorf("CSV output contains table rules:\n%s", s)
+	}
+}
+
+func TestFigureSelection(t *testing.T) {
+	if err := run([]string{"-fig", "nope"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "1,6", "-quick", "-seeds", "1"}, &out); err != nil {
+		t.Fatalf("comma-separated selection: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "=== Figure 1") || !strings.Contains(s, "=== Figure 6") {
+		t.Errorf("selection did not run both figures:\n%s", s)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "figs.json")
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "6", "-quick", "-seeds", "1", "-json", jsonPath}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("json not written: %v", err)
+	}
+	var figs []map[string]interface{}
+	if err := json.Unmarshal(raw, &figs); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(figs) != 1 || figs[0]["id"] != "fig6" {
+		t.Errorf("unexpected figures payload: %v", figs)
+	}
+}
+
+func TestChartOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "6", "-quick", "-seeds", "1", "-chart"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, frag := range []string{"a = 400 nodes", "+----"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("chart output missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	if err := run([]string{"-fig", "6", "-json", "/nonexistent-dir/x.json", "-quick", "-seeds", "1"}, &bytes.Buffer{}); err == nil {
+		t.Error("unwritable JSON path accepted")
+	}
+	if err := run([]string{"-definitely-not-a-flag"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

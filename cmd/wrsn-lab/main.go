@@ -1,0 +1,144 @@
+// Command wrsn-lab works with the RF charging test bench: it sweeps the
+// (simulated) Powercast field experiment, and it calibrates the
+// propagation model against measured data so the bench can be
+// re-parameterised for different charger hardware.
+//
+// Sweep the Table II grid with the default bench:
+//
+//	wrsn-lab sweep > measurements.csv
+//
+// Calibrate the propagation model from single-sensor measurements
+// (CSV columns: sensors,distance_m,spacing_m,power_mw):
+//
+//	wrsn-lab calibrate -tx-power 3000 -ref-dist 0.2 < measurements.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"wrsn/internal/charging"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wrsn-lab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: wrsn-lab <sweep|calibrate> [flags]")
+	}
+	switch args[0] {
+	case "sweep":
+		return runSweep(args[1:], stdout)
+	case "calibrate":
+		return runCalibrate(args[1:], stdin, stdout)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want sweep or calibrate)", args[0])
+	}
+}
+
+func runSweep(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		seed  = fs.Int64("seed", 1, "random seed for trial noise")
+		txPow = fs.Float64("tx-power", 0, "override charger power (mW, 0 = default bench)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *txPow < 0 {
+		return fmt.Errorf("-tx-power must be positive (got %g); 0 selects the default bench", *txPow)
+	}
+	lab := charging.DefaultLab()
+	if *txPow > 0 {
+		lab.TxPower = *txPow
+	}
+	if err := lab.Validate(); err != nil {
+		return err
+	}
+	cells, err := lab.RunTableII(rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "sensors,distance_m,spacing_m,power_mw,stddev_mw,network_eff_pct")
+	for _, c := range cells {
+		fmt.Fprintf(stdout, "%d,%.2f,%.2f,%.6f,%.6f,%.4f\n",
+			c.Sensors, c.ChargerDist, c.Spacing, c.MeanPerNodeMW, c.StdDevMW, c.NetworkEffPct)
+	}
+	return nil
+}
+
+func runCalibrate(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("calibrate", flag.ContinueOnError)
+	var (
+		txPow   = fs.Float64("tx-power", 3000, "charger power in mW")
+		refDist = fs.Float64("ref-dist", 0.20, "reference distance in meters")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cells, err := parseMeasurementsCSV(stdin)
+	if err != nil {
+		return err
+	}
+	cal, err := charging.Calibrate(*txPow, *refDist, cells)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "calibrated from %d single-sensor measurements (R² = %.4f)\n", cal.Samples, cal.R2)
+	fmt.Fprintf(stdout, "  single-node efficiency at %.0fcm: %.4f%%\n", *refDist*100, cal.RefEfficiency*100)
+	fmt.Fprintf(stdout, "  exponential decay rate:         %.3f /m\n", cal.Decay)
+	if cal.R2 < 0.9 {
+		fmt.Fprintln(stdout, "  warning: low R² — the exponential propagation model fits these measurements poorly")
+	}
+	return nil
+}
+
+// parseMeasurementsCSV reads the sweep's CSV format (extra columns are
+// ignored; a header line is optional).
+func parseMeasurementsCSV(r io.Reader) ([]charging.Measurement, error) {
+	sc := bufio.NewScanner(r)
+	var out []charging.Measurement
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "sensors,") || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("line %d: want at least 4 CSV columns (sensors,distance_m,spacing_m,power_mw), got %d", line, len(fields))
+		}
+		sensors, err1 := strconv.Atoi(strings.TrimSpace(fields[0]))
+		dist, err2 := strconv.ParseFloat(strings.TrimSpace(fields[1]), 64)
+		spacing, err3 := strconv.ParseFloat(strings.TrimSpace(fields[2]), 64)
+		power, err4 := strconv.ParseFloat(strings.TrimSpace(fields[3]), 64)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return nil, fmt.Errorf("line %d: malformed measurement %q", line, text)
+		}
+		out = append(out, charging.Measurement{
+			Sensors:       sensors,
+			ChargerDist:   dist,
+			Spacing:       spacing,
+			MeanPerNodeMW: power,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no measurements found")
+	}
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSweepThenCalibrateRoundTrip(t *testing.T) {
+	var sweep bytes.Buffer
+	if err := run([]string{"sweep", "-seed", "2"}, strings.NewReader(""), &sweep); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(sweep.String(), "\n"), "\n")
+	// Header + 2 spacings x 4 sensor counts x 5 distances.
+	if len(lines) != 1+40 {
+		t.Fatalf("sweep produced %d lines, want 41", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "sensors,distance_m") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+
+	// Calibrating against the bench's own sweep must recover its
+	// parameters (0.67% at 20cm, decay 3.5/m).
+	var cal bytes.Buffer
+	if err := run([]string{"calibrate", "-tx-power", "3000", "-ref-dist", "0.2"},
+		bytes.NewReader(sweep.Bytes()), &cal); err != nil {
+		t.Fatalf("calibrate: %v", err)
+	}
+	out := cal.String()
+	if !strings.Contains(out, "calibrated from 10 single-sensor measurements") {
+		t.Errorf("unexpected sample count:\n%s", out)
+	}
+	for _, frag := range []string{"single-node efficiency", "decay rate"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in:\n%s", frag, out)
+		}
+	}
+	if strings.Contains(out, "warning: low R²") {
+		t.Errorf("self-calibration should fit well:\n%s", out)
+	}
+}
+
+func TestCalibrateParsing(t *testing.T) {
+	good := "1,0.2,0.05,20.0\n1,0.4,0.05,10.0\n1,0.6,0.05,5.0\n"
+	var out bytes.Buffer
+	if err := run([]string{"calibrate"}, strings.NewReader(good), &out); err != nil {
+		t.Fatalf("calibrate: %v", err)
+	}
+	if err := run([]string{"calibrate"}, strings.NewReader(""), &out); err == nil {
+		t.Error("empty input accepted")
+	}
+	if err := run([]string{"calibrate"}, strings.NewReader("a,b,c,d\n"), &out); err == nil {
+		t.Error("malformed row accepted")
+	}
+	if err := run([]string{"calibrate"}, strings.NewReader("1,0.2\n"), &out); err == nil {
+		t.Error("short row accepted")
+	}
+}
+
+func TestUsage(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(""), &out); err == nil {
+		t.Error("no subcommand accepted")
+	}
+	if err := run([]string{"explode"}, strings.NewReader(""), &out); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+}
+
+func TestSweepFlagOverrides(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"sweep", "-tx-power", "-5"}, strings.NewReader(""), &out); err == nil {
+		t.Error("negative tx power accepted")
+	}
+	out.Reset()
+	if err := run([]string{"sweep", "-tx-power", "1000"}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("custom tx power rejected: %v", err)
+	}
+	if !strings.Contains(out.String(), "sensors,distance_m") {
+		t.Errorf("custom sweep lost its header:\n%s", out.String())
+	}
+}

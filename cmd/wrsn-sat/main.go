@@ -1,0 +1,110 @@
+// Command wrsn-sat exercises the paper's NP-completeness reduction: it
+// reads a 3-CNF formula in DIMACS format, builds the corresponding
+// deployment-and-routing gadget network, and demonstrates that deciding
+// "total recharging cost <= W" decides satisfiability.
+//
+// Usage:
+//
+//	wrsn-sat < formula.cnf            # reduce + DPLL + canonical solution
+//	wrsn-sat -optimal < formula.cnf   # also exactly optimise the gadget
+//	wrsn-sat -example                 # run the paper's Fig. 3 clause
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"strings"
+
+	"wrsn/internal/npc"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wrsn-sat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("wrsn-sat", flag.ContinueOnError)
+	var (
+		optimal = fs.Bool("optimal", false, "exactly optimise the gadget network (exponential; small formulas only)")
+		example = fs.Bool("example", false, "use the paper's Fig. 3 example clause (x1 ∨ ¬x2 ∨ ¬x3) instead of stdin")
+		random  = fs.Int("random", 0, "generate a random 3-CNF with this many variables instead of reading stdin")
+		clauses = fs.Int("clauses", 0, "clause count for -random (default: 2x variables)")
+		seed    = fs.Int64("seed", 1, "seed for -random")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		f   *npc.Formula
+		err error
+	)
+	switch {
+	case *example:
+		f = &npc.Formula{NumVars: 3, Clauses: []npc.Clause{{1, -2, -3}}}
+	case *random > 0:
+		nc := *clauses
+		if nc <= 0 {
+			nc = 2 * *random
+		}
+		f, err = npc.RandomFormula(rand.New(rand.NewSource(*seed)), *random, nc)
+		if err != nil {
+			return err
+		}
+	default:
+		f, err = npc.ParseDIMACS(stdin)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stdout, "formula: %s\n", f)
+
+	in, err := npc.Reduce(f, npc.DefaultParams())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "gadget network: %d posts + base station, %d sensor nodes, W = %.4f\n",
+		in.NumPosts, in.Nodes, in.W)
+	fmt.Fprintf(stdout, "posts: %s\n", strings.Join(in.Labels, " "))
+
+	assignment, sat, err := npc.Solve(f)
+	if err != nil {
+		return err
+	}
+	if sat {
+		fmt.Fprintln(stdout, "DPLL: SATISFIABLE")
+		deploy, parents, err := in.CanonicalSolution(assignment)
+		if err != nil {
+			return err
+		}
+		cost, err := in.EvaluateSolution(deploy, parents)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "canonical solution cost = %.4f (== W: %v)\n", cost, math.Abs(cost-in.W) <= 1e-9)
+		for i, m := range deploy {
+			if m == 2 {
+				fmt.Fprintf(stdout, "  2 nodes at %s\n", in.Labels[i])
+			}
+		}
+	} else {
+		fmt.Fprintln(stdout, "DPLL: UNSATISFIABLE")
+	}
+
+	if *optimal {
+		opt, err := in.OptimalCost()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "gadget optimum = %.4f over %d deployments; cost <= W: %v (matches satisfiability: %v)\n",
+			opt.Cost, opt.Evaluations, opt.Cost <= in.W+1e-9, (opt.Cost <= in.W+1e-9) == sat)
+	}
+	return nil
+}

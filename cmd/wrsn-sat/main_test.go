@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestExampleFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-example", "-optimal"}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, frag := range []string{
+		"formula: (x1 ∨ ¬x2 ∨ ¬x3)",
+		"12 sensor nodes",
+		"W = 141.5000",
+		"DPLL: SATISFIABLE",
+		"canonical solution cost = 141.5000 (== W: true)",
+		"matches satisfiability: true",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("output missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestDIMACSFromStdinUnsat(t *testing.T) {
+	const dimacs = `c x1 and not x1
+p cnf 1 2
+1 1 1 0
+-1 -1 -1 0
+`
+	var out bytes.Buffer
+	if err := run([]string{"-optimal"}, strings.NewReader(dimacs), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "DPLL: UNSATISFIABLE") {
+		t.Errorf("missing UNSAT verdict:\n%s", s)
+	}
+	if !strings.Contains(s, "matches satisfiability: true") {
+		t.Errorf("gadget optimum should confirm UNSAT:\n%s", s)
+	}
+}
+
+func TestMalformedInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader("not dimacs"), &out); err == nil {
+		t.Error("malformed DIMACS accepted")
+	}
+	// Reduction rejects non-3-CNF clauses.
+	const wide = "p cnf 2 1\n1 2 0\n"
+	if err := run(nil, strings.NewReader(wide), &out); err == nil {
+		t.Error("2-literal clause accepted by the 3-CNF reduction")
+	}
+}
+
+func TestOptimalRefusesHugeGadgets(t *testing.T) {
+	// 11 variables + 11 clauses -> 44 posts, beyond MaxOptimalPosts.
+	var sb strings.Builder
+	sb.WriteString("p cnf 11 11\n")
+	for v := 1; v <= 11; v++ {
+		fmt.Fprintf(&sb, "%d %d %d 0\n", v, v, v)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-optimal"}, strings.NewReader(sb.String()), &out)
+	if err == nil {
+		t.Error("44-post gadget accepted for exhaustive optimisation")
+	}
+	// Without -optimal the same formula reduces and solves fine.
+	if err := run(nil, strings.NewReader(sb.String()), &out); err != nil {
+		t.Errorf("reduction without optimisation failed: %v", err)
+	}
+}

@@ -1,0 +1,138 @@
+// Command wrsn-sim runs the round-based network + mobile-charger
+// simulator on a solved instance and reports delivery, energy and charger
+// metrics, optionally streaming a per-round CSV trace.
+//
+// Typical pipeline:
+//
+//	wrsn-plan gen -posts 25 -nodes 100 -side 300 > problem.json
+//	wrsn-plan solve -algo rfh < problem.json > solution.json
+//	wrsn-sim -problem problem.json -rounds 20000 -policy tour \
+//	         -trace trace.csv < solution.json
+//
+// Omitting -solution/-stdin solving is deliberate: the simulator checks a
+// *given* plan, it never plans itself.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"wrsn/internal/model"
+	"wrsn/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wrsn-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("wrsn-sim", flag.ContinueOnError)
+	var (
+		problemPath = fs.String("problem", "", "path to the problem JSON (required)")
+		rounds      = fs.Int("rounds", 10000, "reporting rounds to simulate")
+		packetBits  = fs.Int("packet-bits", 1000, "bits per report")
+		battery     = fs.Float64("battery", 0, "battery capacity per node in nJ (0 = auto)")
+		noCharger   = fs.Bool("no-charger", false, "disable the charger (lifetime study)")
+		power       = fs.Float64("charger-power", 5e7, "charger dissemination per round while parked (nJ)")
+		speed       = fs.Float64("charger-speed", 25, "charger travel speed (m per round)")
+		policy      = fs.String("policy", "urgency", "charger policy: urgency, round-robin or tour")
+		chargers    = fs.Int("chargers", 1, "number of chargers in the fleet")
+		failure     = fs.Float64("failure-rate", 0, "per-round probability of one permanent node failure")
+		linkLoss    = fs.Float64("link-loss", 0, "per-attempt transmission loss probability")
+		retries     = fs.Int("max-retries", 8, "retransmission attempts per report per hop")
+		seed        = fs.Int64("seed", 1, "simulation random seed")
+		tracePath   = fs.String("trace", "", "write a per-round CSV trace to this file")
+		traceEvery  = fs.Int("trace-every", 100, "trace sampling interval in rounds")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *problemPath == "" {
+		return fmt.Errorf("-problem is required")
+	}
+	pf, err := os.Open(*problemPath)
+	if err != nil {
+		return err
+	}
+	defer pf.Close()
+	p, err := model.ReadProblem(pf)
+	if err != nil {
+		return err
+	}
+	sol, err := model.ReadSolution(stdin)
+	if err != nil {
+		return err
+	}
+
+	cfg := sim.Config{
+		Problem:         p,
+		Solution:        *sol,
+		PacketBits:      *packetBits,
+		BatteryCapacity: *battery,
+		FailurePerRound: *failure,
+		LinkLossProb:    *linkLoss,
+		MaxRetries:      *retries,
+		Seed:            *seed,
+	}
+	if !*noCharger {
+		cfg.Charger = &sim.ChargerConfig{
+			PowerPerRound: *power,
+			SpeedPerRound: *speed,
+			Policy:        sim.ChargerPolicy(*policy),
+		}
+		cfg.Chargers = *chargers
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	var tracer *sim.CSVTracer
+	if *tracePath != "" {
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		tracer = sim.NewCSVTracer(tf, *traceEvery)
+		s.SetTracer(tracer)
+	}
+
+	metrics, err := s.Run(*rounds)
+	if err != nil {
+		return err
+	}
+	if tracer != nil {
+		if err := tracer.Flush(); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+	}
+
+	analytic, err := s.AnalyticCostPerBitRound()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "simulated %d rounds (%d posts, %d nodes)\n", metrics.Rounds, p.N(), p.Nodes)
+	fmt.Fprintf(stdout, "  delivery:             %.2f%% (%d delivered, %d lost)\n",
+		metrics.DeliveryRatio()*100, metrics.ReportsDelivered, metrics.ReportsLost)
+	if metrics.FirstLossRound >= 0 {
+		fmt.Fprintf(stdout, "  first loss:           round %d\n", metrics.FirstLossRound)
+	}
+	fmt.Fprintf(stdout, "  network consumed:     %.3f mJ\n", metrics.NetworkEnergy/1e6)
+	if !*noCharger {
+		fmt.Fprintf(stdout, "  charger disseminated: %.3f mJ over %d visits, %.0f m travelled\n",
+			metrics.ChargerEnergy/1e6, metrics.ChargerVisits, metrics.ChargerDistance)
+		empirical := metrics.EmpiricalCostPerBitRound(*packetBits)
+		fmt.Fprintf(stdout, "  empirical cost:       %.4f nJ per bit-round (analytic %.4f, deviation %+.2f%%)\n",
+			empirical, analytic, (empirical/analytic-1)*100)
+	}
+	if metrics.NodeFailures > 0 {
+		fmt.Fprintf(stdout, "  injected failures:    %d\n", metrics.NodeFailures)
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package wrsn_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun builds and executes every runnable example end to end.
+// This is the "does the public API actually drive" check; skipped in
+// -short runs because each example takes a second or two.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples take seconds each")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatalf("reading examples/: %v", err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("want at least 3 examples, found %d", len(entries))
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			bin := filepath.Join(t.TempDir(), name)
+			build := exec.Command("go", "build", "-o", bin, "./examples/"+name)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build failed: %v\n%s", err, out)
+			}
+			cmd := exec.Command(bin)
+			done := make(chan struct{})
+			var out []byte
+			var runErr error
+			go func() {
+				out, runErr = cmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(120 * time.Second):
+				_ = cmd.Process.Kill()
+				t.Fatalf("example %s did not finish in 120s", name)
+			}
+			if runErr != nil {
+				t.Fatalf("example failed: %v\n%s", runErr, out)
+			}
+			if len(strings.TrimSpace(string(out))) == 0 {
+				t.Fatalf("example produced no output")
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module wrsn
+
+go 1.22

@@ -1,0 +1,80 @@
+// Package bitset provides a fixed-size bitset used for dense reachability
+// computations over post graphs (descendant sets in the fat-tree trim are
+// recomputed many times; a word-parallel union keeps that cheap).
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity bitset. The zero value has capacity zero;
+// construct with New.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns a Set holding bits 0..n-1, all clear.
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity in bits.
+func (s *Set) Len() int { return s.n }
+
+// Set sets bit i.
+func (s *Set) Set(i int) { s.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) { s.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Test reports whether bit i is set.
+func (s *Set) Test(i int) bool { return s.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Reset clears all bits.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// UnionWith ors t into s. Both sets must have the same capacity.
+func (s *Set) UnionWith(t *Set) {
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// CopyFrom overwrites s with t. Both sets must have the same capacity.
+func (s *Set) CopyFrom(t *Set) {
+	copy(s.words, t.words)
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		base := wi << 6
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(base + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Clone returns a copy of s.
+func (s *Set) Clone() *Set {
+	c := New(s.n)
+	copy(c.words, s.words)
+	return c
+}

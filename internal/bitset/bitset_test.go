@@ -1,0 +1,129 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130) // spans three words
+	if s.Len() != 130 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for _, i := range []int{0, 63, 64, 127, 129} {
+		if s.Test(i) {
+			t.Fatalf("fresh set has bit %d", i)
+		}
+		s.Set(i)
+		if !s.Test(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if s.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", s.Count())
+	}
+	s.Clear(64)
+	if s.Test(64) || s.Count() != 4 {
+		t.Fatalf("Clear(64) failed: count %d", s.Count())
+	}
+	s.Reset()
+	if s.Count() != 0 {
+		t.Fatalf("Reset left %d bits", s.Count())
+	}
+}
+
+func TestUnionCopyClone(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Set(3)
+	b.Set(70)
+	b.Set(3)
+	a.UnionWith(b)
+	if !a.Test(3) || !a.Test(70) || a.Count() != 2 {
+		t.Fatalf("union wrong: count %d", a.Count())
+	}
+	c := a.Clone()
+	c.Set(99)
+	if a.Test(99) {
+		t.Fatal("Clone aliases storage")
+	}
+	d := New(100)
+	d.CopyFrom(a)
+	if d.Count() != a.Count() {
+		t.Fatalf("CopyFrom: %d vs %d", d.Count(), a.Count())
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	s := New(200)
+	want := []int{1, 63, 64, 65, 128, 199}
+	for _, i := range want {
+		s.Set(i)
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAgainstMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const n = 257
+	s := New(n)
+	ref := map[int]bool{}
+	for op := 0; op < 5000; op++ {
+		i := rng.Intn(n)
+		switch rng.Intn(3) {
+		case 0:
+			s.Set(i)
+			ref[i] = true
+		case 1:
+			s.Clear(i)
+			delete(ref, i)
+		default:
+			if s.Test(i) != ref[i] {
+				t.Fatalf("Test(%d) = %v, reference %v", i, s.Test(i), ref[i])
+			}
+		}
+	}
+	if s.Count() != len(ref) {
+		t.Fatalf("Count = %d, reference %d", s.Count(), len(ref))
+	}
+	s.ForEach(func(i int) {
+		if !ref[i] {
+			t.Fatalf("ForEach visited %d not in reference", i)
+		}
+	})
+}
+
+func TestZeroAndNegativeCapacity(t *testing.T) {
+	z := New(0)
+	if z.Count() != 0 {
+		t.Error("empty set has bits")
+	}
+	neg := New(-5)
+	if neg.Len() != 0 {
+		t.Errorf("negative capacity clamped to %d, want 0", neg.Len())
+	}
+}
+
+func BenchmarkUnionCount(b *testing.B) {
+	const n = 4096
+	x, y := New(n), New(n)
+	for i := 0; i < n; i += 3 {
+		x.Set(i)
+	}
+	for i := 0; i < n; i += 5 {
+		y.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.UnionWith(y)
+		_ = x.Count()
+	}
+}

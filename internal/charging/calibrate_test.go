@@ -1,0 +1,98 @@
+package charging
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestCalibrateRecoversKnownParameters: measurements generated from a
+// known lab must fit back to its parameters.
+func TestCalibrateRecoversKnownParameters(t *testing.T) {
+	truth := DefaultLab()
+	rng := rand.New(rand.NewSource(3))
+
+	// Dense single-sensor sweep with many trials to average out noise.
+	var cells []Measurement
+	for d := 0.20; d <= 1.0; d += 0.10 {
+		cell, err := truth.MeasureCell(rng, 1, d, 0.05, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells = append(cells, cell)
+	}
+	cal, err := Calibrate(truth.TxPower, truth.RefDistance, cells)
+	if err != nil {
+		t.Fatalf("Calibrate: %v", err)
+	}
+	if rel := math.Abs(cal.Decay-truth.Decay) / truth.Decay; rel > 0.05 {
+		t.Errorf("fitted decay %.3f, truth %.3f (%.1f%% off)", cal.Decay, truth.Decay, rel*100)
+	}
+	if rel := math.Abs(cal.RefEfficiency-truth.RefEfficiency) / truth.RefEfficiency; rel > 0.05 {
+		t.Errorf("fitted eta0 %.5f, truth %.5f (%.1f%% off)", cal.RefEfficiency, truth.RefEfficiency, rel*100)
+	}
+	if cal.R2 < 0.99 {
+		t.Errorf("R² = %.4f; the exponential model should explain its own data", cal.R2)
+	}
+	if cal.Samples != len(cells) {
+		t.Errorf("used %d samples, want %d", cal.Samples, len(cells))
+	}
+
+	// Rebuild a lab from the calibration and check its predictions.
+	fitted, err := cal.Lab(truth, truth.TxPower, truth.RefDistance)
+	if err != nil {
+		t.Fatalf("Lab: %v", err)
+	}
+	for _, d := range []float64{0.25, 0.55, 0.95} {
+		want := truth.SingleNodePower(d)
+		got := fitted.SingleNodePower(d)
+		if rel := math.Abs(got-want) / want; rel > 0.05 {
+			t.Errorf("fitted lab predicts %.4f mW at %.2fm, truth %.4f (%.1f%% off)", got, d, want, rel*100)
+		}
+	}
+}
+
+// TestCalibrateIgnoresMultiSensorCells: only single-sensor measurements
+// carry clean propagation information.
+func TestCalibrateIgnoresMultiSensorCells(t *testing.T) {
+	truth := DefaultLab()
+	rng := rand.New(rand.NewSource(4))
+	var cells []Measurement
+	for d := 0.20; d <= 1.0; d += 0.20 {
+		for _, m := range []int{1, 4} {
+			cell, err := truth.MeasureCell(rng, m, d, 0.05, 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cells = append(cells, cell)
+		}
+	}
+	cal, err := Calibrate(truth.TxPower, truth.RefDistance, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Samples != 5 {
+		t.Errorf("used %d samples, want only the 5 single-sensor cells", cal.Samples)
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	good := Measurement{Sensors: 1, ChargerDist: 0.2, MeanPerNodeMW: 10}
+	if _, err := Calibrate(0, 0.2, []Measurement{good}); err == nil {
+		t.Error("zero tx power accepted")
+	}
+	if _, err := Calibrate(3000, 0, []Measurement{good}); err == nil {
+		t.Error("zero reference distance accepted")
+	}
+	if _, err := Calibrate(3000, 0.2, []Measurement{good}); err == nil {
+		t.Error("single measurement accepted")
+	}
+	same := []Measurement{good, good}
+	if _, err := Calibrate(3000, 0.2, same); err == nil {
+		t.Error("coincident distances accepted")
+	}
+	bad := []Measurement{good, {Sensors: 1, ChargerDist: 0.4, MeanPerNodeMW: 0}}
+	if _, err := Calibrate(3000, 0.2, bad); err == nil {
+		t.Error("non-positive power accepted")
+	}
+}

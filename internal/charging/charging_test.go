@@ -1,0 +1,187 @@
+package charging
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGainFactors(t *testing.T) {
+	cases := []struct {
+		name string
+		g    Gain
+		m    int
+		want float64
+	}{
+		{"linear 1", Linear(), 1, 1},
+		{"linear 6", Linear(), 6, 6},
+		{"zero value acts linear", Gain{}, 4, 4},
+		{"sublinear 1", Sublinear(0.9), 1, 1},
+		{"sublinear 4", Sublinear(0.5), 4, 2},
+		{"saturating below cap", Saturating(4), 3, 3},
+		{"saturating at cap", Saturating(4), 4, 4},
+		{"saturating beyond cap", Saturating(4), 9, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.g.Factor(tc.m); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("Factor(%d) = %v, want %v", tc.m, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestGainValidate(t *testing.T) {
+	valid := []Gain{Linear(), {}, Sublinear(0.5), Sublinear(1), Saturating(1), Saturating(10)}
+	for _, g := range valid {
+		if err := g.Validate(); err != nil {
+			t.Errorf("valid gain %+v rejected: %v", g, err)
+		}
+	}
+	invalid := []Gain{
+		Sublinear(0), Sublinear(-1), Sublinear(1.5),
+		Saturating(0), Saturating(-2),
+		{Kind: "exotic"},
+	}
+	for _, g := range invalid {
+		if err := g.Validate(); err == nil {
+			t.Errorf("invalid gain %+v accepted", g)
+		}
+	}
+}
+
+func TestGainFactorPanicsOnZeroNodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Factor(0) did not panic")
+		}
+	}()
+	Linear().Factor(0)
+}
+
+func TestModelValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Errorf("default model invalid: %v", err)
+	}
+	bad := []Model{
+		{EtaSingle: 0},
+		{EtaSingle: -0.1},
+		{EtaSingle: 1.5},
+		{EtaSingle: 0.5, Gain: Sublinear(2)},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("invalid model %+v accepted", m)
+		}
+	}
+	if _, err := NewModel(0.0067, Linear()); err != nil {
+		t.Errorf("NewModel rejected the field-measured efficiency: %v", err)
+	}
+	if _, err := NewModel(0, Linear()); err == nil {
+		t.Error("NewModel accepted eta = 0")
+	}
+}
+
+func TestNetworkEfficiencyAndRechargeCost(t *testing.T) {
+	m, err := NewModel(0.01, Linear())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff, err := m.NetworkEfficiency(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eff-0.05) > 1e-12 {
+		t.Errorf("eta(5) = %v, want 0.05", eff)
+	}
+	cost, err := m.RechargeCost(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cost-200) > 1e-9 {
+		t.Errorf("RechargeCost(10, 5) = %v, want 200", cost)
+	}
+	if _, err := m.NetworkEfficiency(0); err == nil {
+		t.Error("NetworkEfficiency(0) accepted")
+	}
+	if _, err := m.RechargeCost(-1, 1); err == nil {
+		t.Error("RechargeCost with negative energy accepted")
+	}
+}
+
+// TestRechargeCostMonotone checks the property the exact solver's bound
+// relies on: cost is non-increasing in the node count.
+func TestRechargeCostMonotone(t *testing.T) {
+	models := []Model{Default(), {EtaSingle: 0.01, Gain: Sublinear(0.9)}, {EtaSingle: 0.5, Gain: Saturating(4)}}
+	property := func(rawEnergy float64, rawM uint8) bool {
+		energy := math.Mod(math.Abs(rawEnergy), 1e6)
+		m := int(rawM%20) + 1
+		for _, cm := range models {
+			c1, err1 := cm.RechargeCost(energy, m)
+			c2, err2 := cm.RechargeCost(energy, m+1)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if c2 > c1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearGainHalvesCostPerDoubling(t *testing.T) {
+	m := Default()
+	c1, err := m.RechargeCost(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := m.RechargeCost(100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c1/c2-2) > 1e-12 {
+		t.Errorf("doubling nodes should halve cost under linear gain: %v vs %v", c1, c2)
+	}
+}
+
+func TestCostScalesInverseEta(t *testing.T) {
+	lo, err := NewModel(0.005, Linear())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := NewModel(0.01, Linear())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cLo, _ := lo.RechargeCost(42, 3)
+	cHi, _ := hi.RechargeCost(42, 3)
+	if math.Abs(cLo/cHi-2) > 1e-12 {
+		t.Errorf("halving eta should double cost: %v vs %v", cLo, cHi)
+	}
+}
+
+func TestGainJSONRoundTrip(t *testing.T) {
+	for _, g := range []Gain{Linear(), Sublinear(0.8), Saturating(6)} {
+		raw, err := json.Marshal(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Gain
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back.Kind != g.Kind || back.Exponent != g.Exponent || back.Cap != g.Cap {
+			t.Errorf("round trip changed gain: %+v -> %+v", g, back)
+		}
+		for m := 1; m <= 10; m++ {
+			if back.Factor(m) != g.Factor(m) {
+				t.Errorf("factor changed after round trip at m=%d", m)
+			}
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package charging
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDefaultLabValid(t *testing.T) {
+	if err := DefaultLab().Validate(); err != nil {
+		t.Fatalf("default lab invalid: %v", err)
+	}
+}
+
+func TestLabValidation(t *testing.T) {
+	base := DefaultLab()
+	mutate := []struct {
+		name string
+		fn   func(*Lab)
+	}{
+		{"zero tx power", func(l *Lab) { l.TxPower = 0 }},
+		{"zero ref distance", func(l *Lab) { l.RefDistance = 0 }},
+		{"ref efficiency 1", func(l *Lab) { l.RefEfficiency = 1 }},
+		{"ref efficiency 0", func(l *Lab) { l.RefEfficiency = 0 }},
+		{"negative decay", func(l *Lab) { l.Decay = -1 }},
+		{"shadow 1", func(l *Lab) { l.ShadowClose = 1 }},
+		{"negative shadow", func(l *Lab) { l.ShadowClose = -0.1 }},
+		{"zero close spacing", func(l *Lab) { l.CloseSpacing = 0 }},
+		{"negative noise", func(l *Lab) { l.NoiseStdDev = -0.1 }},
+	}
+	for _, tc := range mutate {
+		t.Run(tc.name, func(t *testing.T) {
+			l := base
+			tc.fn(&l)
+			if err := l.Validate(); err == nil {
+				t.Error("invalid lab accepted")
+			}
+		})
+	}
+}
+
+func TestSingleNodeEfficiencyBelowOnePercent(t *testing.T) {
+	l := DefaultLab()
+	// The paper: "when a sensor is 20cm away from the charger, on average
+	// the node can obtain less than 1% of the energy consumed".
+	if eff := l.SingleNodePower(0.20) / l.TxPower; eff >= 0.01 {
+		t.Errorf("single-node efficiency at 20cm = %.3f%%, want < 1%%", eff*100)
+	}
+}
+
+func TestPowerDecaysExponentially(t *testing.T) {
+	l := DefaultLab()
+	// Constant ratio across equal distance steps is the signature of
+	// exponential decay.
+	r1 := l.SingleNodePower(0.40) / l.SingleNodePower(0.20)
+	r2 := l.SingleNodePower(0.60) / l.SingleNodePower(0.40)
+	r3 := l.SingleNodePower(1.00) / l.SingleNodePower(0.80)
+	if math.Abs(r1-r2) > 1e-9 || math.Abs(r2-r3) > 1e-9 {
+		t.Errorf("decay ratios differ: %v %v %v", r1, r2, r3)
+	}
+	if r1 >= 1 {
+		t.Errorf("power did not decay: ratio %v", r1)
+	}
+}
+
+func TestShadowingSpacingDependence(t *testing.T) {
+	l := DefaultLab()
+	p1, err := l.PerNodePower(0.20, 1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2at5, err := l.PerNodePower(0.20, 2, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2at10, err := l.PerNodePower(0.20, 2, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(p2at5 < p2at10 && p2at10 < p1) {
+		t.Errorf("want drop ordering p(2,5cm)=%v < p(2,10cm)=%v < p(1)=%v", p2at5, p2at10, p1)
+	}
+	// Far-apart sensors see no shadowing at all.
+	p2far, err := l.PerNodePower(0.20, 2, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p2far-p1) > 1e-9 {
+		t.Errorf("no shadowing expected at 1m spacing: %v vs %v", p2far, p1)
+	}
+}
+
+func TestPerNodePowerFlatFrom2To6(t *testing.T) {
+	l := DefaultLab()
+	for _, spacing := range TableIISensorSpacings {
+		p2, err := l.PerNodePower(0.40, 2, spacing)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range []int{4, 6} {
+			pm, err := l.PerNodePower(0.40, m, spacing)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pm != p2 {
+				t.Errorf("noise-free per-node power changed from 2 to %d sensors: %v vs %v", m, pm, p2)
+			}
+		}
+	}
+}
+
+func TestNetworkEfficiencyNearLinear(t *testing.T) {
+	l := DefaultLab()
+	e1, err := l.NetworkEfficiency(0.20, 1, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []int{2, 4, 6} {
+		em, err := l.NetworkEfficiency(0.20, m, 0.10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gain := em / e1
+		// Linear would be m exactly; shadowing at 10cm costs ~11%.
+		if gain < 0.8*float64(m) || gain > float64(m) {
+			t.Errorf("network efficiency gain for %d sensors = %.2f, want within [%.1f, %d]",
+				m, gain, 0.8*float64(m), m)
+		}
+	}
+}
+
+func TestPerNodePowerErrors(t *testing.T) {
+	l := DefaultLab()
+	if _, err := l.PerNodePower(0.20, 0, 0.05); err == nil {
+		t.Error("accepted zero sensors")
+	}
+	if _, err := l.PerNodePower(0, 1, 0.05); err == nil {
+		t.Error("accepted zero distance")
+	}
+	if _, err := l.PerNodePower(0.20, 2, 0); err == nil {
+		t.Error("accepted zero spacing with multiple sensors")
+	}
+	if _, err := l.PerNodePower(0.20, 1, 0); err != nil {
+		t.Errorf("single sensor should not need a spacing: %v", err)
+	}
+}
+
+func TestMeasureCellStatistics(t *testing.T) {
+	l := DefaultLab()
+	rng := rand.New(rand.NewSource(9))
+	cell, err := l.MeasureCell(rng, 4, 0.40, 0.10, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := l.PerNodePower(0.40, 4, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 400 trials of 6% multiplicative noise the mean is within a few
+	// standard errors of the noise-free value.
+	if math.Abs(cell.MeanPerNodeMW-base)/base > 0.02 {
+		t.Errorf("measured mean %.4f deviates >2%% from noise-free %.4f", cell.MeanPerNodeMW, base)
+	}
+	wantStd := base * l.NoiseStdDev
+	if cell.StdDevMW < wantStd/2 || cell.StdDevMW > wantStd*2 {
+		t.Errorf("measured stddev %.4f implausible for noise level (want ~%.4f)", cell.StdDevMW, wantStd)
+	}
+	if cell.Trials != 400 || cell.Sensors != 4 {
+		t.Errorf("cell metadata wrong: %+v", cell)
+	}
+	if _, err := l.MeasureCell(rng, 1, 0.20, 0.05, 0); err == nil {
+		t.Error("accepted zero trials")
+	}
+}
+
+func TestMeasureCellDeterministic(t *testing.T) {
+	l := DefaultLab()
+	a, err := l.MeasureCell(rand.New(rand.NewSource(5)), 2, 0.60, 0.05, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.MeasureCell(rand.New(rand.NewSource(5)), 2, 0.60, 0.05, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed produced different measurements: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunTableIIGridShape(t *testing.T) {
+	l := DefaultLab()
+	cells, err := l.RunTableII(rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(TableIISensorSpacings) * len(TableIISensorCounts) * len(TableIIChargerDistances)
+	if len(cells) != want {
+		t.Fatalf("got %d cells, want %d", len(cells), want)
+	}
+	for _, c := range cells {
+		if c.Trials != TableIITrials {
+			t.Errorf("cell %+v has %d trials, want %d", c, c.Trials, TableIITrials)
+		}
+		if c.MeanPerNodeMW <= 0 {
+			t.Errorf("cell %+v has non-positive power", c)
+		}
+	}
+	// Deterministic ordering: first cell is 1 sensor, 20cm, 5cm spacing.
+	first := cells[0]
+	if first.Sensors != 1 || first.ChargerDist != 0.20 || first.Spacing != 0.05 {
+		t.Errorf("unexpected first cell %+v", first)
+	}
+}

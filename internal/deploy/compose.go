@@ -1,0 +1,87 @@
+package deploy
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// ForEachComposition enumerates every way to distribute `total` identical
+// extra nodes over n posts (weak compositions: entries >= 0 summing to
+// `total`), invoking fn with a reused buffer for each. fn must not retain
+// the slice; return false to stop early. Enumeration is lexicographic, so
+// results are deterministic. This drives one IDB round, which examines
+// C(n+total-1, n-1) candidate placements of its delta nodes.
+func ForEachComposition(n, total int, fn func(counts []int) bool) error {
+	if n <= 0 {
+		return fmt.Errorf("deploy: composition over %d posts", n)
+	}
+	if total < 0 {
+		return fmt.Errorf("deploy: negative composition total %d", total)
+	}
+	counts := make([]int, n)
+	var rec func(pos, remaining int) bool
+	rec = func(pos, remaining int) bool {
+		if pos == n-1 {
+			counts[pos] = remaining
+			ok := fn(counts)
+			counts[pos] = 0
+			return ok
+		}
+		for v := 0; v <= remaining; v++ {
+			counts[pos] = v
+			if !rec(pos+1, remaining-v) {
+				counts[pos] = 0
+				return false
+			}
+		}
+		counts[pos] = 0
+		return true
+	}
+	rec(0, total)
+	return nil
+}
+
+// ForEachDeployment enumerates every deployment of m nodes over n posts
+// with at least one node per post (the paper's naive C(m-1, n-1)-sized
+// search space), invoking fn with a reused buffer. Return false from fn
+// to stop early.
+func ForEachDeployment(n, m int, fn func(counts []int) bool) error {
+	if m < n {
+		return fmt.Errorf("deploy: %d nodes cannot cover %d posts", m, n)
+	}
+	return ForEachComposition(n, m-n, func(extra []int) bool {
+		// Shift the weak composition up by the mandatory one node per
+		// post, in place, then restore.
+		for i := range extra {
+			extra[i]++
+		}
+		ok := fn(extra)
+		for i := range extra {
+			extra[i]--
+		}
+		return ok
+	})
+}
+
+// CountCompositions returns C(n+total-1, n-1), the number of weak
+// compositions of `total` over n posts, saturating at math.MaxInt64.
+func CountCompositions(n, total int) int64 {
+	if n <= 0 || total < 0 {
+		return 0
+	}
+	v := new(big.Int).Binomial(int64(n+total-1), int64(n-1))
+	if !v.IsInt64() {
+		return math.MaxInt64
+	}
+	return v.Int64()
+}
+
+// CountDeployments returns C(m-1, n-1), the size of the exhaustive
+// deployment search space, saturating at math.MaxInt64.
+func CountDeployments(n, m int) int64 {
+	if m < n {
+		return 0
+	}
+	return CountCompositions(n, m-n)
+}

@@ -1,0 +1,129 @@
+package deploy
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestForEachCompositionEnumerates(t *testing.T) {
+	var got [][]int
+	err := ForEachComposition(3, 2, func(c []int) bool {
+		got = append(got, append([]int(nil), c...))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{
+		{0, 0, 2}, {0, 1, 1}, {0, 2, 0},
+		{1, 0, 1}, {1, 1, 0}, {2, 0, 0},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("enumerated %d compositions, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if fmt.Sprint(got[i]) != fmt.Sprint(want[i]) {
+			t.Fatalf("composition %d = %v, want %v (lexicographic order)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestForEachCompositionCountsMatch(t *testing.T) {
+	for _, tc := range []struct{ n, total int }{{1, 0}, {1, 5}, {3, 0}, {3, 4}, {5, 3}, {4, 6}} {
+		count := 0
+		err := ForEachComposition(tc.n, tc.total, func([]int) bool {
+			count++
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := CountCompositions(tc.n, tc.total); int64(count) != want {
+			t.Errorf("n=%d total=%d: enumerated %d, formula says %d", tc.n, tc.total, count, want)
+		}
+	}
+}
+
+func TestForEachCompositionEarlyStop(t *testing.T) {
+	count := 0
+	err := ForEachComposition(3, 3, func([]int) bool {
+		count++
+		return count < 4
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 4 {
+		t.Errorf("stopped after %d calls, want 4", count)
+	}
+}
+
+func TestForEachCompositionErrors(t *testing.T) {
+	if err := ForEachComposition(0, 1, func([]int) bool { return true }); err == nil {
+		t.Error("zero posts accepted")
+	}
+	if err := ForEachComposition(2, -1, func([]int) bool { return true }); err == nil {
+		t.Error("negative total accepted")
+	}
+}
+
+func TestForEachDeployment(t *testing.T) {
+	var all [][]int
+	err := ForEachDeployment(2, 4, func(m []int) bool {
+		all = append(all, append([]int(nil), m...))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{1, 3}, {2, 2}, {3, 1}}
+	if len(all) != len(want) {
+		t.Fatalf("got %v, want %v", all, want)
+	}
+	for _, m := range all {
+		if m[0]+m[1] != 4 || m[0] < 1 || m[1] < 1 {
+			t.Errorf("invalid deployment %v", m)
+		}
+	}
+	if err := ForEachDeployment(3, 2, func([]int) bool { return true }); err == nil {
+		t.Error("M < N accepted")
+	}
+	if got, want := CountDeployments(2, 4), int64(3); got != want {
+		t.Errorf("CountDeployments(2,4) = %d, want %d", got, want)
+	}
+}
+
+func TestCountCompositionsBigValues(t *testing.T) {
+	// C(35, 9) — the paper's naive search size for N=10, M=36.
+	if got := CountDeployments(10, 36); got != 70607460 {
+		t.Errorf("CountDeployments(10, 36) = %d, want 70607460", got)
+	}
+	if got := CountCompositions(0, 3); got != 0 {
+		t.Errorf("degenerate count = %d", got)
+	}
+	// Saturation instead of overflow for absurd sizes.
+	if got := CountCompositions(500, 500); got <= 0 {
+		t.Errorf("huge count should saturate positive, got %d", got)
+	}
+}
+
+// TestCompositionBufferReuseSafety: the callback buffer is reused; the
+// enumerator must restore it between calls so mutations do not leak.
+func TestCompositionBufferIsConsistent(t *testing.T) {
+	err := ForEachComposition(4, 3, func(c []int) bool {
+		sum := 0
+		for _, v := range c {
+			if v < 0 {
+				t.Fatalf("negative entry in %v", c)
+			}
+			sum += v
+		}
+		if sum != 3 {
+			t.Fatalf("composition %v sums to %d", c, sum)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,202 @@
+package deploy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocateBasics(t *testing.T) {
+	m, err := Allocate([]float64{4, 1, 1, 1, 1, 1}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sqrt weights: 2,1,1,1,1,1 -> continuous 2, 1, 1, 1, 1, 1.
+	want := []int{2, 1, 1, 1, 1, 1}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Fatalf("Allocate = %v, want %v", m, want)
+		}
+	}
+}
+
+func TestAllocateInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(20)
+		total := n + rng.Intn(50)
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = rng.Float64() * 1000
+		}
+		m, err := Allocate(weights, total)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sum := 0
+		for i, v := range m {
+			if v < 1 {
+				t.Fatalf("trial %d: post %d got %d nodes", trial, i, v)
+			}
+			sum += v
+		}
+		if sum != total {
+			t.Fatalf("trial %d: allocated %d of %d nodes", trial, sum, total)
+		}
+	}
+}
+
+func TestAllocateZeroWeights(t *testing.T) {
+	m, err := Allocate([]float64{0, 0, 0}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, v := range m {
+		if v < 1 {
+			t.Fatalf("zero-weight post starved: %v", m)
+		}
+		sum += v
+	}
+	if sum != 6 {
+		t.Fatalf("allocated %d of 6", sum)
+	}
+}
+
+func TestAllocateErrors(t *testing.T) {
+	if _, err := Allocate(nil, 3); err == nil {
+		t.Error("empty weights accepted")
+	}
+	if _, err := Allocate([]float64{1, 1}, 1); err == nil {
+		t.Error("budget below post count accepted")
+	}
+	if _, err := Allocate([]float64{1, -1}, 3); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := Allocate([]float64{1, math.NaN()}, 3); err == nil {
+		t.Error("NaN weight accepted")
+	}
+	if _, err := Allocate([]float64{1, math.Inf(1)}, 3); err == nil {
+		t.Error("infinite weight accepted")
+	}
+}
+
+// bruteForceBest exhaustively minimises sum w_i/m_i over deployments.
+func bruteForceBest(weights []float64, total int) float64 {
+	best := math.Inf(1)
+	_ = ForEachDeployment(len(weights), total, func(m []int) bool {
+		v, err := Objective(weights, m)
+		if err == nil && v < best {
+			best = v
+		}
+		return true
+	})
+	return best
+}
+
+// TestAllocateNearOptimal: the Lagrange+rounding allocation should be
+// within a few percent of the exhaustive integer optimum on small cases.
+func TestAllocateNearOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	worst := 0.0
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(4)     // 2..5 posts
+		total := n + rng.Intn(8) // up to 7 spare nodes
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = 0.5 + rng.Float64()*99.5
+		}
+		m, err := Allocate(weights, total)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Objective(weights, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := bruteForceBest(weights, total)
+		gap := (got - best) / best
+		if gap > worst {
+			worst = gap
+		}
+		if gap > 0.10 {
+			t.Fatalf("trial %d: allocation %v has objective %.4f, optimum %.4f (gap %.1f%%) weights=%v total=%d",
+				trial, m, got, best, gap*100, weights, total)
+		}
+	}
+	t.Logf("worst rounding gap over 100 trials: %.2f%%", worst*100)
+}
+
+func TestContinuousShares(t *testing.T) {
+	shares, err := ContinuousShares([]float64{4, 1}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sqrt ratio 2:1 -> 6 and 3.
+	if math.Abs(shares[0]-6) > 1e-9 || math.Abs(shares[1]-3) > 1e-9 {
+		t.Errorf("shares = %v, want [6 3]", shares)
+	}
+	var sum float64
+	for _, s := range shares {
+		sum += s
+	}
+	if math.Abs(sum-9) > 1e-9 {
+		t.Errorf("shares sum to %v, want 9", sum)
+	}
+	if _, err := ContinuousShares(nil, 1); err == nil {
+		t.Error("empty weights accepted")
+	}
+}
+
+// TestContinuousSharesOptimality: the Lagrange solution beats any small
+// perturbation of itself (KKT sanity via testing/quick).
+func TestContinuousSharesOptimality(t *testing.T) {
+	weights := []float64{9, 4, 1}
+	const total = 12
+	shares, err := ContinuousShares(weights, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objective := func(m []float64) float64 {
+		var v float64
+		for i, w := range weights {
+			v += w / m[i]
+		}
+		return v
+	}
+	base := objective(shares)
+	property := func(rawEps float64, rawI, rawJ uint8) bool {
+		eps := math.Mod(math.Abs(rawEps), 0.5)
+		i, j := int(rawI)%3, int(rawJ)%3
+		if i == j || eps == 0 {
+			return true
+		}
+		perturbed := append([]float64(nil), shares...)
+		if perturbed[i]-eps <= 0 {
+			return true
+		}
+		perturbed[i] -= eps
+		perturbed[j] += eps
+		return objective(perturbed) >= base-1e-9
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObjective(t *testing.T) {
+	v, err := Objective([]float64{6, 8}, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-5) > 1e-12 {
+		t.Errorf("Objective = %v, want 5", v)
+	}
+	if _, err := Objective([]float64{1}, []int{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Objective([]float64{1}, []int{0}); err == nil {
+		t.Error("zero node count accepted")
+	}
+}

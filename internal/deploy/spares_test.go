@@ -1,0 +1,139 @@
+package deploy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBinomialCDF(t *testing.T) {
+	cases := []struct {
+		k, n int
+		p    float64
+		want float64
+	}{
+		{-1, 5, 0.5, 0},
+		{5, 5, 0.5, 1},
+		{9, 5, 0.5, 1},
+		{0, 1, 0.5, 0.5},
+		{1, 2, 0.5, 0.75},
+		{2, 4, 0.5, 11.0 / 16},
+		{0, 3, 0.1, 0.729},
+		{3, 10, 0, 1},
+		{3, 10, 1, 0},
+	}
+	for _, tc := range cases {
+		if got := BinomialCDF(tc.k, tc.n, tc.p); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("CDF(%d; %d, %v) = %v, want %v", tc.k, tc.n, tc.p, got, tc.want)
+		}
+	}
+}
+
+// TestBinomialCDFAgainstSimulation cross-checks the closed form with
+// Monte Carlo on a few parameter points.
+func TestBinomialCDFAgainstSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, tc := range []struct {
+		k, n int
+		p    float64
+	}{{3, 10, 0.3}, {7, 20, 0.45}, {1, 5, 0.9}} {
+		const trials = 200000
+		hits := 0
+		for trial := 0; trial < trials; trial++ {
+			successes := 0
+			for i := 0; i < tc.n; i++ {
+				if rng.Float64() < tc.p {
+					successes++
+				}
+			}
+			if successes <= tc.k {
+				hits++
+			}
+		}
+		mc := float64(hits) / trials
+		exact := BinomialCDF(tc.k, tc.n, tc.p)
+		if math.Abs(mc-exact) > 0.01 {
+			t.Errorf("CDF(%d; %d, %v): exact %v vs Monte Carlo %v", tc.k, tc.n, tc.p, exact, mc)
+		}
+	}
+}
+
+func TestSparesFor(t *testing.T) {
+	// Perfect survival needs no spares.
+	if m, err := SparesFor(4, 1, 0.99); err != nil || m != 4 {
+		t.Errorf("SparesFor(4, 1, .99) = %d, %v", m, err)
+	}
+	// 90% survival, need 4 of them with 99% confidence: check the
+	// returned M is minimal by definition.
+	m, err := SparesFor(4, 0.9, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m < 4 {
+		t.Fatalf("returned %d below the need", m)
+	}
+	atM := 1 - BinomialCDF(3, m, 0.9)
+	if atM < 0.99 {
+		t.Errorf("returned M=%d only achieves %v", m, atM)
+	}
+	if m > 4 {
+		below := 1 - BinomialCDF(3, m-1, 0.9)
+		if below >= 0.99 {
+			t.Errorf("M=%d is not minimal: M-1 achieves %v", m, below)
+		}
+	}
+	// Higher confidence or lower survival needs at least as many nodes.
+	m95, err := SparesFor(4, 0.9, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m95 > m {
+		t.Errorf("confidence 0.95 needs %d > confidence 0.99's %d", m95, m)
+	}
+	mLow, err := SparesFor(4, 0.6, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mLow < m {
+		t.Errorf("worse survival needs %d < %d", mLow, m)
+	}
+}
+
+func TestSparesForErrors(t *testing.T) {
+	if _, err := SparesFor(0, 0.9, 0.9); err == nil {
+		t.Error("need 0 accepted")
+	}
+	if _, err := SparesFor(1, 0, 0.9); err == nil {
+		t.Error("survival 0 accepted")
+	}
+	if _, err := SparesFor(1, 0.9, 1); err == nil {
+		t.Error("confidence 1 accepted")
+	}
+	if _, err := SparesFor(1, 0.9, 0); err == nil {
+		t.Error("confidence 0 accepted")
+	}
+}
+
+func TestProvisionSpares(t *testing.T) {
+	planned := []int{1, 3, 7}
+	inflated, total, err := ProvisionSpares(planned, 0.85, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for i := range planned {
+		if inflated[i] < planned[i] {
+			t.Errorf("post %d shrank: %d -> %d", i, planned[i], inflated[i])
+		}
+		sum += inflated[i]
+	}
+	if sum != total {
+		t.Errorf("total %d != sum %d", total, sum)
+	}
+	if total <= 1+3+7 {
+		t.Errorf("no spares added at 85%% survival: total %d", total)
+	}
+	if _, _, err := ProvisionSpares([]int{0}, 0.9, 0.9); err == nil {
+		t.Error("invalid planned count accepted")
+	}
+}

@@ -1,0 +1,112 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section II field experiments and Section VI simulations).
+// Each FigN function runs the corresponding experiment at the paper's
+// parameters (scaled down optionally for quick runs) and returns both
+// structured series and a rendered text table with the same rows/series
+// the paper plots. EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wrsn/internal/charging"
+	"wrsn/internal/energy"
+	"wrsn/internal/geom"
+	"wrsn/internal/model"
+)
+
+// Options controls experiment scale. The zero value is replaced by paper
+// defaults per experiment.
+type Options struct {
+	// Seeds is the number of random post distributions to average; the
+	// paper uses 20 for large-scale experiments and 5 for the
+	// optimal-solution comparison. 0 selects the per-experiment default.
+	Seeds int
+	// BaseSeed offsets the deterministic seed sequence (default 1).
+	BaseSeed int64
+	// Quick shrinks workloads (fewer seeds, smaller node counts) to keep
+	// CI and `go test -bench` runs fast while preserving every trend;
+	// the cmd/wrsn-experiments tool runs full scale by default.
+	Quick bool
+}
+
+func (o Options) seeds(def, quick int) int {
+	if o.Seeds > 0 {
+		return o.Seeds
+	}
+	if o.Quick {
+		return quick
+	}
+	return def
+}
+
+func (o Options) baseSeed() int64 {
+	if o.BaseSeed != 0 {
+		return o.BaseSeed
+	}
+	return 1
+}
+
+// Series is one plotted line: a label and a Y value per X position.
+type Series struct {
+	Label string `json:"label"`
+	// Unit annotates table headers; empty means the figure's default
+	// (µJ for cost figures).
+	Unit string    `json:"unit,omitempty"`
+	Y    []float64 `json:"y"`
+	// CI95 optionally holds the 95% confidence half-width of each Y
+	// (same length as Y) for experiments averaged over random seeds.
+	CI95 []float64 `json:"ci95,omitempty"`
+}
+
+// Figure is the structured output of one experiment: the X axis and one
+// series per algorithm/configuration, in the paper's units.
+type Figure struct {
+	ID     string    `json:"id"`     // e.g. "fig8"
+	Title  string    `json:"title"`  // what the paper's figure shows
+	XLabel string    `json:"xlabel"` // x-axis meaning
+	YLabel string    `json:"ylabel"` // y-axis meaning (µJ for costs)
+	X      []float64 `json:"x"`
+	Series []Series  `json:"series"`
+}
+
+// Get returns the series with the given label, or nil.
+func (f *Figure) Get(label string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Label == label {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// njToMicroJ converts the model's nanojoule costs to the paper's
+// microjoule axes.
+func njToMicroJ(nj float64) float64 { return nj / 1000 }
+
+// newSeededRNG returns a deterministic RNG for one experiment seed.
+func newSeededRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// maxInstanceAttempts bounds connected-instance regeneration.
+const maxInstanceAttempts = 1000
+
+// randomConnectedProblem draws random post sets in the field until one is
+// connected to the base station at maximum transmission range, exactly as
+// a simulation whose random topology must admit any routing at all.
+func randomConnectedProblem(rng *rand.Rand, field geom.Field, n, m int, em energy.Model) (*model.Problem, error) {
+	for attempt := 0; attempt < maxInstanceAttempts; attempt++ {
+		p := &model.Problem{
+			Posts:    field.RandomPoints(rng, n),
+			BS:       field.Corner(),
+			Nodes:    m,
+			Energy:   em,
+			Charging: charging.Default(),
+		}
+		if err := p.Validate(); err == nil {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: no connected %d-post instance in %.0fx%.0fm after %d attempts",
+		n, field.Width, field.Height, maxInstanceAttempts)
+}

@@ -1,0 +1,428 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// quick returns Options that shrink experiments for test runs.
+func quick() Options { return Options{Quick: true} }
+
+func TestFig1Shapes(t *testing.T) {
+	res, err := Fig1(Options{})
+	if err != nil {
+		t.Fatalf("Fig1: %v", err)
+	}
+	if len(res.Figures) != 2 {
+		t.Fatalf("want 2 sub-figures (5cm, 10cm spacing), got %d", len(res.Figures))
+	}
+	for _, fig := range res.Figures {
+		// Observation 1: power decays with distance for every series.
+		for _, s := range fig.Series {
+			for i := 1; i < len(s.Y); i++ {
+				if s.Y[i] >= s.Y[i-1] {
+					t.Errorf("%s %s: power did not decay from %.2fm (%.3f) to %.2fm (%.3f)",
+						fig.ID, s.Label, fig.X[i-1], s.Y[i-1], fig.X[i], s.Y[i])
+				}
+			}
+		}
+		one, two, six := fig.Get("1 sensors"), fig.Get("2 sensors"), fig.Get("6 sensors")
+		if one == nil || two == nil || six == nil {
+			t.Fatalf("%s: missing sensor-count series", fig.ID)
+		}
+		// Observation 2: per-node power drops from 1 to 2 sensors...
+		if two.Y[0] >= one.Y[0] {
+			t.Errorf("%s: no per-node drop from 1 to 2 sensors (%.3f vs %.3f)", fig.ID, one.Y[0], two.Y[0])
+		}
+		// ...and stays approximately flat from 2 to 6.
+		if rel := math.Abs(six.Y[0]-two.Y[0]) / two.Y[0]; rel > 0.10 {
+			t.Errorf("%s: per-node power not flat from 2 to 6 sensors (rel diff %.1f%%)", fig.ID, rel*100)
+		}
+	}
+	// Observation 3: the 1->2 drop is larger at 5cm than at 10cm spacing.
+	drop := func(fig *Figure) float64 {
+		return (fig.Get("1 sensors").Y[0] - fig.Get("2 sensors").Y[0]) / fig.Get("1 sensors").Y[0]
+	}
+	if d5, d10 := drop(&res.Figures[0]), drop(&res.Figures[1]); d5 <= d10 {
+		t.Errorf("mutual shadowing should be stronger at 5cm (drop %.1f%%) than 10cm (drop %.1f%%)", d5*100, d10*100)
+	}
+	// Single-node efficiency below 1% at 20cm, as the paper reports.
+	for _, cell := range res.Measurements {
+		if cell.Sensors == 1 && cell.ChargerDist == 0.20 {
+			if cell.PerNodeEffPct >= 1.0 {
+				t.Errorf("single-node efficiency at 20cm is %.2f%%, paper reports <1%%", cell.PerNodeEffPct)
+			}
+		}
+	}
+}
+
+func TestFig6ConvergesAndDecreases(t *testing.T) {
+	fig, err := Fig6(quick())
+	if err != nil {
+		t.Fatalf("Fig6: %v", err)
+	}
+	for _, s := range fig.Series {
+		if len(s.Y) != Fig6Iterations {
+			t.Fatalf("%s: %d iterations, want %d", s.Label, len(s.Y), Fig6Iterations)
+		}
+		if s.Y[0] < s.Y[len(s.Y)-1] {
+			t.Errorf("%s: cost increased from %.4f to %.4f over iterations", s.Label, s.Y[0], s.Y[len(s.Y)-1])
+		}
+		// Convergence within seven rounds: later iterations are flat to 1%.
+		base := s.Y[6]
+		for i := 7; i < len(s.Y); i++ {
+			if math.Abs(s.Y[i]-base)/base > 0.01 {
+				t.Errorf("%s: iteration %d cost %.4f deviates >1%% from iteration 7's %.4f", s.Label, i+1, s.Y[i], base)
+			}
+		}
+	}
+}
+
+func TestFig7aOrderingAndGaps(t *testing.T) {
+	fig, err := Fig7a(quick())
+	if err != nil {
+		t.Fatalf("Fig7a: %v", err)
+	}
+	opt, idb, rfh := fig.Get("Optimal"), fig.Get("IDB(δ=1)"), fig.Get("RFH")
+	if opt == nil || idb == nil || rfh == nil {
+		t.Fatal("missing series")
+	}
+	const eps = 1e-9
+	for i := range fig.X {
+		if idb.Y[i] < opt.Y[i]-eps || rfh.Y[i] < opt.Y[i]-eps {
+			t.Errorf("x=%v: a heuristic beat the optimum (opt=%.4f idb=%.4f rfh=%.4f)", fig.X[i], opt.Y[i], idb.Y[i], rfh.Y[i])
+		}
+		if gap := (rfh.Y[i] - opt.Y[i]) / opt.Y[i]; gap > 0.10 {
+			t.Errorf("x=%v: RFH gap to optimal %.1f%% exceeds 10%%", fig.X[i], gap*100)
+		}
+		if gap := (idb.Y[i] - opt.Y[i]) / opt.Y[i]; gap > 0.03 {
+			t.Errorf("x=%v: IDB gap to optimal %.1f%% exceeds 3%%", fig.X[i], gap*100)
+		}
+	}
+	// Cost decreases as nodes are added (more charging efficiency).
+	for i := 1; i < len(fig.X); i++ {
+		if opt.Y[i] >= opt.Y[i-1] {
+			t.Errorf("optimal cost did not decrease from %v to %v nodes (%.4f -> %.4f)",
+				fig.X[i-1], fig.X[i], opt.Y[i-1], opt.Y[i])
+		}
+	}
+}
+
+func TestFig8Trends(t *testing.T) {
+	fig, err := Fig8(quick())
+	if err != nil {
+		t.Fatalf("Fig8: %v", err)
+	}
+	idb, rfh := fig.Get("IDB(δ=1)"), fig.Get("RFH")
+	for i := range fig.X {
+		if idb.Y[i] > rfh.Y[i]+1e-9 {
+			t.Errorf("x=%v: IDB (%.4f) worse than RFH (%.4f)", fig.X[i], idb.Y[i], rfh.Y[i])
+		}
+	}
+	for i := 1; i < len(fig.X); i++ {
+		if idb.Y[i] >= idb.Y[i-1] {
+			t.Errorf("IDB cost did not decrease with more nodes (%.4f -> %.4f)", idb.Y[i-1], idb.Y[i])
+		}
+	}
+}
+
+func TestFig10NoSignificantImpact(t *testing.T) {
+	fig, err := Fig10(quick())
+	if err != nil {
+		t.Fatalf("Fig10: %v", err)
+	}
+	// The paper's headline: extra transmission ranges have no significant
+	// impact (short hops dominate under the d^4 law). Our recharge-cost
+	// routing can additionally exploit an occasional long direct-to-BS
+	// hop, so we assert the curves never *increase* and stay within 10%
+	// of the 3-level baseline (EXPERIMENTS.md records the measured gap).
+	for _, s := range fig.Series {
+		base := s.Y[0]
+		for i, y := range s.Y {
+			if y > base*1.005 {
+				t.Errorf("%s: cost rose with more power levels (%.4f at %v levels vs %.4f at %v)",
+					s.Label, y, fig.X[i], base, fig.X[0])
+			}
+			if math.Abs(y-base)/base > 0.10 {
+				t.Errorf("%s: cost at %v levels (%.4f) deviates >10%% from %v levels (%.4f)",
+					s.Label, fig.X[i], y, fig.X[0], base)
+			}
+		}
+	}
+}
+
+func TestExtGainOrdering(t *testing.T) {
+	fig, err := ExtGain(quick())
+	if err != nil {
+		t.Fatalf("ExtGain: %v", err)
+	}
+	idb, rfh := fig.Get("IDB(δ=1)"), fig.Get("RFH")
+	if idb == nil || rfh == nil {
+		t.Fatal("missing series")
+	}
+	// Cost rises as the gain weakens (linear -> m^0.9 -> m^0.7), and IDB
+	// stays at or below RFH under every gain model.
+	for i := 0; i < 3; i++ {
+		if i > 0 && idb.Y[i] <= idb.Y[i-1] {
+			t.Errorf("IDB cost did not rise as gain weakened: %.4f -> %.4f", idb.Y[i-1], idb.Y[i])
+		}
+		if idb.Y[i] > rfh.Y[i]+1e-9 {
+			t.Errorf("gain model %d: IDB (%.4f) worse than RFH (%.4f)", i, idb.Y[i], rfh.Y[i])
+		}
+	}
+}
+
+func TestExtOverheadMonotone(t *testing.T) {
+	fig, err := ExtOverhead(quick())
+	if err != nil {
+		t.Fatalf("ExtOverhead: %v", err)
+	}
+	cost := fig.Get("RFH")
+	for i := 1; i < len(cost.Y); i++ {
+		if cost.Y[i] <= cost.Y[i-1] {
+			t.Errorf("cost did not rise with overhead: %.4f -> %.4f at %v nJ",
+				cost.Y[i-1], cost.Y[i], fig.X[i])
+		}
+	}
+}
+
+func TestExtChargerPolicyShapes(t *testing.T) {
+	fig, err := ExtChargerPolicy(quick())
+	if err != nil {
+		t.Fatalf("ExtChargerPolicy: %v", err)
+	}
+	delivery := fig.Get("delivery ratio")
+	if delivery == nil || len(delivery.Y) != 3 {
+		t.Fatal("missing delivery series")
+	}
+	for i, d := range delivery.Y {
+		if d <= 0 || d > 1 {
+			t.Errorf("policy %d delivery ratio %v out of (0,1]", i, d)
+		}
+	}
+	// Urgency never trails round-robin under pressure.
+	if delivery.Y[0] < delivery.Y[1]-1e-9 {
+		t.Errorf("urgency (%.4f) trails round-robin (%.4f)", delivery.Y[0], delivery.Y[1])
+	}
+}
+
+func TestExtPortfolio(t *testing.T) {
+	entries, err := ExtPortfolio(quick())
+	if err != nil {
+		t.Fatalf("ExtPortfolio: %v", err)
+	}
+	if len(entries) != 6 {
+		t.Fatalf("got %d entries, want 6", len(entries))
+	}
+	byName := map[string]PortfolioEntry{}
+	for _, e := range entries {
+		byName[e.Solver] = e
+		if e.MeanCost <= 0 || e.MeanGapPct < 0 {
+			t.Errorf("degenerate entry %+v", e)
+		}
+	}
+	// Quality ordering: iterating never hurts RFH; local search never
+	// hurts its seed; IDB(+LS) is the quality frontier.
+	if byName["iterative RFH"].MeanCost > byName["basic RFH"].MeanCost+1e-9 {
+		t.Error("iterative RFH worse than basic RFH")
+	}
+	if byName["RFH + local search"].MeanCost > byName["iterative RFH"].MeanCost+1e-9 {
+		t.Error("local search worsened RFH")
+	}
+	if byName["IDB + local search"].MeanCost > byName["IDB(δ=1)"].MeanCost+1e-9 {
+		t.Error("local search worsened IDB")
+	}
+	// IDB+LS sits on (or within a fraction of a percent of) the
+	// per-instance frontier; annealing can occasionally edge it out.
+	if byName["IDB + local search"].MeanGapPct > 1.0 {
+		t.Errorf("IDB+LS gap to the frontier %.3f%% is excessive", byName["IDB + local search"].MeanGapPct)
+	}
+	if byName["RFH + annealing"].MeanCost > byName["iterative RFH"].MeanCost+1e-9 {
+		t.Error("annealing worsened its RFH seed")
+	}
+}
+
+func TestExtLayoutOrdering(t *testing.T) {
+	fig, err := ExtLayout(quick())
+	if err != nil {
+		t.Fatalf("ExtLayout: %v", err)
+	}
+	idb, rfh := fig.Get("IDB(δ=1)"), fig.Get("RFH")
+	if idb == nil || rfh == nil || len(idb.Y) != 3 {
+		t.Fatal("missing series")
+	}
+	for i := range idb.Y {
+		if idb.Y[i] > rfh.Y[i]+1e-9 {
+			t.Errorf("layout %v: IDB (%.4f) worse than RFH (%.4f)", fig.X[i], idb.Y[i], rfh.Y[i])
+		}
+		if idb.Y[i] <= 0 {
+			t.Errorf("layout %v: degenerate cost", fig.X[i])
+		}
+	}
+	// Clustered fields have shorter hops: cheaper than uniform.
+	if idb.Y[1] >= idb.Y[0] {
+		t.Errorf("clustered (%.4f) should be cheaper than uniform (%.4f)", idb.Y[1], idb.Y[0])
+	}
+}
+
+func TestFig7bOrdering(t *testing.T) {
+	fig, err := Fig7b(quick())
+	if err != nil {
+		t.Fatalf("Fig7b: %v", err)
+	}
+	opt, idb, rfh := fig.Get("Optimal"), fig.Get("IDB(δ=1)"), fig.Get("RFH")
+	if opt == nil || idb == nil || rfh == nil {
+		t.Fatal("missing series")
+	}
+	for i := range fig.X {
+		if idb.Y[i] < opt.Y[i]-1e-9 || rfh.Y[i] < opt.Y[i]-1e-9 {
+			t.Errorf("x=%v: heuristic beat the optimum", fig.X[i])
+		}
+	}
+	// More posts with a fixed node budget -> more traffic, thinner
+	// deployments -> higher cost (see EXPERIMENTS.md on the paper's
+	// self-contradictory prose here).
+	last := len(fig.X) - 1
+	if opt.Y[last] <= opt.Y[0] {
+		t.Errorf("cost should rise with post count at fixed M: %.4f -> %.4f", opt.Y[0], opt.Y[last])
+	}
+}
+
+func TestFig9Ordering(t *testing.T) {
+	fig, err := Fig9(quick())
+	if err != nil {
+		t.Fatalf("Fig9: %v", err)
+	}
+	idb, rfh := fig.Get("IDB(δ=1)"), fig.Get("RFH")
+	for i := range fig.X {
+		if idb.Y[i] > rfh.Y[i]+1e-9 {
+			t.Errorf("x=%v: IDB (%.4f) worse than RFH (%.4f)", fig.X[i], idb.Y[i], rfh.Y[i])
+		}
+	}
+}
+
+func TestRenderingHelpers(t *testing.T) {
+	fig, err := Fig6(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := Fig6Table(fig)
+	if tbl.NumRows() != Fig6Iterations {
+		t.Errorf("Fig6Table rows = %d, want %d", tbl.NumRows(), Fig6Iterations)
+	}
+	cmp, err := Fig7a(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := ComparisonTable(cmp)
+	if ct.NumRows() != len(cmp.X) {
+		t.Errorf("ComparisonTable rows = %d, want %d", ct.NumRows(), len(cmp.X))
+	}
+	res, err := Fig1(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := res.Tables()
+	if len(tables) != 3 { // two sub-plots + efficiency summary
+		t.Errorf("Fig1 tables = %d, want 3", len(tables))
+	}
+	for _, tb := range tables {
+		if tb.NumRows() == 0 {
+			t.Errorf("empty table %q", tb.Title)
+		}
+	}
+}
+
+func TestFigureGet(t *testing.T) {
+	fig := &Figure{Series: []Series{{Label: "a"}, {Label: "b"}}}
+	if fig.Get("b") == nil || fig.Get("missing") != nil {
+		t.Error("Get misbehaves")
+	}
+}
+
+func TestExtDeltaShapes(t *testing.T) {
+	fig, err := ExtDelta(quick())
+	if err != nil {
+		t.Fatalf("ExtDelta: %v", err)
+	}
+	cost, evals := fig.Get("IDB cost"), fig.Get("deployments evaluated")
+	if cost == nil || evals == nil {
+		t.Fatal("missing series")
+	}
+	// The candidate count grows combinatorially with delta.
+	for i := 1; i < len(evals.Y); i++ {
+		if evals.Y[i] <= evals.Y[i-1] {
+			t.Errorf("evaluations did not grow with delta: %.0f -> %.0f", evals.Y[i-1], evals.Y[i])
+		}
+	}
+	// Quality moves only marginally: every delta within 5% of delta=1.
+	for i, y := range cost.Y {
+		if rel := math.Abs(y-cost.Y[0]) / cost.Y[0]; rel > 0.05 {
+			t.Errorf("delta=%v cost %.4f deviates %.1f%% from delta=1's %.4f",
+				fig.X[i], y, rel*100, cost.Y[0])
+		}
+	}
+}
+
+func TestSweepConfidenceIntervals(t *testing.T) {
+	fig, err := Fig7a(Options{Quick: true, Seeds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		if len(s.CI95) != len(s.Y) {
+			t.Fatalf("%s: CI length %d vs Y length %d", s.Label, len(s.CI95), len(s.Y))
+		}
+		for i, ci := range s.CI95 {
+			if ci < 0 {
+				t.Errorf("%s: negative CI at %d", s.Label, i)
+			}
+		}
+	}
+	tbl := ComparisonTable(fig)
+	if !strings.Contains(tbl.String(), "±") {
+		t.Errorf("multi-seed table should show ± intervals:\n%s", tbl.String())
+	}
+}
+
+func TestExtSimValidationDeviationSmall(t *testing.T) {
+	fig, err := ExtSimValidation(quick())
+	if err != nil {
+		t.Fatalf("ExtSimValidation: %v", err)
+	}
+	dev := fig.Get("deviation")
+	if dev == nil || len(dev.Y) == 0 {
+		t.Fatal("missing deviation series")
+	}
+	for i, d := range dev.Y {
+		if math.Abs(d) > 5 {
+			t.Errorf("instance %d: empirical deviates %.2f%% from analytic", i+1, d)
+		}
+	}
+}
+
+func TestExtFaultToleranceShapes(t *testing.T) {
+	fig, err := ExtFaultTolerance(quick())
+	if err != nil {
+		t.Fatalf("ExtFaultTolerance: %v", err)
+	}
+	opt, uni := fig.Get("optimised deployment"), fig.Get("uniform deployment")
+	if opt == nil || uni == nil {
+		t.Fatal("missing series")
+	}
+	// No failures -> perfect delivery for both.
+	if opt.Y[0] != 1 || uni.Y[0] != 1 {
+		t.Errorf("failure-free delivery not perfect: opt=%.4f uni=%.4f", opt.Y[0], uni.Y[0])
+	}
+	// Delivery degrades (weakly) with the failure rate.
+	last := len(fig.X) - 1
+	if opt.Y[last] >= opt.Y[0] && uni.Y[last] >= uni.Y[0] {
+		t.Error("neither deployment degraded under heavy failures")
+	}
+	for i, y := range opt.Y {
+		if y < 0 || y > 1 || uni.Y[i] < 0 || uni.Y[i] > 1 {
+			t.Errorf("delivery ratios out of range at %v", fig.X[i])
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"wrsn/internal/energy"
+	"wrsn/internal/geom"
+	"wrsn/internal/model"
+	"wrsn/internal/sim"
+	"wrsn/internal/solver"
+	"wrsn/internal/stats"
+)
+
+// ExtFaultTolerance probes the paper's fault-tolerance claim ("deploying
+// multiple nodes in one post can increase the recharging efficiency and
+// fault tolerance"): under sustained permanent node failures, how does
+// the optimised (workload-concentrated) deployment's delivery compare to
+// a uniform spread of the same node budget? Concentration keeps the heavy
+// relay posts redundant exactly where a single failure would sever the
+// most traffic, while uniform spreading leaves every post moderately
+// redundant. The experiment sweeps the failure rate and reports delivery
+// for both under identical failure sequences.
+func ExtFaultTolerance(opts Options) (*Figure, error) {
+	const (
+		side  = 250.0
+		posts = 15
+		nodes = 75
+	)
+	failureRates := []float64{0, 0.002, 0.005, 0.01, 0.02}
+	seeds := opts.seeds(6, 2)
+	rounds := 3 * sim.DefaultBatteryRounds
+
+	fig := &Figure{
+		ID:     "ext-fault",
+		Title:  "Extension: delivery under permanent node failures (250x250m, 15 posts, 75 nodes)",
+		XLabel: "failure probability per round",
+		YLabel: "delivery ratio",
+	}
+	optimised := Series{Label: "optimised deployment", Unit: "-", Y: make([]float64, len(failureRates))}
+	uniform := Series{Label: "uniform deployment", Unit: "-", Y: make([]float64, len(failureRates))}
+	field := geom.Square(side)
+	for fi, rate := range failureRates {
+		fig.X = append(fig.X, rate)
+		var optRatios, uniRatios []float64
+		for s := 0; s < seeds; s++ {
+			rng := newSeededRNG(opts.baseSeed() + int64(s))
+			p, err := model.GenerateProblem(rng, model.GenSpec{Field: field, Posts: posts, Nodes: nodes, Energy: energy.Default()})
+			if err != nil {
+				return nil, err
+			}
+			opt, err := solver.IDB(p, 1)
+			if err != nil {
+				return nil, err
+			}
+			uniDeploy, err := model.UniformDeployment(p.N(), p.Nodes)
+			if err != nil {
+				return nil, err
+			}
+			uniTree, _, err := model.BestTreeFor(p, uniDeploy)
+			if err != nil {
+				return nil, err
+			}
+			run := func(sol model.Solution) (float64, error) {
+				simulator, err := sim.New(sim.Config{
+					Problem:  p,
+					Solution: sol,
+					Charger: &sim.ChargerConfig{
+						PowerPerRound: 1e9,
+						SpeedPerRound: 1e6,
+					},
+					FailurePerRound: rate,
+					Seed:            opts.baseSeed() + int64(1000*fi) + int64(s),
+				})
+				if err != nil {
+					return 0, err
+				}
+				m, err := simulator.Run(rounds)
+				if err != nil {
+					return 0, err
+				}
+				return m.DeliveryRatio(), nil
+			}
+			optRatio, err := run(opt.Solution)
+			if err != nil {
+				return nil, err
+			}
+			uniRatio, err := run(model.Solution{Deploy: uniDeploy, Tree: uniTree})
+			if err != nil {
+				return nil, err
+			}
+			optRatios = append(optRatios, optRatio)
+			uniRatios = append(uniRatios, uniRatio)
+		}
+		var err error
+		if optimised.Y[fi], err = stats.Mean(optRatios); err != nil {
+			return nil, err
+		}
+		if uniform.Y[fi], err = stats.Mean(uniRatios); err != nil {
+			return nil, err
+		}
+	}
+	fig.Series = []Series{optimised, uniform}
+	return fig, nil
+}

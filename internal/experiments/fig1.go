@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wrsn/internal/charging"
+	"wrsn/internal/texttable"
+)
+
+// Fig1Result bundles the two sub-plots of the paper's Fig. 1 (one per
+// inter-sensor spacing) plus the underlying measurement grid (Table II).
+type Fig1Result struct {
+	// Figures holds one Figure per spacing (5cm, 10cm): X = charger
+	// distance (m), one series per simultaneous sensor count, Y = mean
+	// received power per node (mW).
+	Figures []Figure
+	// Measurements is the full Table II grid with per-cell statistics.
+	Measurements []charging.Measurement
+}
+
+// Fig1 reruns the (simulated) Powercast field experiment over the Table
+// II parameter grid: 40 noisy trials per cell, averaged — reproducing the
+// paper's observations: exponential decay with distance, a per-node drop
+// from 1 to 2 sensors that is larger at 5cm spacing than at 10cm, and
+// per-node power approximately flat from 2 to 6 sensors (near-linear
+// network charging efficiency).
+func Fig1(opts Options) (*Fig1Result, error) {
+	lab := charging.DefaultLab()
+	rng := rand.New(rand.NewSource(opts.baseSeed()))
+	cells, err := lab.RunTableII(rng)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig1Result{Measurements: cells}
+	for _, spacing := range charging.TableIISensorSpacings {
+		fig := Figure{
+			ID:     fmt.Sprintf("fig1-%.0fcm", spacing*100),
+			Title:  fmt.Sprintf("Field experiment: received power per node, sensor spacing %.0fcm", spacing*100),
+			XLabel: "charger-to-sensor distance (m)",
+			YLabel: "mean received power per node (mW)",
+		}
+		for _, d := range charging.TableIIChargerDistances {
+			fig.X = append(fig.X, d)
+		}
+		for _, m := range charging.TableIISensorCounts {
+			s := Series{Label: fmt.Sprintf("%d sensors", m)}
+			for _, cell := range cells {
+				if cell.Spacing == spacing && cell.Sensors == m {
+					s.Y = append(s.Y, cell.MeanPerNodeMW)
+				}
+			}
+			fig.Series = append(fig.Series, s)
+		}
+		res.Figures = append(res.Figures, fig)
+	}
+	return res, nil
+}
+
+// Tables renders the result in the paper's layout: one table per spacing,
+// rows = charger distances, one column per sensor count, plus a
+// network-efficiency summary table.
+func (r *Fig1Result) Tables() []*texttable.Table {
+	var out []*texttable.Table
+	for _, fig := range r.Figures {
+		headers := []string{"distance (m)"}
+		for _, s := range fig.Series {
+			headers = append(headers, s.Label+" (mW/node)")
+		}
+		t := texttable.New(fig.Title, headers...)
+		for xi, x := range fig.X {
+			row := []interface{}{x}
+			for _, s := range fig.Series {
+				row = append(row, s.Y[xi])
+			}
+			t.AddRow(row...)
+		}
+		out = append(out, t)
+	}
+
+	eff := texttable.New(
+		"Network charging efficiency (% of charger power captured, all sensors combined)",
+		"spacing (m)", "distance (m)", "1 sensor", "2 sensors", "4 sensors", "6 sensors")
+	for _, spacing := range []float64{0.05, 0.10} {
+		for _, d := range []float64{0.20, 0.60, 1.00} {
+			row := []interface{}{spacing, d}
+			for _, m := range []int{1, 2, 4, 6} {
+				for _, cell := range r.Measurements {
+					if cell.Spacing == spacing && cell.Sensors == m && cell.ChargerDist == d {
+						row = append(row, cell.NetworkEffPct)
+					}
+				}
+			}
+			eff.AddRow(row...)
+		}
+	}
+	out = append(out, eff)
+	return out
+}

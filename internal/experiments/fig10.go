@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wrsn/internal/energy"
+)
+
+// Fig10 reproduces the power-level sweep: 500x500m field, 200 posts, 600
+// nodes, with the number of transmission ranges varying over {3, 4, 5, 6}
+// (ranges {25, 50, ..., 25*i} meters). The paper observes nearly flat
+// curves: under the connectivity constraint short hops dominate because
+// transmit energy grows with d^4, so the extra long ranges go unused.
+func Fig10(opts Options) (*Figure, error) {
+	const (
+		side  = 500.0
+		posts = 200
+		nodes = 600
+	)
+	levelCounts := []int{3, 4, 5, 6}
+	seeds := opts.seeds(20, 2)
+	if opts.Quick {
+		levelCounts = []int{3, 6}
+	}
+	points := make([]sweepPoint, 0, len(levelCounts))
+	for _, k := range levelCounts {
+		em, err := energy.WithLevels(k)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig10 level count %d: %w", k, err)
+		}
+		points = append(points, sweepPoint{X: float64(k), Posts: posts, Nodes: nodes, Energy: em})
+	}
+	fig := &Figure{
+		ID:     "fig10",
+		Title:  "Impact of the number of power levels (500x500m, 200 posts, 600 nodes)",
+		XLabel: "number of transmission ranges",
+		YLabel: "total recharging cost (µJ)",
+	}
+	return runSweep(opts, side, points, []algorithm{idbAlgorithm(1), rfhAlgorithm()}, seeds, fig)
+}

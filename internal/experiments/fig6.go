@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wrsn/internal/energy"
+	"wrsn/internal/geom"
+	"wrsn/internal/solver"
+	"wrsn/internal/stats"
+	"wrsn/internal/texttable"
+)
+
+// Fig6Iterations is how many RFH rounds the convergence study plots; the
+// paper observes convergence within seven rounds and plots ten.
+const Fig6Iterations = 10
+
+// Fig6 reproduces the iterative-RFH convergence study: a 500x500m field
+// with 100 posts, node counts in {400, 600, 800, 1000}, total recharging
+// cost (µJ) after each of 1..10 iterations, averaged over 20 post
+// distributions.
+func Fig6(opts Options) (*Figure, error) {
+	const (
+		side  = 500.0
+		posts = 100
+	)
+	nodeCounts := []int{400, 600, 800, 1000}
+	seeds := opts.seeds(20, 3)
+	if opts.Quick {
+		nodeCounts = []int{400, 800}
+	}
+
+	fig := &Figure{
+		ID:     "fig6",
+		Title:  "The benefit of running RFH iteratively (500x500m, 100 posts)",
+		XLabel: "iteration",
+		YLabel: "total recharging cost (µJ)",
+	}
+	for it := 1; it <= Fig6Iterations; it++ {
+		fig.X = append(fig.X, float64(it))
+	}
+	field := geom.Square(side)
+	for _, m := range nodeCounts {
+		perSeed := make([][]float64, 0, seeds)
+		for s := 0; s < seeds; s++ {
+			rng := rand.New(rand.NewSource(opts.baseSeed() + int64(s)))
+			p, err := randomConnectedProblem(rng, field, posts, m, energy.Default())
+			if err != nil {
+				return nil, err
+			}
+			res, err := solver.RFH(p, solver.RFHOptions{Iterations: Fig6Iterations})
+			if err != nil {
+				return nil, err
+			}
+			costs := make([]float64, len(res.IterationCosts))
+			for i, c := range res.IterationCosts {
+				costs[i] = njToMicroJ(c)
+			}
+			perSeed = append(perSeed, costs)
+		}
+		mean, err := stats.MeanSeries(perSeed)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, Series{Label: fmt.Sprintf("%d nodes", m), Y: mean})
+	}
+	return fig, nil
+}
+
+// Fig6Table renders the convergence series as a table: one row per
+// iteration, one column per node count.
+func Fig6Table(fig *Figure) *texttable.Table {
+	headers := []string{"iteration"}
+	for _, s := range fig.Series {
+		headers = append(headers, s.Label+" (µJ)")
+	}
+	t := texttable.New(fig.Title, headers...)
+	for xi, x := range fig.X {
+		row := []interface{}{int(x)}
+		for _, s := range fig.Series {
+			row = append(row, s.Y[xi])
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"wrsn/internal/energy"
+)
+
+// Fig7a reproduces the small-scale comparison against the optimal
+// solution with a varying node count: 200x200m field, 10 posts, nodes in
+// {20, 24, 28, 32, 36}, averaged over 5 post distributions. The paper
+// observes IDB(δ=1) matching the optimum at every point and RFH within
+// ~3% of it.
+func Fig7a(opts Options) (*Figure, error) {
+	const (
+		side  = 200.0
+		posts = 10
+	)
+	nodeCounts := []int{20, 24, 28, 32, 36}
+	seeds := opts.seeds(5, 2)
+	if opts.Quick {
+		nodeCounts = []int{20, 28, 36}
+	}
+	points := make([]sweepPoint, 0, len(nodeCounts))
+	for _, m := range nodeCounts {
+		points = append(points, sweepPoint{X: float64(m), Posts: posts, Nodes: m, Energy: energy.Default()})
+	}
+	fig := &Figure{
+		ID:     "fig7a",
+		Title:  "Heuristics vs optimal, varying node count (200x200m, 10 posts)",
+		XLabel: "number of sensor nodes",
+		YLabel: "total recharging cost (µJ)",
+	}
+	return runSweep(opts, side, points, []algorithm{optimalAlgorithm(), idbAlgorithm(1), rfhAlgorithm()}, seeds, fig)
+}
+
+// Fig7b reproduces the small-scale comparison with a varying post count:
+// 200x200m field, 36 nodes, posts in {8, 9, 10, 11, 12}, 5 seeds. The
+// paper notes IDB(δ=1) slightly above the optimum at 11 and 12 posts.
+func Fig7b(opts Options) (*Figure, error) {
+	const (
+		side  = 200.0
+		nodes = 36
+	)
+	postCounts := []int{8, 9, 10, 11, 12}
+	seeds := opts.seeds(5, 2)
+	if opts.Quick {
+		postCounts = []int{8, 10, 12}
+	}
+	points := make([]sweepPoint, 0, len(postCounts))
+	for _, n := range postCounts {
+		points = append(points, sweepPoint{X: float64(n), Posts: n, Nodes: nodes, Energy: energy.Default()})
+	}
+	fig := &Figure{
+		ID:     "fig7b",
+		Title:  "Heuristics vs optimal, varying post count (200x200m, 36 nodes)",
+		XLabel: "number of posts",
+		YLabel: "total recharging cost (µJ)",
+	}
+	return runSweep(opts, side, points, []algorithm{optimalAlgorithm(), idbAlgorithm(1), rfhAlgorithm()}, seeds, fig)
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"wrsn/internal/energy"
+)
+
+// Fig8 reproduces the large-scale node-count sweep: 500x500m field, 100
+// posts, nodes in {200, 400, 600, 800, 1000}, RFH vs IDB(δ=1), averaged
+// over 20 post distributions. The paper observes costs decreasing with
+// more sensors (higher charging efficiency everywhere) and IDB leading
+// RFH by roughly 5%.
+func Fig8(opts Options) (*Figure, error) {
+	const (
+		side  = 500.0
+		posts = 100
+	)
+	nodeCounts := []int{200, 400, 600, 800, 1000}
+	seeds := opts.seeds(20, 2)
+	if opts.Quick {
+		nodeCounts = []int{200, 600, 1000}
+	}
+	points := make([]sweepPoint, 0, len(nodeCounts))
+	for _, m := range nodeCounts {
+		points = append(points, sweepPoint{X: float64(m), Posts: posts, Nodes: m, Energy: energy.Default()})
+	}
+	fig := &Figure{
+		ID:     "fig8",
+		Title:  "Impact of the number of sensor nodes (500x500m, 100 posts)",
+		XLabel: "number of sensor nodes",
+		YLabel: "total recharging cost (µJ)",
+	}
+	return runSweep(opts, side, points, []algorithm{idbAlgorithm(1), rfhAlgorithm()}, seeds, fig)
+}
+
+// Fig9 reproduces the large-scale post-count sweep: 500x500m field, 600
+// nodes, posts in {100, 150, 200, 250, 300}, RFH vs IDB(δ=1), 20 seeds.
+// The paper observes the same ordering as Fig. 8.
+func Fig9(opts Options) (*Figure, error) {
+	const (
+		side  = 500.0
+		nodes = 600
+	)
+	postCounts := []int{100, 150, 200, 250, 300}
+	seeds := opts.seeds(20, 2)
+	if opts.Quick {
+		postCounts = []int{100, 200}
+	}
+	points := make([]sweepPoint, 0, len(postCounts))
+	for _, n := range postCounts {
+		points = append(points, sweepPoint{X: float64(n), Posts: n, Nodes: nodes, Energy: energy.Default()})
+	}
+	fig := &Figure{
+		ID:     "fig9",
+		Title:  "Impact of the number of posts (500x500m, 600 nodes)",
+		XLabel: "number of posts",
+		YLabel: "total recharging cost (µJ)",
+	}
+	return runSweep(opts, side, points, []algorithm{idbAlgorithm(1), rfhAlgorithm()}, seeds, fig)
+}

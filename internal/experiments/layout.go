@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"wrsn/internal/geom"
+	"wrsn/internal/model"
+	"wrsn/internal/solver"
+	"wrsn/internal/stats"
+)
+
+// ExtLayout studies robustness to the post layout: the paper evaluates
+// uniform random fields only; real deployments cluster around structures.
+// The experiment compares uniform, clustered and grid layouts at the same
+// N, M and field size, reporting RFH and IDB costs. Clustered layouts are
+// cheaper in absolute terms (shorter hops inside blobs); the RFH-vs-IDB
+// ordering must persist across all layouts.
+func ExtLayout(opts Options) (*Figure, error) {
+	const (
+		side  = 400.0
+		posts = 49 // 7x7 grid for the grid layout
+		nodes = 250
+	)
+	layouts := []model.Layout{model.LayoutUniform, model.LayoutClustered, model.LayoutGrid}
+	seeds := opts.seeds(10, 2)
+
+	fig := &Figure{
+		ID:     "ext-layout",
+		Title:  "Extension: robustness to post layout (400x400m, 49 posts, 250 nodes)",
+		XLabel: "layout index (1=uniform, 2=clustered, 3=grid)",
+		YLabel: "total recharging cost (µJ)",
+	}
+	for i := range layouts {
+		fig.X = append(fig.X, float64(i+1))
+	}
+	rfhSeries := Series{Label: "RFH", Y: make([]float64, len(layouts))}
+	idbSeries := Series{Label: "IDB(δ=1)", Y: make([]float64, len(layouts))}
+	field := geom.Square(side)
+	for li, layout := range layouts {
+		var rfhCosts, idbCosts []float64
+		layoutSeeds := seeds
+		if layout == model.LayoutGrid {
+			layoutSeeds = 1 // grids are deterministic
+		}
+		for s := 0; s < layoutSeeds; s++ {
+			rng := newSeededRNG(opts.baseSeed() + int64(s))
+			p, err := model.GenerateProblem(rng, model.GenSpec{
+				Field:  field,
+				Posts:  posts,
+				Nodes:  nodes,
+				Layout: layout,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rfh, err := solver.IterativeRFH(p)
+			if err != nil {
+				return nil, err
+			}
+			idb, err := solver.IDB(p, 1)
+			if err != nil {
+				return nil, err
+			}
+			rfhCosts = append(rfhCosts, njToMicroJ(rfh.Cost))
+			idbCosts = append(idbCosts, njToMicroJ(idb.Cost))
+		}
+		var err error
+		if rfhSeries.Y[li], err = stats.Mean(rfhCosts); err != nil {
+			return nil, err
+		}
+		if idbSeries.Y[li], err = stats.Mean(idbCosts); err != nil {
+			return nil, err
+		}
+	}
+	fig.Series = []Series{idbSeries, rfhSeries}
+	return fig, nil
+}

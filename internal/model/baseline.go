@@ -1,0 +1,87 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"wrsn/internal/geom"
+)
+
+// MinEnergyTree returns the charging-oblivious routing baseline: every
+// post follows a minimum-network-energy path (transmit plus receive
+// energy per bit) to the base station, with no regard for deployment or
+// charging efficiency. This is the classic pre-wireless-charging design
+// that the paper's heuristics are measured against.
+func MinEnergyTree(p *Problem) (Tree, error) {
+	dag, err := p.FatTree(p.EnergyWithRxWeights())
+	if err != nil {
+		return Tree{}, err
+	}
+	parents := make([]int, p.N())
+	for u := range parents {
+		if len(dag.Parents[u]) == 0 {
+			return Tree{}, fmt.Errorf("%w: post %d", ErrDisconnected, u)
+		}
+		parents[u] = dag.Parents[u][0]
+	}
+	return NewTreeFromParents(p, parents)
+}
+
+// MinSpanningTree returns the classic WSN routing baseline built by
+// Prim's algorithm: the spanning tree over posts+BS minimising the *sum*
+// of per-hop transmit energies, oriented toward the base station. Unlike
+// MinEnergyTree it minimises total link energy rather than per-source
+// path energy — the standard "energy-aware MST" heuristic from the
+// pre-wireless-charging literature, kept as a comparison baseline.
+func MinSpanningTree(p *Problem) (Tree, error) {
+	n := p.N()
+	const unset = -1
+	parents := make([]int, n)
+	bestCost := make([]float64, n)
+	bestTo := make([]int, n)
+	inTree := make([]bool, n+1)
+	for i := 0; i < n; i++ {
+		parents[i] = unset
+		bestCost[i] = math.Inf(1)
+		bestTo[i] = unset
+	}
+
+	// linkCost returns the transmit energy for u -> v, +Inf out of range.
+	linkCost := func(u, v int) float64 {
+		e, err := p.Energy.TxEnergy(geom.Dist(p.Posts[u], p.Point(v)))
+		if err != nil {
+			return math.Inf(1)
+		}
+		return e
+	}
+
+	// Prim from the BS: grow the tree one cheapest attachment at a time.
+	inTree[p.BSIndex()] = true
+	for u := 0; u < n; u++ {
+		bestCost[u] = linkCost(u, p.BSIndex())
+		bestTo[u] = p.BSIndex()
+	}
+	for added := 0; added < n; added++ {
+		pick, pickCost := unset, math.Inf(1)
+		for u := 0; u < n; u++ {
+			if !inTree[u] && bestCost[u] < pickCost {
+				pick, pickCost = u, bestCost[u]
+			}
+		}
+		if pick == unset {
+			return Tree{}, fmt.Errorf("%w: MST cannot attach all posts", ErrDisconnected)
+		}
+		inTree[pick] = true
+		parents[pick] = bestTo[pick]
+		for u := 0; u < n; u++ {
+			if inTree[u] {
+				continue
+			}
+			if c := linkCost(u, pick); c < bestCost[u] {
+				bestCost[u] = c
+				bestTo[u] = pick
+			}
+		}
+	}
+	return NewTreeFromParents(p, parents)
+}

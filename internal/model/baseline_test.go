@@ -1,0 +1,82 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"wrsn/internal/charging"
+	"wrsn/internal/energy"
+	"wrsn/internal/geom"
+)
+
+func TestMinSpanningTreeLine(t *testing.T) {
+	p := lineProblem(t, 4, 4)
+	tree, err := MinSpanningTree(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On the 30m-spaced line the MST is exactly the hop chain: each 30m
+	// link (58.1 nJ) is cheaper than any 60m skip (91.2 nJ).
+	wantParents := []int{4, 0, 1, 2}
+	for i, want := range wantParents {
+		if tree.Parent[i] != want {
+			t.Errorf("MST parent[%d] = %d, want %d", i, tree.Parent[i], want)
+		}
+	}
+}
+
+func TestMinSpanningTreeValidOnRandomFields(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	field := geom.Square(250)
+	built := 0
+	for trial := 0; trial < 30 && built < 10; trial++ {
+		p := &Problem{
+			Posts:    field.RandomPoints(rng, 20),
+			BS:       field.Corner(),
+			Nodes:    40,
+			Energy:   energy.Default(),
+			Charging: charging.Default(),
+		}
+		if p.Validate() != nil {
+			continue
+		}
+		built++
+		tree, err := MinSpanningTree(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := tree.Validate(p); err != nil {
+			t.Fatalf("trial %d: MST invalid: %v", trial, err)
+		}
+		// Total link energy of the MST never exceeds the shortest-path
+		// baseline's (MSTs minimise exactly that sum).
+		mstLinks := totalLinkEnergy(t, p, tree)
+		spt, err := MinEnergyTree(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sptLinks := totalLinkEnergy(t, p, spt); mstLinks > sptLinks+1e-6 {
+			t.Errorf("trial %d: MST link energy %.3f exceeds SPT's %.3f", trial, mstLinks, sptLinks)
+		}
+	}
+	if built == 0 {
+		t.Skip("no connected instances drawn")
+	}
+}
+
+func totalLinkEnergy(t *testing.T, p *Problem, tree Tree) float64 {
+	t.Helper()
+	var total float64
+	for i := range tree.Parent {
+		total += p.Energy.TxEnergyAtLevel(tree.Level[i])
+	}
+	return total
+}
+
+func TestMinSpanningTreeDisconnected(t *testing.T) {
+	p := lineProblem(t, 2, 2)
+	p.Posts[1] = geom.Point{X: 500, Y: 500}
+	if _, err := MinSpanningTree(p); err == nil {
+		t.Error("disconnected field accepted")
+	}
+}

@@ -1,0 +1,101 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wrsn/internal/charging"
+	"wrsn/internal/energy"
+	"wrsn/internal/geom"
+)
+
+// problemJSON is the on-disk representation of a Problem. All sub-models
+// are plain data, so the mapping is direct; it exists as a named type so
+// the wire format is explicit and stable.
+type problemJSON struct {
+	Posts         []geom.Point   `json:"posts"`
+	BS            geom.Point     `json:"base_station"`
+	Nodes         int            `json:"nodes"`
+	Energy        energy.Model   `json:"energy"`
+	Charging      charging.Model `json:"charging"`
+	RoundOverhead float64        `json:"round_overhead,omitempty"`
+	ReportRates   []float64      `json:"report_rates,omitempty"`
+	PostOverheads []float64      `json:"post_overheads,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p *Problem) MarshalJSON() ([]byte, error) {
+	return json.Marshal(problemJSON{
+		Posts:         p.Posts,
+		BS:            p.BS,
+		Nodes:         p.Nodes,
+		Energy:        p.Energy,
+		Charging:      p.Charging,
+		RoundOverhead: p.RoundOverhead,
+		ReportRates:   p.ReportRates,
+		PostOverheads: p.PostOverheads,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler. The decoded problem is
+// validated structurally (sub-model parameters) but not for connectivity;
+// call Validate before solving.
+func (p *Problem) UnmarshalJSON(data []byte) error {
+	var pj problemJSON
+	if err := json.Unmarshal(data, &pj); err != nil {
+		return fmt.Errorf("model: decoding problem: %w", err)
+	}
+	if err := pj.Energy.Validate(); err != nil {
+		return fmt.Errorf("model: decoding problem: %w", err)
+	}
+	if err := pj.Charging.Validate(); err != nil {
+		return fmt.Errorf("model: decoding problem: %w", err)
+	}
+	p.Posts = pj.Posts
+	p.BS = pj.BS
+	p.Nodes = pj.Nodes
+	p.Energy = pj.Energy
+	p.Charging = pj.Charging
+	p.RoundOverhead = pj.RoundOverhead
+	p.ReportRates = pj.ReportRates
+	p.PostOverheads = pj.PostOverheads
+	return nil
+}
+
+// WriteProblem encodes p as indented JSON to w.
+func WriteProblem(w io.Writer, p *Problem) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ReadProblem decodes a Problem from r and validates it fully (including
+// connectivity at maximum transmission range).
+func ReadProblem(r io.Reader) (*Problem, error) {
+	var p Problem
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("model: reading problem: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// WriteSolution encodes sol as indented JSON to w.
+func WriteSolution(w io.Writer, sol *Solution) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sol)
+}
+
+// ReadSolution decodes a Solution from r. Validate it against its problem
+// with Evaluate before trusting it.
+func ReadSolution(r io.Reader) (*Solution, error) {
+	var sol Solution
+	if err := json.NewDecoder(r).Decode(&sol); err != nil {
+		return nil, fmt.Errorf("model: reading solution: %w", err)
+	}
+	return &sol, nil
+}

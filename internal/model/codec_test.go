@@ -1,0 +1,122 @@
+package model
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"wrsn/internal/charging"
+)
+
+func TestProblemJSONRoundTrip(t *testing.T) {
+	p := lineProblem(t, 3, 6)
+	p.Charging = charging.Model{EtaSingle: 0.0067, Gain: charging.Sublinear(0.9)}
+
+	var buf bytes.Buffer
+	if err := WriteProblem(&buf, p); err != nil {
+		t.Fatalf("WriteProblem: %v", err)
+	}
+	back, err := ReadProblem(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("ReadProblem: %v", err)
+	}
+	if back.Nodes != p.Nodes || len(back.Posts) != len(p.Posts) {
+		t.Fatalf("round trip lost structure: %+v", back)
+	}
+	for i := range p.Posts {
+		if back.Posts[i] != p.Posts[i] {
+			t.Errorf("post %d = %v, want %v", i, back.Posts[i], p.Posts[i])
+		}
+	}
+	if back.Energy.Alpha != p.Energy.Alpha || back.Energy.Levels() != p.Energy.Levels() {
+		t.Errorf("energy model mangled: %+v", back.Energy)
+	}
+	if back.Charging.EtaSingle != 0.0067 || back.Charging.Gain.Kind != charging.GainSublinear {
+		t.Errorf("charging model mangled: %+v", back.Charging)
+	}
+	// Costs computed from the decoded problem match the original.
+	tree, err := MinEnergyTree(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := UniformDeployment(p.N(), p.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := Evaluate(p, d, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Evaluate(back, d, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Errorf("decoded problem evaluates differently: %v vs %v", c1, c2)
+	}
+}
+
+func TestReadProblemRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"syntax error", `{`},
+		{"no posts", `{"posts":[],"nodes":1,"energy":{"alpha":50,"beta":1e-6,"gamma":4,"ranges":[25]},"charging":{"eta_single":1}}`},
+		{"bad gamma", `{"posts":[{"x":1,"y":1}],"nodes":1,"energy":{"alpha":50,"beta":1e-6,"gamma":0,"ranges":[25]},"charging":{"eta_single":1}}`},
+		{"bad eta", `{"posts":[{"x":1,"y":1}],"nodes":1,"energy":{"alpha":50,"beta":1e-6,"gamma":4,"ranges":[25]},"charging":{"eta_single":2}}`},
+		{"disconnected", `{"posts":[{"x":500,"y":500}],"nodes":1,"energy":{"alpha":50,"beta":1e-6,"gamma":4,"ranges":[25]},"charging":{"eta_single":1}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadProblem(strings.NewReader(tc.json)); err == nil {
+				t.Error("invalid problem JSON accepted")
+			}
+		})
+	}
+}
+
+func TestSolutionJSONRoundTrip(t *testing.T) {
+	p := lineProblem(t, 3, 6)
+	tree, err := NewTreeFromParents(p, []int{3, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := &Solution{Deploy: Deployment{3, 2, 1}, Tree: tree}
+	if err := EvaluateSolution(p, sol); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSolution(&buf, sol); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSolution(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Cost != sol.Cost {
+		t.Errorf("cost %v, want %v", back.Cost, sol.Cost)
+	}
+	reEval, err := Evaluate(p, back.Deploy, back.Tree)
+	if err != nil {
+		t.Fatalf("decoded solution invalid: %v", err)
+	}
+	if reEval != sol.Cost {
+		t.Errorf("re-evaluated cost %v, want %v", reEval, sol.Cost)
+	}
+}
+
+func TestProblemJSONStableFieldNames(t *testing.T) {
+	// The wire format is a public contract; field renames break users.
+	p := lineProblem(t, 1, 1)
+	raw, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"posts"`, `"base_station"`, `"nodes"`, `"energy"`, `"charging"`, `"eta_single"`, `"ranges"`} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("serialised problem missing %s: %s", key, raw)
+		}
+	}
+}

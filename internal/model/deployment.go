@@ -1,0 +1,82 @@
+package model
+
+import (
+	"fmt"
+)
+
+// Deployment assigns a node count to every post: Deployment[i] = m_i >= 1,
+// with the counts summing to the problem's M.
+type Deployment []int
+
+// UniformDeployment returns the all-ones deployment extended with the
+// remaining M-N nodes spread round-robin from post 0 — the natural
+// "charging-oblivious" baseline deployment.
+func UniformDeployment(n, m int) (Deployment, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("model: need at least one post, got %d", n)
+	}
+	if m < n {
+		return nil, fmt.Errorf("model: %d nodes cannot cover %d posts", m, n)
+	}
+	d := make(Deployment, n)
+	for i := range d {
+		d[i] = 1
+	}
+	for extra := m - n; extra > 0; extra-- {
+		d[(m-n-extra)%n]++
+	}
+	return d, nil
+}
+
+// Ones returns the minimal deployment of one node per post.
+func Ones(n int) Deployment {
+	d := make(Deployment, n)
+	for i := range d {
+		d[i] = 1
+	}
+	return d
+}
+
+// Sum returns the total number of deployed nodes.
+func (d Deployment) Sum() int {
+	total := 0
+	for _, m := range d {
+		total += m
+	}
+	return total
+}
+
+// Validate checks that d deploys exactly p.Nodes nodes over p's posts with
+// at least one node everywhere.
+func (d Deployment) Validate(p *Problem) error {
+	if len(d) != p.N() {
+		return fmt.Errorf("model: deployment covers %d posts, want %d", len(d), p.N())
+	}
+	total := 0
+	for i, m := range d {
+		if m < 1 {
+			return fmt.Errorf("model: post %d deployed with %d nodes; every post needs at least one", i, m)
+		}
+		total += m
+	}
+	if total != p.Nodes {
+		return fmt.Errorf("model: deployment uses %d nodes, problem has %d", total, p.Nodes)
+	}
+	return nil
+}
+
+// Clone returns a copy of d.
+func (d Deployment) Clone() Deployment {
+	return append(Deployment(nil), d...)
+}
+
+// Max returns the largest per-post node count (0 for an empty deployment).
+func (d Deployment) Max() int {
+	max := 0
+	for _, m := range d {
+		if m > max {
+			max = m
+		}
+	}
+	return max
+}

@@ -1,0 +1,189 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"wrsn/internal/geom"
+	"wrsn/internal/graph"
+)
+
+// CostEvaluator answers "what is the minimum total recharging cost of this
+// problem under deployment m?" repeatedly and fast. It precomputes the
+// communication edges (endpoints and per-bit transmit energies) once and
+// then runs a deployment-parameterised Dijkstra per query without
+// rebuilding any adjacency structure. IDB evaluates ~C(N+delta-1, N-1)
+// deployments per round and the exact solver evaluates up to millions, so
+// this is the performance-critical path of the whole library.
+type CostEvaluator struct {
+	p  *Problem
+	n  int // posts
+	bs int // base-station vertex index (== n)
+
+	// in[v] lists the communication edges u->v (v may be the BS);
+	// weights under deployment m are tx/eff[u] (+ rx/eff[v] for v != bs).
+	in [][]evalEdge
+	rx float64
+
+	// scratch buffers reused across queries
+	eff  []float64
+	dist []float64
+}
+
+type evalEdge struct {
+	from int
+	tx   float64
+}
+
+// NewCostEvaluator precomputes the communication topology of p.
+func NewCostEvaluator(p *Problem) (*CostEvaluator, error) {
+	n := p.N()
+	ev := &CostEvaluator{
+		p:    p,
+		n:    n,
+		bs:   n,
+		in:   make([][]evalEdge, n+1),
+		rx:   p.Energy.RxEnergy(),
+		eff:  make([]float64, n),
+		dist: make([]float64, n+1),
+	}
+	dmax := p.Energy.MaxRange()
+	for u := 0; u < n; u++ {
+		pu := p.Posts[u]
+		for v := 0; v <= n; v++ {
+			if v == u {
+				continue
+			}
+			d := geom.Dist(pu, p.Point(v))
+			if d > dmax {
+				continue
+			}
+			tx, err := p.Energy.TxEnergy(d)
+			if err != nil {
+				return nil, fmt.Errorf("model: evaluator edge (%d,%d): %w", u, v, err)
+			}
+			ev.in[v] = append(ev.in[v], evalEdge{from: u, tx: tx})
+		}
+	}
+	return ev, nil
+}
+
+// MinCost returns the minimum total recharging cost achievable for
+// deployment m (one count per post, each >= 1). Unlike Evaluate it does
+// not require sum(m) == p.Nodes: the exact solver probes optimistic
+// over-allocations as admissible bounds.
+func (ev *CostEvaluator) MinCost(m []int) (float64, error) {
+	if err := ev.prepare(m); err != nil {
+		return 0, err
+	}
+	ev.dijkstra()
+	var total float64
+	for u := 0; u < ev.n; u++ {
+		if math.IsInf(ev.dist[u], 1) {
+			return 0, fmt.Errorf("%w: post %d", ErrDisconnected, u)
+		}
+		total += ev.p.Rate(u) * ev.dist[u]
+	}
+	return total + ev.overheadCost(), nil
+}
+
+// overheadCost prices the routing-independent per-round overhead at every
+// post under the prepared efficiencies.
+func (ev *CostEvaluator) overheadCost() float64 {
+	if !ev.p.HasOverhead() {
+		return 0
+	}
+	var total float64
+	for i := 0; i < ev.n; i++ {
+		total += ev.p.Overhead(i) / ev.eff[i]
+	}
+	return total
+}
+
+// BestParents returns a parent vector realising MinCost(m) along with the
+// cost, materialising one shortest-path tree: each post's parent is the
+// tight neighbour discovered by Dijkstra (lowest vertex index on ties).
+func (ev *CostEvaluator) BestParents(m []int) ([]int, float64, error) {
+	if err := ev.prepare(m); err != nil {
+		return nil, 0, err
+	}
+	ev.dijkstra()
+	parents := make([]int, ev.n)
+	var total float64
+	const tol = DAGTolerance
+	for u := 0; u < ev.n; u++ {
+		if math.IsInf(ev.dist[u], 1) {
+			return nil, 0, fmt.Errorf("%w: post %d", ErrDisconnected, u)
+		}
+		total += ev.p.Rate(u) * ev.dist[u]
+		parents[u] = -1
+	}
+	// Recover parents: u's parent is any v with dist[u] = w(u,v) + dist[v].
+	for v := 0; v <= ev.n; v++ {
+		dv := ev.dist[v]
+		if math.IsInf(dv, 1) {
+			continue
+		}
+		for _, e := range ev.in[v] {
+			u := e.from
+			if parents[u] >= 0 {
+				continue
+			}
+			if math.Abs(ev.dist[u]-(ev.weight(e, v)+dv)) <= tol {
+				parents[u] = v
+			}
+		}
+	}
+	for u, par := range parents {
+		if par < 0 {
+			return nil, 0, fmt.Errorf("model: no tight parent recovered for post %d", u)
+		}
+	}
+	return parents, total + ev.overheadCost(), nil
+}
+
+// prepare validates m and fills the per-post efficiency scratch buffer.
+func (ev *CostEvaluator) prepare(m []int) error {
+	if len(m) != ev.n {
+		return fmt.Errorf("model: deployment covers %d posts, want %d", len(m), ev.n)
+	}
+	for i, mi := range m {
+		e, err := ev.p.Charging.NetworkEfficiency(mi)
+		if err != nil {
+			return fmt.Errorf("model: post %d: %w", i, err)
+		}
+		ev.eff[i] = e
+	}
+	return nil
+}
+
+// weight prices the edge e.from -> v under the prepared efficiencies.
+func (ev *CostEvaluator) weight(e evalEdge, v int) float64 {
+	w := e.tx / ev.eff[e.from]
+	if v != ev.bs {
+		w += ev.rx / ev.eff[v]
+	}
+	return w
+}
+
+// dijkstra fills ev.dist with shortest recharging-cost distances to the BS.
+func (ev *CostEvaluator) dijkstra() {
+	for i := range ev.dist {
+		ev.dist[i] = math.Inf(1)
+	}
+	ev.dist[ev.bs] = 0
+	h := graph.NewIndexedMinHeap(ev.n + 1)
+	h.Push(ev.bs, 0)
+	for h.Len() > 0 {
+		v, dv := h.Pop()
+		if dv > ev.dist[v] {
+			continue
+		}
+		for _, e := range ev.in[v] {
+			if nd := dv + ev.weight(e, v); nd < ev.dist[e.from] {
+				ev.dist[e.from] = nd
+				h.Push(e.from, nd)
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wrsn/internal/charging"
+	"wrsn/internal/energy"
+	"wrsn/internal/geom"
+)
+
+// Layout selects how GenerateProblem scatters posts.
+type Layout string
+
+// Supported layouts.
+const (
+	// LayoutUniform scatters posts uniformly (the paper's evaluation).
+	LayoutUniform Layout = "uniform"
+	// LayoutClustered draws posts from Gaussian blobs (villages,
+	// buildings); see GenSpec.Clusters and GenSpec.ClusterSigma.
+	LayoutClustered Layout = "clustered"
+	// LayoutGrid arranges posts on a regular grid.
+	LayoutGrid Layout = "grid"
+)
+
+// GenSpec parameterises random problem generation.
+type GenSpec struct {
+	// Field is the deployment area; the base station sits at its corner
+	// unless BS is set.
+	Field geom.Field
+	// BS optionally overrides the base-station location.
+	BS *geom.Point
+	// Posts and Nodes are N and M.
+	Posts int
+	Nodes int
+	// Energy defaults to the paper's model when zero-valued.
+	Energy energy.Model
+	// Charging defaults to eta=1/linear when zero-valued.
+	Charging charging.Model
+	// Layout defaults to LayoutUniform.
+	Layout Layout
+	// Clusters and ClusterSigma parameterise LayoutClustered
+	// (defaults: 4 clusters, sigma = 8% of the field width).
+	Clusters     int
+	ClusterSigma float64
+	// MaxAttempts bounds regeneration until a connected instance is
+	// drawn (default 1000).
+	MaxAttempts int
+}
+
+// GenerateProblem draws random instances per spec until one is connected
+// to the base station at maximum transmission range, consuming rng
+// deterministically. It is the canonical instance source for tests,
+// examples and CLIs.
+func GenerateProblem(rng *rand.Rand, spec GenSpec) (*Problem, error) {
+	if spec.Posts < 1 {
+		return nil, fmt.Errorf("model: generate needs >= 1 post, got %d", spec.Posts)
+	}
+	if spec.Nodes < spec.Posts {
+		return nil, fmt.Errorf("model: generate needs nodes >= posts, got %d < %d", spec.Nodes, spec.Posts)
+	}
+	em := spec.Energy
+	if em.Levels() == 0 {
+		em = energy.Default()
+	}
+	cm := spec.Charging
+	if cm.EtaSingle == 0 {
+		cm = charging.Default()
+	}
+	attempts := spec.MaxAttempts
+	if attempts <= 0 {
+		attempts = 1000
+	}
+	layout := spec.Layout
+	if layout == "" {
+		layout = LayoutUniform
+	}
+	clusters := spec.Clusters
+	if clusters <= 0 {
+		clusters = 4
+	}
+	sigma := spec.ClusterSigma
+	if sigma <= 0 {
+		sigma = spec.Field.Width * 0.08
+	}
+	bs := spec.Field.Corner()
+	if spec.BS != nil {
+		bs = *spec.BS
+	}
+
+	for attempt := 0; attempt < attempts; attempt++ {
+		var posts []geom.Point
+		switch layout {
+		case LayoutUniform:
+			posts = spec.Field.RandomPoints(rng, spec.Posts)
+		case LayoutClustered:
+			posts = spec.Field.ClusteredPoints(rng, spec.Posts, clusters, sigma)
+		case LayoutGrid:
+			posts = spec.Field.Grid(spec.Posts)
+		default:
+			return nil, fmt.Errorf("model: unknown layout %q", layout)
+		}
+		p := &Problem{
+			Posts:    posts,
+			BS:       bs,
+			Nodes:    spec.Nodes,
+			Energy:   em,
+			Charging: cm,
+		}
+		if err := p.Validate(); err == nil {
+			return p, nil
+		}
+		if layout == LayoutGrid {
+			// Grids are deterministic; retrying cannot help.
+			return nil, fmt.Errorf("model: grid layout of %d posts in %.0fx%.0fm is disconnected at max range %.0fm",
+				spec.Posts, spec.Field.Width, spec.Field.Height, em.MaxRange())
+		}
+	}
+	return nil, fmt.Errorf("model: no connected %d-post instance in %.0fx%.0fm after %d attempts",
+		spec.Posts, spec.Field.Width, spec.Field.Height, attempts)
+}

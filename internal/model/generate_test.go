@@ -1,0 +1,133 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"wrsn/internal/geom"
+)
+
+func TestGenerateProblemLayouts(t *testing.T) {
+	for _, layout := range []Layout{LayoutUniform, LayoutClustered} {
+		t.Run(string(layout), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(3))
+			p, err := GenerateProblem(rng, GenSpec{
+				Field:  geom.Square(250),
+				Posts:  20,
+				Nodes:  60,
+				Layout: layout,
+			})
+			if err != nil {
+				t.Fatalf("GenerateProblem: %v", err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("generated problem invalid: %v", err)
+			}
+			if p.N() != 20 || p.Nodes != 60 {
+				t.Errorf("shape %d/%d", p.N(), p.Nodes)
+			}
+			if p.Energy.Levels() != 3 || p.Charging.EtaSingle != 1 {
+				t.Errorf("defaults not applied: %+v %+v", p.Energy, p.Charging)
+			}
+		})
+	}
+}
+
+func TestGenerateProblemGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p, err := GenerateProblem(rng, GenSpec{
+		Field:  geom.Square(200),
+		Posts:  16,
+		Nodes:  32,
+		Layout: LayoutGrid,
+	})
+	if err != nil {
+		t.Fatalf("grid generation: %v", err)
+	}
+	// 16 posts in a 200m square grid: 50m spacing, connected at 75m.
+	if p.N() != 16 {
+		t.Errorf("posts = %d", p.N())
+	}
+	// A grid too sparse to connect must fail fast, not loop.
+	if _, err := GenerateProblem(rng, GenSpec{
+		Field:  geom.Square(2000),
+		Posts:  4,
+		Nodes:  8,
+		Layout: LayoutGrid,
+	}); err == nil {
+		t.Error("disconnected grid accepted")
+	}
+}
+
+func TestGenerateProblemDeterministic(t *testing.T) {
+	spec := GenSpec{Field: geom.Square(250), Posts: 15, Nodes: 45}
+	a, err := GenerateProblem(rand.New(rand.NewSource(9)), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateProblem(rand.New(rand.NewSource(9)), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Posts {
+		if a.Posts[i] != b.Posts[i] {
+			t.Fatalf("same seed, different posts at %d", i)
+		}
+	}
+}
+
+func TestGenerateProblemValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := GenerateProblem(rng, GenSpec{Field: geom.Square(100), Posts: 0, Nodes: 5}); err == nil {
+		t.Error("zero posts accepted")
+	}
+	if _, err := GenerateProblem(rng, GenSpec{Field: geom.Square(100), Posts: 5, Nodes: 3}); err == nil {
+		t.Error("nodes < posts accepted")
+	}
+	if _, err := GenerateProblem(rng, GenSpec{Field: geom.Square(100), Posts: 5, Nodes: 9, Layout: "spiral"}); err == nil {
+		t.Error("unknown layout accepted")
+	}
+	// Impossible connectivity must terminate with an error.
+	if _, err := GenerateProblem(rng, GenSpec{
+		Field: geom.Square(5000), Posts: 3, Nodes: 3, MaxAttempts: 20,
+	}); err == nil {
+		t.Error("hopeless field accepted")
+	}
+}
+
+func TestClusteredPointsStayInField(t *testing.T) {
+	field := geom.Square(300)
+	rng := rand.New(rand.NewSource(2))
+	pts := field.ClusteredPoints(rng, 200, 5, 30)
+	if len(pts) != 200 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for i, p := range pts {
+		if !field.Contains(p) {
+			t.Fatalf("point %d (%v) outside field", i, p)
+		}
+	}
+	// Clustered layouts are more concentrated than uniform: the mean
+	// nearest-neighbour distance should be clearly smaller.
+	uniform := field.RandomPoints(rng, 200)
+	if c, u := meanNN(pts), meanNN(uniform); c >= u {
+		t.Errorf("clustered meanNN %.2f not below uniform %.2f", c, u)
+	}
+}
+
+func meanNN(pts []geom.Point) float64 {
+	var total float64
+	for i, p := range pts {
+		best := -1.0
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			if d := geom.Dist(p, q); best < 0 || d < best {
+				best = d
+			}
+		}
+		total += best
+	}
+	return total / float64(len(pts))
+}

@@ -1,0 +1,101 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGini(t *testing.T) {
+	cases := []struct {
+		name   string
+		deploy Deployment
+		want   float64
+	}{
+		{"uniform", Deployment{2, 2, 2, 2}, 0},
+		{"empty", Deployment{}, 0},
+		{"single", Deployment{5}, 0},
+		// All mass on one of two posts: G = (2*2*b)/(2*b) - 3/2 = 1/2.
+		{"one-sided pair", Deployment{0, 10}, 0.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := gini(tc.deploy); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("gini(%v) = %v, want %v", tc.deploy, got, tc.want)
+			}
+		})
+	}
+	// More concentration, higher Gini.
+	if gini(Deployment{1, 1, 1, 9}) <= gini(Deployment{2, 2, 4, 4}) {
+		t.Error("gini ordering violated")
+	}
+}
+
+func TestBuildReport(t *testing.T) {
+	p := lineProblem(t, 4, 10)
+	tree, err := NewTreeFromParents(p, []int{4, 0, 1, 2}) // chain
+	if err != nil {
+		t.Fatal(err)
+	}
+	deploy := Deployment{4, 3, 2, 1}
+	r, err := BuildReport(p, deploy, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Posts != 4 || r.Nodes != 10 {
+		t.Errorf("shape: %+v", r)
+	}
+	if r.MaxDepth != 4 || math.Abs(r.MeanDepth-2.5) > 1e-12 {
+		t.Errorf("depths: max %d mean %v", r.MaxDepth, r.MeanDepth)
+	}
+	if r.MaxNodesPerPost != 4 {
+		t.Errorf("max nodes = %d", r.MaxNodesPerPost)
+	}
+	// Chain on 30m hops: everyone transmits at level 1 (0-based 1).
+	if r.LevelUsage[1] != 4 {
+		t.Errorf("level usage = %v", r.LevelUsage)
+	}
+	// Cost must match Evaluate.
+	want, err := Evaluate(p, deploy, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cost != want {
+		t.Errorf("report cost %v != Evaluate %v", r.Cost, want)
+	}
+	// 4 posts -> top 10% rounds up to 1 post; its share equals the
+	// bottleneck's share.
+	energies := tree.PostEnergies(p)
+	worst := 0.0
+	for i, e := range energies {
+		c, err := p.Charging.RechargeCost(e, deploy[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst = math.Max(worst, c)
+	}
+	if math.Abs(r.TopCostShare-worst/want) > 1e-12 {
+		t.Errorf("TopCostShare = %v, want %v", r.TopCostShare, worst/want)
+	}
+	if math.Abs(r.BottleneckCost-worst) > 1e-12 {
+		t.Errorf("BottleneckCost = %v, want %v", r.BottleneckCost, worst)
+	}
+
+	out := r.String()
+	for _, frag := range []string{"cost:", "bottleneck:", "power levels in use:", "Gini"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("String() missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestBuildReportValidates(t *testing.T) {
+	p := lineProblem(t, 3, 6)
+	tree, err := NewTreeFromParents(p, []int{3, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildReport(p, Deployment{1, 1, 1}, tree); err == nil {
+		t.Error("wrong node total accepted")
+	}
+}

@@ -1,0 +1,279 @@
+// Package npc makes the paper's NP-completeness proof (Section IV)
+// executable. It provides:
+//
+//   - 3-CNF formula types with a DIMACS reader/writer and a DPLL
+//     satisfiability solver (the reduction's source problem);
+//   - the paper's reduction from 3-CNF-SAT to the restricted
+//     deployment-and-routing problem (two power levels with 4*e1 = e2, at
+//     most two nodes per post), building the U/V/S gadget network;
+//   - the bound W and both directions of the equivalence: a satisfying
+//     assignment maps to a solution of cost exactly W, and exact
+//     optimisation of the gadget instance decides satisfiability by
+//     comparing its optimum against W.
+//
+// The gadget networks are combinatorial (reachability is prescribed per
+// edge, not geometric), so the package carries its own small instance
+// representation and optimizer rather than reusing package model.
+package npc
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Literal is a signed variable reference: +v is x_v, -v is the negation
+// of x_v. Variables are numbered from 1, as in DIMACS.
+type Literal int
+
+// Var returns the literal's variable number (always positive).
+func (l Literal) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Negated reports whether the literal is a negation.
+func (l Literal) Negated() bool { return l < 0 }
+
+// Neg returns the complementary literal.
+func (l Literal) Neg() Literal { return -l }
+
+// String renders the literal as x3 or ¬x3.
+func (l Literal) String() string {
+	if l < 0 {
+		return fmt.Sprintf("¬x%d", -l)
+	}
+	return fmt.Sprintf("x%d", int(l))
+}
+
+// Clause is a disjunction of literals. The paper's reduction consumes
+// clauses of exactly three literals; the SAT solver accepts any width.
+type Clause []Literal
+
+// Formula is a CNF formula over variables 1..NumVars.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// Validate checks structural sanity: positive variable numbers within
+// range and non-empty clauses.
+func (f *Formula) Validate() error {
+	if f.NumVars < 0 {
+		return fmt.Errorf("npc: negative variable count %d", f.NumVars)
+	}
+	for ci, c := range f.Clauses {
+		if len(c) == 0 {
+			return fmt.Errorf("npc: clause %d is empty (trivially unsatisfiable; not representable)", ci)
+		}
+		for _, l := range c {
+			if l == 0 {
+				return fmt.Errorf("npc: clause %d contains the zero literal", ci)
+			}
+			if v := l.Var(); v > f.NumVars {
+				return fmt.Errorf("npc: clause %d references x%d beyond declared %d variables", ci, v, f.NumVars)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateFor3CNF additionally requires exactly three literals per clause
+// and every variable to occur in at least one clause — the paper's
+// reduction needs occurrence so every S post has a potential l2 uplink.
+func (f *Formula) ValidateFor3CNF() error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if f.NumVars == 0 || len(f.Clauses) == 0 {
+		return errors.New("npc: reduction needs at least one variable and one clause")
+	}
+	seen := make([]bool, f.NumVars+1)
+	for ci, c := range f.Clauses {
+		if len(c) != 3 {
+			return fmt.Errorf("npc: clause %d has %d literals, want exactly 3", ci, len(c))
+		}
+		for _, l := range c {
+			seen[l.Var()] = true
+		}
+	}
+	for v := 1; v <= f.NumVars; v++ {
+		if !seen[v] {
+			return fmt.Errorf("npc: variable x%d occurs in no clause", v)
+		}
+	}
+	return nil
+}
+
+// Assignment maps variable v (1-based) to its truth value at index v;
+// index 0 is unused.
+type Assignment []bool
+
+// Satisfies reports whether the assignment makes every clause true.
+func (a Assignment) Satisfies(f *Formula) bool {
+	if len(a) < f.NumVars+1 {
+		return false
+	}
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			if a[l.Var()] != l.Negated() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseDIMACS reads a CNF formula in DIMACS format: comment lines start
+// with 'c', a header "p cnf <vars> <clauses>" precedes clause lines, and
+// each clause is a whitespace-separated list of non-zero literals
+// terminated by 0 (clauses may span lines).
+func ParseDIMACS(r io.Reader) (*Formula, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var (
+		f        *Formula
+		declared int
+		cur      Clause
+		lineNum  int
+	)
+	for sc.Scan() {
+		lineNum++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			if f != nil {
+				return nil, fmt.Errorf("npc: line %d: duplicate DIMACS header", lineNum)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("npc: line %d: malformed header %q", lineNum, line)
+			}
+			nv, err1 := strconv.Atoi(fields[2])
+			nc, err2 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || nv < 0 || nc < 0 {
+				return nil, fmt.Errorf("npc: line %d: malformed header counts %q", lineNum, line)
+			}
+			// Never trust the header for allocation: a hostile "p cnf 1
+			// 1122222222" line would otherwise pre-allocate gigabytes
+			// (fuzzer-found). Cap the hint; append grows as needed.
+			capHint := nc
+			if capHint > 4096 {
+				capHint = 4096
+			}
+			f = &Formula{NumVars: nv, Clauses: make([]Clause, 0, capHint)}
+			declared = nc
+			continue
+		}
+		if f == nil {
+			return nil, fmt.Errorf("npc: line %d: clause before DIMACS header", lineNum)
+		}
+		for _, tok := range strings.Fields(line) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("npc: line %d: bad literal %q", lineNum, tok)
+			}
+			if v == 0 {
+				f.Clauses = append(f.Clauses, cur)
+				cur = nil
+				continue
+			}
+			cur = append(cur, Literal(v))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("npc: reading DIMACS: %w", err)
+	}
+	if f == nil {
+		return nil, errors.New("npc: no DIMACS header found")
+	}
+	if len(cur) > 0 {
+		f.Clauses = append(f.Clauses, cur)
+	}
+	if declared != len(f.Clauses) {
+		return nil, fmt.Errorf("npc: header declares %d clauses, found %d", declared, len(f.Clauses))
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// WriteDIMACS writes f in DIMACS CNF format.
+func WriteDIMACS(w io.Writer, f *Formula) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses)); err != nil {
+		return err
+	}
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			if _, err := fmt.Fprintf(bw, "%d ", int(l)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// String renders the formula in human-readable conjunctive form.
+func (f *Formula) String() string {
+	var sb strings.Builder
+	for ci, c := range f.Clauses {
+		if ci > 0 {
+			sb.WriteString(" ∧ ")
+		}
+		sb.WriteByte('(')
+		for li, l := range c {
+			if li > 0 {
+				sb.WriteString(" ∨ ")
+			}
+			sb.WriteString(l.String())
+		}
+		sb.WriteByte(')')
+	}
+	return sb.String()
+}
+
+// VariableOccurrences returns, for each variable 1..NumVars, the sorted
+// clause indices where it occurs positively and negatively. A literal
+// repeated within one clause contributes a single entry.
+func (f *Formula) VariableOccurrences() (pos, neg [][]int) {
+	pos = make([][]int, f.NumVars+1)
+	neg = make([][]int, f.NumVars+1)
+	appendOnce := func(s []int, ci int) []int {
+		if n := len(s); n > 0 && s[n-1] == ci {
+			return s
+		}
+		return append(s, ci)
+	}
+	for ci, c := range f.Clauses {
+		for _, l := range c {
+			if l.Negated() {
+				neg[l.Var()] = appendOnce(neg[l.Var()], ci)
+			} else {
+				pos[l.Var()] = appendOnce(pos[l.Var()], ci)
+			}
+		}
+	}
+	for v := 1; v <= f.NumVars; v++ {
+		sort.Ints(pos[v])
+		sort.Ints(neg[v])
+	}
+	return pos, neg
+}

@@ -1,0 +1,245 @@
+package npc
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestLiteralHelpers(t *testing.T) {
+	l := Literal(-3)
+	if l.Var() != 3 || !l.Negated() || l.Neg() != 3 {
+		t.Errorf("literal -3 misbehaves: var=%d negated=%v neg=%d", l.Var(), l.Negated(), l.Neg())
+	}
+	if got := l.String(); got != "¬x3" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Literal(2).String(); got != "x2" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestFormulaValidate(t *testing.T) {
+	ok := &Formula{NumVars: 2, Clauses: []Clause{{1, -2}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid formula rejected: %v", err)
+	}
+	bad := []*Formula{
+		{NumVars: -1},
+		{NumVars: 1, Clauses: []Clause{{}}},
+		{NumVars: 1, Clauses: []Clause{{0}}},
+		{NumVars: 1, Clauses: []Clause{{2}}},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("invalid formula %d accepted", i)
+		}
+	}
+}
+
+func TestValidateFor3CNF(t *testing.T) {
+	ok := formula(2, [3]int{1, -2, 1})
+	if err := ok.ValidateFor3CNF(); err != nil {
+		t.Errorf("valid 3-CNF rejected: %v", err)
+	}
+	wide := &Formula{NumVars: 2, Clauses: []Clause{{1, -2}}}
+	if err := wide.ValidateFor3CNF(); err == nil {
+		t.Error("2-literal clause accepted as 3-CNF")
+	}
+	unused := formula(3, [3]int{1, 2, 1}) // x3 never occurs
+	if err := unused.ValidateFor3CNF(); err == nil {
+		t.Error("formula with unused variable accepted")
+	}
+	empty := &Formula{NumVars: 0}
+	if err := empty.ValidateFor3CNF(); err == nil {
+		t.Error("empty formula accepted")
+	}
+}
+
+func TestAssignmentSatisfies(t *testing.T) {
+	f := formula(2, [3]int{1, -2, -2})
+	a := Assignment{false, true, true} // x1=T, x2=T
+	if !a.Satisfies(f) {
+		t.Error("x1=T should satisfy (x1 ∨ ¬x2 ∨ ¬x2)")
+	}
+	b := Assignment{false, false, true}
+	if b.Satisfies(f) {
+		t.Error("x1=F, x2=T should not satisfy")
+	}
+	if (Assignment{}).Satisfies(f) {
+		t.Error("undersized assignment accepted")
+	}
+}
+
+const exampleDIMACS = `c a comment
+c another comment
+p cnf 3 2
+1 -2 3 0
+-1 2
+-3 0
+`
+
+func TestParseDIMACS(t *testing.T) {
+	f, err := ParseDIMACS(strings.NewReader(exampleDIMACS))
+	if err != nil {
+		t.Fatalf("ParseDIMACS: %v", err)
+	}
+	if f.NumVars != 3 || len(f.Clauses) != 2 {
+		t.Fatalf("parsed %d vars, %d clauses", f.NumVars, len(f.Clauses))
+	}
+	want := []Clause{{1, -2, 3}, {-1, 2, -3}}
+	for i := range want {
+		if len(f.Clauses[i]) != len(want[i]) {
+			t.Fatalf("clause %d = %v, want %v", i, f.Clauses[i], want[i])
+		}
+		for j := range want[i] {
+			if f.Clauses[i][j] != want[i][j] {
+				t.Fatalf("clause %d = %v, want %v", i, f.Clauses[i], want[i])
+			}
+		}
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"no header", "1 2 3 0\n"},
+		{"duplicate header", "p cnf 1 1\np cnf 1 1\n1 0\n"},
+		{"malformed header", "p dnf 1 1\n1 0\n"},
+		{"bad literal", "p cnf 1 1\nx 0\n"},
+		{"count mismatch", "p cnf 1 2\n1 0\n"},
+		{"variable out of range", "p cnf 1 1\n2 0\n"},
+		{"empty input", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseDIMACS(strings.NewReader(tc.input)); err == nil {
+				t.Error("malformed DIMACS accepted")
+			}
+		})
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	f := formula(3, [3]int{1, -2, 3}, [3]int{-1, 2, -3})
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseDIMACS(&buf)
+	if err != nil {
+		t.Fatalf("reparsing own output: %v", err)
+	}
+	if back.String() != f.String() {
+		t.Errorf("round trip changed formula: %q vs %q", back.String(), f.String())
+	}
+}
+
+func TestFormulaString(t *testing.T) {
+	f := formula(2, [3]int{1, -2, 2})
+	want := "(x1 ∨ ¬x2 ∨ x2)"
+	if got := f.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestVariableOccurrences(t *testing.T) {
+	f := formula(2, [3]int{1, -2, 1}, [3]int{-1, 2, 2})
+	pos, neg := f.VariableOccurrences()
+	if len(pos[1]) != 1 || pos[1][0] != 0 {
+		t.Errorf("pos[x1] = %v", pos[1])
+	}
+	if len(neg[1]) != 1 || neg[1][0] != 1 {
+		t.Errorf("neg[x1] = %v", neg[1])
+	}
+	if len(pos[2]) != 1 || len(neg[2]) != 1 {
+		t.Errorf("x2 occurrences: pos=%v neg=%v", pos[2], neg[2])
+	}
+}
+
+// TestDPLLAgainstBruteForce fuzzes DPLL against exhaustive enumeration.
+func TestDPLLAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		nv := 1 + rng.Intn(6)
+		nc := 1 + rng.Intn(8)
+		f := &Formula{NumVars: nv}
+		for c := 0; c < nc; c++ {
+			width := 1 + rng.Intn(3)
+			var cl Clause
+			for k := 0; k < width; k++ {
+				v := 1 + rng.Intn(nv)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				cl = append(cl, Literal(v))
+			}
+			f.Clauses = append(f.Clauses, cl)
+		}
+		count, err := CountSolutions(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, sat, err := Solve(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sat != (count > 0) {
+			t.Fatalf("trial %d: DPLL=%v, brute force count=%d for %v", trial, sat, count, f)
+		}
+		if sat && !a.Satisfies(f) {
+			t.Fatalf("trial %d: DPLL returned non-satisfying assignment for %v", trial, f)
+		}
+	}
+}
+
+func TestCountSolutionsLimits(t *testing.T) {
+	big := &Formula{NumVars: 30, Clauses: []Clause{{1, 2, 3}}}
+	if _, err := CountSolutions(big); err == nil {
+		t.Error("CountSolutions accepted 2^30 enumeration")
+	}
+}
+
+func TestRandomFormula(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		nv := 1 + rng.Intn(6)
+		nc := (nv + 2) / 3 * (1 + rng.Intn(3)) // enough clauses to cover
+		if 3*nc < nv {
+			nc = (nv + 2) / 3
+		}
+		f, err := RandomFormula(rng, nv, nc)
+		if err != nil {
+			t.Fatalf("trial %d (nv=%d nc=%d): %v", trial, nv, nc, err)
+		}
+		if err := f.ValidateFor3CNF(); err != nil {
+			t.Fatalf("trial %d: generated formula invalid: %v", trial, err)
+		}
+		if f.NumVars != nv || len(f.Clauses) != nc {
+			t.Fatalf("trial %d: shape %d/%d, want %d/%d", trial, f.NumVars, len(f.Clauses), nv, nc)
+		}
+	}
+	if _, err := RandomFormula(rng, 0, 1); err == nil {
+		t.Error("zero variables accepted")
+	}
+	if _, err := RandomFormula(rng, 10, 1); err == nil {
+		t.Error("uncoverable variable count accepted")
+	}
+}
+
+func TestRandomFormulaDeterministic(t *testing.T) {
+	a, err := RandomFormula(rand.New(rand.NewSource(5)), 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomFormula(rand.New(rand.NewSource(5)), 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("same seed, different formulas:\n%s\n%s", a, b)
+	}
+}

@@ -1,0 +1,220 @@
+package npc
+
+import "fmt"
+
+// Solve decides satisfiability of f with the DPLL procedure (unit
+// propagation, pure-literal elimination, and branching on the first
+// unassigned variable). For satisfiable formulas it returns a complete
+// satisfying Assignment; unassigned variables default to false.
+func Solve(f *Formula) (Assignment, bool, error) {
+	if err := f.Validate(); err != nil {
+		return nil, false, err
+	}
+	s := &dpllState{
+		f:      f,
+		assign: make([]int8, f.NumVars+1), // 0 unknown, +1 true, -1 false
+	}
+	ok := s.solve()
+	if !ok {
+		return nil, false, nil
+	}
+	out := make(Assignment, f.NumVars+1)
+	for v := 1; v <= f.NumVars; v++ {
+		out[v] = s.assign[v] > 0
+	}
+	if !out.Satisfies(f) {
+		// A completed DPLL assignment must satisfy the formula; anything
+		// else is a solver bug worth failing loudly on.
+		return nil, false, fmt.Errorf("npc: internal error: DPLL returned non-satisfying assignment")
+	}
+	return out, true, nil
+}
+
+type dpllState struct {
+	f      *Formula
+	assign []int8
+}
+
+// litValue returns +1 if l is true under the current partial assignment,
+// -1 if false, 0 if unknown.
+func (s *dpllState) litValue(l Literal) int8 {
+	v := s.assign[l.Var()]
+	if l.Negated() {
+		return -v
+	}
+	return v
+}
+
+// setLit makes l true.
+func (s *dpllState) setLit(l Literal) {
+	if l.Negated() {
+		s.assign[l.Var()] = -1
+	} else {
+		s.assign[l.Var()] = 1
+	}
+}
+
+// propagate applies unit propagation until fixpoint. It returns the
+// variables it assigned and false on conflict (an empty clause).
+func (s *dpllState) propagate() ([]int, bool) {
+	var trail []int
+	for {
+		progressed := false
+		for _, c := range s.f.Clauses {
+			var (
+				unknown      Literal
+				unknownCount int
+				satisfied    bool
+			)
+			for _, l := range c {
+				switch s.litValue(l) {
+				case +1:
+					satisfied = true
+				case 0:
+					unknown = l
+					unknownCount++
+				}
+				if satisfied {
+					break
+				}
+			}
+			if satisfied {
+				continue
+			}
+			switch unknownCount {
+			case 0:
+				return trail, false // conflict
+			case 1:
+				s.setLit(unknown)
+				trail = append(trail, unknown.Var())
+				progressed = true
+			}
+		}
+		if !progressed {
+			return trail, true
+		}
+	}
+}
+
+// pureLiterals assigns variables that occur with a single polarity among
+// not-yet-satisfied clauses, returning the assigned variables.
+func (s *dpllState) pureLiterals() []int {
+	seenPos := make([]bool, s.f.NumVars+1)
+	seenNeg := make([]bool, s.f.NumVars+1)
+	for _, c := range s.f.Clauses {
+		satisfied := false
+		for _, l := range c {
+			if s.litValue(l) == +1 {
+				satisfied = true
+				break
+			}
+		}
+		if satisfied {
+			continue
+		}
+		for _, l := range c {
+			if s.litValue(l) != 0 {
+				continue
+			}
+			if l.Negated() {
+				seenNeg[l.Var()] = true
+			} else {
+				seenPos[l.Var()] = true
+			}
+		}
+	}
+	var trail []int
+	for v := 1; v <= s.f.NumVars; v++ {
+		if s.assign[v] != 0 {
+			continue
+		}
+		switch {
+		case seenPos[v] && !seenNeg[v]:
+			s.assign[v] = 1
+			trail = append(trail, v)
+		case seenNeg[v] && !seenPos[v]:
+			s.assign[v] = -1
+			trail = append(trail, v)
+		}
+	}
+	return trail
+}
+
+// allSatisfied reports whether every clause is satisfied.
+func (s *dpllState) allSatisfied() bool {
+	for _, c := range s.f.Clauses {
+		ok := false
+		for _, l := range c {
+			if s.litValue(l) == +1 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *dpllState) undo(trail []int) {
+	for _, v := range trail {
+		s.assign[v] = 0
+	}
+}
+
+func (s *dpllState) solve() bool {
+	trail, ok := s.propagate()
+	if !ok {
+		s.undo(trail)
+		return false
+	}
+	trail = append(trail, s.pureLiterals()...)
+	if s.allSatisfied() {
+		return true
+	}
+	// Branch on the first unassigned variable.
+	branch := 0
+	for v := 1; v <= s.f.NumVars; v++ {
+		if s.assign[v] == 0 {
+			branch = v
+			break
+		}
+	}
+	if branch == 0 {
+		// All assigned but not all satisfied: conflict.
+		s.undo(trail)
+		return false
+	}
+	for _, val := range [...]int8{1, -1} {
+		s.assign[branch] = val
+		if s.solve() {
+			return true
+		}
+		s.assign[branch] = 0
+	}
+	s.undo(trail)
+	return false
+}
+
+// CountSolutions exhaustively counts satisfying assignments of f (over
+// all 2^NumVars assignments); a test oracle for Solve on small formulas.
+func CountSolutions(f *Formula) (int, error) {
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	if f.NumVars > 24 {
+		return 0, fmt.Errorf("npc: refusing to enumerate 2^%d assignments", f.NumVars)
+	}
+	count := 0
+	a := make(Assignment, f.NumVars+1)
+	for bits := 0; bits < 1<<uint(f.NumVars); bits++ {
+		for v := 1; v <= f.NumVars; v++ {
+			a[v] = bits&(1<<uint(v-1)) != 0
+		}
+		if a.Satisfies(f) {
+			count++
+		}
+	}
+	return count, nil
+}

@@ -1,0 +1,45 @@
+package npc_test
+
+import (
+	"fmt"
+
+	"wrsn/internal/npc"
+)
+
+// Example walks the paper's reduction end to end on the Fig. 3 clause:
+// satisfiability of the formula is decided by whether the gadget
+// network's optimal recharging cost reaches the bound W.
+func Example() {
+	formula := &npc.Formula{
+		NumVars: 3,
+		Clauses: []npc.Clause{{1, -2, -3}}, // x1 ∨ ¬x2 ∨ ¬x3
+	}
+	instance, err := npc.Reduce(formula, npc.DefaultParams())
+	if err != nil {
+		fmt.Println("reduce:", err)
+		return
+	}
+	assignment, sat, err := npc.Solve(formula)
+	if err != nil {
+		fmt.Println("solve:", err)
+		return
+	}
+	fmt.Printf("posts: %d, nodes: %d, W: %.1f\n", instance.NumPosts, instance.Nodes, instance.W)
+	fmt.Println("satisfiable:", sat)
+
+	deploy, parents, err := instance.CanonicalSolution(assignment)
+	if err != nil {
+		fmt.Println("canonical:", err)
+		return
+	}
+	cost, err := instance.EvaluateSolution(deploy, parents)
+	if err != nil {
+		fmt.Println("evaluate:", err)
+		return
+	}
+	fmt.Printf("canonical solution cost: %.1f (meets W: %v)\n", cost, cost <= instance.W)
+	// Output:
+	// posts: 8, nodes: 12, W: 141.5
+	// satisfiable: true
+	// canonical solution cost: 141.5 (meets W: true)
+}

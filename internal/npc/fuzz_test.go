@@ -1,0 +1,85 @@
+package npc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseDIMACS hunts for panics and parse/serialise disagreements in
+// the DIMACS reader. Run with `go test -fuzz=FuzzParseDIMACS ./internal/npc`;
+// the seed corpus also executes on every plain `go test`.
+func FuzzParseDIMACS(f *testing.F) {
+	seeds := []string{
+		"p cnf 3 2\n1 -2 3 0\n-1 2 -3 0\n",
+		"c comment\np cnf 1 1\n1 0\n",
+		"p cnf 0 0\n",
+		"p cnf 2 1\n1 2\n0\n",
+		"garbage",
+		"p cnf 1 1\n",
+		"p cnf 1 2\n1 0\n-1 0\n",
+		"p cnf 9999 1\n1 0\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		formula, err := ParseDIMACS(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Anything accepted must satisfy the validator...
+		if vErr := formula.Validate(); vErr != nil {
+			t.Fatalf("parser accepted a formula the validator rejects: %v\ninput: %q", vErr, input)
+		}
+		// ...and round-trip through our own writer.
+		var buf bytes.Buffer
+		if err := WriteDIMACS(&buf, formula); err != nil {
+			t.Fatalf("cannot serialise accepted formula: %v", err)
+		}
+		back, err := ParseDIMACS(&buf)
+		if err != nil {
+			t.Fatalf("cannot reparse own output %q: %v", buf.String(), err)
+		}
+		if back.String() != formula.String() {
+			t.Fatalf("round trip changed formula: %q -> %q", formula, back)
+		}
+	})
+}
+
+// FuzzSolveAgainstBruteForce cross-checks DPLL on fuzz-generated tiny
+// formulas encoded as byte strings.
+func FuzzSolveAgainstBruteForce(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, uint8(3))
+	f.Add([]byte{255, 254, 1, 1, 2}, uint8(2))
+	f.Fuzz(func(t *testing.T, lits []byte, rawVars uint8) {
+		nv := int(rawVars%8) + 1
+		formula := &Formula{NumVars: nv}
+		var clause Clause
+		for _, b := range lits {
+			v := int(b%uint8(nv)) + 1
+			if b >= 128 {
+				v = -v
+			}
+			clause = append(clause, Literal(v))
+			if len(clause) == 3 {
+				formula.Clauses = append(formula.Clauses, clause)
+				clause = nil
+			}
+		}
+		if len(formula.Clauses) == 0 || len(formula.Clauses) > 6 {
+			return
+		}
+		count, err := CountSolutions(formula)
+		if err != nil {
+			return
+		}
+		_, sat, err := Solve(formula)
+		if err != nil {
+			t.Fatalf("Solve failed on %v: %v", formula, err)
+		}
+		if sat != (count > 0) {
+			t.Fatalf("DPLL=%v but brute force count=%d for %v", sat, count, formula)
+		}
+	})
+}

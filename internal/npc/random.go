@@ -1,0 +1,62 @@
+package npc
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomFormula draws a uniform random 3-CNF formula with nVars variables
+// and nClauses clauses, retrying until every variable occurs in at least
+// one clause (the reduction's requirement). Literal polarities and
+// variable choices are uniform; clauses may repeat variables, exactly as
+// the reduction permits.
+func RandomFormula(rng *rand.Rand, nVars, nClauses int) (*Formula, error) {
+	if nVars < 1 || nClauses < 1 {
+		return nil, fmt.Errorf("npc: random formula needs >= 1 variable and clause, got %d/%d", nVars, nClauses)
+	}
+	if 3*nClauses < nVars {
+		return nil, fmt.Errorf("npc: %d clauses cannot mention all %d variables", nClauses, nVars)
+	}
+	const attempts = 1000
+	for attempt := 0; attempt < attempts; attempt++ {
+		f := &Formula{NumVars: nVars, Clauses: make([]Clause, 0, nClauses)}
+		for c := 0; c < nClauses; c++ {
+			clause := make(Clause, 3)
+			for k := range clause {
+				v := 1 + rng.Intn(nVars)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				clause[k] = Literal(v)
+			}
+			f.Clauses = append(f.Clauses, clause)
+		}
+		if f.ValidateFor3CNF() == nil {
+			return f, nil
+		}
+	}
+	// With 3*nClauses >= nVars a covering draw exists; force one by
+	// seeding the first clauses with the missing variables.
+	f := &Formula{NumVars: nVars, Clauses: make([]Clause, nClauses)}
+	v := 1
+	for c := range f.Clauses {
+		clause := make(Clause, 3)
+		for k := range clause {
+			lit := v
+			if v > nVars {
+				lit = 1 + rng.Intn(nVars)
+			} else {
+				v++
+			}
+			if rng.Intn(2) == 0 {
+				lit = -lit
+			}
+			clause[k] = Literal(lit)
+		}
+		f.Clauses[c] = clause
+	}
+	if err := f.ValidateFor3CNF(); err != nil {
+		return nil, fmt.Errorf("npc: internal error building covering formula: %w", err)
+	}
+	return f, nil
+}

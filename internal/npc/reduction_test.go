@@ -1,0 +1,246 @@
+package npc
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"testing"
+)
+
+// mustReduce builds the gadget instance for f with default parameters.
+func mustReduce(t *testing.T, f *Formula) *Instance {
+	t.Helper()
+	in, err := Reduce(f, DefaultParams())
+	if err != nil {
+		t.Fatalf("Reduce: %v", err)
+	}
+	return in
+}
+
+// formula builds a Formula from literal triples.
+func formula(numVars int, clauses ...[3]int) *Formula {
+	f := &Formula{NumVars: numVars}
+	for _, c := range clauses {
+		f.Clauses = append(f.Clauses, Clause{Literal(c[0]), Literal(c[1]), Literal(c[2])})
+	}
+	return f
+}
+
+func TestReduceShape(t *testing.T) {
+	f := formula(3, [3]int{1, -2, -3}) // the paper's Fig. 3 example clause
+	in := mustReduce(t, f)
+	if in.NumPosts != 2*3+2*1 {
+		t.Fatalf("NumPosts = %d, want %d", in.NumPosts, 8)
+	}
+	if in.Nodes != 3*3+3*1 {
+		t.Fatalf("Nodes = %d, want %d", in.Nodes, 12)
+	}
+	// U1 reaches only the BS, at l2.
+	if lvl := in.edgeLevel(in.UPost(0), in.BSIndex()); lvl != 2 {
+		t.Errorf("U1->BS level = %d, want 2", lvl)
+	}
+	// S1,1 (x1 in C1) reaches U1 at l2; S1,2 does not.
+	if lvl := in.edgeLevel(in.SPost(0, 1), in.UPost(0)); lvl != 2 {
+		t.Errorf("S1,1->U1 level = %d, want 2", lvl)
+	}
+	if lvl := in.edgeLevel(in.SPost(0, 2), in.UPost(0)); lvl != 0 {
+		t.Errorf("S1,2->U1 level = %d, want unreachable (0)", lvl)
+	}
+	// ¬x2 in C1: S2,2 reaches U1.
+	if lvl := in.edgeLevel(in.SPost(1, 2), in.UPost(0)); lvl != 2 {
+		t.Errorf("S2,2->U1 level = %d, want 2", lvl)
+	}
+	// Siblings reach each other at l1.
+	if lvl := in.edgeLevel(in.SPost(0, 1), in.SPost(0, 2)); lvl != 1 {
+		t.Errorf("S1,1->S1,2 level = %d, want 1", lvl)
+	}
+	// V1 reaches the clause's S posts at l1, and not the BS.
+	if lvl := in.edgeLevel(in.VPost(0), in.SPost(0, 1)); lvl != 1 {
+		t.Errorf("V1->S1,1 level = %d, want 1", lvl)
+	}
+	if lvl := in.edgeLevel(in.VPost(0), in.BSIndex()); lvl != 0 {
+		t.Errorf("V1->BS level = %d, want unreachable (0)", lvl)
+	}
+}
+
+func TestCanonicalSolutionCostsExactlyW(t *testing.T) {
+	cases := []struct {
+		name string
+		f    *Formula
+	}{
+		{"fig3", formula(3, [3]int{1, -2, -3})},
+		{"two_clauses", formula(3, [3]int{1, 2, 3}, [3]int{-1, -2, 3})},
+		{"shared_literals", formula(2, [3]int{1, 2, 2}, [3]int{-1, 2, 2}, [3]int{1, -2, 1})},
+		{"four_vars", formula(4, [3]int{1, -2, 3}, [3]int{-1, 2, -4}, [3]int{3, 4, -2})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := mustReduce(t, tc.f)
+			a, sat, err := Solve(tc.f)
+			if err != nil {
+				t.Fatalf("Solve: %v", err)
+			}
+			if !sat {
+				t.Fatalf("formula unexpectedly unsatisfiable: %v", tc.f)
+			}
+			deploy, parents, err := in.CanonicalSolution(a)
+			if err != nil {
+				t.Fatalf("CanonicalSolution: %v", err)
+			}
+			cost, err := in.EvaluateSolution(deploy, parents)
+			if err != nil {
+				t.Fatalf("EvaluateSolution: %v", err)
+			}
+			if math.Abs(cost-in.W) > 1e-9 {
+				t.Errorf("canonical solution cost = %.9f, want W = %.9f", cost, in.W)
+			}
+		})
+	}
+}
+
+func TestReductionEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		f    *Formula
+	}{
+		{"sat_single", formula(3, [3]int{1, -2, -3})},
+		{"sat_two", formula(2, [3]int{1, 2, 2}, [3]int{-1, -2, -2})},
+		// x1 forced true and false via three-literal paddings:
+		// (x1 ∨ x1 ∨ x1) ∧ (¬x1 ∨ ¬x1 ∨ ¬x1) is unsatisfiable.
+		{"unsat_contradiction", formula(1, [3]int{1, 1, 1}, [3]int{-1, -1, -1})},
+		// Classic 2-variable unsatisfiable core padded to width 3.
+		{"unsat_two_vars", formula(2,
+			[3]int{1, 2, 2}, [3]int{1, -2, -2}, [3]int{-1, 2, 2}, [3]int{-1, -2, -2})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := mustReduce(t, tc.f)
+			_, sat, err := Solve(tc.f)
+			if err != nil {
+				t.Fatalf("Solve: %v", err)
+			}
+			opt, err := in.OptimalCost()
+			if err != nil {
+				t.Fatalf("OptimalCost: %v", err)
+			}
+			t.Logf("sat=%v optimal=%.6f W=%.6f evaluations=%d", sat, opt.Cost, in.W, opt.Evaluations)
+			if sat && opt.Cost > in.W+1e-9 {
+				t.Errorf("satisfiable formula but optimal cost %.9f > W %.9f", opt.Cost, in.W)
+			}
+			if !sat && opt.Cost <= in.W+1e-9 {
+				t.Errorf("unsatisfiable formula but optimal cost %.9f <= W %.9f", opt.Cost, in.W)
+			}
+		})
+	}
+}
+
+// TestReductionEquivalenceRandom cross-checks the SAT <=> cost<=W
+// equivalence on random small formulas against brute-force SAT counting.
+func TestReductionEquivalenceRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("random equivalence sweep")
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 12; trial++ {
+		nv := 2 + rng.Intn(2) // 2..3 variables
+		nc := 2 + rng.Intn(2) // 2..3 clauses
+		f := &Formula{NumVars: nv}
+		for c := 0; c < nc; c++ {
+			var cl Clause
+			for k := 0; k < 3; k++ {
+				v := 1 + rng.Intn(nv)
+				if rng.Intn(2) == 0 {
+					cl = append(cl, Literal(-v))
+				} else {
+					cl = append(cl, Literal(v))
+				}
+			}
+			f.Clauses = append(f.Clauses, cl)
+		}
+		if err := f.ValidateFor3CNF(); err != nil {
+			continue // some variable unused; skip this draw
+		}
+		count, err := CountSolutions(f)
+		if err != nil {
+			t.Fatalf("CountSolutions: %v", err)
+		}
+		_, sat, err := Solve(f)
+		if err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+		if sat != (count > 0) {
+			t.Fatalf("DPLL disagreed with brute force on %v: dpll=%v count=%d", f, sat, count)
+		}
+		in := mustReduce(t, f)
+		opt, err := in.OptimalCost()
+		if err != nil {
+			t.Fatalf("OptimalCost: %v", err)
+		}
+		if sat != (opt.Cost <= in.W+1e-9) {
+			t.Errorf("trial %d: %v sat=%v but optimal=%.6f vs W=%.6f", trial, f, sat, opt.Cost, in.W)
+		}
+	}
+}
+
+// TestCorpusFormulas runs the full pipeline (parse -> DPLL -> reduce ->
+// exact gadget optimisation) on the checked-in DIMACS corpus.
+func TestCorpusFormulas(t *testing.T) {
+	cases := []struct {
+		file     string
+		sat      bool
+		optimise bool // exhaustive gadget optimisation feasible?
+	}{
+		{"testdata/pigeonhole_2_1.cnf", false, true},
+		{"testdata/pigeonhole_3_2.cnf", false, false}, // 30-post gadget: DPLL-only
+		{"testdata/chain_sat.cnf", true, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			f, err := os.Open(tc.file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			formula, err := ParseDIMACS(f)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			assignment, sat, err := Solve(formula)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sat != tc.sat {
+				t.Fatalf("DPLL verdict %v, want %v", sat, tc.sat)
+			}
+			in, err := Reduce(formula, DefaultParams())
+			if err != nil {
+				t.Fatalf("reduce: %v", err)
+			}
+			if sat {
+				deploy, parents, err := in.CanonicalSolution(assignment)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cost, err := in.EvaluateSolution(deploy, parents)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(cost-in.W) > 1e-9 {
+					t.Errorf("canonical cost %.6f != W %.6f", cost, in.W)
+				}
+				return
+			}
+			if !tc.optimise {
+				return
+			}
+			// Unsat: the gadget optimum must exceed W.
+			opt, err := in.OptimalCost()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if opt.Cost <= in.W+1e-9 {
+				t.Errorf("unsat formula but optimum %.6f <= W %.6f", opt.Cost, in.W)
+			}
+		})
+	}
+}

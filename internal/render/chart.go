@@ -1,0 +1,113 @@
+package render
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ChartSeries is one line of an ASCII chart.
+type ChartSeries struct {
+	Label string
+	Y     []float64
+}
+
+// Chart renders one or more series over a shared X axis as a plain-text
+// scatter/line chart — a terminal stand-in for the paper's figures. Each
+// series draws with its own glyph ('a', 'b', ...); colliding points show
+// the later series. The Y axis is annotated with min/max and the X axis
+// with the first and last X values.
+func Chart(title string, xs []float64, series []ChartSeries, width, height int) (string, error) {
+	if len(xs) == 0 || len(series) == 0 {
+		return "", fmt.Errorf("render: chart needs at least one X and one series")
+	}
+	for _, s := range series {
+		if len(s.Y) != len(xs) {
+			return "", fmt.Errorf("render: series %q has %d points for %d X values", s.Label, len(s.Y), len(xs))
+		}
+	}
+	if width < 16 {
+		width = 16
+	}
+	if height < 5 {
+		height = 5
+	}
+
+	// Global Y range across series.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, y := range s.Y {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				return "", fmt.Errorf("render: series %q contains a non-finite value", s.Label)
+			}
+			lo = math.Min(lo, y)
+			hi = math.Max(hi, y)
+		}
+	}
+	if hi == lo {
+		hi = lo + 1 // flat series: center it
+		lo -= 1
+	}
+	xLo, xHi := xs[0], xs[len(xs)-1]
+	if xHi == xLo {
+		xHi = xLo + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, glyph byte) {
+		col := int((x - xLo) / (xHi - xLo) * float64(width-1))
+		row := height - 1 - int((y-lo)/(hi-lo)*float64(height-1))
+		if col < 0 || col >= width || row < 0 || row >= height {
+			return
+		}
+		grid[row][col] = glyph
+	}
+	for si, s := range series {
+		glyph := byte('a' + si%26)
+		for i, y := range s.Y {
+			plot(xs[i], y, glyph)
+		}
+	}
+
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	yLabelWidth := 0
+	top := fmt.Sprintf("%.4g", hi)
+	bottom := fmt.Sprintf("%.4g", lo)
+	if len(top) > yLabelWidth {
+		yLabelWidth = len(top)
+	}
+	if len(bottom) > yLabelWidth {
+		yLabelWidth = len(bottom)
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", yLabelWidth)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", yLabelWidth, top)
+		case height - 1:
+			label = fmt.Sprintf("%*s", yLabelWidth, bottom)
+		}
+		sb.WriteString(label)
+		sb.WriteString(" |")
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(strings.Repeat(" ", yLabelWidth))
+	sb.WriteString(" +")
+	sb.WriteString(strings.Repeat("-", width))
+	sb.WriteByte('\n')
+	xAxis := fmt.Sprintf("%*s  %-10.4g%*s%10.4g", yLabelWidth, "", xLo, width-20, "", xHi)
+	sb.WriteString(xAxis)
+	sb.WriteByte('\n')
+	for si, s := range series {
+		fmt.Fprintf(&sb, "  %c = %s\n", byte('a'+si%26), s.Label)
+	}
+	return sb.String(), nil
+}

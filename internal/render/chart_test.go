@@ -1,0 +1,77 @@
+package render
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	series := []ChartSeries{
+		{Label: "rising", Y: []float64{1, 2, 3, 4}},
+		{Label: "falling", Y: []float64{4, 3, 2, 1}},
+	}
+	out, err := Chart("test chart", xs, series, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "test chart\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	for _, frag := range []string{"a = rising", "b = falling", "+----"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q:\n%s", frag, out)
+		}
+	}
+	// The rising series' glyph appears in the last grid row (minimum at
+	// the left) and the first grid row (maximum at the right).
+	lines := strings.Split(out, "\n")
+	gridTop, gridBottom := lines[1], lines[10]
+	if !strings.Contains(gridTop, "a") && !strings.Contains(gridTop, "b") {
+		t.Errorf("top row empty:\n%s", out)
+	}
+	if !strings.Contains(gridBottom, "a") && !strings.Contains(gridBottom, "b") {
+		t.Errorf("bottom row empty:\n%s", out)
+	}
+	// Axis labels carry the Y range.
+	if !strings.Contains(out, "4") || !strings.Contains(out, "1") {
+		t.Errorf("missing Y labels:\n%s", out)
+	}
+}
+
+func TestChartFlatSeries(t *testing.T) {
+	out, err := Chart("", []float64{0, 1}, []ChartSeries{{Label: "flat", Y: []float64{5, 5}}}, 20, 6)
+	if err != nil {
+		t.Fatalf("flat series: %v", err)
+	}
+	if !strings.Contains(out, "a") {
+		t.Errorf("flat series not plotted:\n%s", out)
+	}
+}
+
+func TestChartErrors(t *testing.T) {
+	if _, err := Chart("t", nil, []ChartSeries{{Label: "x"}}, 20, 6); err == nil {
+		t.Error("empty X accepted")
+	}
+	if _, err := Chart("t", []float64{1}, nil, 20, 6); err == nil {
+		t.Error("no series accepted")
+	}
+	if _, err := Chart("t", []float64{1, 2}, []ChartSeries{{Label: "short", Y: []float64{1}}}, 20, 6); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Chart("t", []float64{1}, []ChartSeries{{Label: "nan", Y: []float64{math.NaN()}}}, 20, 6); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestChartMinimumDimensions(t *testing.T) {
+	// Tiny requested dimensions are clamped, not rejected.
+	out, err := Chart("", []float64{1, 2, 3}, []ChartSeries{{Label: "s", Y: []float64{1, 2, 3}}}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(out, "\n")) < 7 {
+		t.Errorf("clamped chart too small:\n%s", out)
+	}
+}

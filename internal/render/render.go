@@ -1,0 +1,123 @@
+// Package render draws deployment/routing solutions as plain text: a
+// scaled character map of the field and an indented routing-tree listing.
+// It exists for CLI output and examples — quick situational awareness
+// without plotting dependencies.
+package render
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wrsn/internal/geom"
+	"wrsn/internal/model"
+)
+
+// FieldMap renders the deployment field as a character grid of the given
+// width (height follows the field's aspect ratio). The base station is
+// '@'; each post is drawn as its node count ('1'-'9', then 'a' for 10-35
+// via letters, '#' beyond); empty cells are '.'. When two posts share a
+// cell the larger count wins.
+func FieldMap(p *model.Problem, deploy model.Deployment, width int) (string, error) {
+	if width < 8 {
+		width = 8
+	}
+	if len(deploy) != p.N() {
+		return "", fmt.Errorf("render: deployment covers %d posts, want %d", len(deploy), p.N())
+	}
+	lo, hi := geom.BoundingBox(append(append([]geom.Point(nil), p.Posts...), p.BS))
+	spanX := hi.X - lo.X
+	spanY := hi.Y - lo.Y
+	if spanX <= 0 {
+		spanX = 1
+	}
+	if spanY <= 0 {
+		spanY = 1
+	}
+	height := int(float64(width) * spanY / spanX / 2) // terminal cells are ~2x tall
+	if height < 4 {
+		height = 4
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(".", width))
+	}
+	cell := func(pt geom.Point) (row, col int) {
+		col = int((pt.X - lo.X) / spanX * float64(width-1))
+		// Row 0 is the top of the printout, so flip Y.
+		row = height - 1 - int((pt.Y-lo.Y)/spanY*float64(height-1))
+		return row, col
+	}
+	counts := make([][]int, height)
+	for r := range counts {
+		counts[r] = make([]int, width)
+	}
+	for i, pt := range p.Posts {
+		r, c := cell(pt)
+		if deploy[i] > counts[r][c] {
+			counts[r][c] = deploy[i]
+			grid[r][c] = countGlyph(deploy[i])
+		}
+	}
+	r, c := cell(p.BS)
+	grid[r][c] = '@'
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "field %.0fx%.0fm — '@' base station, digits/letters = nodes per post\n", spanX, spanY)
+	for _, row := range grid {
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}
+
+// countGlyph maps a node count to a single display character.
+func countGlyph(m int) byte {
+	switch {
+	case m <= 0:
+		return '?'
+	case m <= 9:
+		return byte('0' + m)
+	case m <= 35:
+		return byte('a' + m - 10)
+	default:
+		return '#'
+	}
+}
+
+// TreeASCII renders the routing tree as an indented hierarchy rooted at
+// the base station, each line showing the post, its node count, power
+// level and subtree size. Children print in ascending index order.
+func TreeASCII(p *model.Problem, deploy model.Deployment, tree model.Tree) (string, error) {
+	if err := tree.Validate(p); err != nil {
+		return "", err
+	}
+	if len(deploy) != p.N() {
+		return "", fmt.Errorf("render: deployment covers %d posts, want %d", len(deploy), p.N())
+	}
+	children := tree.Children(p)
+	for _, ch := range children {
+		sort.Ints(ch)
+	}
+	sizes := tree.SubtreeSizes(p)
+
+	var sb strings.Builder
+	sb.WriteString("BS\n")
+	var walk func(v int, prefix string)
+	walk = func(v int, prefix string) {
+		kids := children[v]
+		for i, c := range kids {
+			last := i == len(kids)-1
+			branch, cont := "├─ ", "│  "
+			if last {
+				branch, cont = "└─ ", "   "
+			}
+			fmt.Fprintf(&sb, "%s%spost %d (%d node(s), level %d, subtree %d)\n",
+				prefix, branch, c, deploy[c], tree.Level[c]+1, sizes[c])
+			walk(c, prefix+cont)
+		}
+	}
+	walk(p.BSIndex(), "")
+	return sb.String(), nil
+}

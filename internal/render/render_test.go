@@ -1,0 +1,114 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"wrsn/internal/charging"
+	"wrsn/internal/energy"
+	"wrsn/internal/geom"
+	"wrsn/internal/model"
+)
+
+func renderProblem(t *testing.T) (*model.Problem, model.Deployment, model.Tree) {
+	t.Helper()
+	p := &model.Problem{
+		Posts: []geom.Point{
+			{X: 30, Y: 0},
+			{X: 60, Y: 0},
+			{X: 60, Y: 30},
+		},
+		BS:       geom.Point{},
+		Nodes:    12,
+		Energy:   energy.Default(),
+		Charging: charging.Default(),
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := model.NewTreeFromParents(p, []int{3, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, model.Deployment{6, 4, 2}, tree
+}
+
+func TestFieldMap(t *testing.T) {
+	p, deploy, _ := renderProblem(t)
+	out, err := FieldMap(p, deploy, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "@") {
+		t.Error("base station glyph missing")
+	}
+	for _, glyph := range []string{"6", "4", "2"} {
+		if !strings.Contains(out, glyph) {
+			t.Errorf("node-count glyph %q missing:\n%s", glyph, out)
+		}
+	}
+	// The BS (origin) appears in the bottom-left region: last grid line.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	bottom := lines[len(lines)-1]
+	if !strings.Contains(bottom, "@") {
+		t.Errorf("base station not on the bottom row:\n%s", out)
+	}
+	if idx := strings.Index(bottom, "@"); idx > 2 {
+		t.Errorf("base station not at the left edge (col %d):\n%s", idx, out)
+	}
+}
+
+func TestFieldMapGlyphs(t *testing.T) {
+	cases := []struct {
+		m    int
+		want byte
+	}{
+		{1, '1'}, {9, '9'}, {10, 'a'}, {35, 'z'}, {36, '#'}, {0, '?'},
+	}
+	for _, tc := range cases {
+		if got := countGlyph(tc.m); got != tc.want {
+			t.Errorf("countGlyph(%d) = %c, want %c", tc.m, got, tc.want)
+		}
+	}
+}
+
+func TestFieldMapValidation(t *testing.T) {
+	p, _, _ := renderProblem(t)
+	if _, err := FieldMap(p, model.Deployment{1}, 40); err == nil {
+		t.Error("wrong-size deployment accepted")
+	}
+}
+
+func TestTreeASCII(t *testing.T) {
+	p, deploy, tree := renderProblem(t)
+	out, err := TreeASCII(p, deploy, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "BS\n") {
+		t.Errorf("tree must start at the BS:\n%s", out)
+	}
+	for _, frag := range []string{
+		"post 0 (6 node(s)",
+		"post 1 (4 node(s)",
+		"post 2 (2 node(s)",
+		"subtree 3",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in:\n%s", frag, out)
+		}
+	}
+	// Chain topology: each level indents deeper.
+	if strings.Index(out, "post 0") > strings.Index(out, "post 1") {
+		t.Errorf("post 0 should print before its child post 1:\n%s", out)
+	}
+}
+
+func TestTreeASCIIValidation(t *testing.T) {
+	p, deploy, tree := renderProblem(t)
+	bad := tree.Clone()
+	bad.Parent[0] = 0
+	if _, err := TreeASCII(p, deploy, bad); err == nil {
+		t.Error("invalid tree accepted")
+	}
+}

@@ -1,0 +1,59 @@
+package routing_test
+
+import (
+	"fmt"
+
+	"wrsn/internal/graph"
+	"wrsn/internal/routing"
+)
+
+// Example reproduces the paper's Fig. 5 trim walkthrough: the fat tree of
+// all minimum-energy paths is pruned so routing workload concentrates on
+// post B, exactly five edges are deleted, and every post ends with a
+// single parent.
+func Example() {
+	// Posts A..J are vertices 0..9; the base station is vertex 10.
+	const (
+		postA = iota
+		postB
+		postC
+		postD
+		postE
+		postF
+		postG
+		postH
+		postI
+		postJ
+		bs
+	)
+	dag := &graph.DAG{
+		Target: bs,
+		Dist:   []float64{1, 1, 1, 1, 2, 2, 1, 4, 3, 4, 0},
+		Parents: [][]int{
+			postA: {bs},
+			postB: {bs},
+			postC: {bs},
+			postD: {bs},
+			postE: {postA, postB},
+			postF: {postB, postC},
+			postG: {bs},
+			postH: {postD, postE, postI},
+			postI: {postE},
+			postJ: {postG, postI},
+		},
+	}
+	res, err := routing.Trim(dag, 10)
+	if err != nil {
+		fmt.Println("trim:", err)
+		return
+	}
+	fmt.Println("edges deleted:", res.Deleted)
+	fmt.Println("E's parent is B:", res.Parent[postE] == postB)
+	fmt.Println("H routes via I:", res.Parent[postH] == postI)
+	fmt.Println("B's final workload:", res.Workload[postB])
+	// Output:
+	// edges deleted: 5
+	// E's parent is B: true
+	// H routes via I: true
+	// B's final workload: 5
+}

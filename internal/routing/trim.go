@@ -1,0 +1,251 @@
+// Package routing implements the routing-tree construction phases of the
+// RFH algorithm (Section V-A of the paper):
+//
+//   - Trim (Phase II) turns the all-shortest-paths "fat tree" into a
+//     single routing tree while concentrating forwarding workload onto as
+//     few posts as possible, so that node deployment can buy those posts
+//     high charging efficiency.
+//   - MergeSiblings (Phase III) opportunistically re-parents children onto
+//     a cheaper-to-reach sibling, concentrating workload further.
+//
+// Both phases operate on parent vectors over posts 0..N-1 with the base
+// station as vertex N, matching package model's conventions.
+package routing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"wrsn/internal/bitset"
+	"wrsn/internal/graph"
+)
+
+// TrimResult is the outcome of trimming a fat tree.
+type TrimResult struct {
+	// Parent[u] is the single parent of post u in the trimmed tree (a
+	// post index or the DAG's target vertex, i.e. the base station).
+	Parent []int
+	// Workload[u] is u's final routing workload: the number of its
+	// descendants in the trimmed tree (the paper's Phase-II metric;
+	// excludes u itself).
+	Workload []int
+	// Deleted counts the fat-tree edges removed during trimming.
+	Deleted int
+}
+
+// ErrNotAFatTree is returned when the DAG misses a parent for some post,
+// i.e. the target is unreachable from it.
+var ErrNotAFatTree = errors.New("routing: post cannot reach the base station in the fat tree")
+
+// Trim implements Phase II of RFH. Starting from the all-shortest-paths
+// DAG toward the base station, it repeatedly takes the unprocessed post
+// with the largest routing workload (its descendant count under the
+// current edge set) and forces all of its descendants to route inside its
+// subtree: every edge from a descendant to a parent that is neither the
+// head post nor one of its descendants is deleted. Workloads of affected
+// posts are recomputed and the priority queue reordered, exactly as the
+// paper prescribes. Any post still holding several parents afterwards
+// resolves to its highest-workload parent (lowest index on ties), which
+// also makes the result deterministic.
+//
+// Every surviving path is a fat-tree path, so each post's tree path cost
+// equals its Phase-I shortest-path distance — trimming chooses among
+// minimum-energy routes, it never leaves them (property-tested).
+func Trim(dag *graph.DAG, nPosts int) (*TrimResult, error) {
+	return TrimWeighted(dag, nPosts, nil)
+}
+
+// TrimWeighted is Trim with heterogeneous traffic: rates[i] is post i's
+// report rate, and a post's routing workload becomes the summed rate of
+// its descendants rather than their count, so concentration favours the
+// posts that actually carry the most bits. nil rates reproduce Trim (the
+// paper's uniform model). TrimResult.Workload still reports descendant
+// counts.
+func TrimWeighted(dag *graph.DAG, nPosts int, rates []float64) (*TrimResult, error) {
+	if dag == nil {
+		return nil, errors.New("routing: nil DAG")
+	}
+	if nPosts < 0 || nPosts >= len(dag.Parents)+1 || dag.Target != nPosts {
+		return nil, fmt.Errorf("routing: DAG target %d does not match post count %d", dag.Target, nPosts)
+	}
+	if rates != nil && len(rates) != nPosts {
+		return nil, fmt.Errorf("routing: %d rates for %d posts", len(rates), nPosts)
+	}
+	rate := func(i int) float64 {
+		if rates == nil {
+			return 1
+		}
+		return rates[i]
+	}
+
+	// Mutable copy of each post's parent list.
+	par := make([][]int, nPosts)
+	for u := 0; u < nPosts; u++ {
+		if len(dag.Parents[u]) == 0 {
+			return nil, fmt.Errorf("%w: post %d", ErrNotAFatTree, u)
+		}
+		par[u] = append([]int(nil), dag.Parents[u]...)
+	}
+
+	// Topological order for the reachability DP: descendants have
+	// strictly larger distance-to-target (edge weights are positive), so
+	// processing posts by decreasing distance finalises every child
+	// before its parents.
+	order := make([]int, nPosts)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := dag.Dist[order[a]], dag.Dist[order[b]]
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+
+	// reach[u] = set of posts that can reach u via current parent edges
+	// (u's descendants). load[u] = summed rate over reach[u] (== the
+	// descendant count for unit rates), the paper's routing workload.
+	reach := make([]*bitset.Set, nPosts)
+	for u := range reach {
+		reach[u] = bitset.New(nPosts)
+	}
+	load := make([]float64, nPosts)
+	recompute := func() {
+		for _, u := range order {
+			reach[u].Reset()
+		}
+		// Children-first order: push each u into all of its parents.
+		for _, u := range order {
+			for _, q := range par[u] {
+				if q == nPosts {
+					continue // base station accumulates no workload
+				}
+				reach[q].Set(u)
+				reach[q].UnionWith(reach[u])
+			}
+		}
+		for u := 0; u < nPosts; u++ {
+			sum := 0.0
+			reach[u].ForEach(func(d int) { sum += rate(d) })
+			load[u] = sum
+		}
+	}
+	recompute()
+
+	// Max-heap by workload via negated priorities; ties pop the lowest
+	// post index (IndexedMinHeap's deterministic tie-break).
+	h := graph.NewIndexedMinHeap(nPosts)
+	for u := 0; u < nPosts; u++ {
+		h.Push(u, -load[u])
+	}
+
+	res := &TrimResult{Parent: make([]int, nPosts)}
+	for h.Len() > 0 {
+		p, _ := h.Pop()
+		changed := false
+		reach[p].ForEach(func(d int) {
+			kept := par[d][:0]
+			for _, q := range par[d] {
+				if q == p || (q != nPosts && reach[p].Test(q)) {
+					kept = append(kept, q)
+				} else {
+					res.Deleted++
+					changed = true
+				}
+			}
+			par[d] = kept
+		})
+		if changed {
+			recompute()
+			for u := 0; u < nPosts; u++ {
+				if h.Contains(u) {
+					h.Push(u, -load[u])
+				}
+			}
+		}
+	}
+
+	// Resolve any residual multi-parent posts deterministically.
+	for u := 0; u < nPosts; u++ {
+		if len(par[u]) == 0 {
+			// Cannot happen: every descendant keeps at least the first
+			// hop of one surviving path (see package doc); defensive.
+			return nil, fmt.Errorf("%w: post %d lost all parents during trim", ErrNotAFatTree, u)
+		}
+		// Highest-workload parent wins; the base station counts as -Inf
+		// so a tied post parent is preferred (keeps workload
+		// concentrated). Parent lists are in ascending vertex order, so
+		// ties resolve to the lowest index deterministically.
+		best := par[u][0]
+		for _, q := range par[u][1:] {
+			if wl(q, load, nPosts) > wl(best, load, nPosts) {
+				best = q
+			}
+		}
+		res.Parent[u] = best
+	}
+
+	// Final workloads (descendant counts) on the resolved tree.
+	res.Workload = treeWorkloads(res.Parent, nPosts)
+	return res, nil
+}
+
+// wl returns the routing load of vertex q, treating the base station as
+// -Inf so posts always win ties against it.
+func wl(q int, load []float64, nPosts int) float64 {
+	if q == nPosts {
+		return math.Inf(-1)
+	}
+	return load[q]
+}
+
+// treeWorkloads returns each post's descendant count in the tree given by
+// the parent vector (base station = nPosts).
+func treeWorkloads(parent []int, nPosts int) []int {
+	w := make([]int, nPosts)
+	childCount := make([]int, nPosts)
+	for u := 0; u < nPosts; u++ {
+		if p := parent[u]; p < nPosts {
+			childCount[p]++
+		}
+	}
+	queue := make([]int, 0, nPosts)
+	for u := 0; u < nPosts; u++ {
+		if childCount[u] == 0 {
+			queue = append(queue, u)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if p := parent[v]; p < nPosts {
+			w[p] += w[v] + 1
+			childCount[p]--
+			if childCount[p] == 0 {
+				queue = append(queue, p)
+			}
+		}
+	}
+	return w
+}
+
+// PathCost returns the total edge cost of post u's path to the target in
+// the tree given by parent, pricing each hop with edgeCost. It returns
+// NaN if the walk exceeds nPosts hops (a cycle), which validation
+// elsewhere should have excluded.
+func PathCost(parent []int, nPosts, u int, edgeCost func(from, to int) float64) float64 {
+	var total float64
+	v := u
+	for hops := 0; v != nPosts; hops++ {
+		if hops > nPosts {
+			return math.NaN()
+		}
+		next := parent[v]
+		total += edgeCost(v, next)
+		v = next
+	}
+	return total
+}

@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestChargerConfigValidation(t *testing.T) {
+	p, sol := testNetwork(t, 8, 200, 10, 30)
+	bad := []ChargerConfig{
+		{PowerPerRound: 0, SpeedPerRound: 10},
+		{PowerPerRound: 1e6, SpeedPerRound: 0},
+		{PowerPerRound: 1e6, SpeedPerRound: 10, Policy: "teleport"},
+	}
+	for i, cc := range bad {
+		cc := cc
+		if _, err := New(Config{Problem: p, Solution: sol, Charger: &cc}); err == nil {
+			t.Errorf("bad charger config %d accepted", i)
+		}
+	}
+	good := ChargerConfig{PowerPerRound: 1e6, SpeedPerRound: 10, Policy: PolicyRoundRobin}
+	if _, err := New(Config{Problem: p, Solution: sol, Charger: &good}); err != nil {
+		t.Errorf("valid round-robin config rejected: %v", err)
+	}
+}
+
+// TestChargerPolicies runs both scheduling policies under a charger that
+// can only just keep up. Both must keep the network alive here (the
+// budget is adequate); the urgency policy should never deliver less.
+func TestChargerPolicies(t *testing.T) {
+	p, sol := testNetwork(t, 9, 200, 12, 48)
+	run := func(policy ChargerPolicy) *Metrics {
+		s, err := New(Config{
+			Problem:  p,
+			Solution: sol,
+			Charger: &ChargerConfig{
+				PowerPerRound: 1e8,
+				SpeedPerRound: 50,
+				Policy:        policy,
+			},
+			PacketBits: 1000,
+			Seed:       1,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		m, err := s.Run(6000)
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		return m
+	}
+	urgent := run(PolicyUrgency)
+	rr := run(PolicyRoundRobin)
+	t.Logf("urgency: delivery=%.4f visits=%d; round-robin: delivery=%.4f visits=%d",
+		urgent.DeliveryRatio(), urgent.ChargerVisits, rr.DeliveryRatio(), rr.ChargerVisits)
+	if urgent.DeliveryRatio() < rr.DeliveryRatio() {
+		t.Errorf("urgency policy (%.4f) delivered less than round-robin (%.4f)",
+			urgent.DeliveryRatio(), rr.DeliveryRatio())
+	}
+	if urgent.ChargerVisits == 0 || rr.ChargerVisits == 0 {
+		t.Error("a policy completed no charging sessions")
+	}
+}
+
+// TestUrgencyBeatsRoundRobinUnderPressure: with a slow, weak charger the
+// urgency policy must keep the bottleneck posts alive longer.
+func TestUrgencyBeatsRoundRobinUnderPressure(t *testing.T) {
+	p, sol := testNetwork(t, 10, 200, 12, 36)
+	run := func(policy ChargerPolicy) *Metrics {
+		s, err := New(Config{
+			Problem:  p,
+			Solution: sol,
+			Charger: &ChargerConfig{
+				// Tight budget: charging capacity barely covers drain,
+				// so scheduling quality decides who starves.
+				PowerPerRound: 1.5e5,
+				SpeedPerRound: 2,
+				Policy:        policy,
+			},
+			PacketBits:        1000,
+			InitialChargeFrac: 0.6,
+			Seed:              2,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		m, err := s.Run(3 * DefaultBatteryRounds)
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		return m
+	}
+	urgent := run(PolicyUrgency)
+	rr := run(PolicyRoundRobin)
+	t.Logf("under pressure: urgency delivery=%.4f, round-robin delivery=%.4f",
+		urgent.DeliveryRatio(), rr.DeliveryRatio())
+	if urgent.DeliveryRatio() < rr.DeliveryRatio()-1e-9 {
+		t.Errorf("urgency (%.4f) should not trail round-robin (%.4f) when capacity is tight",
+			urgent.DeliveryRatio(), rr.DeliveryRatio())
+	}
+}
+
+// TestOverheadSimConvergence: with sensing/computation overhead the
+// empirical charger cost still converges to the analytic model.
+func TestOverheadSimConvergence(t *testing.T) {
+	p, sol := testNetwork(t, 11, 200, 10, 40)
+	p.RoundOverhead = 20 // nJ per reported bit
+	s, err := New(Config{
+		Problem:  p,
+		Solution: sol,
+		Charger: &ChargerConfig{
+			PowerPerRound: 1e9,
+			SpeedPerRound: 1e6,
+			FillToFrac:    0.95,
+			TargetFrac:    0.90,
+		},
+		PacketBits:        1000,
+		InitialChargeFrac: 0.93,
+		Seed:              3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Run(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic, err := s.AnalyticCostPerBitRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	empirical := m.EmpiricalCostPerBitRound(1000)
+	rel := (empirical - analytic) / analytic
+	if rel < -0.05 || rel > 0.05 {
+		t.Errorf("with overhead: empirical %.3f vs analytic %.3f (%.1f%%)", empirical, analytic, rel*100)
+	}
+}
+
+// TestTourPolicyChargesEveryone: the tour policy must eventually service
+// every needy post and keep a comfortably provisioned network alive.
+func TestTourPolicyChargesEveryone(t *testing.T) {
+	p, sol := testNetwork(t, 12, 200, 12, 48)
+	s, err := New(Config{
+		Problem:  p,
+		Solution: sol,
+		Charger: &ChargerConfig{
+			PowerPerRound: 1e8,
+			SpeedPerRound: 50,
+			Policy:        PolicyTour,
+		},
+		PacketBits: 1000,
+		Seed:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Run(6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DeliveryRatio() != 1 {
+		t.Errorf("tour policy lost reports: delivery %.4f", m.DeliveryRatio())
+	}
+	if m.ChargerVisits == 0 {
+		t.Error("tour policy never completed a charge")
+	}
+}
+
+// TestTourPolicyTravelsLessThanUrgency: visiting posts in tour order
+// should cover fewer meters than urgency-chasing across the field, for
+// the same workload.
+func TestTourPolicyTravelsLessThanUrgency(t *testing.T) {
+	p, sol := testNetwork(t, 13, 200, 15, 60)
+	run := func(policy ChargerPolicy) *Metrics {
+		s, err := New(Config{
+			Problem:  p,
+			Solution: sol,
+			Charger: &ChargerConfig{
+				PowerPerRound: 1e8,
+				SpeedPerRound: 10,
+				Policy:        policy,
+			},
+			PacketBits: 1000,
+			Seed:       5,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		m, err := s.Run(8000)
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		return m
+	}
+	tourM := run(PolicyTour)
+	urgentM := run(PolicyUrgency)
+	t.Logf("tour: %.0fm, %d visits; urgency: %.0fm, %d visits",
+		tourM.ChargerDistance, tourM.ChargerVisits, urgentM.ChargerDistance, urgentM.ChargerVisits)
+	if tourM.ChargerVisits == 0 || urgentM.ChargerVisits == 0 {
+		t.Fatal("a policy never charged")
+	}
+	perVisitTour := tourM.ChargerDistance / float64(tourM.ChargerVisits)
+	perVisitUrgent := urgentM.ChargerDistance / float64(urgentM.ChargerVisits)
+	if perVisitTour > perVisitUrgent*1.10 {
+		t.Errorf("tour policy travelled more per visit (%.1fm) than urgency (%.1fm)",
+			perVisitTour, perVisitUrgent)
+	}
+}
+
+// TestChargerFleet: two chargers keep alive a network that a single
+// identical charger cannot (tight budget), and they never double-book a
+// post.
+func TestChargerFleet(t *testing.T) {
+	p, sol := testNetwork(t, 16, 200, 14, 42)
+	run := func(fleet int) *Metrics {
+		s, err := New(Config{
+			Problem:  p,
+			Solution: sol,
+			Charger: &ChargerConfig{
+				PowerPerRound: 1.2e5,
+				SpeedPerRound: 3,
+			},
+			Chargers:          fleet,
+			PacketBits:        1000,
+			InitialChargeFrac: 0.6,
+			Seed:              6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := s.Run(3 * DefaultBatteryRounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	solo := run(1)
+	duo := run(2)
+	t.Logf("solo delivery=%.4f; duo delivery=%.4f", solo.DeliveryRatio(), duo.DeliveryRatio())
+	if duo.DeliveryRatio() <= solo.DeliveryRatio() {
+		t.Errorf("a second charger did not improve delivery: %.4f vs %.4f",
+			duo.DeliveryRatio(), solo.DeliveryRatio())
+	}
+}
+
+// TestChargerFleetNoDoubleBooking: at every round at most one charger
+// targets a given post.
+func TestChargerFleetNoDoubleBooking(t *testing.T) {
+	p, sol := testNetwork(t, 17, 200, 10, 30)
+	s, err := New(Config{
+		Problem:  p,
+		Solution: sol,
+		Charger:  &ChargerConfig{PowerPerRound: 1e6, SpeedPerRound: 10},
+		Chargers: 3,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetTracer(TracerFunc(func(round int, sim *Simulator) {
+		seen := map[int]int{}
+		for ci, ch := range sim.chargers {
+			if ch.target >= 0 {
+				if prev, dup := seen[ch.target]; dup {
+					t.Fatalf("round %d: chargers %d and %d both target post %d", round, prev, ci, ch.target)
+				}
+				seen[ch.target] = ci
+			}
+		}
+	}))
+	if _, err := s.Run(2000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChargersWithoutConfigRejected(t *testing.T) {
+	p, sol := testNetwork(t, 18, 200, 8, 24)
+	if _, err := New(Config{Problem: p, Solution: sol, Chargers: 2}); err == nil {
+		t.Error("fleet without charger config accepted")
+	}
+}

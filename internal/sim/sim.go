@@ -1,0 +1,526 @@
+// Package sim is a round-based simulator for a deployed wireless-
+// rechargeable sensor network executing a deployment/routing solution,
+// together with a mobile wireless charger that travels between posts and
+// recharges them.
+//
+// It closes the loop on the paper's model: the analytic objective
+// (model.Evaluate) promises a long-run charger energy per reporting round;
+// the simulator actually runs the network — per-node batteries, in-post
+// duty rotation, hop-by-hop forwarding, charger travel and charging with
+// the multi-node efficiency gain — and measures the charger's empirical
+// energy per delivered round, which converges to the analytic value under
+// an adequate charging schedule (property-tested). It also supports
+// failure injection and charger-less runs for lifetime studies.
+//
+// Time advances in reporting rounds: every round each post originates one
+// report of PacketBits bits that is forwarded hop-by-hop to the base
+// station.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wrsn/internal/geom"
+	"wrsn/internal/model"
+)
+
+// Config parameterises a simulation run. Zero-value fields are filled
+// with defaults by New where noted.
+type Config struct {
+	// Problem and Solution define the network: post locations, energy
+	// and charging models, node counts and the routing tree.
+	Problem  *model.Problem
+	Solution model.Solution
+
+	// PacketBits is the size of one report in bits (default 1000).
+	PacketBits int
+	// BatteryCapacity is each node's battery in nJ (default: enough for
+	// roughly 2000 rounds of the busiest post's work, so charging
+	// schedules have slack).
+	BatteryCapacity float64
+	// InitialChargeFrac is the starting battery fraction (default 1.0).
+	InitialChargeFrac float64
+
+	// Charger configures the mobile charger(s); nil disables charging
+	// entirely (lifetime studies).
+	Charger *ChargerConfig
+	// Chargers is the fleet size: how many identical chargers (per
+	// Charger) patrol the field. 0 and 1 both mean a single charger.
+	// Chargers coordinate by claiming targets, so no two service the
+	// same post simultaneously.
+	Chargers int
+
+	// FailurePerRound is a per-round probability that one random alive
+	// node fails permanently (failure injection; default 0).
+	FailurePerRound float64
+	// LinkLossProb is the probability that one transmission attempt of a
+	// report fails and must be retransmitted (default 0: the paper's
+	// lossless links). Lossy links inflate transmit energy by roughly
+	// 1/(1-p) — an extension quantifying how MAC-layer loss erodes the
+	// analytic recharging cost.
+	LinkLossProb float64
+	// MaxRetries caps retransmission attempts per report per hop
+	// (default 8); a report dropping all attempts is lost.
+	MaxRetries int
+	// Seed drives all randomness (failures). Runs are deterministic for
+	// a fixed seed.
+	Seed int64
+}
+
+// ChargerPolicy selects how the charger picks its next post. The paper
+// leaves charger scheduling out of scope ("how to schedule the wireless
+// charger ... is not the focus of this paper"); these policies let the
+// simulator study that open question.
+type ChargerPolicy string
+
+const (
+	// PolicyUrgency (default) targets the post with the smallest
+	// projected time-to-empty among posts below the target fraction.
+	PolicyUrgency ChargerPolicy = "urgency"
+	// PolicyRoundRobin cycles through posts in index order, charging
+	// any post below the target fraction — simpler, but it lets busy
+	// posts starve when batteries are tight.
+	PolicyRoundRobin ChargerPolicy = "round-robin"
+	// PolicyTour plans a short travelling-salesman tour (nearest
+	// neighbour + 2-opt, package tour) over every post currently below
+	// the target fraction and follows it, replanning when the tour is
+	// exhausted. Minimises travel at the price of scheduling freshness.
+	PolicyTour ChargerPolicy = "tour"
+)
+
+// ChargerConfig describes the mobile wireless charger.
+type ChargerConfig struct {
+	// PowerPerRound is the charger's dissemination budget per round
+	// while parked at a post, in nJ.
+	PowerPerRound float64
+	// SpeedPerRound is travel distance per round in meters.
+	SpeedPerRound float64
+	// FillToFrac stops charging a post once all of its nodes are at
+	// this battery fraction (default 0.95).
+	FillToFrac float64
+	// TargetFrac marks a post as needing charge when its lowest node
+	// falls below this fraction (default 0.5).
+	TargetFrac float64
+	// StartAt is the charger's initial location (default: the BS).
+	StartAt *geom.Point
+	// Policy selects the target-picking strategy (default PolicyUrgency).
+	Policy ChargerPolicy
+}
+
+// Node is one sensor node's runtime state.
+type Node struct {
+	Energy float64
+	Alive  bool
+}
+
+// Post is the runtime state of one post: its nodes and rotation cursor.
+type Post struct {
+	Nodes []Node
+}
+
+// aliveMaxEnergy returns the index of the alive node with the most
+// energy, or -1 when none is alive. Rotation selects this node as the
+// round's active worker, which keeps residual energies nearly equal
+// across a post (the paper's stated rotation goal).
+func (p *Post) aliveMaxEnergy() int {
+	best, bestE := -1, -1.0
+	for i := range p.Nodes {
+		if p.Nodes[i].Alive && p.Nodes[i].Energy > bestE {
+			best, bestE = i, p.Nodes[i].Energy
+		}
+	}
+	return best
+}
+
+// AliveCount returns the number of alive nodes at the post.
+func (p *Post) AliveCount() int {
+	c := 0
+	for i := range p.Nodes {
+		if p.Nodes[i].Alive {
+			c++
+		}
+	}
+	return c
+}
+
+// MinEnergyFrac returns the lowest battery fraction among alive nodes
+// (1.0 when none is alive, so dead posts never attract the charger).
+func (p *Post) minEnergyFrac(capacity float64) float64 {
+	min := 1.0
+	for i := range p.Nodes {
+		if p.Nodes[i].Alive {
+			if f := p.Nodes[i].Energy / capacity; f < min {
+				min = f
+			}
+		}
+	}
+	return min
+}
+
+// Metrics accumulates simulation outcomes.
+type Metrics struct {
+	Rounds            int
+	ReportsDelivered  int64   // reports that reached the base station
+	ReportsLost       int64   // reports dropped at dead/exhausted posts
+	BitsDelivered     int64   // PacketBits * ReportsDelivered
+	NetworkEnergy     float64 // nJ consumed by sensor nodes
+	ChargerEnergy     float64 // nJ disseminated by the charger
+	ChargerWasted     float64 // nJ disseminated but not stored (full batteries)
+	ChargerDistance   float64 // meters travelled
+	ChargerVisits     int64   // charging sessions completed
+	NodeFailures      int64   // injected permanent failures
+	FirstLossRound    int     // first round with a lost report; -1 if none
+	StarvedPostRounds int64   // post-rounds spent with no usable node
+
+	// postCount (reports per full round) is stamped by the simulator so
+	// EmpiricalCostPerRound can normalise without a Problem reference.
+	postCount int
+	// energyStored tracks nJ actually banked into batteries by charging
+	// (dissemination x efficiency minus clipping); feeds AuditEnergy.
+	energyStored float64
+}
+
+// EmpiricalCostPerBitRound returns the charger energy disseminated per
+// fully-delivered reporting round, normalised per bit — the measured
+// counterpart of model.Evaluate. packetBits must match the run's
+// Config.PacketBits.
+func (m *Metrics) EmpiricalCostPerBitRound(packetBits int) float64 {
+	if m.ReportsDelivered == 0 || m.postCount == 0 {
+		return math.Inf(1)
+	}
+	roundsDelivered := float64(m.ReportsDelivered) / float64(m.postCount)
+	return m.ChargerEnergy / roundsDelivered / float64(packetBits)
+}
+
+// DeliveryRatio returns delivered / (delivered + lost) reports.
+func (m *Metrics) DeliveryRatio() float64 {
+	total := m.ReportsDelivered + m.ReportsLost
+	if total == 0 {
+		return 0
+	}
+	return float64(m.ReportsDelivered) / float64(total)
+}
+
+// Simulator executes a configured run.
+type Simulator struct {
+	cfg      Config
+	p        *model.Problem
+	posts    []Post
+	order    []int // posts in leaves-first topological order
+	perTx    []float64
+	perRx    []float64
+	drain    []float64 // expected nJ/round consumed at each post
+	rng      *rand.Rand
+	chargers []*chargerState
+	claimed  []bool // posts currently targeted by some charger
+	metrics  Metrics
+	tracer   Tracer
+}
+
+// SetTracer installs a per-round observer (nil disables tracing).
+func (s *Simulator) SetTracer(t Tracer) { s.tracer = t }
+
+// DefaultBatteryRounds sizes the default battery: capacity equals this
+// many rounds of the busiest post's per-node drain.
+const DefaultBatteryRounds = 2000
+
+// New validates cfg, applies defaults and returns a ready Simulator.
+func New(cfg Config) (*Simulator, error) {
+	if cfg.Problem == nil {
+		return nil, errors.New("sim: nil problem")
+	}
+	p := cfg.Problem
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Solution.Deploy.Validate(p); err != nil {
+		return nil, fmt.Errorf("sim: invalid deployment: %w", err)
+	}
+	if err := cfg.Solution.Tree.Validate(p); err != nil {
+		return nil, fmt.Errorf("sim: invalid tree: %w", err)
+	}
+	if cfg.PacketBits <= 0 {
+		cfg.PacketBits = 1000
+	}
+	if cfg.InitialChargeFrac <= 0 || cfg.InitialChargeFrac > 1 {
+		cfg.InitialChargeFrac = 1
+	}
+	if cfg.FailurePerRound < 0 || cfg.FailurePerRound > 1 {
+		return nil, fmt.Errorf("sim: failure rate %g outside [0, 1]", cfg.FailurePerRound)
+	}
+	if cfg.LinkLossProb < 0 || cfg.LinkLossProb >= 1 {
+		return nil, fmt.Errorf("sim: link loss probability %g outside [0, 1)", cfg.LinkLossProb)
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 8
+	}
+	if !p.UniformRates() {
+		return nil, errors.New("sim: heterogeneous report rates are not supported by the round-based simulator; use the analytic evaluator")
+	}
+
+	n := p.N()
+	tree := cfg.Solution.Tree
+	sizes := tree.SubtreeSizes(p)
+	perTx := make([]float64, n)
+	perRx := make([]float64, n)
+	drain := make([]float64, n)
+	bits := float64(cfg.PacketBits)
+	for i := 0; i < n; i++ {
+		perTx[i] = p.Energy.TxEnergyAtLevel(tree.Level[i]) * bits
+		perRx[i] = p.Energy.RxEnergy() * bits
+		// RoundOverhead is expressed per reported bit (the model's unit
+		// round), so a PacketBits-sized report scales it like the
+		// communication terms.
+		drain[i] = float64(sizes[i])*perTx[i] + float64(sizes[i]-1)*perRx[i] + p.Overhead(i)*bits
+	}
+	if cfg.BatteryCapacity <= 0 {
+		maxDrainPerNode := 0.0
+		for i := 0; i < n; i++ {
+			d := drain[i] / float64(cfg.Solution.Deploy[i])
+			if d > maxDrainPerNode {
+				maxDrainPerNode = d
+			}
+		}
+		cfg.BatteryCapacity = maxDrainPerNode * DefaultBatteryRounds
+	}
+
+	s := &Simulator{
+		cfg:   cfg,
+		p:     p,
+		perTx: perTx,
+		perRx: perRx,
+		drain: drain,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	s.metrics.FirstLossRound = -1
+
+	s.posts = make([]Post, n)
+	for i := range s.posts {
+		nodes := make([]Node, cfg.Solution.Deploy[i])
+		for j := range nodes {
+			nodes[j] = Node{Energy: cfg.BatteryCapacity * cfg.InitialChargeFrac, Alive: true}
+		}
+		s.posts[i] = Post{Nodes: nodes}
+	}
+
+	// Leaves-first topological order over the tree.
+	childCount := make([]int, n)
+	for i := 0; i < n; i++ {
+		if par := tree.Parent[i]; par < n {
+			childCount[par]++
+		}
+	}
+	s.order = make([]int, 0, n)
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if childCount[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		s.order = append(s.order, v)
+		if par := tree.Parent[v]; par < n {
+			if childCount[par]--; childCount[par] == 0 {
+				queue = append(queue, par)
+			}
+		}
+	}
+	if len(s.order) != n {
+		return nil, model.ErrCycle
+	}
+
+	if cfg.Charger != nil {
+		fleet := cfg.Chargers
+		if fleet < 1 {
+			fleet = 1
+		}
+		s.claimed = make([]bool, n)
+		for i := 0; i < fleet; i++ {
+			ch, err := newChargerState(cfg.Charger, p)
+			if err != nil {
+				return nil, err
+			}
+			s.chargers = append(s.chargers, ch)
+		}
+	} else if cfg.Chargers > 0 {
+		return nil, errors.New("sim: Chargers set but Charger config is nil")
+	}
+	return s, nil
+}
+
+// Run advances the simulation by `rounds` rounds and returns cumulative
+// metrics. It may be called repeatedly to continue the same run.
+func (s *Simulator) Run(rounds int) (*Metrics, error) {
+	if rounds < 0 {
+		return nil, fmt.Errorf("sim: negative round count %d", rounds)
+	}
+	for r := 0; r < rounds; r++ {
+		s.step()
+	}
+	s.metrics.postCount = s.p.N()
+	out := s.metrics
+	return &out, nil
+}
+
+// Metrics returns a snapshot of the cumulative metrics so far.
+func (s *Simulator) Metrics() Metrics {
+	m := s.metrics
+	m.postCount = s.p.N()
+	return m
+}
+
+// Posts exposes a read-only view of post states for tests and examples.
+func (s *Simulator) Posts() []Post { return s.posts }
+
+// step executes one reporting round followed by one charger round.
+func (s *Simulator) step() {
+	s.metrics.Rounds++
+	n := s.p.N()
+	tree := s.cfg.Solution.Tree
+
+	// delivered[i]: number of reports post i must forward this round that
+	// actually arrived (its own + surviving children traffic).
+	arrived := make([]int64, n)
+	failedPost := make([]bool, n)
+	for _, i := range s.order {
+		carry := arrived[i] + 1 // children's surviving reports + own
+		// Lossy links: every report needs a geometric number of
+		// transmission attempts (capped); exhausted retries lose it.
+		attempts, forwarded := carry, carry
+		if s.cfg.LinkLossProb > 0 {
+			attempts, forwarded = 0, 0
+			for r := int64(0); r < carry; r++ {
+				a, ok := s.transmissionAttempts()
+				attempts += a
+				if ok {
+					forwarded++
+				}
+			}
+		}
+		// Receive cost for forwarded reports, transmit cost for every
+		// attempt, plus the sensing/computation overhead.
+		rxCost := float64(arrived[i]) * s.perRx[i]
+		txCost := float64(attempts) * s.perTx[i]
+		need := rxCost + txCost + s.p.Overhead(i)*float64(s.cfg.PacketBits)
+		idx := s.posts[i].aliveMaxEnergy()
+		if idx < 0 || s.posts[i].Nodes[idx].Energy < need {
+			// Post cannot operate: all reports through it are lost.
+			failedPost[i] = true
+			s.metrics.StarvedPostRounds++
+			s.metrics.ReportsLost += carry
+			if s.metrics.FirstLossRound < 0 {
+				s.metrics.FirstLossRound = s.metrics.Rounds
+			}
+			continue
+		}
+		node := &s.posts[i].Nodes[idx]
+		node.Energy -= need
+		s.metrics.NetworkEnergy += need
+		if dropped := carry - forwarded; dropped > 0 {
+			s.metrics.ReportsLost += dropped
+			if s.metrics.FirstLossRound < 0 {
+				s.metrics.FirstLossRound = s.metrics.Rounds
+			}
+		}
+		if par := tree.Parent[i]; par < n {
+			arrived[par] += forwarded
+		} else {
+			s.metrics.ReportsDelivered += forwarded
+			s.metrics.BitsDelivered += forwarded * int64(s.cfg.PacketBits)
+		}
+	}
+
+	// Failure injection: at most one permanent node failure per round.
+	if s.cfg.FailurePerRound > 0 && s.rng.Float64() < s.cfg.FailurePerRound {
+		s.injectFailure()
+	}
+
+	// Charger movement/charging.
+	for _, ch := range s.chargers {
+		ch.step(s)
+	}
+
+	if s.tracer != nil {
+		s.tracer.Observe(s.metrics.Rounds, s)
+	}
+}
+
+// transmissionAttempts draws the attempt count for one report on one
+// lossy hop: geometric with success probability 1-LinkLossProb, capped at
+// MaxRetries. ok reports whether the hop ultimately succeeded.
+func (s *Simulator) transmissionAttempts() (attempts int64, ok bool) {
+	for a := int64(1); a <= int64(s.cfg.MaxRetries); a++ {
+		if s.rng.Float64() >= s.cfg.LinkLossProb {
+			return a, true
+		}
+	}
+	return int64(s.cfg.MaxRetries), false
+}
+
+// injectFailure kills one uniformly random alive node, if any.
+func (s *Simulator) injectFailure() {
+	total := 0
+	for i := range s.posts {
+		total += s.posts[i].AliveCount()
+	}
+	if total == 0 {
+		return
+	}
+	pick := s.rng.Intn(total)
+	for i := range s.posts {
+		for j := range s.posts[i].Nodes {
+			if !s.posts[i].Nodes[j].Alive {
+				continue
+			}
+			if pick == 0 {
+				s.posts[i].Nodes[j].Alive = false
+				s.metrics.NodeFailures++
+				return
+			}
+			pick--
+		}
+	}
+}
+
+// AnalyticCostPerBitRound returns the model-predicted charger energy per
+// bit per reporting round for this configuration (model.Evaluate).
+func (s *Simulator) AnalyticCostPerBitRound() (float64, error) {
+	return model.Evaluate(s.p, s.cfg.Solution.Deploy, s.cfg.Solution.Tree)
+}
+
+// EnergyAudit is the simulator's conservation ledger (all values nJ).
+type EnergyAudit struct {
+	InitialStored float64 // battery charge at t=0
+	Received      float64 // energy stored into batteries by charging
+	Consumed      float64 // energy drained by network operation
+	Residual      float64 // battery charge now (alive and dead nodes)
+}
+
+// Imbalance returns Initial + Received - Consumed - Residual, which must
+// be ~0: batteries neither create nor destroy energy. (Charger-side
+// dissemination exceeding Received is propagation loss plus clipping,
+// accounted separately in Metrics.ChargerEnergy/ChargerWasted.)
+func (a EnergyAudit) Imbalance() float64 {
+	return a.InitialStored + a.Received - a.Consumed - a.Residual
+}
+
+// AuditEnergy computes the conservation ledger for the run so far.
+func (s *Simulator) AuditEnergy() EnergyAudit {
+	var residual float64
+	for i := range s.posts {
+		for j := range s.posts[i].Nodes {
+			residual += s.posts[i].Nodes[j].Energy
+		}
+	}
+	return EnergyAudit{
+		InitialStored: s.cfg.BatteryCapacity * s.cfg.InitialChargeFrac * float64(s.p.Nodes),
+		Received:      s.metrics.energyStored,
+		Consumed:      s.metrics.NetworkEnergy,
+		Residual:      residual,
+	}
+}

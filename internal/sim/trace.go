@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Tracer receives per-round simulation snapshots. Implementations must be
+// cheap: the simulator calls Observe once per round.
+type Tracer interface {
+	// Observe is called after each completed round with a read-only view
+	// of the simulator.
+	Observe(round int, s *Simulator)
+}
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc func(round int, s *Simulator)
+
+// Observe implements Tracer.
+func (f TracerFunc) Observe(round int, s *Simulator) { f(round, s) }
+
+// CSVTracer streams one CSV row per sample round: cumulative metrics plus
+// the minimum battery fraction across the network — the curve that shows
+// whether the charging schedule keeps up. Rows are buffered; call Flush
+// (or use defer) before reading the output.
+type CSVTracer struct {
+	w      *bufio.Writer
+	every  int
+	wroteH bool
+	err    error
+}
+
+// NewCSVTracer samples every `every` rounds (minimum 1) and writes CSV to w.
+func NewCSVTracer(w io.Writer, every int) *CSVTracer {
+	if every < 1 {
+		every = 1
+	}
+	return &CSVTracer{w: bufio.NewWriter(w), every: every}
+}
+
+// Observe implements Tracer.
+func (c *CSVTracer) Observe(round int, s *Simulator) {
+	if c.err != nil || round%c.every != 0 {
+		return
+	}
+	if !c.wroteH {
+		c.wroteH = true
+		if _, err := c.w.WriteString("round,delivered,lost,network_energy_nj,charger_energy_nj,charger_distance_m,min_battery_frac,alive_nodes\n"); err != nil {
+			c.err = err
+			return
+		}
+	}
+	m := s.Metrics()
+	minFrac := 1.0
+	alive := 0
+	for i := range s.posts {
+		alive += s.posts[i].AliveCount()
+		if f := s.posts[i].minEnergyFrac(s.cfg.BatteryCapacity); f < minFrac {
+			minFrac = f
+		}
+	}
+	_, c.err = fmt.Fprintf(c.w, "%d,%d,%d,%.1f,%.1f,%.1f,%.4f,%d\n",
+		round, m.ReportsDelivered, m.ReportsLost, m.NetworkEnergy, m.ChargerEnergy, m.ChargerDistance, minFrac, alive)
+}
+
+// Flush drains buffered rows and reports any write error encountered.
+func (c *CSVTracer) Flush() error {
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	return c.err
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVTracer(t *testing.T) {
+	p, sol := testNetwork(t, 14, 200, 10, 30)
+	s, err := New(Config{
+		Problem:  p,
+		Solution: sol,
+		Charger:  &ChargerConfig{PowerPerRound: 1e8, SpeedPerRound: 50},
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tracer := NewCSVTracer(&buf, 10)
+	s.SetTracer(tracer)
+	if _, err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if !strings.HasPrefix(lines[0], "round,delivered,lost,") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+	// 100 rounds sampled every 10 -> 10 data rows.
+	if len(lines) != 11 {
+		t.Fatalf("got %d lines, want 11 (header + 10 samples):\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[1], "10,") || !strings.HasPrefix(lines[10], "100,") {
+		t.Errorf("sampling off: first=%q last=%q", lines[1], lines[10])
+	}
+	// Every data row has 8 comma-separated fields.
+	for _, line := range lines[1:] {
+		if got := strings.Count(line, ","); got != 7 {
+			t.Errorf("row %q has %d commas, want 7", line, got)
+		}
+	}
+}
+
+func TestTracerFuncObservesEveryRound(t *testing.T) {
+	p, sol := testNetwork(t, 15, 200, 8, 24)
+	s, err := New(Config{Problem: p, Solution: sol, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rounds []int
+	s.SetTracer(TracerFunc(func(round int, _ *Simulator) {
+		rounds = append(rounds, round)
+	}))
+	if _, err := s.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 5 || rounds[0] != 1 || rounds[4] != 5 {
+		t.Errorf("observed rounds %v, want [1 2 3 4 5]", rounds)
+	}
+	s.SetTracer(nil) // disabling must not panic
+	if _, err := s.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 5 {
+		t.Errorf("tracer still firing after removal: %v", rounds)
+	}
+}

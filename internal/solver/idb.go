@@ -1,0 +1,96 @@
+package solver
+
+import (
+	"fmt"
+
+	"wrsn/internal/deploy"
+	"wrsn/internal/model"
+)
+
+// IDB runs the Incremental Deployment-Based heuristic (Section V-B).
+//
+// Every post starts with one node. The remaining M-N nodes are placed in
+// rounds of delta nodes each (a final short round handles any remainder):
+// each round enumerates all C(N+delta-1, N-1) ways to spread its delta
+// nodes over the posts, evaluates each candidate's minimum-cost routing —
+// one Dijkstra under recharging-cost weights, since for a fixed
+// deployment the optimal routing is a shortest-path tree — and commits
+// the cheapest. Smaller delta is cheaper per round but greedier; the
+// paper's comparisons use delta = 1.
+func IDB(p *model.Problem, delta int) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if delta < 1 {
+		return nil, fmt.Errorf("solver: IDB delta must be >= 1, got %d", delta)
+	}
+	n := p.N()
+	ev, err := model.NewCostEvaluator(p)
+	if err != nil {
+		return nil, err
+	}
+
+	cur := model.Ones(n)
+	var evaluations int64
+	bestExtra := make([]int, n)
+	for remaining := p.Nodes - n; remaining > 0; {
+		step := delta
+		if step > remaining {
+			step = remaining
+		}
+		bestCost := -1.0
+		found := false
+		var evalFailure error
+		loopErr := deploy.ForEachComposition(n, step, func(extra []int) bool {
+			for i, e := range extra {
+				cur[i] += e
+			}
+			cost, evalErr := ev.MinCost(cur)
+			for i, e := range extra {
+				cur[i] -= e
+			}
+			evaluations++
+			if evalErr != nil {
+				evalFailure = evalErr // impossible once p validated; keep the loop honest
+				return false
+			}
+			// Order by (cost, lexicographic placement) — the same
+			// comparator the parallel variant merges with, so both
+			// produce identical deployments.
+			if !found || less(cost, extra, bestCost, bestExtra) {
+				found = true
+				bestCost = cost
+				copy(bestExtra, extra)
+			}
+			return true
+		})
+		if loopErr != nil {
+			return nil, loopErr
+		}
+		if evalFailure != nil {
+			return nil, evalFailure
+		}
+		if !found {
+			return nil, fmt.Errorf("solver: IDB round evaluated no candidates (delta=%d)", step)
+		}
+		for i, e := range bestExtra {
+			cur[i] += e
+		}
+		remaining -= step
+	}
+
+	parents, _, err := ev.BestParents(cur)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := model.NewTreeFromParents(p, parents)
+	if err != nil {
+		return nil, err
+	}
+	res, err := finalize(p, cur, tree)
+	if err != nil {
+		return nil, err
+	}
+	res.Evaluations = evaluations
+	return res, nil
+}

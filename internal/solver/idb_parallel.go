@@ -1,0 +1,164 @@
+package solver
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"wrsn/internal/deploy"
+	"wrsn/internal/model"
+)
+
+// IDBOptions configures IDBWithOptions.
+type IDBOptions struct {
+	// Delta is the per-round node increment (>= 1; the paper uses 1).
+	Delta int
+	// Workers is the number of goroutines evaluating candidate
+	// placements concurrently; 0 means GOMAXPROCS, 1 runs sequentially.
+	// Each worker carries its own CostEvaluator, so memory scales with
+	// workers while results remain bit-identical to the sequential run
+	// (the winning candidate is the cost-minimal one, ties broken by
+	// lexicographically smallest placement — the same candidate the
+	// sequential enumeration finds first).
+	Workers int
+}
+
+// IDBWithOptions runs the Incremental Deployment-Based heuristic with a
+// configurable parallel evaluation pool. IDB's inner loop — one Dijkstra
+// per candidate placement per round — is embarrassingly parallel, and at
+// the paper's large scales (Figs. 8-10) it dominates total runtime.
+func IDBWithOptions(p *model.Problem, opts IDBOptions) (*Result, error) {
+	if opts.Delta < 1 {
+		return nil, fmt.Errorf("solver: IDB delta must be >= 1, got %d", opts.Delta)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return IDB(p, opts.Delta)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+
+	n := p.N()
+	evaluators := make([]*model.CostEvaluator, workers)
+	for i := range evaluators {
+		ev, err := model.NewCostEvaluator(p)
+		if err != nil {
+			return nil, err
+		}
+		evaluators[i] = ev
+	}
+
+	cur := model.Ones(n)
+	var evaluations int64
+	for remaining := p.Nodes - n; remaining > 0; {
+		step := opts.Delta
+		if step > remaining {
+			step = remaining
+		}
+
+		candidates := make(chan []int, workers*4)
+		type roundBest struct {
+			cost  float64
+			extra []int
+			found bool
+			err   error
+			count int64
+		}
+		results := make([]roundBest, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ev := evaluators[w]
+				local := cur.Clone()
+				best := &results[w]
+				for extra := range candidates {
+					for i, e := range extra {
+						local[i] += e
+					}
+					cost, err := ev.MinCost(local)
+					for i, e := range extra {
+						local[i] -= e
+					}
+					best.count++
+					if err != nil {
+						best.err = err
+						continue
+					}
+					if !best.found || less(cost, extra, best.cost, best.extra) {
+						best.found = true
+						best.cost = cost
+						best.extra = append(best.extra[:0], extra...)
+					}
+				}
+			}(w)
+		}
+		loopErr := deploy.ForEachComposition(n, step, func(extra []int) bool {
+			candidates <- append([]int(nil), extra...)
+			return true
+		})
+		close(candidates)
+		wg.Wait()
+		if loopErr != nil {
+			return nil, loopErr
+		}
+
+		merged := roundBest{}
+		for w := range results {
+			r := &results[w]
+			evaluations += r.count
+			if r.err != nil {
+				return nil, r.err
+			}
+			if r.found && (!merged.found || less(r.cost, r.extra, merged.cost, merged.extra)) {
+				merged = *r
+			}
+		}
+		if !merged.found {
+			return nil, fmt.Errorf("solver: IDB round evaluated no candidates (delta=%d)", step)
+		}
+		for i, e := range merged.extra {
+			cur[i] += e
+		}
+		remaining -= step
+	}
+
+	parents, _, err := evaluators[0].BestParents(cur)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := model.NewTreeFromParents(p, parents)
+	if err != nil {
+		return nil, err
+	}
+	res, err := finalize(p, cur, tree)
+	if err != nil {
+		return nil, err
+	}
+	res.Evaluations = evaluations
+	return res, nil
+}
+
+// less orders candidates by (cost, lexicographic placement): exactly the
+// candidate the sequential enumeration commits to, making the parallel
+// run deterministic regardless of goroutine scheduling. Cost comparisons
+// use costSlack so floating-point noise cannot flip the placement order.
+func less(costA float64, extraA []int, costB float64, extraB []int) bool {
+	if costA < costB-costSlack {
+		return true
+	}
+	if costA > costB+costSlack {
+		return false
+	}
+	for i := range extraA {
+		if extraA[i] != extraB[i] {
+			return extraA[i] < extraB[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,105 @@
+package solver
+
+import (
+	"fmt"
+
+	"wrsn/internal/model"
+)
+
+// LocalSearchOptions configures LocalSearch.
+type LocalSearchOptions struct {
+	// Start seeds the search; nil runs IterativeRFH first. Any valid
+	// Result works — seeding with IDB's output polishes the best
+	// heuristic, seeding with RFH's buys most of IDB's quality at a
+	// fraction of its cost.
+	Start *Result
+	// MaxPasses bounds full sweeps over all node-move pairs; 0 means
+	// run until a local optimum (every sweep must improve to continue,
+	// so termination is guaranteed — the cost strictly decreases and
+	// the deployment space is finite).
+	MaxPasses int
+}
+
+// LocalSearch is a deployment hill-climber, an extension beyond the
+// paper's two heuristics: starting from a seed solution it repeatedly
+// moves one node from its post to another when that strictly lowers the
+// minimum recharging cost (evaluated exactly — one Dijkstra per probe,
+// like IDB), until no single-node move improves. The result is therefore
+// 1-move-optimal: a deployment where IDB-style greedy additions and
+// removals have no regrets left.
+func LocalSearch(p *model.Problem, opts LocalSearchOptions) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	start := opts.Start
+	if start == nil {
+		s, err := IterativeRFH(p)
+		if err != nil {
+			return nil, fmt.Errorf("solver: local search could not build a seed: %w", err)
+		}
+		start = s
+	}
+	if err := start.Deploy.Validate(p); err != nil {
+		return nil, fmt.Errorf("solver: invalid local-search seed: %w", err)
+	}
+	ev, err := model.NewCostEvaluator(p)
+	if err != nil {
+		return nil, err
+	}
+
+	n := p.N()
+	cur := start.Deploy.Clone()
+	curCost, err := ev.MinCost(cur)
+	if err != nil {
+		return nil, err
+	}
+	var evaluations int64
+	for pass := 0; opts.MaxPasses == 0 || pass < opts.MaxPasses; pass++ {
+		improved := false
+		for from := 0; from < n; from++ {
+			if cur[from] <= 1 {
+				continue // every post keeps at least one node
+			}
+			for to := 0; to < n; to++ {
+				if to == from {
+					continue
+				}
+				cur[from]--
+				cur[to]++
+				cost, evalErr := ev.MinCost(cur)
+				evaluations++
+				if evalErr != nil {
+					return nil, evalErr
+				}
+				if cost < curCost-costSlack {
+					curCost = cost
+					improved = true
+					break // first improvement: re-scan from the new state
+				}
+				cur[from]++
+				cur[to]--
+			}
+			if improved {
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+
+	parents, _, err := ev.BestParents(cur)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := model.NewTreeFromParents(p, parents)
+	if err != nil {
+		return nil, err
+	}
+	res, err := finalize(p, cur, tree)
+	if err != nil {
+		return nil, err
+	}
+	res.Evaluations = evaluations
+	return res, nil
+}

@@ -1,0 +1,226 @@
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"wrsn/internal/deploy"
+	"wrsn/internal/model"
+)
+
+// OptimalOptions configures the exact branch-and-bound solver.
+type OptimalOptions struct {
+	// MaxEvaluations aborts the search after this many deployment
+	// evaluations (bound probes + leaves); 0 means unlimited. When the
+	// search aborts, ErrSearchBudget is returned.
+	MaxEvaluations int64
+	// Incumbent optionally seeds the search with a known-feasible
+	// solution (e.g. from IDB); nil lets Optimal run IDB(1) itself.
+	Incumbent *Result
+}
+
+// ErrSearchBudget is returned when Optimal exceeds MaxEvaluations.
+var ErrSearchBudget = errors.New("solver: optimal search exceeded its evaluation budget")
+
+// costSlack absorbs floating-point noise when comparing candidate costs
+// during the exact search, so bound-vs-incumbent pruning is never unsound
+// by a rounding error. Costs are O(1e2..1e4) nJ with O(1e-13) relative
+// noise; 1e-9 is orders of magnitude above both.
+const costSlack = 1e-9
+
+// Optimal computes the exact minimum total recharging cost by
+// branch-and-bound over deployments. It relies on two structural facts:
+//
+//  1. For a fixed deployment the optimal routing is a shortest-path tree
+//     under recharging-cost weights, so evaluating a deployment is one
+//     Dijkstra run (model.CostEvaluator).
+//  2. The cost is monotone non-increasing in every m_i, so giving every
+//     undecided post the largest node count it could still receive yields
+//     an admissible lower bound for the whole subtree of completions.
+//
+// Posts are branched in decreasing order of routing workload under the
+// incumbent's tree, with larger node counts tried first — the shape the
+// optimum overwhelmingly takes — so the incumbent prunes aggressively.
+// Practical for the paper's small-scale comparison (Fig. 7: N<=12,
+// M<=36); use IDB or RFH beyond that.
+func Optimal(p *model.Problem, opts OptimalOptions) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.N()
+	ev, err := model.NewCostEvaluator(p)
+	if err != nil {
+		return nil, err
+	}
+
+	incumbent := opts.Incumbent
+	if incumbent == nil {
+		incumbent, err = IDB(p, 1)
+		if err != nil {
+			return nil, fmt.Errorf("solver: optimal could not seed incumbent: %w", err)
+		}
+	}
+	bestCost := incumbent.Cost
+	bestDeploy := incumbent.Deploy.Clone()
+
+	// Branch order: decreasing workload in the incumbent's tree.
+	sizes := incumbent.Tree.SubtreeSizes(p)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if sizes[order[a]] != sizes[order[b]] {
+			return sizes[order[a]] > sizes[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	var (
+		evaluations int64
+		budgetErr   error
+		counts      = make([]int, n) // counts in *post* index space
+		boundBuf    = make([]int, n)
+	)
+	evaluate := func(m []int) (float64, error) {
+		evaluations++
+		if opts.MaxEvaluations > 0 && evaluations > opts.MaxEvaluations {
+			return 0, ErrSearchBudget
+		}
+		return ev.MinCost(m)
+	}
+
+	// dfs assigns order[depth..]; budget nodes remain for them.
+	var dfs func(depth, budget int) error
+	dfs = func(depth, budget int) error {
+		remaining := n - depth
+		if remaining == 0 {
+			cost, err := evaluate(counts)
+			if err != nil {
+				return err
+			}
+			if cost < bestCost-costSlack {
+				bestCost = cost
+				copy(bestDeploy, counts)
+			}
+			return nil
+		}
+		if depth > 0 {
+			// Admissible bound: every undecided post gets the most it
+			// could still receive (others at their minimum of 1).
+			maxEach := budget - (remaining - 1)
+			copy(boundBuf, counts)
+			for _, i := range order[depth:] {
+				boundBuf[i] = maxEach
+			}
+			lb, err := evaluate(boundBuf)
+			if err != nil {
+				return err
+			}
+			if lb >= bestCost-costSlack {
+				return nil
+			}
+		}
+		post := order[depth]
+		if remaining == 1 {
+			counts[post] = budget
+			err := dfs(depth+1, 0)
+			counts[post] = 0
+			return err
+		}
+		// Larger counts first: the optimum concentrates nodes on
+		// high-workload posts, which this order reaches early.
+		for m := budget - (remaining - 1); m >= 1; m-- {
+			counts[post] = m
+			if err := dfs(depth+1, budget-m); err != nil {
+				counts[post] = 0
+				return err
+			}
+		}
+		counts[post] = 0
+		return nil
+	}
+	if err := dfs(0, p.Nodes); err != nil {
+		if errors.Is(err, ErrSearchBudget) {
+			budgetErr = err
+		} else {
+			return nil, err
+		}
+	}
+	if budgetErr != nil {
+		return nil, budgetErr
+	}
+
+	parents, _, err := ev.BestParents(bestDeploy)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := model.NewTreeFromParents(p, parents)
+	if err != nil {
+		return nil, err
+	}
+	res, err := finalize(p, bestDeploy, tree)
+	if err != nil {
+		return nil, err
+	}
+	res.Evaluations = evaluations
+	return res, nil
+}
+
+// NaiveExact exhaustively enumerates every deployment of M nodes over N
+// posts (the paper's C(M-1, N-1) search) and returns the global optimum.
+// It exists as a correctness oracle for Optimal on tiny instances; its
+// cost explodes combinatorially.
+func NaiveExact(p *model.Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.N()
+	ev, err := model.NewCostEvaluator(p)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		bestCost    = -1.0
+		bestDeploy  model.Deployment
+		evaluations int64
+		evalFailure error
+	)
+	loopErr := deploy.ForEachDeployment(n, p.Nodes, func(m []int) bool {
+		cost, err := ev.MinCost(m)
+		evaluations++
+		if err != nil {
+			evalFailure = err
+			return false
+		}
+		if bestDeploy == nil || cost < bestCost {
+			bestCost = cost
+			bestDeploy = append(bestDeploy[:0], m...)
+		}
+		return true
+	})
+	if loopErr != nil {
+		return nil, loopErr
+	}
+	if evalFailure != nil {
+		return nil, evalFailure
+	}
+	if bestDeploy == nil {
+		return nil, errors.New("solver: exhaustive search found no deployment")
+	}
+	parents, _, err := ev.BestParents(bestDeploy)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := model.NewTreeFromParents(p, parents)
+	if err != nil {
+		return nil, err
+	}
+	res, err := finalize(p, bestDeploy, tree)
+	if err != nil {
+		return nil, err
+	}
+	res.Evaluations = evaluations
+	return res, nil
+}

@@ -1,0 +1,42 @@
+// Package solver implements the paper's algorithms for the joint
+// deployment-and-routing problem:
+//
+//   - RFH, the Routing-First Heuristic (Section V-A), in its basic
+//     (single-pass) and iterative forms.
+//   - IDB, the Incremental Deployment-Based heuristic (Section V-B).
+//   - Optimal, a branch-and-bound exact solver for small instances, and
+//     NaiveExact, the paper's C(M-1, N-1) exhaustive search, kept as a
+//     test oracle.
+//
+// All solvers return a Result whose Solution carries a validated
+// deployment, routing tree and evaluated total recharging cost.
+package solver
+
+import (
+	"fmt"
+
+	"wrsn/internal/model"
+)
+
+// Result is the outcome of one solver run.
+type Result struct {
+	model.Solution
+	// IterationCosts records the total recharging cost after each
+	// iteration for iterative solvers (iterative RFH: one entry per
+	// iteration; Fig. 6 plots exactly this series). Single-pass solvers
+	// leave it nil.
+	IterationCosts []float64
+	// Evaluations counts candidate deployments whose minimum-cost tree
+	// was evaluated (IDB, Optimal, NaiveExact); 0 for RFH.
+	Evaluations int64
+}
+
+// finalize validates sol against p, stamps its cost, and wraps it in a
+// Result.
+func finalize(p *model.Problem, deploy model.Deployment, tree model.Tree) (*Result, error) {
+	cost, err := model.Evaluate(p, deploy, tree)
+	if err != nil {
+		return nil, fmt.Errorf("solver: produced invalid solution: %w", err)
+	}
+	return &Result{Solution: model.Solution{Deploy: deploy, Tree: tree, Cost: cost}}, nil
+}

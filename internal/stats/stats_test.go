@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Errorf("summary = %+v", s)
+	}
+	// Sample stddev of this classic set is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(s.StdDev-want) > 1e-12 {
+		t.Errorf("stddev = %v, want %v", s.StdDev, want)
+	}
+	if s.Median != 4.5 {
+		t.Errorf("median = %v, want 4.5", s.Median)
+	}
+	odd, err := Summarize([]float64{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if odd.Median != 2 {
+		t.Errorf("odd median = %v, want 2", odd.Median)
+	}
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty error = %v", err)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.StdDev != 0 || s.Mean != 42 || s.Median != 42 {
+		t.Errorf("single-value summary = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Summarize(xs); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestMeanStdDevCI(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	m, err := Mean(xs)
+	if err != nil || m != 2.5 {
+		t.Errorf("Mean = %v, %v", m, err)
+	}
+	sd, err := StdDev(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Sqrt(5.0 / 3.0); math.Abs(sd-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", sd, want)
+	}
+	ci, err := CI95HalfWidth(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1.96 * sd / 2; math.Abs(ci-want) > 1e-12 {
+		t.Errorf("CI = %v, want %v", ci, want)
+	}
+	if ci1, err := CI95HalfWidth([]float64{5}); err != nil || ci1 != 0 {
+		t.Errorf("single-sample CI = %v, %v", ci1, err)
+	}
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("Mean(nil) should be ErrEmpty")
+	}
+}
+
+func TestMeanSeries(t *testing.T) {
+	out, err := MeanSeries([][]float64{{1, 2, 3}, {3, 4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, 4}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("MeanSeries = %v, want %v", out, want)
+		}
+	}
+	if _, err := MeanSeries(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("empty series list accepted")
+	}
+	if _, err := MeanSeries([][]float64{{1}, {1, 2}}); err == nil {
+		t.Error("ragged series accepted")
+	}
+}
+
+func TestRelDiff(t *testing.T) {
+	if got := RelDiff(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelDiff = %v", got)
+	}
+	if got := RelDiff(0, 0); got != 0 {
+		t.Errorf("RelDiff(0,0) = %v", got)
+	}
+	if got := RelDiff(1, 0); !math.IsInf(got, 1) {
+		t.Errorf("RelDiff(1,0) = %v", got)
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(1.0, 1.0+1e-12, 1e-9, 0) {
+		t.Error("tiny absolute difference rejected")
+	}
+	if !ApproxEqual(1e9, 1e9*(1+1e-10), 0, 1e-9) {
+		t.Error("tiny relative difference rejected")
+	}
+	if ApproxEqual(1, 2, 0.5, 0.1) {
+		t.Error("large difference accepted")
+	}
+}

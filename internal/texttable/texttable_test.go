@@ -1,0 +1,69 @@
+package texttable
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringAlignment(t *testing.T) {
+	tbl := New("Title", "name", "value")
+	tbl.AddRow("alpha", 1)
+	tbl.AddRow("b", 123.456789)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Errorf("first line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("separator line = %q", lines[2])
+	}
+	if !strings.Contains(out, "123.4568") {
+		t.Errorf("float not formatted to 4 decimals: %q", out)
+	}
+	// All data lines equal width-ish: columns aligned means "value"
+	// column starts at the same offset.
+	nameCol := strings.Index(lines[1], "value")
+	if idx := strings.Index(lines[3], "1"); idx < nameCol {
+		t.Errorf("misaligned columns:\n%s", out)
+	}
+	if tbl.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tbl.NumRows())
+	}
+}
+
+func TestNoTitle(t *testing.T) {
+	tbl := New("", "a")
+	tbl.AddRow(1)
+	if strings.HasPrefix(tbl.String(), "\n") {
+		t.Error("empty title produced a leading blank line")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tbl := New("ignored", "a", "b")
+	tbl.AddRow("plain", 1)
+	tbl.AddRow(`with "quotes", and comma`, 2.5)
+	csv := tbl.CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if lines[0] != "a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "plain,1" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if lines[2] != `"with ""quotes"", and comma",2.5000` {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}
+
+func TestRowsWiderThanHeader(t *testing.T) {
+	tbl := New("t", "only")
+	tbl.AddRow("a", "extra", "cells")
+	out := tbl.String()
+	if !strings.Contains(out, "extra") || !strings.Contains(out, "cells") {
+		t.Errorf("extra cells dropped: %q", out)
+	}
+}

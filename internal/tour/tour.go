@@ -1,0 +1,151 @@
+// Package tour plans mobile-charger itineraries: given the posts that
+// currently need charging, it builds a short closed or open tour visiting
+// all of them (nearest-neighbour construction + 2-opt improvement — the
+// classic TSP heuristics, which are more than adequate for the tens of
+// stops a charging round involves).
+//
+// The paper anticipates "robots, vehicles or even human operators
+// carrying wireless chargers" but leaves scheduling out of scope; this
+// package is the substrate behind the simulator's tour-based charging
+// policy.
+package tour
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"wrsn/internal/geom"
+)
+
+// Plan is an ordered visiting sequence over a set of stops.
+type Plan struct {
+	// Order holds indices into the stop slice passed to the planner, in
+	// visiting order.
+	Order []int
+	// Length is the travel distance of the tour starting at the
+	// planner's start point and visiting the stops in order (not
+	// returning to start).
+	Length float64
+}
+
+// maxTwoOptRounds bounds the improvement loop; 2-opt converges long
+// before this on realistic stop counts.
+const maxTwoOptRounds = 64
+
+// PlanTour builds an open tour from start through every stop: greedy
+// nearest-neighbour order refined by 2-opt until no crossing pair of legs
+// remains. It is deterministic: ties resolve to the lowest stop index.
+func PlanTour(start geom.Point, stops []geom.Point) (*Plan, error) {
+	if len(stops) == 0 {
+		return nil, errors.New("tour: no stops to plan")
+	}
+	for i, s := range stops {
+		if math.IsNaN(s.X) || math.IsNaN(s.Y) {
+			return nil, fmt.Errorf("tour: stop %d has NaN coordinates", i)
+		}
+	}
+
+	order := nearestNeighbour(start, stops)
+	order = twoOpt(start, stops, order)
+	return &Plan{Order: order, Length: tourLength(start, stops, order)}, nil
+}
+
+// nearestNeighbour repeatedly visits the closest unvisited stop.
+func nearestNeighbour(start geom.Point, stops []geom.Point) []int {
+	n := len(stops)
+	visited := make([]bool, n)
+	order := make([]int, 0, n)
+	cur := start
+	for len(order) < n {
+		best, bestD2 := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if visited[i] {
+				continue
+			}
+			if d2 := geom.Dist2(cur, stops[i]); d2 < bestD2 {
+				best, bestD2 = i, d2
+			}
+		}
+		visited[best] = true
+		order = append(order, best)
+		cur = stops[best]
+	}
+	return order
+}
+
+// twoOpt repeatedly reverses tour segments while that shortens the tour.
+// For an open tour from a fixed start, reversing order[i..j] changes only
+// the legs entering position i and leaving position j.
+func twoOpt(start geom.Point, stops []geom.Point, order []int) []int {
+	n := len(order)
+	if n < 3 {
+		return order
+	}
+	pos := func(i int) geom.Point {
+		if i < 0 {
+			return start
+		}
+		return stops[order[i]]
+	}
+	for round := 0; round < maxTwoOptRounds; round++ {
+		improved := false
+		for i := 0; i < n-1; i++ {
+			for j := i + 1; j < n; j++ {
+				// Current legs: (i-1 -> i) and (j -> j+1).
+				// After reversal: (i-1 -> j) and (i -> j+1).
+				before := geom.Dist(pos(i-1), pos(i))
+				after := geom.Dist(pos(i-1), pos(j))
+				if j+1 < n {
+					before += geom.Dist(pos(j), pos(j+1))
+					after += geom.Dist(pos(i), pos(j+1))
+				}
+				if after < before-1e-9 {
+					reverse(order[i : j+1])
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return order
+}
+
+func reverse(s []int) {
+	for a, b := 0, len(s)-1; a < b; a, b = a+1, b-1 {
+		s[a], s[b] = s[b], s[a]
+	}
+}
+
+// tourLength sums the legs of the open tour.
+func tourLength(start geom.Point, stops []geom.Point, order []int) float64 {
+	total := 0.0
+	cur := start
+	for _, idx := range order {
+		total += geom.Dist(cur, stops[idx])
+		cur = stops[idx]
+	}
+	return total
+}
+
+// Length recomputes a plan's length over the given stops (e.g. after the
+// caller filtered or perturbed positions). It validates the order is a
+// permutation of the stops.
+func (p *Plan) Validate(nStops int) error {
+	if len(p.Order) != nStops {
+		return fmt.Errorf("tour: plan visits %d of %d stops", len(p.Order), nStops)
+	}
+	seen := make([]bool, nStops)
+	for _, idx := range p.Order {
+		if idx < 0 || idx >= nStops {
+			return fmt.Errorf("tour: stop index %d out of range", idx)
+		}
+		if seen[idx] {
+			return fmt.Errorf("tour: stop %d visited twice", idx)
+		}
+		seen[idx] = true
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package tour
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wrsn/internal/geom"
+)
+
+func TestPlanTourSingleStop(t *testing.T) {
+	plan, err := PlanTour(geom.Point{}, []geom.Point{{X: 3, Y: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Order) != 1 || plan.Order[0] != 0 {
+		t.Fatalf("order = %v", plan.Order)
+	}
+	if math.Abs(plan.Length-5) > 1e-12 {
+		t.Errorf("length = %v, want 5", plan.Length)
+	}
+}
+
+func TestPlanTourErrors(t *testing.T) {
+	if _, err := PlanTour(geom.Point{}, nil); err == nil {
+		t.Error("empty stop list accepted")
+	}
+	if _, err := PlanTour(geom.Point{}, []geom.Point{{X: math.NaN()}}); err == nil {
+		t.Error("NaN stop accepted")
+	}
+}
+
+// TestPlanTourLineOptimal: stops on a line from the start must be visited
+// in order — any other order is strictly longer.
+func TestPlanTourLineOptimal(t *testing.T) {
+	stops := []geom.Point{{X: 30}, {X: 10}, {X: 20}, {X: 40}}
+	plan, err := PlanTour(geom.Point{}, stops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 0, 3}
+	for i, w := range want {
+		if plan.Order[i] != w {
+			t.Fatalf("order = %v, want %v", plan.Order, want)
+		}
+	}
+	if math.Abs(plan.Length-40) > 1e-12 {
+		t.Errorf("length = %v, want 40", plan.Length)
+	}
+}
+
+// TestPlanTourSquare: visiting the four corners of a square from one
+// corner should walk the perimeter (3 sides), not cross the diagonal.
+func TestPlanTourSquare(t *testing.T) {
+	stops := []geom.Point{{X: 0, Y: 100}, {X: 100, Y: 100}, {X: 100, Y: 0}}
+	plan, err := PlanTour(geom.Point{}, stops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.Length-300) > 1e-9 {
+		t.Errorf("square tour length = %v, want 300 (order %v)", plan.Length, plan.Order)
+	}
+}
+
+// TestTwoOptNeverWorseThanNearestNeighbour: on random stop sets, the
+// refined tour is never longer than the greedy construction.
+func TestTwoOptNeverWorseThanNearestNeighbour(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(30)
+		stops := make([]geom.Point, n)
+		for i := range stops {
+			stops[i] = geom.Point{X: rng.Float64() * 500, Y: rng.Float64() * 500}
+		}
+		start := geom.Point{X: rng.Float64() * 500, Y: rng.Float64() * 500}
+		greedy := nearestNeighbour(start, stops)
+		greedyLen := tourLength(start, stops, append([]int(nil), greedy...))
+		plan, err := PlanTour(start, stops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Length > greedyLen+1e-9 {
+			t.Fatalf("trial %d: 2-opt tour %.2f longer than greedy %.2f", trial, plan.Length, greedyLen)
+		}
+		if err := plan.Validate(n); err != nil {
+			t.Fatalf("trial %d: invalid plan: %v", trial, err)
+		}
+	}
+}
+
+// TestPlanTourBeatsRandomOrders: the planned tour should be no longer
+// than random permutations (sanity against gross regressions).
+func TestPlanTourBeatsRandomOrders(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	stops := make([]geom.Point, 12)
+	for i := range stops {
+		stops[i] = geom.Point{X: rng.Float64() * 300, Y: rng.Float64() * 300}
+	}
+	start := geom.Point{}
+	plan, err := PlanTour(start, stops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := make([]int, len(stops))
+	for i := range order {
+		order[i] = i
+	}
+	for trial := 0; trial < 200; trial++ {
+		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		if l := tourLength(start, stops, order); l < plan.Length-1e-9 {
+			t.Fatalf("random order %.2f beat the planned tour %.2f", l, plan.Length)
+		}
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	p := &Plan{Order: []int{0, 0}}
+	if err := p.Validate(2); err == nil {
+		t.Error("duplicate visit accepted")
+	}
+	p = &Plan{Order: []int{0, 5}}
+	if err := p.Validate(2); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	p = &Plan{Order: []int{0}}
+	if err := p.Validate(2); err == nil {
+		t.Error("missing stop accepted")
+	}
+}
+
+func TestPlanTourDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	stops := make([]geom.Point, 15)
+	for i := range stops {
+		stops[i] = geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+	}
+	a, err := PlanTour(geom.Point{}, stops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PlanTour(geom.Point{}, stops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Order {
+		if a.Order[i] != b.Order[i] {
+			t.Fatalf("non-deterministic plan: %v vs %v", a.Order, b.Order)
+		}
+	}
+}
+
+func BenchmarkPlanTour(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	stops := make([]geom.Point, 40)
+	for i := range stops {
+		stops[i] = geom.Point{X: rng.Float64() * 500, Y: rng.Float64() * 500}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PlanTour(geom.Point{}, stops); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package wrsn is a library for designing wireless-rechargeable sensor
+// networks: it jointly optimises sensor-node deployment (how many nodes
+// to co-locate at each post) and report routing (each post's parent and
+// transmission power level) so as to minimise the total wireless
+// recharging cost of keeping the network alive forever.
+//
+// It is a from-scratch reproduction of "How Wireless Power Charging
+// Technology Affects Sensor Network Deployment and Routing" (Tong, Li,
+// Wang, Zhang — ICDCS 2010), including:
+//
+//   - the first-order radio energy model with discrete power levels and
+//     the multi-node wireless-charging efficiency model (eta, k(m));
+//   - the RFH heuristic (minimum-energy fat tree -> workload-concentrated
+//     trim -> opportunistic sibling merge -> Lagrange deployment), basic
+//     and iterative;
+//   - the IDB heuristic (incremental deployment, one Dijkstra per
+//     candidate placement);
+//   - exact solvers (branch-and-bound and exhaustive) for small networks;
+//   - the NP-completeness reduction from 3-CNF-SAT as executable code
+//     (wrsn/internal/npc, surfaced by cmd/wrsn-sat);
+//   - a round-based network + mobile-charger simulator closing the loop
+//     between the analytic objective and an actually-running network;
+//   - an experiment harness regenerating every figure of the paper's
+//     evaluation (see EXPERIMENTS.md).
+//
+// # Quick start
+//
+//	field := wrsn.Square(500)
+//	rng := rand.New(rand.NewSource(1))
+//	p := &wrsn.Problem{
+//		Posts:    field.RandomPoints(rng, 100),
+//		BS:       field.Corner(),
+//		Nodes:    600,
+//		Energy:   wrsn.DefaultEnergyModel(),
+//		Charging: wrsn.DefaultChargingModel(),
+//	}
+//	res, err := wrsn.SolveIterativeRFH(p)
+//	// res.Deploy[i] = nodes at post i; res.Tree.Parent[i] = next hop;
+//	// res.Cost = charger nJ per one-bit-per-post reporting round.
+//
+// Costs are in nanojoules of charger energy per reporting round in which
+// every post delivers one bit to the base station; divide by 1000 for the
+// paper's µJ axes.
+package wrsn
+
+import (
+	"math/rand"
+
+	"wrsn/internal/charging"
+	"wrsn/internal/deploy"
+	"wrsn/internal/energy"
+	"wrsn/internal/experiments"
+	"wrsn/internal/geom"
+	"wrsn/internal/model"
+	"wrsn/internal/solver"
+)
+
+// Core model types.
+type (
+	// Problem is one instance of the joint deployment-and-routing
+	// problem: post locations, base station, node budget and the energy
+	// and charging models.
+	Problem = model.Problem
+	// Deployment assigns >= 1 nodes to every post.
+	Deployment = model.Deployment
+	// Tree is a routing arborescence toward the base station.
+	Tree = model.Tree
+	// Solution is a deployment plus tree with its evaluated cost.
+	Solution = model.Solution
+	// Result is a solver outcome (Solution plus solver diagnostics).
+	Result = solver.Result
+
+	// Point is a location in the field, in meters.
+	Point = geom.Point
+	// Field is a rectangular deployment area.
+	Field = geom.Field
+
+	// EnergyModel is the first-order radio model with discrete levels.
+	EnergyModel = energy.Model
+	// ChargingModel is the wireless charging efficiency model.
+	ChargingModel = charging.Model
+
+	// RFHOptions configures SolveRFH.
+	RFHOptions = solver.RFHOptions
+	// OptimalOptions configures SolveOptimal.
+	OptimalOptions = solver.OptimalOptions
+
+	// Report is a diagnostic digest of a solution (BuildReport).
+	Report = model.Report
+
+	// ExperimentOptions scales the paper-reproduction experiments.
+	ExperimentOptions = experiments.Options
+	// Figure is a reproduced paper figure (X axis plus labelled series).
+	Figure = experiments.Figure
+)
+
+// Square returns a side x side deployment field with the base station
+// corner at the origin.
+func Square(side float64) Field { return geom.Square(side) }
+
+// DefaultEnergyModel returns the paper's radio constants: alpha = 50
+// nJ/bit, beta = 0.0013 pJ/bit/m^4, gamma = 4, ranges {25, 50, 75} m.
+func DefaultEnergyModel() EnergyModel { return energy.Default() }
+
+// EnergyModelWithLevels returns the paper's radio model with k uniform
+// 25m-step power levels (the Fig. 10 sweep).
+func EnergyModelWithLevels(k int) (EnergyModel, error) { return energy.WithLevels(k) }
+
+// DefaultChargingModel returns eta = 1 with the paper's linear gain
+// k(m) = m. Every reported cost scales by 1/eta, so eta = 1 reports costs
+// in consumed-energy units.
+func DefaultChargingModel() ChargingModel { return charging.Default() }
+
+// Evaluate computes the total recharging cost of (deploy, tree) on p:
+// the charger energy compensating one bit reported by every post.
+func Evaluate(p *Problem, deploy Deployment, tree Tree) (float64, error) {
+	return model.Evaluate(p, deploy, tree)
+}
+
+// Solve picks the strongest solver the instance's size affords: exact
+// branch-and-bound for small networks, IDB for mid-size, iterative RFH
+// (locally polished) for large ones.
+func Solve(p *Problem) (*Result, error) { return solver.Auto(p) }
+
+// SolveRFH runs the Routing-First Heuristic with explicit options.
+func SolveRFH(p *Problem, opts RFHOptions) (*Result, error) { return solver.RFH(p, opts) }
+
+// SolveBasicRFH runs a single RFH round (the paper's basic algorithm).
+func SolveBasicRFH(p *Problem) (*Result, error) { return solver.BasicRFH(p) }
+
+// SolveIterativeRFH runs RFH with the paper's default seven iterations —
+// the recommended solver for large networks.
+func SolveIterativeRFH(p *Problem) (*Result, error) { return solver.IterativeRFH(p) }
+
+// SolveIDB runs the Incremental Deployment-Based heuristic with the given
+// per-round increment delta (the paper compares with delta = 1). Slower
+// than RFH but typically a few percent cheaper.
+func SolveIDB(p *Problem, delta int) (*Result, error) { return solver.IDB(p, delta) }
+
+// SolveOptimal computes the exact optimum by branch-and-bound; practical
+// for small instances only (roughly N <= 12, M <= 40).
+func SolveOptimal(p *Problem, opts OptimalOptions) (*Result, error) {
+	return solver.Optimal(p, opts)
+}
+
+// BestTreeFor returns the cheapest routing tree for a fixed deployment
+// (one Dijkstra under recharging-cost weights) and its total cost.
+func BestTreeFor(p *Problem, deploy Deployment) (Tree, float64, error) {
+	return model.BestTreeFor(p, deploy)
+}
+
+// BuildReport computes a diagnostic digest of a solution: depth, node
+// concentration (Gini), cost concentration and the bottleneck post.
+func BuildReport(p *Problem, deploy Deployment, tree Tree) (*Report, error) {
+	return model.BuildReport(p, deploy, tree)
+}
+
+// UniformDeployment spreads m nodes over n posts as evenly as possible —
+// the charging-oblivious deployment baseline.
+func UniformDeployment(n, m int) (Deployment, error) {
+	return model.UniformDeployment(n, m)
+}
+
+// MinEnergyTree returns the charging-oblivious routing baseline: minimum
+// network-energy paths to the base station, ignoring deployment and
+// charging efficiency.
+func MinEnergyTree(p *Problem) (Tree, error) { return model.MinEnergyTree(p) }
+
+// MinSpanningTree returns the classic energy-MST routing baseline
+// (Prim over transmit energies, oriented toward the base station).
+func MinSpanningTree(p *Problem) (Tree, error) { return model.MinSpanningTree(p) }
+
+// LocalSearchOptions configures SolveLocalSearch.
+type LocalSearchOptions = solver.LocalSearchOptions
+
+// AnnealOptions configures SolveAnneal.
+type AnnealOptions = solver.AnnealOptions
+
+// IDBOptions configures SolveIDBParallel.
+type IDBOptions = solver.IDBOptions
+
+// SolveAnneal refines a seed solution (default: iterative RFH) by
+// simulated annealing over single-node moves — unlike local search it can
+// escape 1-move-optimal basins, and it never returns worse than its seed.
+func SolveAnneal(p *Problem, opts AnnealOptions) (*Result, error) {
+	return solver.Anneal(p, opts)
+}
+
+// SolveIDBParallel is IDB with a concurrent candidate-evaluation pool;
+// results are bit-identical to SolveIDB.
+func SolveIDBParallel(p *Problem, opts IDBOptions) (*Result, error) {
+	return solver.IDBWithOptions(p, opts)
+}
+
+// GenSpec parameterises GenerateProblem.
+type GenSpec = model.GenSpec
+
+// GenerateProblem draws connected random instances: the canonical
+// instance source for tests, examples and tools. Layouts: uniform
+// (default), clustered, grid.
+func GenerateProblem(rng *rand.Rand, spec GenSpec) (*Problem, error) {
+	return model.GenerateProblem(rng, spec)
+}
+
+// ProvisionSpares inflates a planned deployment for fault tolerance: with
+// each node independently surviving the mission with probability
+// `survive`, the returned counts keep every post at its planned strength
+// with the given confidence. The second result is the total node count to
+// procure (it exceeds the optimiser's M).
+func ProvisionSpares(planned Deployment, survive, confidence float64) (Deployment, int, error) {
+	inflated, total, err := deploy.ProvisionSpares(planned, survive, confidence)
+	if err != nil {
+		return nil, 0, err
+	}
+	return Deployment(inflated), total, nil
+}
+
+// SolveLocalSearch refines a seed solution (default: iterative RFH) by
+// exact-evaluated single-node moves until 1-move-optimal — an extension
+// beyond the paper that typically closes the RFH-to-optimal gap.
+func SolveLocalSearch(p *Problem, opts LocalSearchOptions) (*Result, error) {
+	return solver.LocalSearch(p, opts)
+}
