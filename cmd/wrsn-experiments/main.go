@@ -60,7 +60,7 @@ func run(args []string, stdout io.Writer) error {
 				selected[id] = true
 			}
 		case "ext":
-			for _, id := range []string{"ext-gain", "ext-overhead", "ext-charger", "ext-layout", "ext-delta", "ext-validation", "ext-fault", "portfolio"} {
+			for _, id := range []string{"ext-gain", "ext-overhead", "ext-charger", "ext-layout", "ext-delta", "ext-validation", "ext-fault", "ext-repair", "portfolio"} {
 				selected[id] = true
 			}
 		default:
@@ -112,6 +112,7 @@ func run(args []string, stdout io.Writer) error {
 		{"ext-delta", comparison(experiments.ExtDelta)},
 		{"ext-validation", comparison(experiments.ExtSimValidation)},
 		{"ext-fault", comparison(experiments.ExtFaultTolerance)},
+		{"ext-repair", comparison(experiments.ExtRepair)},
 		{"portfolio", func() ([]*texttable.Table, []*experiments.Figure, error) {
 			entries, err := experiments.ExtPortfolio(opts)
 			if err != nil {
@@ -177,7 +178,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	if ran == 0 {
-		return fmt.Errorf("no figure matches %q (valid: 1, 6, 7a, 7b, 8, 9, 10, all, ext, ext-gain, ext-overhead, ext-charger)", *fig)
+		return fmt.Errorf("no figure matches %q (valid: 1, 6, 7a, 7b, 8, 9, 10, all, ext, ext-gain, ext-overhead, ext-charger, ext-fault, ext-repair)", *fig)
 	}
 	return nil
 }

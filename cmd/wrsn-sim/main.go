@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"wrsn/internal/model"
 	"wrsn/internal/sim"
@@ -42,7 +43,16 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		speed       = fs.Float64("charger-speed", 25, "charger travel speed (m per round)")
 		policy      = fs.String("policy", "urgency", "charger policy: urgency, round-robin or tour")
 		chargers    = fs.Int("chargers", 1, "number of chargers in the fleet")
-		failure     = fs.Float64("failure-rate", 0, "per-round probability of one permanent node failure")
+		failure     = fs.Float64("failure-rate", 0, "per-node per-round probability of a permanent failure")
+		transRate   = fs.Float64("transient-rate", 0, "per-node per-round probability of a transient outage")
+		transMean   = fs.Float64("transient-mean", 50, "mean transient outage length in rounds (exponential)")
+		outageRate  = fs.Float64("outage-rate", 0, "per-round probability of a spatially correlated post outage")
+		outageRad   = fs.Float64("outage-radius", 0, "correlated-outage blast radius in meters")
+		chFailure   = fs.Float64("charger-failure", 0, "per-charger per-round breakdown probability")
+		chRepair    = fs.Int("charger-repair", 200, "rounds a broken charger stays out of service")
+		killPosts   = fs.String("kill-post", "", "deterministic post kills as round:post pairs, e.g. 1000:3,2500:7")
+		repair      = fs.Bool("repair", false, "enable online routing-tree repair after post deaths")
+		repairLat   = fs.Int("repair-latency", 0, "rounds between detecting a dead post and the patched tree taking effect")
 		linkLoss    = fs.Float64("link-loss", 0, "per-attempt transmission loss probability")
 		retries     = fs.Int("max-retries", 8, "retransmission attempts per report per hop")
 		seed        = fs.Int64("seed", 1, "simulation random seed")
@@ -74,10 +84,28 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		Solution:        *sol,
 		PacketBits:      *packetBits,
 		BatteryCapacity: *battery,
-		FailurePerRound: *failure,
 		LinkLossProb:    *linkLoss,
 		MaxRetries:      *retries,
 		Seed:            *seed,
+	}
+	schedule, err := parseKillSchedule(*killPosts)
+	if err != nil {
+		return err
+	}
+	if *failure > 0 || *transRate > 0 || *outageRate > 0 || *chFailure > 0 || len(schedule) > 0 {
+		cfg.Faults = &sim.FaultConfig{
+			NodeFailurePerRound:    *failure,
+			TransientPerRound:      *transRate,
+			TransientMeanRounds:    *transMean,
+			PostOutagePerRound:     *outageRate,
+			OutageRadius:           *outageRad,
+			ChargerFailurePerRound: *chFailure,
+			ChargerRepairRounds:    *chRepair,
+			Schedule:               schedule,
+		}
+	}
+	if *repair {
+		cfg.Repair = &sim.RepairConfig{LatencyRounds: *repairLat}
 	}
 	if !*noCharger {
 		cfg.Charger = &sim.ChargerConfig{
@@ -131,8 +159,40 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "  empirical cost:       %.4f nJ per bit-round (analytic %.4f, deviation %+.2f%%)\n",
 			empirical, analytic, (empirical/analytic-1)*100)
 	}
-	if metrics.NodeFailures > 0 {
-		fmt.Fprintf(stdout, "  injected failures:    %d\n", metrics.NodeFailures)
+	if metrics.NodeFailures > 0 || metrics.TransientFaults > 0 || metrics.ChargerBreakdowns > 0 {
+		fmt.Fprintf(stdout, "  injected faults:      %d permanent, %d transient, %d outages, %d charger breakdowns\n",
+			metrics.NodeFailures, metrics.TransientFaults, metrics.CorrelatedOutages, metrics.ChargerBreakdowns)
+	}
+	if metrics.PostsDead > 0 {
+		fmt.Fprintf(stdout, "  degradation:          %d posts dead, %d stranded\n", metrics.PostsDead, metrics.StrandedPosts)
+		if metrics.FirstPartitionRound >= 0 {
+			fmt.Fprintf(stdout, "  first partition:      round %d\n", metrics.FirstPartitionRound)
+		}
+	}
+	if *repair {
+		fmt.Fprintf(stdout, "  repairs:              %d applied, mean latency %.1f rounds\n",
+			metrics.Repairs, metrics.MeanRepairLatency())
+		if metrics.Repairs > 0 {
+			fmt.Fprintf(stdout, "  post-repair cost:     %.4f nJ per bit-round (%+.2f%% vs plan)\n",
+				metrics.DegradedCost, metrics.RepairCostInflation*100)
+		}
 	}
 	return nil
+}
+
+// parseKillSchedule turns "round:post,round:post,..." into deterministic
+// kill-post fault events. An empty spec yields an empty schedule.
+func parseKillSchedule(spec string) (sim.FaultSchedule, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var schedule sim.FaultSchedule
+	for _, part := range strings.Split(spec, ",") {
+		var round, post int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d:%d", &round, &post); err != nil {
+			return nil, fmt.Errorf("bad -kill-post entry %q (want round:post): %w", part, err)
+		}
+		schedule = append(schedule, sim.FaultEvent{Round: round, Kind: sim.FaultKillPost, Post: post})
+	}
+	return schedule, nil
 }

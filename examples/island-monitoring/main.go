@@ -64,9 +64,12 @@ func main() {
 			SpeedPerRound: 20,
 			Policy:        sim.PolicyTour,
 		},
-		PacketBits:      1000,
-		FailurePerRound: 0.0005, // one node lost every ~2000 rounds
-		Seed:            7,
+		PacketBits: 1000,
+		// Per-node failure odds tuned so the fleet loses one node every
+		// ~2000 rounds; the repair policy re-routes around dead posts.
+		Faults: &sim.FaultConfig{NodeFailurePerRound: 0.0005 / numNodes},
+		Repair: &sim.RepairConfig{},
+		Seed:   7,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -75,9 +78,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("two-month simulation (tour-charging, sporadic failures):\n")
+	fmt.Printf("two-month simulation (tour-charging, sporadic failures, self-healing):\n")
 	fmt.Printf("  delivery:          %.2f%%\n", metrics.DeliveryRatio()*100)
-	fmt.Printf("  node failures:     %d of %d nodes\n", metrics.NodeFailures, p.Nodes)
+	fmt.Printf("  node failures:     %d of %d nodes (%d posts lost, %d tree repairs)\n",
+		metrics.NodeFailures, p.Nodes, metrics.PostsDead, metrics.Repairs)
 	fmt.Printf("  charger travelled: %.1f km over %d charge visits\n",
 		metrics.ChargerDistance/1000, metrics.ChargerVisits)
 	fmt.Printf("  charger energy:    %.1f mJ (network consumed %.1f mJ)\n",

@@ -426,3 +426,38 @@ func TestExtFaultToleranceShapes(t *testing.T) {
 		}
 	}
 }
+
+func TestExtRepairShapes(t *testing.T) {
+	fig, err := ExtRepair(quick())
+	if err != nil {
+		t.Fatalf("ExtRepair: %v", err)
+	}
+	noRep, rep, spares := fig.Get("no repair"), fig.Get("online repair"), fig.Get("repair + spares")
+	infl := fig.Get("repair cost inflation")
+	if noRep == nil || rep == nil || spares == nil || infl == nil {
+		t.Fatal("missing series")
+	}
+	// No failures: every policy delivers perfectly and the plan is never
+	// touched.
+	if noRep.Y[0] != 1 || rep.Y[0] != 1 || spares.Y[0] != 1 {
+		t.Errorf("failure-free delivery not perfect: %.4f / %.4f / %.4f", noRep.Y[0], rep.Y[0], spares.Y[0])
+	}
+	if infl.Y[0] != 0 {
+		t.Errorf("cost inflation %.2f%% without any failures", infl.Y[0])
+	}
+	// Under the heaviest failure rate, online repair must beat the static
+	// tree: re-attached subtrees keep reporting where no-repair loses them
+	// for the rest of the run.
+	last := len(fig.X) - 1
+	if rep.Y[last] <= noRep.Y[last] {
+		t.Errorf("repair (%.4f) did not beat no-repair (%.4f) at rate %g",
+			rep.Y[last], noRep.Y[last], fig.X[last])
+	}
+	for i := range fig.X {
+		for _, s := range []*Series{noRep, rep, spares} {
+			if s.Y[i] < 0 || s.Y[i] > 1 {
+				t.Errorf("%s: delivery %.4f out of range at rate %g", s.Label, s.Y[i], fig.X[i])
+			}
+		}
+	}
+}

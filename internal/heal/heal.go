@@ -1,0 +1,229 @@
+// Package heal rebuilds routing trees over the surviving posts of a
+// degraded network. It reuses the RFH Phase I-III machinery
+// (recharging-cost shortest paths, workload-concentrating trim, sibling
+// merge) on the survivor subgraph, pricing charging efficiency at the
+// surviving node counts. The simulator's online repair policy calls
+// RepairTree whenever a post's last node dies.
+//
+// It sits above internal/model (problem/tree primitives, degraded
+// evaluation) and internal/routing (the tree-building phases), which is
+// why it is its own package: model cannot import routing without a cycle.
+package heal
+
+import (
+	"fmt"
+
+	"wrsn/internal/geom"
+	"wrsn/internal/graph"
+	"wrsn/internal/model"
+	"wrsn/internal/routing"
+)
+
+// Options tunes RepairTree.
+type Options struct {
+	// DisableSiblingMerge skips the Phase III sibling merge on the
+	// rebuilt survivor tree.
+	DisableSiblingMerge bool
+}
+
+// RepairTree rebuilds the routing tree after post deaths: posts with
+// aliveCounts[i] == 0 are dead, and every surviving post is re-parented
+// by re-running the RFH routing phases (recharging-cost shortest paths,
+// Phase II trim, optional Phase III merge) over the survivor subgraph,
+// with per-post charging efficiency priced at the surviving node counts.
+// Dead posts keep their old parent and level (they originate nothing, so
+// the edges are inert). Survivors that cannot reach the base station
+// through other survivors at maximum range are stranded: they also keep
+// their old edges and are returned in `stranded`.
+//
+// The returned tree satisfies ValidateSurvivors for every non-stranded
+// survivor. old must be a valid tree for p.
+func RepairTree(p *model.Problem, old model.Tree, aliveCounts []int, opts Options) (model.Tree, []int, error) {
+	n := p.N()
+	if len(aliveCounts) != n {
+		return model.Tree{}, nil, fmt.Errorf("heal: %d alive counts for %d posts", len(aliveCounts), n)
+	}
+	if len(old.Parent) != n || len(old.Level) != n {
+		return model.Tree{}, nil, fmt.Errorf("heal: old tree sized for %d/%d posts, want %d", len(old.Parent), len(old.Level), n)
+	}
+	alive := make([]bool, n)
+	for i, m := range aliveCounts {
+		if m < 0 {
+			return model.Tree{}, nil, fmt.Errorf("heal: post %d has negative alive count %d", i, m)
+		}
+		alive[i] = m > 0
+	}
+
+	// Stranded survivors have no multi-hop path to the BS through other
+	// survivors even at maximum range; exclude them from the rebuild
+	// (removing them cannot strand anyone else: a post routing through a
+	// stranded post would itself have a path, a contradiction).
+	reachable := p.SurvivorsReachable(alive)
+	var stranded []int
+	routable := make([]bool, n)
+	for i := 0; i < n; i++ {
+		routable[i] = alive[i] && reachable[i]
+		if alive[i] && !reachable[i] {
+			stranded = append(stranded, i)
+		}
+	}
+
+	// Compact the routable survivors to 0..k-1 with the BS as vertex k.
+	var survivors []int
+	compact := make([]int, n)
+	for i := 0; i < n; i++ {
+		compact[i] = -1
+		if routable[i] {
+			compact[i] = len(survivors)
+			survivors = append(survivors, i)
+		}
+	}
+	k := len(survivors)
+	patched := old.Clone()
+	if k == 0 {
+		return patched, stranded, nil // nothing left to route
+	}
+
+	// Recharging-cost weights at the surviving strengths: the charger
+	// pays tx/eff(sender) + rx/eff(receiver) per bit on each hop.
+	eff := make([]float64, k)
+	for si, i := range survivors {
+		e, err := p.Charging.NetworkEfficiency(aliveCounts[i])
+		if err != nil {
+			return model.Tree{}, nil, fmt.Errorf("heal: post %d: %w", i, err)
+		}
+		eff[si] = e
+	}
+	rx := p.Energy.RxEnergy()
+	dmax := p.Energy.MaxRange()
+	g := graph.New(k + 1)
+	for su, u := range survivors {
+		pu := p.Posts[u]
+		for sv, v := range survivors {
+			if sv == su {
+				continue
+			}
+			d := geom.Dist(pu, p.Posts[v])
+			if d > dmax {
+				continue
+			}
+			tx, err := p.Energy.TxEnergy(d)
+			if err != nil {
+				return model.Tree{}, nil, fmt.Errorf("heal: edge (%d,%d): %w", u, v, err)
+			}
+			if err := g.AddEdge(su, sv, tx/eff[su]+rx/eff[sv]); err != nil {
+				return model.Tree{}, nil, err
+			}
+		}
+		if d := geom.Dist(pu, p.BS); d <= dmax {
+			tx, err := p.Energy.TxEnergy(d)
+			if err != nil {
+				return model.Tree{}, nil, fmt.Errorf("heal: edge (%d,BS): %w", u, err)
+			}
+			if err := g.AddEdge(su, k, tx/eff[su]); err != nil {
+				return model.Tree{}, nil, err
+			}
+		}
+	}
+	dag, err := g.ShortestPathDAG(k, model.DAGTolerance)
+	if err != nil {
+		return model.Tree{}, nil, err
+	}
+	trimmed, err := routing.TrimWeighted(dag, k, nil)
+	if err != nil {
+		return model.Tree{}, nil, err
+	}
+	parents := trimmed.Parent
+	if !opts.DisableSiblingMerge {
+		merged := append([]int(nil), parents...)
+		spec := routing.MergeSpec{
+			NPosts: k,
+			Pos: func(v int) geom.Point {
+				if v == k {
+					return p.BS
+				}
+				return p.Posts[survivors[v]]
+			},
+			TxEnergy: func(d float64) (float64, bool) {
+				e, err := p.Energy.TxEnergy(d)
+				if err != nil {
+					return 0, false
+				}
+				return e, true
+			},
+		}
+		stats, err := routing.MergeSiblings(spec, merged)
+		if err != nil {
+			return model.Tree{}, nil, err
+		}
+		if stats.Reparented > 0 {
+			// Keep the merge only when it is actually cheaper at the
+			// surviving strengths (deployment is fixed during repair, so
+			// the trade-off the solver resolves by redeploying must be
+			// priced directly).
+			if better, err := cheaperSurvivorTree(p, patched, survivors, aliveCounts, parents, merged); err != nil {
+				return model.Tree{}, nil, err
+			} else if better {
+				parents = merged
+			}
+		}
+	}
+
+	for si, i := range survivors {
+		par := parents[si]
+		full := p.BSIndex()
+		if par != k {
+			full = survivors[par]
+		}
+		lvl, err := p.Energy.LevelFor(geom.Dist(p.Posts[i], p.Point(full)))
+		if err != nil {
+			return model.Tree{}, nil, fmt.Errorf("heal: post %d cannot reach repaired parent %d: %w", i, full, err)
+		}
+		patched.Parent[i] = full
+		patched.Level[i] = lvl
+	}
+	if err := patched.ValidateSurvivors(p, routable); err != nil {
+		return model.Tree{}, nil, fmt.Errorf("heal: repaired tree invalid: %w", err)
+	}
+	return patched, stranded, nil
+}
+
+// cheaperSurvivorTree reports whether candidate parent vector `b` prices
+// below `a` under the degraded evaluation (both vectors are in compact
+// survivor indices; base is the template tree for dead-post edges).
+func cheaperSurvivorTree(p *model.Problem, base model.Tree, survivors []int, aliveCounts []int, a, b []int) (bool, error) {
+	build := func(parents []int) (model.Tree, error) {
+		t := base.Clone()
+		k := len(survivors)
+		for si, i := range survivors {
+			full := p.BSIndex()
+			if parents[si] != k {
+				full = survivors[parents[si]]
+			}
+			lvl, err := p.Energy.LevelFor(geom.Dist(p.Posts[i], p.Point(full)))
+			if err != nil {
+				return model.Tree{}, err
+			}
+			t.Parent[i] = full
+			t.Level[i] = lvl
+		}
+		return t, nil
+	}
+	ta, err := build(a)
+	if err != nil {
+		return false, err
+	}
+	tb, err := build(b)
+	if err != nil {
+		return false, err
+	}
+	ca, err := model.EvaluateDegraded(p, aliveCounts, ta)
+	if err != nil {
+		return false, err
+	}
+	cb, err := model.EvaluateDegraded(p, aliveCounts, tb)
+	if err != nil {
+		return false, err
+	}
+	return cb < ca, nil
+}

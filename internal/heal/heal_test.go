@@ -1,0 +1,144 @@
+package heal
+
+import (
+	"testing"
+
+	"wrsn/internal/charging"
+	"wrsn/internal/energy"
+	"wrsn/internal/geom"
+	"wrsn/internal/model"
+)
+
+// lineProblem builds n posts in a straight line 30m apart from the BS at
+// the origin (post i at ((i+1)*30, 0)) with the default models, plus the
+// chain tree i -> i-1 -> ... -> 0 -> BS. The default max range is 80m, so
+// a post can bridge one dead neighbour (60m) but not two (90m).
+func lineProblem(t *testing.T, n, m int) (*model.Problem, model.Tree) {
+	t.Helper()
+	posts := make([]geom.Point, n)
+	for i := range posts {
+		posts[i] = geom.Point{X: float64(i+1) * 30, Y: 0}
+	}
+	p := &model.Problem{
+		Posts:    posts,
+		BS:       geom.Point{},
+		Nodes:    m,
+		Energy:   energy.Default(),
+		Charging: charging.Default(),
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("line problem invalid: %v", err)
+	}
+	parents := make([]int, n)
+	for i := range parents {
+		parents[i] = i - 1
+	}
+	parents[0] = p.BSIndex()
+	tree, err := model.NewTreeFromParents(p, parents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, tree
+}
+
+func TestRepairTreeReroutesAroundDeadPost(t *testing.T) {
+	p, tree := lineProblem(t, 4, 12)
+	// Kill post 1: post 2 must bridge the gap to post 0 (60 m), post 3
+	// re-parents within the survivors.
+	alive := []int{3, 0, 3, 3}
+	patched, stranded, err := RepairTree(p, tree, alive, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stranded) != 0 {
+		t.Fatalf("stranded = %v, want none", stranded)
+	}
+	aliveMask := []bool{true, false, true, true}
+	if err := patched.ValidateSurvivors(p, aliveMask); err != nil {
+		t.Fatalf("patched tree invalid: %v", err)
+	}
+	for i, ok := range aliveMask {
+		if ok && patched.Parent[i] == 1 {
+			t.Errorf("surviving post %d still routes through dead post 1", i)
+		}
+	}
+	// The dead post keeps its (inert) original edge.
+	if patched.Parent[1] != tree.Parent[1] {
+		t.Errorf("dead post edge rewritten: %d -> %d", tree.Parent[1], patched.Parent[1])
+	}
+}
+
+func TestRepairTreeReportsStranded(t *testing.T) {
+	p, tree := lineProblem(t, 4, 12)
+	// Killing posts 0 and 1 strands the tail: posts 2 and 3 survive but
+	// cannot reach the BS through survivors.
+	patched, stranded, err := RepairTree(p, tree, []int{0, 0, 3, 3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stranded) != 2 || stranded[0] != 2 || stranded[1] != 3 {
+		t.Fatalf("stranded = %v, want [2 3]", stranded)
+	}
+	// Stranded posts keep their old edges untouched.
+	for _, i := range stranded {
+		if patched.Parent[i] != tree.Parent[i] || patched.Level[i] != tree.Level[i] {
+			t.Errorf("stranded post %d edge rewritten", i)
+		}
+	}
+}
+
+func TestRepairTreeFullStrengthStaysValid(t *testing.T) {
+	p, tree := lineProblem(t, 5, 15)
+	// No deaths at all: the rebuild must still produce a valid tree for
+	// every post (it may differ from the chain — trim and merge run at
+	// surviving strengths — but nothing may be stranded).
+	patched, stranded, err := RepairTree(p, tree, []int{3, 3, 3, 3, 3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stranded) != 0 {
+		t.Fatalf("stranded = %v in a healthy network", stranded)
+	}
+	if err := patched.Validate(p); err != nil {
+		t.Fatalf("full-strength rebuild invalid: %v", err)
+	}
+}
+
+func TestRepairTreeMergeAblation(t *testing.T) {
+	p, tree := lineProblem(t, 4, 12)
+	alive := []int{3, 0, 3, 3}
+	withMerge, _, err := RepairTree(p, tree, alive, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noMerge, _, err := RepairTree(p, tree, alive, Options{DisableSiblingMerge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The merged tree is kept only when it prices at or below the
+	// unmerged one under the degraded evaluation.
+	cm, err := model.EvaluateDegraded(p, alive, withMerge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := model.EvaluateDegraded(p, alive, noMerge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm > cn {
+		t.Errorf("sibling merge made the repair dearer: %g > %g", cm, cn)
+	}
+}
+
+func TestRepairTreeRejectsBadInput(t *testing.T) {
+	p, tree := lineProblem(t, 4, 12)
+	if _, _, err := RepairTree(p, tree, []int{3, 3, 3}, Options{}); err == nil {
+		t.Error("short aliveCounts accepted")
+	}
+	if _, _, err := RepairTree(p, tree, []int{3, -1, 3, 3}, Options{}); err == nil {
+		t.Error("negative alive count accepted")
+	}
+	if _, _, err := RepairTree(p, model.Tree{}, []int{3, 3, 3, 3}, Options{}); err == nil {
+		t.Error("empty old tree accepted")
+	}
+}

@@ -1,0 +1,114 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+// chainTree builds the chain i -> i-1 -> ... -> 0 -> BS over a line
+// problem.
+func chainTree(t *testing.T, p *Problem) Tree {
+	t.Helper()
+	parents := make([]int, p.N())
+	for i := range parents {
+		parents[i] = i - 1
+	}
+	parents[0] = p.BSIndex()
+	tree, err := NewTreeFromParents(p, parents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestEvaluateDegradedFullStrengthEqualsEvaluate(t *testing.T) {
+	p := lineProblem(t, 4, 12)
+	tree := chainTree(t, p)
+	deploy := Deployment{3, 3, 3, 3}
+	want, err := Evaluate(p, deploy, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EvaluateDegraded(p, []int(deploy), tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9*want {
+		t.Errorf("EvaluateDegraded at full strength = %g, Evaluate = %g", got, want)
+	}
+}
+
+func TestEvaluateDegradedDropsDeadTraffic(t *testing.T) {
+	p := lineProblem(t, 4, 12)
+	tree := chainTree(t, p)
+	// Kill post 2: posts 2 (dead) and 3 (feeds through 2, dropped) no
+	// longer load posts 0-1, so post 0 carries only itself and post 1.
+	cost, err := EvaluateDegraded(p, []int{3, 3, 0, 3}, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := EvaluateDegraded(p, []int{3, 3, 3, 3}, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost >= full {
+		t.Errorf("degraded cost %g not below full-strength cost %g", cost, full)
+	}
+	// An all-dead network costs nothing.
+	zero, err := EvaluateDegraded(p, []int{0, 0, 0, 0}, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero != 0 {
+		t.Errorf("all-dead cost = %g, want 0", zero)
+	}
+}
+
+func TestSurvivorsReachable(t *testing.T) {
+	p := lineProblem(t, 4, 8) // posts at 30, 60, 90, 120 m; max range 80 m
+	all := []bool{true, true, true, true}
+	reach := p.SurvivorsReachable(all)
+	for i, r := range reach {
+		if !r {
+			t.Errorf("post %d unreachable in the healthy network", i)
+		}
+	}
+	// Killing posts 0 and 1 cuts the tail: posts 2 (90 m) and 3 (120 m)
+	// are beyond max range of the BS.
+	reach = p.SurvivorsReachable([]bool{false, false, true, true})
+	want := []bool{false, false, false, false}
+	for i := range want {
+		if reach[i] != want[i] {
+			t.Errorf("reach[%d] = %v, want %v", i, reach[i], want[i])
+		}
+	}
+	// Killing only post 1 leaves a 60 m gap post 2 can bridge to post 0.
+	reach = p.SurvivorsReachable([]bool{true, false, true, true})
+	want = []bool{true, false, true, true}
+	for i := range want {
+		if reach[i] != want[i] {
+			t.Errorf("after killing post 1: reach[%d] = %v, want %v", i, reach[i], want[i])
+		}
+	}
+}
+
+func TestValidateSurvivorsCatchesDeadRouting(t *testing.T) {
+	p := lineProblem(t, 4, 12)
+	tree := chainTree(t, p)
+	alive := []bool{true, false, true, true}
+	// The unpatched chain routes post 2 through dead post 1.
+	if err := tree.ValidateSurvivors(p, alive); err == nil {
+		t.Error("routing through a dead post accepted")
+	}
+	// Ignoring the dead post entirely, the healthy network passes.
+	if err := tree.ValidateSurvivors(p, []bool{true, true, true, true}); err != nil {
+		t.Errorf("healthy chain rejected: %v", err)
+	}
+	// Cycles among survivors are rejected.
+	cyc := tree.Clone()
+	cyc.Parent[2] = 3
+	cyc.Parent[3] = 2
+	if err := cyc.ValidateSurvivors(p, alive); err == nil {
+		t.Error("survivor cycle accepted")
+	}
+}

@@ -12,11 +12,12 @@ import (
 // chargerState is the mobile charger's runtime: position, current target
 // and per-round behaviour (travel, then charge).
 type chargerState struct {
-	cfg      ChargerConfig
-	pos      geom.Point
-	target   int   // post index being approached/charged; -1 when idle
-	rrCursor int   // next post to consider under PolicyRoundRobin
-	route    []int // remaining planned stops under PolicyTour
+	cfg       ChargerConfig
+	pos       geom.Point
+	target    int   // post index being approached/charged; -1 when idle
+	rrCursor  int   // next post to consider under PolicyRoundRobin
+	route     []int // remaining planned stops under PolicyTour
+	downUntil int   // broken down through this round (fault injection)
 }
 
 func newChargerState(cfg *ChargerConfig, p interface{ N() int }) (*chargerState, error) {
@@ -91,14 +92,15 @@ func (c *chargerState) step(s *Simulator) {
 	c.charge(s, c.target)
 }
 
-// doneWith reports whether the post no longer needs charging (all alive
-// nodes at FillToFrac, or no alive nodes).
+// doneWith reports whether the post no longer needs charging (all usable
+// nodes at FillToFrac, or no usable nodes).
 func (c *chargerState) doneWith(s *Simulator, post int) bool {
 	pp := &s.posts[post]
-	if pp.AliveCount() == 0 {
+	round := s.metrics.Rounds
+	if pp.UsableCount(round) == 0 {
 		return true
 	}
-	return pp.minEnergyFrac(s.cfg.BatteryCapacity) >= c.cfg.FillToFrac
+	return pp.minEnergyFrac(s.cfg.BatteryCapacity, round) >= c.cfg.FillToFrac
 }
 
 // pickTarget dispatches on the configured policy. Returns -1 when every
@@ -129,12 +131,13 @@ func (c *chargerState) pickTour(s *Simulator) int {
 	// Replan over every unclaimed post currently in need.
 	var needy []int
 	var stops []geom.Point
+	round := s.metrics.Rounds
 	for i := range s.posts {
 		pp := &s.posts[i]
-		if pp.AliveCount() == 0 || s.claimed[i] {
+		if pp.UsableCount(round) == 0 || s.claimed[i] {
 			continue
 		}
-		if pp.minEnergyFrac(s.cfg.BatteryCapacity) < c.cfg.TargetFrac {
+		if pp.minEnergyFrac(s.cfg.BatteryCapacity, round) < c.cfg.TargetFrac {
 			needy = append(needy, i)
 			stops = append(stops, s.p.Posts[i])
 		}
@@ -159,13 +162,14 @@ func (c *chargerState) pickTour(s *Simulator) int {
 // first one below the target fraction.
 func (c *chargerState) pickRoundRobin(s *Simulator) int {
 	n := len(s.posts)
+	round := s.metrics.Rounds
 	for step := 0; step < n; step++ {
 		i := (c.rrCursor + step) % n
 		pp := &s.posts[i]
-		if pp.AliveCount() == 0 || s.claimed[i] {
+		if pp.UsableCount(round) == 0 || s.claimed[i] {
 			continue
 		}
-		if pp.minEnergyFrac(s.cfg.BatteryCapacity) < c.cfg.TargetFrac {
+		if pp.minEnergyFrac(s.cfg.BatteryCapacity, round) < c.cfg.TargetFrac {
 			c.rrCursor = (i + 1) % n
 			return i
 		}
@@ -179,17 +183,18 @@ func (c *chargerState) pickRoundRobin(s *Simulator) int {
 func (c *chargerState) pickUrgent(s *Simulator) int {
 	best := -1
 	bestUrgency := math.Inf(1)
+	round := s.metrics.Rounds
 	for i := range s.posts {
 		pp := &s.posts[i]
-		if pp.AliveCount() == 0 || s.claimed[i] {
+		if pp.UsableCount(round) == 0 || s.claimed[i] {
 			continue
 		}
-		if pp.minEnergyFrac(s.cfg.BatteryCapacity) >= c.cfg.TargetFrac {
+		if pp.minEnergyFrac(s.cfg.BatteryCapacity, round) >= c.cfg.TargetFrac {
 			continue
 		}
 		var remaining float64
 		for j := range pp.Nodes {
-			if pp.Nodes[j].Alive {
+			if pp.Nodes[j].usableAt(round) {
 				remaining += pp.Nodes[j].Energy
 			}
 		}
@@ -214,20 +219,21 @@ func (c *chargerState) pickUrgent(s *Simulator) int {
 // beyond per-node clipping.
 func (c *chargerState) charge(s *Simulator, post int) {
 	pp := &s.posts[post]
-	alive := pp.AliveCount()
-	if alive == 0 {
+	round := s.metrics.Rounds
+	usable := pp.UsableCount(round)
+	if usable == 0 {
 		return
 	}
-	effTotal, err := s.p.Charging.NetworkEfficiency(alive)
+	effTotal, err := s.p.Charging.NetworkEfficiency(usable)
 	if err != nil {
 		return
 	}
-	perNodeEff := effTotal / float64(alive)
+	perNodeEff := effTotal / float64(usable)
 	// Largest per-node deficit determines the useful dissemination.
 	capacity := s.cfg.BatteryCapacity
 	maxDeficit := 0.0
 	for j := range pp.Nodes {
-		if !pp.Nodes[j].Alive {
+		if !pp.Nodes[j].usableAt(round) {
 			continue
 		}
 		if d := capacity - pp.Nodes[j].Energy; d > maxDeficit {
@@ -240,7 +246,7 @@ func (c *chargerState) charge(s *Simulator, post int) {
 	}
 	s.metrics.ChargerEnergy += y
 	for j := range pp.Nodes {
-		if !pp.Nodes[j].Alive {
+		if !pp.Nodes[j].usableAt(round) {
 			continue
 		}
 		gain := y * perNodeEff

@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"wrsn/internal/model"
+)
+
+// subtreeVictim returns the post with the largest subtree (breaking the
+// most descendants when killed) and the full subtree-size slice.
+func subtreeVictim(p *model.Problem, tree model.Tree) (victim int, sizes []int) {
+	sizes = tree.SubtreeSizes(p)
+	victim = 0
+	for i := 1; i < p.N(); i++ {
+		if sizes[i] > sizes[victim] {
+			victim = i
+		}
+	}
+	return victim, sizes
+}
+
+func treesEqual(a, b model.Tree) bool {
+	if len(a.Parent) != len(b.Parent) {
+		return false
+	}
+	for i := range a.Parent {
+		if a.Parent[i] != b.Parent[i] || a.Level[i] != b.Level[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRepairAcceptance is the issue's acceptance criterion on the Fig. 8
+// workload (500x500 m, N=100 posts, M=600 nodes): kill one post at round
+// 1000; with repair the long-run delivery ratio stays >= 0.99 because
+// only the dead post's own reports are lost, while the no-repair baseline
+// loses the post's entire subtree every round. The repair run must be
+// bit-identical for a fixed seed and keep the energy audit balanced.
+func TestRepairAcceptance(t *testing.T) {
+	p, sol := testNetwork(t, 8, 500, 100, 600)
+	victim, sizes := subtreeVictim(p, sol.Tree)
+	if sizes[victim] < 2 {
+		t.Fatalf("victim %d carries no subtree; pick another seed", victim)
+	}
+	const killAt = 1000
+	const rounds = 5000
+
+	build := func(repair *RepairConfig) *Simulator {
+		cfg := scheduleConfig(p, sol, 42)
+		cfg.Faults = &FaultConfig{Schedule: FaultSchedule{{Round: killAt, Kind: FaultKillPost, Post: victim}}}
+		cfg.Repair = repair
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	// Repair arm: only the dead post's own reports are lost.
+	healer := build(&RepairConfig{})
+	m, err := healer.Run(rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Repairs != 1 {
+		t.Fatalf("Repairs = %d, want 1", m.Repairs)
+	}
+	if got := m.DeliveryRatio(); got < 0.99 {
+		t.Errorf("delivery ratio with repair = %.4f, want >= 0.99", got)
+	}
+	if want := int64(rounds - killAt); m.ReportsLost != want {
+		t.Errorf("repair arm lost %d reports, want %d (the dead post's own)", m.ReportsLost, want)
+	}
+	if m.DegradedCost <= 0 {
+		t.Errorf("DegradedCost = %g after a repair, want > 0", m.DegradedCost)
+	}
+
+	// Energy conservation holds across the repair.
+	audit := healer.AuditEnergy()
+	scale := audit.InitialStored + audit.Received
+	if rel := math.Abs(audit.Imbalance()) / scale; rel > 1e-9 {
+		t.Errorf("energy audit imbalance %.3g nJ (rel %.2g) after repair", audit.Imbalance(), rel)
+	}
+
+	// No-repair baseline: the whole subtree is lost every round.
+	baseline := build(nil)
+	bm, err := baseline.Run(rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(sizes[victim]) * int64(rounds-killAt); bm.ReportsLost != want {
+		t.Errorf("baseline lost %d reports, want the full subtree %d (size %d)", bm.ReportsLost, want, sizes[victim])
+	}
+	if bm.Repairs != 0 {
+		t.Errorf("baseline performed %d repairs", bm.Repairs)
+	}
+
+	// Bit-identical repeat: same seed, same metrics, same patched tree.
+	again := build(&RepairConfig{})
+	am, err := again.Run(rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *am != *m {
+		t.Errorf("repair runs diverged for a fixed seed:\n%+v\n%+v", *m, *am)
+	}
+	if !treesEqual(healer.Tree(), again.Tree()) {
+		t.Error("repaired trees differ between identical runs")
+	}
+}
+
+func TestRepairLatencySemantics(t *testing.T) {
+	p, sol := testNetwork(t, 8, 300, 25, 120)
+	victim, sizes := subtreeVictim(p, sol.Tree)
+	if sizes[victim] < 2 {
+		t.Fatalf("victim carries no subtree")
+	}
+	const killAt = 100
+	const rounds = 500
+
+	run := func(latency int) *Metrics {
+		cfg := scheduleConfig(p, sol, 3)
+		cfg.Faults = &FaultConfig{Schedule: FaultSchedule{{Round: killAt, Kind: FaultKillPost, Post: victim}}}
+		cfg.Repair = &RepairConfig{LatencyRounds: latency}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := s.Run(rounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	// Zero latency: the patched tree carries the very next round, so only
+	// the dead post's own reports are ever lost.
+	m0 := run(0)
+	if want := int64(rounds - killAt); m0.ReportsLost != want {
+		t.Errorf("zero-latency run lost %d, want %d", m0.ReportsLost, want)
+	}
+	if got := m0.MeanRepairLatency(); got != 0 {
+		t.Errorf("MeanRepairLatency = %g, want 0", got)
+	}
+
+	// Latency L: the old tree bleeds the whole subtree for exactly L more
+	// rounds before the patch lands.
+	const lat = 50
+	mL := run(lat)
+	want := int64(sizes[victim])*lat + int64(rounds-killAt-lat)
+	if mL.ReportsLost != want {
+		t.Errorf("latency-%d run lost %d, want %d (subtree %d for %d rounds, then own only)",
+			lat, mL.ReportsLost, want, sizes[victim], lat)
+	}
+	if got := mL.MeanRepairLatency(); got != lat {
+		t.Errorf("MeanRepairLatency = %g, want %d", got, lat)
+	}
+}
+
+func TestRepairRestoresAvailability(t *testing.T) {
+	p, sol := testNetwork(t, 8, 300, 25, 120)
+	victim, sizes := subtreeVictim(p, sol.Tree)
+	cfg := scheduleConfig(p, sol, 3)
+	cfg.Faults = &FaultConfig{Schedule: FaultSchedule{{Round: 100, Kind: FaultKillPost, Post: victim}}}
+	cfg.Repair = &RepairConfig{LatencyRounds: 20}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &AvailabilityTracer{}
+	s.SetTracer(tr)
+	if _, err := s.Run(300); err != nil {
+		t.Fatal(err)
+	}
+	n := float64(p.N())
+	dip := (n - float64(sizes[victim])) / n
+	healed := (n - 1) / n
+	if got := tr.Min(); math.Abs(got-dip) > 1e-9 {
+		t.Errorf("min availability %.4f, want the subtree dip %.4f", got, dip)
+	}
+	if got := tr.Series[len(tr.Series)-1]; math.Abs(got-healed) > 1e-9 {
+		t.Errorf("final availability %.4f, want %.4f after repair", got, healed)
+	}
+}
+
+// TestRepairUnderStochasticFailures drives the full loop — random
+// permanent failures, repeated repairs — and checks determinism, audit
+// balance and that repairs keep routing through survivors only.
+func TestRepairUnderStochasticFailures(t *testing.T) {
+	p, sol := testNetwork(t, 8, 300, 25, 150)
+	run := func() (*Metrics, model.Tree, EnergyAudit) {
+		cfg := scheduleConfig(p, sol, 99)
+		cfg.Faults = &FaultConfig{NodeFailurePerRound: 2e-4}
+		cfg.Repair = &RepairConfig{LatencyRounds: 10}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := s.Run(4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, s.Tree(), s.AuditEnergy()
+	}
+	m, tree, audit := run()
+	if m.PostsDead == 0 || m.Repairs == 0 {
+		t.Skipf("seed produced no post deaths (failures=%d); determinism still covered elsewhere", m.NodeFailures)
+	}
+	if rel := math.Abs(audit.Imbalance()) / (audit.InitialStored + audit.Received); rel > 1e-9 {
+		t.Errorf("audit imbalance %.3g (rel %.2g) across %d repairs", audit.Imbalance(), rel, m.Repairs)
+	}
+	m2, tree2, _ := run()
+	if *m != *m2 {
+		t.Errorf("stochastic repair runs diverged:\n%+v\n%+v", *m, *m2)
+	}
+	if !treesEqual(tree, tree2) {
+		t.Error("patched trees diverged between identical stochastic runs")
+	}
+}

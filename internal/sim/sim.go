@@ -10,7 +10,17 @@
 // the multi-node efficiency gain — and measures the charger's empirical
 // energy per delivered round, which converges to the analytic value under
 // an adequate charging schedule (property-tested). It also supports
-// failure injection and charger-less runs for lifetime studies.
+// charger-less runs for lifetime studies.
+//
+// Beyond the paper, the simulator is self-healing: a pluggable
+// fault-injection engine (Config.Faults) drives permanent node failures,
+// transient outages, spatially correlated post outages and charger
+// breakdowns — stochastically or from a deterministic FaultSchedule — and
+// an online repair policy (Config.Repair) re-attaches orphaned subtrees
+// by re-running the recharging-cost routing phases over the surviving
+// posts, with configurable repair latency. Degradation metrics
+// (time-to-first-partition, repairs, latency, post-repair cost inflation,
+// per-round availability) quantify what failures cost.
 //
 // Time advances in reporting rounds: every round each post originates one
 // report of PacketBits bits that is forwarded hop-by-hop to the base
@@ -24,6 +34,7 @@ import (
 	"math/rand"
 
 	"wrsn/internal/geom"
+	"wrsn/internal/heal"
 	"wrsn/internal/model"
 )
 
@@ -41,7 +52,8 @@ type Config struct {
 	// roughly 2000 rounds of the busiest post's work, so charging
 	// schedules have slack).
 	BatteryCapacity float64
-	// InitialChargeFrac is the starting battery fraction (default 1.0).
+	// InitialChargeFrac is the starting battery fraction in (0, 1]
+	// (default 1.0; values outside [0, 1] are rejected).
 	InitialChargeFrac float64
 
 	// Charger configures the mobile charger(s); nil disables charging
@@ -53,8 +65,23 @@ type Config struct {
 	// same post simultaneously.
 	Chargers int
 
-	// FailurePerRound is a per-round probability that one random alive
-	// node fails permanently (failure injection; default 0).
+	// Faults configures the fault-injection engine: stochastic and
+	// scheduled node failures, transient outages, correlated post
+	// outages and charger breakdowns. nil injects nothing.
+	Faults *FaultConfig
+	// Repair enables the online tree-repair policy: when a post dies,
+	// orphaned subtrees re-attach by re-running the recharging-cost
+	// routing phases over the surviving posts. nil leaves the tree
+	// static (the no-repair baseline).
+	Repair *RepairConfig
+
+	// FailurePerRound is a legacy shorthand for
+	// Faults.NodeFailurePerRound: the per-node per-round Bernoulli
+	// probability of a permanent failure (default 0). Node failures per
+	// round follow Binomial(aliveNodes, p), so high rates inject
+	// proportionally — the historical engine fired at most one failure
+	// per round regardless of rate. Setting both this and
+	// Faults.NodeFailurePerRound is an error.
 	FailurePerRound float64
 	// LinkLossProb is the probability that one transmission attempt of a
 	// report fails and must be retransmitted (default 0: the paper's
@@ -62,12 +89,26 @@ type Config struct {
 	// 1/(1-p) — an extension quantifying how MAC-layer loss erodes the
 	// analytic recharging cost.
 	LinkLossProb float64
-	// MaxRetries caps retransmission attempts per report per hop
-	// (default 8); a report dropping all attempts is lost.
+	// MaxRetries caps retransmission attempts per report per hop; a
+	// report dropping all attempts is lost. It defaults to 8 for
+	// lossless runs but must be set explicitly (>= 1) when LinkLossProb
+	// is positive.
 	MaxRetries int
 	// Seed drives all randomness (failures). Runs are deterministic for
 	// a fixed seed.
 	Seed int64
+}
+
+// RepairConfig tunes the online tree-repair policy.
+type RepairConfig struct {
+	// LatencyRounds is how many rounds of outage pass between detecting
+	// a dead post and the patched tree taking effect (repairs are not
+	// instantaneous). 0 applies the new tree before the next round's
+	// reports.
+	LatencyRounds int
+	// DisableSiblingMerge skips the Phase III sibling merge during
+	// rebuilds (ablation knob).
+	DisableSiblingMerge bool
 }
 
 // ChargerPolicy selects how the charger picks its next post. The paper
@@ -114,6 +155,16 @@ type ChargerConfig struct {
 type Node struct {
 	Energy float64
 	Alive  bool
+	// DownUntil, when positive, marks a transient outage: the node is
+	// offline through round DownUntil inclusive, then recovers with its
+	// battery intact.
+	DownUntil int
+}
+
+// usableAt reports whether the node can work at the given round: alive
+// and not transiently down.
+func (nd *Node) usableAt(round int) bool {
+	return nd.Alive && nd.DownUntil < round
 }
 
 // Post is the runtime state of one post: its nodes and rotation cursor.
@@ -121,10 +172,24 @@ type Post struct {
 	Nodes []Node
 }
 
-// aliveMaxEnergy returns the index of the alive node with the most
-// energy, or -1 when none is alive. Rotation selects this node as the
+// usableMaxEnergy returns the index of the usable node with the most
+// energy, or -1 when none is usable. Rotation selects this node as the
 // round's active worker, which keeps residual energies nearly equal
 // across a post (the paper's stated rotation goal).
+func (p *Post) usableMaxEnergy(round int) int {
+	best, bestE := -1, -1.0
+	for i := range p.Nodes {
+		if p.Nodes[i].usableAt(round) && p.Nodes[i].Energy > bestE {
+			best, bestE = i, p.Nodes[i].Energy
+		}
+	}
+	return best
+}
+
+// aliveMaxEnergy returns the index of the alive node with the most
+// energy regardless of transient state, or -1 when none is alive. Fault
+// injection kills this node so repeated events strip a post
+// deterministically.
 func (p *Post) aliveMaxEnergy() int {
 	best, bestE := -1, -1.0
 	for i := range p.Nodes {
@@ -135,7 +200,8 @@ func (p *Post) aliveMaxEnergy() int {
 	return best
 }
 
-// AliveCount returns the number of alive nodes at the post.
+// AliveCount returns the number of permanently alive nodes at the post
+// (transiently down nodes count: they will recover).
 func (p *Post) AliveCount() int {
 	c := 0
 	for i := range p.Nodes {
@@ -146,12 +212,24 @@ func (p *Post) AliveCount() int {
 	return c
 }
 
-// MinEnergyFrac returns the lowest battery fraction among alive nodes
-// (1.0 when none is alive, so dead posts never attract the charger).
-func (p *Post) minEnergyFrac(capacity float64) float64 {
+// UsableCount returns the number of nodes able to work at the given
+// round: alive and not transiently down.
+func (p *Post) UsableCount(round int) int {
+	c := 0
+	for i := range p.Nodes {
+		if p.Nodes[i].usableAt(round) {
+			c++
+		}
+	}
+	return c
+}
+
+// minEnergyFrac returns the lowest battery fraction among usable nodes
+// (1.0 when none is usable, so dead posts never attract the charger).
+func (p *Post) minEnergyFrac(capacity float64, round int) float64 {
 	min := 1.0
 	for i := range p.Nodes {
-		if p.Nodes[i].Alive {
+		if p.Nodes[i].usableAt(round) {
 			if f := p.Nodes[i].Energy / capacity; f < min {
 				min = f
 			}
@@ -174,6 +252,21 @@ type Metrics struct {
 	NodeFailures      int64   // injected permanent failures
 	FirstLossRound    int     // first round with a lost report; -1 if none
 	StarvedPostRounds int64   // post-rounds spent with no usable node
+
+	// Fault-engine outcomes.
+	TransientFaults   int64 // transient node outages injected
+	CorrelatedOutages int64 // correlated post-outage events fired
+	ChargerBreakdowns int64 // charger breakdowns injected
+	ChargerDownRounds int64 // charger-rounds spent out of service
+
+	// Degradation and repair outcomes.
+	PostsDead           int     // posts whose last node died
+	StrandedPosts       int     // live posts with no possible survivor route to the BS
+	FirstPartitionRound int     // first round a live post was physically cut off; -1 if never
+	Repairs             int64   // tree repairs applied
+	RepairLatencySum    int64   // rounds of outage between death detection and patched trees
+	DegradedCost        float64 // analytic cost after the latest repair (nJ per bit-round); 0 before any
+	RepairCostInflation float64 // DegradedCost / original plan cost - 1, after the latest repair
 
 	// postCount (reports per full round) is stamped by the simulator so
 	// EmpiricalCostPerRound can normalise without a Problem reference.
@@ -204,10 +297,20 @@ func (m *Metrics) DeliveryRatio() float64 {
 	return float64(m.ReportsDelivered) / float64(total)
 }
 
+// MeanRepairLatency returns the mean rounds of outage between detecting
+// a dead post and its repair taking effect (0 when no repair ran).
+func (m *Metrics) MeanRepairLatency() float64 {
+	if m.Repairs == 0 {
+		return 0
+	}
+	return float64(m.RepairLatencySum) / float64(m.Repairs)
+}
+
 // Simulator executes a configured run.
 type Simulator struct {
 	cfg      Config
 	p        *model.Problem
+	tree     model.Tree // current routing tree (repairs swap it)
 	posts    []Post
 	order    []int // posts in leaves-first topological order
 	perTx    []float64
@@ -218,6 +321,16 @@ type Simulator struct {
 	claimed  []bool // posts currently targeted by some charger
 	metrics  Metrics
 	tracer   Tracer
+
+	faults   *faultEngine
+	deadPost []bool // posts whose last node died (detected)
+
+	planCost         float64 // analytic cost of the original plan (repair metric baseline)
+	repairPending    bool
+	repairRequested  int // round the pending repair was requested
+	repairApplyAfter int // last round the old tree stays in effect
+
+	lastRoundDelivered int64 // reports delivered in the most recent round
 }
 
 // SetTracer installs a per-round observer (nil disables tracing).
@@ -245,8 +358,14 @@ func New(cfg Config) (*Simulator, error) {
 	if cfg.PacketBits <= 0 {
 		cfg.PacketBits = 1000
 	}
-	if cfg.InitialChargeFrac <= 0 || cfg.InitialChargeFrac > 1 {
+	if cfg.InitialChargeFrac < 0 || cfg.InitialChargeFrac > 1 {
+		return nil, fmt.Errorf("sim: initial charge fraction %g outside [0, 1]", cfg.InitialChargeFrac)
+	}
+	if cfg.InitialChargeFrac == 0 {
 		cfg.InitialChargeFrac = 1
+	}
+	if cfg.Chargers < 0 {
+		return nil, fmt.Errorf("sim: negative charger fleet size %d", cfg.Chargers)
 	}
 	if cfg.FailurePerRound < 0 || cfg.FailurePerRound > 1 {
 		return nil, fmt.Errorf("sim: failure rate %g outside [0, 1]", cfg.FailurePerRound)
@@ -254,66 +373,122 @@ func New(cfg Config) (*Simulator, error) {
 	if cfg.LinkLossProb < 0 || cfg.LinkLossProb >= 1 {
 		return nil, fmt.Errorf("sim: link loss probability %g outside [0, 1)", cfg.LinkLossProb)
 	}
-	if cfg.MaxRetries <= 0 {
+	if cfg.MaxRetries < 0 {
+		return nil, fmt.Errorf("sim: negative retry cap %d", cfg.MaxRetries)
+	}
+	if cfg.LinkLossProb > 0 && cfg.MaxRetries == 0 {
+		return nil, errors.New("sim: LinkLossProb > 0 requires an explicit MaxRetries >= 1")
+	}
+	if cfg.MaxRetries == 0 {
 		cfg.MaxRetries = 8
+	}
+	if cfg.Repair != nil && cfg.Repair.LatencyRounds < 0 {
+		return nil, fmt.Errorf("sim: negative repair latency %d", cfg.Repair.LatencyRounds)
 	}
 	if !p.UniformRates() {
 		return nil, errors.New("sim: heterogeneous report rates are not supported by the round-based simulator; use the analytic evaluator")
 	}
 
 	n := p.N()
-	tree := cfg.Solution.Tree
-	sizes := tree.SubtreeSizes(p)
-	perTx := make([]float64, n)
-	perRx := make([]float64, n)
-	drain := make([]float64, n)
-	bits := float64(cfg.PacketBits)
-	for i := 0; i < n; i++ {
-		perTx[i] = p.Energy.TxEnergyAtLevel(tree.Level[i]) * bits
-		perRx[i] = p.Energy.RxEnergy() * bits
-		// RoundOverhead is expressed per reported bit (the model's unit
-		// round), so a PacketBits-sized report scales it like the
-		// communication terms.
-		drain[i] = float64(sizes[i])*perTx[i] + float64(sizes[i]-1)*perRx[i] + p.Overhead(i)*bits
+	fleet := 0
+	if cfg.Charger != nil {
+		fleet = cfg.Chargers
+		if fleet < 1 {
+			fleet = 1
+		}
+	} else if cfg.Chargers > 0 {
+		return nil, errors.New("sim: Chargers set but Charger config is nil")
 	}
-	if cfg.BatteryCapacity <= 0 {
+
+	// Fold the legacy FailurePerRound shorthand into the fault engine.
+	var faultCfg FaultConfig
+	if cfg.Faults != nil {
+		faultCfg = *cfg.Faults
+		if cfg.FailurePerRound > 0 && faultCfg.NodeFailurePerRound > 0 {
+			return nil, errors.New("sim: set FailurePerRound or Faults.NodeFailurePerRound, not both")
+		}
+	}
+	if cfg.FailurePerRound > 0 {
+		faultCfg.NodeFailurePerRound = cfg.FailurePerRound
+	}
+	if err := faultCfg.validate(n, fleet); err != nil {
+		return nil, err
+	}
+
+	s := &Simulator{
+		cfg:      cfg,
+		p:        p,
+		tree:     cfg.Solution.Tree.Clone(),
+		deadPost: make([]bool, n),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+	s.metrics.FirstLossRound = -1
+	s.metrics.FirstPartitionRound = -1
+	if faultCfg.active() {
+		s.faults = newFaultEngine(faultCfg)
+	}
+
+	if err := s.rebuildDerived(); err != nil {
+		return nil, err
+	}
+	if s.cfg.BatteryCapacity <= 0 {
 		maxDrainPerNode := 0.0
 		for i := 0; i < n; i++ {
-			d := drain[i] / float64(cfg.Solution.Deploy[i])
+			d := s.drain[i] / float64(cfg.Solution.Deploy[i])
 			if d > maxDrainPerNode {
 				maxDrainPerNode = d
 			}
 		}
-		cfg.BatteryCapacity = maxDrainPerNode * DefaultBatteryRounds
+		s.cfg.BatteryCapacity = maxDrainPerNode * DefaultBatteryRounds
 	}
-
-	s := &Simulator{
-		cfg:   cfg,
-		p:     p,
-		perTx: perTx,
-		perRx: perRx,
-		drain: drain,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-	}
-	s.metrics.FirstLossRound = -1
 
 	s.posts = make([]Post, n)
 	for i := range s.posts {
 		nodes := make([]Node, cfg.Solution.Deploy[i])
 		for j := range nodes {
-			nodes[j] = Node{Energy: cfg.BatteryCapacity * cfg.InitialChargeFrac, Alive: true}
+			nodes[j] = Node{Energy: s.cfg.BatteryCapacity * s.cfg.InitialChargeFrac, Alive: true}
 		}
 		s.posts[i] = Post{Nodes: nodes}
 	}
 
-	// Leaves-first topological order over the tree.
+	if cfg.Repair != nil {
+		planCost, err := model.Evaluate(p, cfg.Solution.Deploy, cfg.Solution.Tree)
+		if err != nil {
+			return nil, err
+		}
+		s.planCost = planCost
+	}
+
+	if fleet > 0 {
+		s.claimed = make([]bool, n)
+		for i := 0; i < fleet; i++ {
+			ch, err := newChargerState(cfg.Charger, p)
+			if err != nil {
+				return nil, err
+			}
+			s.chargers = append(s.chargers, ch)
+		}
+	}
+	return s, nil
+}
+
+// rebuildDerived recomputes every tree-derived quantity from the current
+// routing tree and death mask: the leaves-first topological order, the
+// per-post transmit/receive energies at the tree's power levels, and the
+// expected per-round drain (live subtree sizes — dead posts originate
+// and forward nothing). Called at construction and after each repair.
+func (s *Simulator) rebuildDerived() error {
+	n := s.p.N()
+	bits := float64(s.cfg.PacketBits)
+
+	// Leaves-first topological order over the current tree.
 	childCount := make([]int, n)
 	for i := 0; i < n; i++ {
-		if par := tree.Parent[i]; par < n {
+		if par := s.tree.Parent[i]; par < n {
 			childCount[par]++
 		}
 	}
-	s.order = make([]int, 0, n)
+	order := make([]int, 0, n)
 	queue := make([]int, 0, n)
 	for i := 0; i < n; i++ {
 		if childCount[i] == 0 {
@@ -323,35 +498,51 @@ func New(cfg Config) (*Simulator, error) {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		s.order = append(s.order, v)
-		if par := tree.Parent[v]; par < n {
+		order = append(order, v)
+		if par := s.tree.Parent[v]; par < n {
 			if childCount[par]--; childCount[par] == 0 {
 				queue = append(queue, par)
 			}
 		}
 	}
-	if len(s.order) != n {
-		return nil, model.ErrCycle
+	if len(order) != n {
+		return model.ErrCycle
+	}
+	s.order = order
+
+	// Live subtree sizes: dead posts inject no reports and never forward.
+	liveSize := make([]int, n)
+	for _, i := range order {
+		if !s.deadPost[i] {
+			liveSize[i]++
+		}
+		if par := s.tree.Parent[i]; par < n && !s.deadPost[i] {
+			liveSize[par] += liveSize[i]
+		}
 	}
 
-	if cfg.Charger != nil {
-		fleet := cfg.Chargers
-		if fleet < 1 {
-			fleet = 1
+	perTx := make([]float64, n)
+	perRx := make([]float64, n)
+	drain := make([]float64, n)
+	for i := 0; i < n; i++ {
+		perTx[i] = s.p.Energy.TxEnergyAtLevel(s.tree.Level[i]) * bits
+		perRx[i] = s.p.Energy.RxEnergy() * bits
+		// RoundOverhead is expressed per reported bit (the model's unit
+		// round), so a PacketBits-sized report scales it like the
+		// communication terms.
+		own := 0
+		if !s.deadPost[i] {
+			own = 1
 		}
-		s.claimed = make([]bool, n)
-		for i := 0; i < fleet; i++ {
-			ch, err := newChargerState(cfg.Charger, p)
-			if err != nil {
-				return nil, err
-			}
-			s.chargers = append(s.chargers, ch)
-		}
-	} else if cfg.Chargers > 0 {
-		return nil, errors.New("sim: Chargers set but Charger config is nil")
+		drain[i] = float64(liveSize[i])*perTx[i] + float64(liveSize[i]-own)*perRx[i] + s.p.Overhead(i)*bits
 	}
-	return s, nil
+	s.perTx, s.perRx, s.drain = perTx, perRx, drain
+	return nil
 }
+
+// Tree returns a copy of the routing tree currently in effect (the
+// original plan until a repair swaps it).
+func (s *Simulator) Tree() model.Tree { return s.tree.Clone() }
 
 // Run advances the simulation by `rounds` rounds and returns cumulative
 // metrics. It may be called repeatedly to continue the same run.
@@ -377,16 +568,34 @@ func (s *Simulator) Metrics() Metrics {
 // Posts exposes a read-only view of post states for tests and examples.
 func (s *Simulator) Posts() []Post { return s.posts }
 
-// step executes one reporting round followed by one charger round.
+// RoundAvailability returns the fraction of posts whose report reached
+// the base station in the most recent round — the per-round availability
+// series (1.0 while the network is healthy, dropping as posts die or
+// starve, recovering after repairs).
+func (s *Simulator) RoundAvailability() float64 {
+	if s.metrics.Rounds == 0 {
+		return 0
+	}
+	return float64(s.lastRoundDelivered) / float64(s.p.N())
+}
+
+// step executes one reporting round followed by fault injection, repair
+// bookkeeping and one charger round.
 func (s *Simulator) step() {
 	s.metrics.Rounds++
+	round := s.metrics.Rounds
 	n := s.p.N()
-	tree := s.cfg.Solution.Tree
 
-	// delivered[i]: number of reports post i must forward this round that
+	// A due repair takes effect before this round's reports move.
+	if s.repairPending && round > s.repairApplyAfter {
+		s.applyRepair(round)
+	}
+
+	deliveredBefore := s.metrics.ReportsDelivered
+
+	// arrived[i]: number of reports post i must forward this round that
 	// actually arrived (its own + surviving children traffic).
 	arrived := make([]int64, n)
-	failedPost := make([]bool, n)
 	for _, i := range s.order {
 		carry := arrived[i] + 1 // children's surviving reports + own
 		// Lossy links: every report needs a geometric number of
@@ -407,14 +616,13 @@ func (s *Simulator) step() {
 		rxCost := float64(arrived[i]) * s.perRx[i]
 		txCost := float64(attempts) * s.perTx[i]
 		need := rxCost + txCost + s.p.Overhead(i)*float64(s.cfg.PacketBits)
-		idx := s.posts[i].aliveMaxEnergy()
+		idx := s.posts[i].usableMaxEnergy(round)
 		if idx < 0 || s.posts[i].Nodes[idx].Energy < need {
 			// Post cannot operate: all reports through it are lost.
-			failedPost[i] = true
 			s.metrics.StarvedPostRounds++
 			s.metrics.ReportsLost += carry
 			if s.metrics.FirstLossRound < 0 {
-				s.metrics.FirstLossRound = s.metrics.Rounds
+				s.metrics.FirstLossRound = round
 			}
 			continue
 		}
@@ -424,30 +632,118 @@ func (s *Simulator) step() {
 		if dropped := carry - forwarded; dropped > 0 {
 			s.metrics.ReportsLost += dropped
 			if s.metrics.FirstLossRound < 0 {
-				s.metrics.FirstLossRound = s.metrics.Rounds
+				s.metrics.FirstLossRound = round
 			}
 		}
-		if par := tree.Parent[i]; par < n {
+		if par := s.tree.Parent[i]; par < n {
 			arrived[par] += forwarded
 		} else {
 			s.metrics.ReportsDelivered += forwarded
 			s.metrics.BitsDelivered += forwarded * int64(s.cfg.PacketBits)
 		}
 	}
+	s.lastRoundDelivered = s.metrics.ReportsDelivered - deliveredBefore
 
-	// Failure injection: at most one permanent node failure per round.
-	if s.cfg.FailurePerRound > 0 && s.rng.Float64() < s.cfg.FailurePerRound {
-		s.injectFailure()
+	// Fault injection, death detection and repair scheduling.
+	if s.faults != nil {
+		deaths := s.metrics.NodeFailures
+		s.faults.step(s, round)
+		if s.metrics.NodeFailures != deaths {
+			s.detectDeaths(round)
+		}
 	}
 
 	// Charger movement/charging.
 	for _, ch := range s.chargers {
+		if ch.downUntil >= round {
+			s.metrics.ChargerDownRounds++
+			continue
+		}
 		ch.step(s)
 	}
 
 	if s.tracer != nil {
-		s.tracer.Observe(s.metrics.Rounds, s)
+		s.tracer.Observe(round, s)
 	}
+}
+
+// detectDeaths scans for posts whose last node just died, updates the
+// partition metrics and schedules a repair when the policy is enabled.
+func (s *Simulator) detectDeaths(round int) {
+	newDeath := false
+	for i := range s.posts {
+		if !s.deadPost[i] && s.posts[i].AliveCount() == 0 {
+			s.deadPost[i] = true
+			s.metrics.PostsDead++
+			newDeath = true
+		}
+	}
+	if !newDeath {
+		return
+	}
+	// Physical partition check: can every surviving post still reach the
+	// BS through survivors at maximum range?
+	alive := make([]bool, len(s.posts))
+	for i := range alive {
+		alive[i] = !s.deadPost[i]
+	}
+	reach := s.p.SurvivorsReachable(alive)
+	stranded := 0
+	for i := range alive {
+		if alive[i] && !reach[i] {
+			stranded++
+		}
+	}
+	s.metrics.StrandedPosts = stranded
+	if stranded > 0 && s.metrics.FirstPartitionRound < 0 {
+		s.metrics.FirstPartitionRound = round
+	}
+	if s.cfg.Repair != nil && !s.repairPending {
+		s.repairPending = true
+		s.repairRequested = round
+		s.repairApplyAfter = round + s.cfg.Repair.LatencyRounds
+	}
+}
+
+// applyRepair rebuilds the routing tree over the surviving posts and
+// swaps it in, updating the repair metrics. Deaths that occurred while
+// the repair was pending are healed by the same rebuild.
+func (s *Simulator) applyRepair(round int) {
+	s.repairPending = false
+	aliveCounts := make([]int, len(s.posts))
+	for i := range s.posts {
+		aliveCounts[i] = s.posts[i].AliveCount()
+	}
+	patched, stranded, err := heal.RepairTree(s.p, s.tree, aliveCounts, heal.Options{
+		DisableSiblingMerge: s.cfg.Repair.DisableSiblingMerge,
+	})
+	if err != nil {
+		// Defensive: an unrepairable topology keeps the old tree; the
+		// network degrades as if no repair were configured.
+		return
+	}
+	s.tree = patched
+	if err := s.rebuildDerived(); err != nil {
+		return
+	}
+	s.metrics.Repairs++
+	s.metrics.RepairLatencySum += int64(round - 1 - s.repairRequested)
+	s.metrics.StrandedPosts = len(stranded)
+	if cost, err := model.EvaluateDegraded(s.p, aliveCounts, s.tree); err == nil {
+		s.metrics.DegradedCost = cost
+		if s.planCost > 0 {
+			s.metrics.RepairCostInflation = cost/s.planCost - 1
+		}
+	}
+}
+
+// killNode permanently kills one node (fault-engine entry point).
+func (s *Simulator) killNode(post, node int) {
+	if !s.posts[post].Nodes[node].Alive {
+		return
+	}
+	s.posts[post].Nodes[node].Alive = false
+	s.metrics.NodeFailures++
 }
 
 // transmissionAttempts draws the attempt count for one report on one
@@ -460,31 +756,6 @@ func (s *Simulator) transmissionAttempts() (attempts int64, ok bool) {
 		}
 	}
 	return int64(s.cfg.MaxRetries), false
-}
-
-// injectFailure kills one uniformly random alive node, if any.
-func (s *Simulator) injectFailure() {
-	total := 0
-	for i := range s.posts {
-		total += s.posts[i].AliveCount()
-	}
-	if total == 0 {
-		return
-	}
-	pick := s.rng.Intn(total)
-	for i := range s.posts {
-		for j := range s.posts[i].Nodes {
-			if !s.posts[i].Nodes[j].Alive {
-				continue
-			}
-			if pick == 0 {
-				s.posts[i].Nodes[j].Alive = false
-				s.metrics.NodeFailures++
-				return
-			}
-			pick--
-		}
-	}
 }
 
 // AnalyticCostPerBitRound returns the model-predicted charger energy per

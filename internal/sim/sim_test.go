@@ -161,7 +161,9 @@ func TestFailureInjectionDegradesDelivery(t *testing.T) {
 		return m
 	}
 	healthy := run(0)
-	failing := run(0.05)
+	// FailurePerRound is per-node: 0.002 kills roughly one node every 11
+	// rounds across 45 nodes, stripping posts well within 4000 rounds.
+	failing := run(0.002)
 	if healthy.DeliveryRatio() != 1 {
 		t.Fatalf("healthy run delivery ratio %.3f, want 1", healthy.DeliveryRatio())
 	}
@@ -315,6 +317,41 @@ func TestLinkLossValidation(t *testing.T) {
 	}
 	if _, err := New(Config{Problem: p, Solution: sol, LinkLossProb: -0.1}); err == nil {
 		t.Error("negative loss accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	p, sol := testNetwork(t, 24, 200, 8, 24)
+	charger := &ChargerConfig{PowerPerRound: 1e7, SpeedPerRound: 10}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"negative chargers", func(c *Config) { c.Charger = charger; c.Chargers = -1 }},
+		{"fleet without charger config", func(c *Config) { c.Chargers = 2 }},
+		{"negative retry cap", func(c *Config) { c.MaxRetries = -1 }},
+		{"lossy links without retry cap", func(c *Config) { c.LinkLossProb = 0.1 }},
+		{"initial charge below zero", func(c *Config) { c.InitialChargeFrac = -0.5 }},
+		{"initial charge above one", func(c *Config) { c.InitialChargeFrac = 1.5 }},
+		{"failure rate below zero", func(c *Config) { c.FailurePerRound = -0.1 }},
+		{"failure rate above one", func(c *Config) { c.FailurePerRound = 1.1 }},
+		{"negative repair latency", func(c *Config) { c.Repair = &RepairConfig{LatencyRounds: -1} }},
+		{"nil problem", func(c *Config) { c.Problem = nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{Problem: p, Solution: sol}
+			tc.mut(&cfg)
+			if _, err := New(cfg); err == nil {
+				t.Errorf("invalid config accepted")
+			}
+		})
+	}
+	// The boundary values stay accepted.
+	ok := Config{Problem: p, Solution: sol, InitialChargeFrac: 1,
+		LinkLossProb: 0.1, MaxRetries: 1, Charger: charger, Chargers: 1}
+	if _, err := New(ok); err != nil {
+		t.Errorf("valid boundary config rejected: %v", err)
 	}
 }
 

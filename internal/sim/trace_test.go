@@ -2,6 +2,9 @@ package sim
 
 import (
 	"bytes"
+	"errors"
+	"math"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -27,8 +30,8 @@ func TestCSVTracer(t *testing.T) {
 		t.Fatalf("Flush: %v", err)
 	}
 	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
-	if !strings.HasPrefix(lines[0], "round,delivered,lost,") {
-		t.Fatalf("missing header: %q", lines[0])
+	if lines[0]+"\n" != csvHeader {
+		t.Fatalf("header = %q, want %q", lines[0], strings.TrimRight(csvHeader, "\n"))
 	}
 	// 100 rounds sampled every 10 -> 10 data rows.
 	if len(lines) != 11 {
@@ -37,11 +40,142 @@ func TestCSVTracer(t *testing.T) {
 	if !strings.HasPrefix(lines[1], "10,") || !strings.HasPrefix(lines[10], "100,") {
 		t.Errorf("sampling off: first=%q last=%q", lines[1], lines[10])
 	}
-	// Every data row has 8 comma-separated fields.
+	// Every data row has as many fields as the header.
+	wantFields := strings.Count(csvHeader, ",")
 	for _, line := range lines[1:] {
-		if got := strings.Count(line, ","); got != 7 {
-			t.Errorf("row %q has %d commas, want 7", line, got)
+		if got := strings.Count(line, ","); got != wantFields {
+			t.Errorf("row %q has %d commas, want %d", line, got, wantFields)
 		}
+	}
+	// A healthy network reports availability 1 and zero repairs.
+	fields := strings.Split(lines[10], ",")
+	if fields[8] != "1.0000" {
+		t.Errorf("healthy availability = %q, want 1.0000", fields[8])
+	}
+	if fields[9] != "0" {
+		t.Errorf("repairs = %q, want 0", fields[9])
+	}
+}
+
+// TestCSVTracerUnderFaults drives a deterministic fault schedule and
+// checks that the trace reflects the degradation: the availability column
+// steps down when a post dies, alive_nodes drops by the post's strength,
+// and the repairs column records the applied repair. It also pins the
+// run's DeliveryRatio and FirstLossRound to the schedule.
+func TestCSVTracerUnderFaults(t *testing.T) {
+	p, sol := testNetwork(t, 16, 200, 12, 48)
+	victim, sizes := subtreeVictim(p, sol.Tree)
+	const killAt = 40
+	const rounds = 100
+	cfg := scheduleConfig(p, sol, 2)
+	cfg.Faults = &FaultConfig{Schedule: FaultSchedule{{Round: killAt, Kind: FaultKillPost, Post: victim}}}
+	cfg.Repair = &RepairConfig{LatencyRounds: 20}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tracer := NewCSVTracer(&buf, 10)
+	s.SetTracer(tracer)
+	m, err := s.Run(rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	n := float64(p.N())
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	parse := func(line string) (round, alive, repairs int, avail float64) {
+		f := strings.Split(line, ",")
+		round, _ = strconv.Atoi(f[0])
+		alive, _ = strconv.Atoi(f[7])
+		avail, _ = strconv.ParseFloat(f[8], 64)
+		repairs, _ = strconv.Atoi(f[9])
+		return
+	}
+	const tol = 1e-4 // the tracer prints availability with 4 decimals
+	for _, line := range lines[1:] {
+		round, alive, repairs, avail := parse(line)
+		switch {
+		case round < killAt:
+			if avail != 1 || alive != p.Nodes || repairs != 0 {
+				t.Errorf("round %d: healthy network traced avail=%g alive=%d repairs=%d", round, avail, alive, repairs)
+			}
+		case round == killAt:
+			// The kill fires after the round's reporting: the round still
+			// delivers fully, but the trace already shows the dead nodes.
+			if avail != 1 {
+				t.Errorf("round %d: availability %g, want 1 (kill is post-reporting)", round, avail)
+			}
+			if want := p.Nodes - sol.Deploy[victim]; alive != want {
+				t.Errorf("round %d: alive=%d, want %d after the kill", round, alive, want)
+			}
+		case round <= killAt+20: // outage window before the patch lands
+			if want := (n - float64(sizes[victim])) / n; math.Abs(avail-want) > tol {
+				t.Errorf("round %d: outage availability %g, want %g", round, avail, want)
+			}
+			if want := p.Nodes - sol.Deploy[victim]; alive != want {
+				t.Errorf("round %d: alive=%d, want %d after the kill", round, alive, want)
+			}
+		default: // repaired: only the dead post is silent
+			if want := (n - 1) / n; math.Abs(avail-want) > tol {
+				t.Errorf("round %d: post-repair availability %g, want %g", round, avail, want)
+			}
+			if repairs != 1 {
+				t.Errorf("round %d: repairs=%d, want 1", round, repairs)
+			}
+		}
+	}
+
+	// The deterministic schedule pins the aggregate metrics exactly:
+	// subtree loss for the 20-round latency window, own-report loss after.
+	wantLost := int64(sizes[victim])*20 + int64(rounds-killAt-20)
+	if m.ReportsLost != wantLost {
+		t.Errorf("ReportsLost = %d, want %d", m.ReportsLost, wantLost)
+	}
+	wantRatio := 1 - float64(wantLost)/float64(int64(rounds)*int64(p.N()))
+	if got := m.DeliveryRatio(); math.Abs(got-wantRatio) > 1e-12 {
+		t.Errorf("DeliveryRatio = %.6f, want %.6f", got, wantRatio)
+	}
+	if m.FirstLossRound != killAt+1 {
+		t.Errorf("FirstLossRound = %d, want %d", m.FirstLossRound, killAt+1)
+	}
+}
+
+// failAfter errors once more than limit bytes have been written.
+type failAfter struct {
+	limit   int
+	written int
+}
+
+var errSink = errors.New("sink full")
+
+func (f *failAfter) Write(b []byte) (int, error) {
+	if f.written+len(b) > f.limit {
+		return 0, errSink
+	}
+	f.written += len(b)
+	return len(b), nil
+}
+
+func TestCSVTracerFlushReportsWriteError(t *testing.T) {
+	p, sol := testNetwork(t, 17, 200, 8, 24)
+	s, err := New(Config{Problem: p, Solution: sol, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Room for the header and little else: the tracer must surface the
+	// write error through Flush instead of dropping rows silently.
+	sink := &failAfter{limit: len(csvHeader) + 40}
+	tracer := NewCSVTracer(sink, 1)
+	s.SetTracer(tracer)
+	if _, err := s.Run(5000); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Flush(); !errors.Is(err, errSink) {
+		t.Errorf("Flush error = %v, want %v", err, errSink)
 	}
 }
 
@@ -67,5 +201,25 @@ func TestTracerFuncObservesEveryRound(t *testing.T) {
 	}
 	if len(rounds) != 5 {
 		t.Errorf("tracer still firing after removal: %v", rounds)
+	}
+}
+
+func TestAvailabilityTracerSampling(t *testing.T) {
+	p, sol := testNetwork(t, 18, 200, 8, 24)
+	s, err := New(Config{Problem: p, Solution: sol,
+		Charger: &ChargerConfig{PowerPerRound: 1e8, SpeedPerRound: 100}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &AvailabilityTracer{Every: 25}
+	s.SetTracer(tr)
+	if _, err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Rounds) != 4 || tr.Rounds[0] != 25 || tr.Rounds[3] != 100 {
+		t.Fatalf("sampled rounds %v, want [25 50 75 100]", tr.Rounds)
+	}
+	if tr.Min() != 1 {
+		t.Errorf("healthy min availability = %g, want 1", tr.Min())
 	}
 }
