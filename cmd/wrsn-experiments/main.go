@@ -7,73 +7,142 @@
 //	wrsn-experiments -fig 8 -seeds 5     # one figure, fewer seeds
 //	wrsn-experiments -fig 7a -quick      # scaled-down quick run
 //	wrsn-experiments -fig 6 -csv         # emit CSV instead of tables
+//	wrsn-experiments -fig all -workers 8 -progress
+//	wrsn-experiments -fig all -bench BENCH_PR2.json
 //
 // Figures: 1 (field experiment / Table II), 6 (iterative RFH
 // convergence), 7a/7b (heuristics vs optimal), 8 (node-count sweep),
-// 9 (post-count sweep), 10 (power-level sweep).
+// 9 (post-count sweep), 10 (power-level sweep), plus the ext-* extension
+// studies and the solver portfolio.
+//
+// Selected figures run concurrently on the experiment engine, sharing
+// one cell-concurrency budget (-workers); output is buffered per figure
+// and printed in a fixed order, so stdout is byte-identical at any
+// worker count. Ctrl-C cancels in-flight sweeps; figures completed
+// before the interrupt are still printed and written to -json.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
+	"wrsn/internal/engine"
 	"wrsn/internal/experiments"
 	"wrsn/internal/render"
 	"wrsn/internal/texttable"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runCtx(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "wrsn-experiments:", err)
 		os.Exit(1)
 	}
 }
 
+// run keeps the historical single-writer entry point (used by tests).
 func run(args []string, stdout io.Writer) error {
+	return runCtx(context.Background(), args, stdout, io.Discard)
+}
+
+// progressRenderer folds cell events from every concurrently running
+// figure into one live stderr line.
+type progressRenderer struct {
+	mu    sync.Mutex
+	done  map[string]int
+	total map[string]int
+	out   io.Writer
+}
+
+func newProgressRenderer(out io.Writer) *progressRenderer {
+	return &progressRenderer{done: map[string]int{}, total: map[string]int{}, out: out}
+}
+
+func (pr *progressRenderer) observe(ev engine.Event) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	pr.total[ev.Sweep] = ev.Total
+	if ev.Kind == engine.CellFinished {
+		pr.done[ev.Sweep] = ev.Done
+	}
+	var done, total int
+	for id := range pr.total {
+		done += pr.done[id]
+		total += pr.total[id]
+	}
+	fmt.Fprintf(pr.out, "\r%-72s", fmt.Sprintf("%d/%d cells  (%s: %s)", done, total, ev.Sweep, ev.Algorithm))
+}
+
+func (pr *progressRenderer) finish() {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if len(pr.total) > 0 {
+		fmt.Fprintln(pr.out)
+	}
+}
+
+// benchArtifact is the machine-readable perf record written by -bench:
+// the trajectory future optimisation PRs measure themselves against.
+type benchArtifact struct {
+	Command          string          `json:"command"`
+	Workers          int             `json:"workers"`
+	TotalWallSeconds float64         `json:"total_wall_seconds"`
+	TotalCells       int             `json:"total_cells"`
+	TotalEvaluations int64           `json:"total_solver_evaluations"`
+	Figures          []engine.Timing `json:"figures"`
+}
+
+func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("wrsn-experiments", flag.ContinueOnError)
 	var (
-		fig   = fs.String("fig", "all", "figure to regenerate: 1, 6, 7a, 7b, 8, 9, 10 or all")
-		seeds = fs.Int("seeds", 0, "random post distributions to average (0 = paper default)")
-		seed  = fs.Int64("seed", 1, "base random seed")
-		quick = fs.Bool("quick", false, "scaled-down run (fewer seeds/points, same trends)")
-		csv   = fs.Bool("csv", false, "emit CSV instead of aligned tables")
-		chart = fs.Bool("chart", false, "additionally draw each figure as an ASCII chart")
-		jsonP = fs.String("json", "", "additionally write the structured figures as JSON to this file")
+		fig      = fs.String("fig", "all", "figure(s) to regenerate (comma-separated ids, all, or ext)")
+		seeds    = fs.Int("seeds", 0, "random post distributions to average (0 = paper default)")
+		seed     = fs.Int64("seed", 1, "base random seed")
+		quick    = fs.Bool("quick", false, "scaled-down run (fewer seeds/points, same trends)")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		chart    = fs.Bool("chart", false, "additionally draw each figure as an ASCII chart")
+		jsonP    = fs.String("json", "", "additionally write the structured figures as JSON to this file")
+		workers  = fs.Int("workers", 0, "engine worker-pool size shared across figures (0 = GOMAXPROCS; results identical at any value)")
+		timeout  = fs.Duration("timeout", 0, "per-cell timeout, e.g. 30s (0 = unbounded)")
+		progress = fs.Bool("progress", false, "render a live cell-progress line on stderr")
+		bench    = fs.String("bench", "", "write a machine-readable perf artifact (per-figure wall time, cells/sec, evaluations) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := experiments.Options{Seeds: *seeds, BaseSeed: *seed, Quick: *quick}
-
-	wanted := strings.Split(strings.ToLower(*fig), ",")
-	selected := map[string]bool{}
-	for _, w := range wanted {
-		w = strings.TrimSpace(w)
-		switch w {
-		case "all":
-			for _, id := range []string{"1", "6", "7a", "7b", "8", "9", "10"} {
-				selected[id] = true
-			}
-		case "ext":
-			for _, id := range []string{"ext-gain", "ext-overhead", "ext-charger", "ext-layout", "ext-delta", "ext-validation", "ext-fault", "ext-repair", "portfolio"} {
-				selected[id] = true
-			}
-		default:
-			selected[strings.TrimPrefix(w, "fig")] = true
-		}
+	poolSize := *workers
+	if poolSize <= 0 {
+		poolSize = runtime.GOMAXPROCS(0)
+	}
+	baseOpts := experiments.Options{
+		Seeds:    *seeds,
+		BaseSeed: *seed,
+		Quick:    *quick,
+		Context:  ctx,
+		Workers:  poolSize,
+		Timeout:  *timeout,
+		// One budget for every concurrently running figure: combined
+		// active cells never exceed the pool size.
+		Limiter: engine.NewLimiter(poolSize),
 	}
 
 	type runner struct {
 		id string
-		fn func() ([]*texttable.Table, []*experiments.Figure, error)
+		fn func(opts experiments.Options) ([]*texttable.Table, []*experiments.Figure, error)
 	}
-	comparison := func(f func(experiments.Options) (*experiments.Figure, error)) func() ([]*texttable.Table, []*experiments.Figure, error) {
-		return func() ([]*texttable.Table, []*experiments.Figure, error) {
+	comparison := func(f func(experiments.Options) (*experiments.Figure, error)) func(experiments.Options) ([]*texttable.Table, []*experiments.Figure, error) {
+		return func(opts experiments.Options) ([]*texttable.Table, []*experiments.Figure, error) {
 			fig, err := f(opts)
 			if err != nil {
 				return nil, nil, err
@@ -82,7 +151,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	runners := []runner{
-		{"1", func() ([]*texttable.Table, []*experiments.Figure, error) {
+		{"1", func(opts experiments.Options) ([]*texttable.Table, []*experiments.Figure, error) {
 			res, err := experiments.Fig1(opts)
 			if err != nil {
 				return nil, nil, err
@@ -93,7 +162,7 @@ func run(args []string, stdout io.Writer) error {
 			}
 			return res.Tables(), figs, nil
 		}},
-		{"6", func() ([]*texttable.Table, []*experiments.Figure, error) {
+		{"6", func(opts experiments.Options) ([]*texttable.Table, []*experiments.Figure, error) {
 			fig, err := experiments.Fig6(opts)
 			if err != nil {
 				return nil, nil, err
@@ -113,7 +182,7 @@ func run(args []string, stdout io.Writer) error {
 		{"ext-validation", comparison(experiments.ExtSimValidation)},
 		{"ext-fault", comparison(experiments.ExtFaultTolerance)},
 		{"ext-repair", comparison(experiments.ExtRepair)},
-		{"portfolio", func() ([]*texttable.Table, []*experiments.Figure, error) {
+		{"portfolio", func(opts experiments.Options) ([]*texttable.Table, []*experiments.Figure, error) {
 			entries, err := experiments.ExtPortfolio(opts)
 			if err != nil {
 				return nil, nil, err
@@ -127,21 +196,107 @@ func run(args []string, stdout io.Writer) error {
 		}},
 	}
 
-	ran := 0
-	var allFigures []*experiments.Figure
+	// "all" and "ext" are derived from the runner table, as is the
+	// valid-id list in the error below — new figures can't drift out.
+	wanted := strings.Split(strings.ToLower(*fig), ",")
+	selected := map[string]bool{}
+	for _, w := range wanted {
+		w = strings.TrimSpace(w)
+		switch w {
+		case "all":
+			for _, r := range runners {
+				if !strings.HasPrefix(r.id, "ext-") && r.id != "portfolio" {
+					selected[r.id] = true
+				}
+			}
+		case "ext":
+			for _, r := range runners {
+				if strings.HasPrefix(r.id, "ext-") || r.id == "portfolio" {
+					selected[r.id] = true
+				}
+			}
+		default:
+			selected[strings.TrimPrefix(w, "fig")] = true
+		}
+	}
+	var active []runner
 	for _, r := range runners {
-		if !selected[r.id] {
-			continue
+		if selected[r.id] {
+			active = append(active, r)
 		}
-		ran++
-		start := time.Now()
-		tables, figures, err := r.fn()
-		if err != nil {
-			return fmt.Errorf("figure %s: %w", r.id, err)
+	}
+	if len(active) == 0 {
+		valid := make([]string, 0, len(runners))
+		for _, r := range runners {
+			valid = append(valid, r.id)
 		}
-		allFigures = append(allFigures, figures...)
-		fmt.Fprintf(stdout, "=== Figure %s (%.1fs) ===\n\n", r.id, time.Since(start).Seconds())
-		for _, t := range tables {
+		return fmt.Errorf("no figure matches %q (valid: %s, all, ext)", *fig, strings.Join(valid, ", "))
+	}
+
+	var renderer *progressRenderer
+	if *progress {
+		renderer = newProgressRenderer(stderr)
+	}
+
+	// Every selected figure runs concurrently under the shared cell
+	// limiter; output is buffered per figure and printed in table order
+	// below, keeping stdout deterministic.
+	type figOutput struct {
+		tables  []*texttable.Table
+		figures []*experiments.Figure
+		timing  engine.Timing
+		err     error
+	}
+	outputs := make([]figOutput, len(active))
+	totalStart := time.Now()
+	var wg sync.WaitGroup
+	for i, r := range active {
+		wg.Add(1)
+		go func(i int, r runner) {
+			defer wg.Done()
+			var cells int
+			var evaluations int64
+			opts := baseOpts
+			opts.Progress = func(ev engine.Event) {
+				if ev.Kind == engine.CellFinished && ev.Err == nil {
+					cells++
+					evaluations += ev.Evaluations
+				}
+				if renderer != nil {
+					renderer.observe(ev)
+				}
+			}
+			start := time.Now()
+			tables, figures, err := r.fn(opts)
+			wall := time.Since(start)
+			outputs[i] = figOutput{
+				tables:  tables,
+				figures: figures,
+				timing:  engine.NewTiming(r.id, wall, cells, evaluations, poolSize),
+				err:     err,
+			}
+		}(i, r)
+	}
+	wg.Wait()
+	if renderer != nil {
+		renderer.finish()
+	}
+
+	// Print completed figures in table order; stop at the first failure
+	// like the historical sequential runner did.
+	allFigures := []*experiments.Figure{} // non-nil: -json writes [] when no runner yields figures
+	var timings []engine.Timing
+	var firstErr error
+	for i, r := range active {
+		out := &outputs[i]
+		if out.err != nil {
+			firstErr = fmt.Errorf("figure %s: %w", r.id, out.err)
+			break
+		}
+		allFigures = append(allFigures, out.figures...)
+		timings = append(timings, out.timing)
+		fmt.Fprintf(stdout, "=== Figure %s ===\n\n", r.id)
+		for _, t := range out.tables {
 			if *csv {
 				fmt.Fprint(stdout, t.CSV())
 			} else {
@@ -149,36 +304,75 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}
 		if *chart {
-			for _, f := range figures {
+			for _, f := range out.figures {
 				series := make([]render.ChartSeries, len(f.Series))
 				for si, s := range f.Series {
 					series[si] = render.ChartSeries{Label: s.Label, Y: s.Y}
 				}
 				drawn, err := render.Chart(f.Title+" ("+f.YLabel+")", f.X, series, 64, 14)
 				if err != nil {
-					return fmt.Errorf("figure %s chart: %w", r.id, err)
+					if firstErr == nil {
+						firstErr = fmt.Errorf("figure %s chart: %w", r.id, err)
+					}
+					break
 				}
 				fmt.Fprintln(stdout, drawn)
 			}
+			if firstErr != nil {
+				break
+			}
 		}
 	}
-	if *jsonP != "" && ran > 0 {
-		f, err := os.Create(*jsonP)
-		if err != nil {
-			return err
-		}
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(allFigures); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
+	totalWall := time.Since(totalStart)
+
+	for _, tm := range timings {
+		fmt.Fprintf(stderr, "figure %-14s %7.2fs  %4d cells  %8.1f cells/s  %d evaluations\n",
+			tm.Figure, tm.WallSeconds, tm.Cells, tm.CellsPerSec, tm.Evaluations)
+	}
+	if len(timings) > 0 {
+		fmt.Fprintf(stderr, "total %21.2fs  (workers=%d)\n", totalWall.Seconds(), poolSize)
+	}
+
+	// JSON and bench artifacts are written even after a failure or
+	// interrupt: whatever completed is still a valid, parseable payload.
+	if *jsonP != "" {
+		if err := writeJSON(*jsonP, allFigures); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
-	if ran == 0 {
-		return fmt.Errorf("no figure matches %q (valid: 1, 6, 7a, 7b, 8, 9, 10, all, ext, ext-gain, ext-overhead, ext-charger, ext-fault, ext-repair)", *fig)
+	if *bench != "" {
+		artifact := benchArtifact{
+			Command: "wrsn-experiments -fig " + *fig,
+			Workers: poolSize,
+			Figures: timings,
+		}
+		artifact.TotalWallSeconds = totalWall.Seconds()
+		for _, tm := range timings {
+			artifact.TotalCells += tm.Cells
+			artifact.TotalEvaluations += tm.Evaluations
+		}
+		if err := writeJSON(*bench, artifact); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
 	}
-	return nil
+	return firstErr
+}
+
+// writeJSON atomically-ish writes v as indented JSON to path.
+func writeJSON(path string, v interface{}) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

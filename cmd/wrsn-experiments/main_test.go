@@ -73,6 +73,54 @@ func TestJSONOutput(t *testing.T) {
 	}
 }
 
+// TestJSONEmptyFigures: a selection whose runners produce only tables
+// (the portfolio) must still write a valid empty JSON array, not "null".
+func TestJSONEmptyFigures(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "figs.json")
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "portfolio", "-quick", "-seeds", "1", "-json", jsonPath}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("json not written: %v", err)
+	}
+	if got := strings.TrimSpace(string(raw)); got != "[]" {
+		t.Errorf("want empty JSON array, got %q", got)
+	}
+}
+
+// TestWorkersByteIdentical: the engine's deterministic cell seeding means
+// stdout and the JSON payload are byte-identical at any worker count.
+func TestWorkersByteIdentical(t *testing.T) {
+	runAt := func(workers string) (string, []byte) {
+		t.Helper()
+		dir := t.TempDir()
+		jsonPath := filepath.Join(dir, "figs.json")
+		var out bytes.Buffer
+		args := []string{"-fig", "6,7a", "-quick", "-seeds", "2", "-workers", workers, "-json", jsonPath}
+		if err := run(args, &out); err != nil {
+			t.Fatalf("run -workers %s: %v", workers, err)
+		}
+		raw, err := os.ReadFile(jsonPath)
+		if err != nil {
+			t.Fatalf("json not written: %v", err)
+		}
+		return out.String(), raw
+	}
+	baseOut, baseJSON := runAt("1")
+	for _, workers := range []string{"2", "4"} {
+		gotOut, gotJSON := runAt(workers)
+		if gotOut != baseOut {
+			t.Errorf("-workers %s stdout differs from -workers 1:\n%s\nvs\n%s", workers, gotOut, baseOut)
+		}
+		if !bytes.Equal(gotJSON, baseJSON) {
+			t.Errorf("-workers %s JSON differs from -workers 1", workers)
+		}
+	}
+}
+
 func TestChartOutput(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-fig", "6", "-quick", "-seeds", "1", "-chart"}, &out); err != nil {

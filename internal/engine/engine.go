@@ -1,0 +1,556 @@
+// Package engine is the unified experiment engine behind every figure
+// of the paper reproduction and its extensions: a registry of named,
+// context-aware solvers and a declarative sweep runner.
+//
+// A Sweep describes a (point × seed × algorithm) grid — the shape shared
+// by all of the paper's Section VI evaluations and the extension
+// studies: an x-axis of problem configurations, a number of random
+// instances per configuration, and a set of labelled algorithms run on
+// every instance. Run executes the grid on a worker pool and assembles
+// the resulting Figure.
+//
+// # Determinism
+//
+// Results are bit-identical at any worker count. Each (point, seed)
+// instance is generated from its own rand.Rand seeded with
+//
+//	BaseSeed + SeedStride*point + seed
+//
+// (SeedStride defaults to 0: every x-axis position sees the same
+// instance sequence, the paper's methodology for monotone sweep curves),
+// each cell's computation depends only on its instance, and aggregation
+// runs in declaration order after all cells finish. Scheduling can
+// change only wall time, never values.
+//
+// # Cancellation and observability
+//
+// The context passed to Run flows into every cell; cancelling it aborts
+// in-flight solvers at their next cancellation point. RunConfig can
+// additionally bound each cell with a timeout, observe cell lifecycle
+// events through a ProgressFunc, and share a Limiter between
+// concurrently running sweeps so their combined parallelism stays
+// bounded.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wrsn/internal/model"
+	"wrsn/internal/stats"
+)
+
+// Generator builds one problem instance from a deterministically seeded
+// RNG. It must consume randomness only from rng so that instances depend
+// solely on the cell's seed.
+type Generator func(rng *rand.Rand) (*model.Problem, error)
+
+// Point is one x-axis position of a sweep: the plotted X value and the
+// generator producing its problem instances.
+type Point struct {
+	X float64
+	// Label names the point in progress events, and becomes the series
+	// label for Vector outputs (e.g. Fig. 6's "400 nodes").
+	Label string
+	// Seeds overrides Sweep.Seeds for this point when > 0 (e.g. a
+	// deterministic grid layout needs exactly one).
+	Seeds int
+	Gen   Generator
+}
+
+// SeriesSpec declares one output series of an algorithm.
+type SeriesSpec struct {
+	// Label names the series (ignored for Vector outputs, which take
+	// their per-point labels from Point.Label).
+	Label string
+	// Unit annotates table headers ("" = the figure default, "-" = none).
+	Unit string
+	// CI attaches 95% confidence half-widths to the series.
+	CI bool
+	// Vector marks an output that spans the whole X axis (one value per
+	// X position per cell, e.g. per-iteration convergence costs). A
+	// Vector output must be its algorithm's only output, and the Sweep
+	// must set X explicitly; it yields one series per point, averaged
+	// elementwise over seeds.
+	Vector bool
+}
+
+// Instance is one generated problem handed to an algorithm, along with
+// the cell coordinates an algorithm may need for derived seeding (e.g.
+// simulator seeds).
+type Instance struct {
+	Problem *model.Problem
+	// Point and Seed are the cell's grid coordinates.
+	Point, Seed int
+	// X is the point's plotted value.
+	X float64
+	// BaseSeed is the sweep's base seed; InstanceSeed is the RNG seed
+	// this instance was generated from (BaseSeed + SeedStride*Point +
+	// Seed).
+	BaseSeed, InstanceSeed int64
+}
+
+// CellResult is what an algorithm returns for one cell.
+type CellResult struct {
+	// Values holds one value per Output (or one per X position for a
+	// Vector output).
+	Values []float64
+	// Evaluations optionally reports the solver's inner-evaluation
+	// count for the timing summary.
+	Evaluations int64
+}
+
+// Algorithm is one labelled entry of a sweep: a computation run on
+// every (point, seed) instance, producing one value per declared output.
+// A NaN value marks "no observation for this cell" and is skipped by
+// aggregation (e.g. travel-per-visit when no visit completed).
+type Algorithm struct {
+	Label   string
+	Outputs []SeriesSpec
+	Run     func(ctx context.Context, inst *Instance) (CellResult, error)
+}
+
+// Sweep declaratively describes one experiment grid.
+type Sweep struct {
+	// Figure metadata.
+	ID, Title, XLabel, YLabel string
+	// X optionally overrides the figure's x-axis (required when any
+	// output is a Vector; defaults to the points' X values otherwise).
+	X []float64
+
+	Points []Point
+	// Seeds is the number of random instances per point (>= 1).
+	Seeds int
+	// BaseSeed anchors the deterministic seed scheme.
+	BaseSeed int64
+	// SeedStride decorrelates instances across points: instance seed =
+	// BaseSeed + SeedStride*point + seed. 0 shares the instance
+	// sequence across all points (the paper's methodology).
+	SeedStride int64
+
+	Algorithms []Algorithm
+}
+
+// Limiter bounds cell concurrency across sweeps: sweeps running in
+// parallel share one Limiter so their combined active cells never
+// exceed its size.
+type Limiter chan struct{}
+
+// NewLimiter returns a Limiter admitting n concurrent cells.
+func NewLimiter(n int) Limiter {
+	if n < 1 {
+		n = 1
+	}
+	return make(Limiter, n)
+}
+
+func (l Limiter) acquire() { l <- struct{}{} }
+func (l Limiter) release() { <-l }
+
+// RunConfig tunes sweep execution. The zero value runs with GOMAXPROCS
+// workers, no per-cell timeout and no observers.
+type RunConfig struct {
+	// Workers is the worker-pool size; 0 means GOMAXPROCS(0), 1 is
+	// fully sequential. Results are identical at any value.
+	Workers int
+	// CellTimeout bounds each cell's algorithm run (0 = unbounded). A
+	// cell exceeding it fails the sweep with context.DeadlineExceeded.
+	CellTimeout time.Duration
+	// Progress observes cell lifecycle events (may be nil).
+	Progress ProgressFunc
+	// Limiter optionally shares a concurrency budget with other sweeps
+	// running at the same time (nil = this sweep's workers only).
+	Limiter Limiter
+}
+
+// Result is a finished sweep: the assembled figure, the raw per-cell
+// values for custom post-processing, and the performance summary.
+type Result struct {
+	Figure *Figure
+	// Raw is indexed [algorithm][point][seed][output] (for Vector
+	// outputs the last index spans the X axis).
+	Raw [][][][]float64
+	// Durations is each cell's algorithm wall time, indexed
+	// [algorithm][point][seed]. Instance generation is excluded.
+	Durations [][][]time.Duration
+	// Evaluations is the summed solver-evaluation count.
+	Evaluations int64
+	Timing      Timing
+}
+
+// cell is one unit of work.
+type cell struct{ point, seed, algo int }
+
+// instSlot lazily generates one (point, seed) instance exactly once,
+// whichever cell touches it first.
+type instSlot struct {
+	once sync.Once
+	inst *Instance
+	err  error
+}
+
+type runner struct {
+	sw  *Sweep
+	cfg RunConfig
+
+	insts     [][]*instSlot
+	raw       [][][][]float64
+	durations [][][]time.Duration
+	evals     [][][]int64
+	errs      []error // per cell index
+
+	cells []cell
+	done  atomic.Int64
+
+	mu     sync.Mutex // serialises progress callbacks
+	cancel context.CancelFunc
+}
+
+// pointSeeds returns the effective seed count of point pi.
+func (sw *Sweep) pointSeeds(pi int) int {
+	if s := sw.Points[pi].Seeds; s > 0 {
+		return s
+	}
+	return sw.Seeds
+}
+
+// validate rejects malformed sweeps before any work starts.
+func (sw *Sweep) validate() error {
+	if sw.ID == "" {
+		return errors.New("engine: sweep needs an ID")
+	}
+	if len(sw.Points) == 0 {
+		return fmt.Errorf("engine: sweep %s has no points", sw.ID)
+	}
+	if len(sw.Algorithms) == 0 {
+		return fmt.Errorf("engine: sweep %s has no algorithms", sw.ID)
+	}
+	for pi, pt := range sw.Points {
+		if pt.Gen == nil {
+			return fmt.Errorf("engine: sweep %s point %d has no generator", sw.ID, pi)
+		}
+		if sw.pointSeeds(pi) < 1 {
+			return fmt.Errorf("engine: sweep %s point %d has no seeds", sw.ID, pi)
+		}
+	}
+	for _, a := range sw.Algorithms {
+		if a.Run == nil || len(a.Outputs) == 0 {
+			return fmt.Errorf("engine: sweep %s algorithm %q needs Run and at least one output", sw.ID, a.Label)
+		}
+		for _, spec := range a.Outputs {
+			if spec.Vector {
+				if len(a.Outputs) != 1 {
+					return fmt.Errorf("engine: sweep %s algorithm %q: a Vector output must be the only output", sw.ID, a.Label)
+				}
+				if len(sw.X) == 0 {
+					return fmt.Errorf("engine: sweep %s algorithm %q: Vector outputs need an explicit X axis", sw.ID, a.Label)
+				}
+			}
+		}
+	}
+	if len(sw.X) > 0 && !sw.vectorOnly() && len(sw.X) != len(sw.Points) {
+		return fmt.Errorf("engine: sweep %s: explicit X length %d does not match %d points for scalar outputs",
+			sw.ID, len(sw.X), len(sw.Points))
+	}
+	return nil
+}
+
+// vectorOnly reports whether every output of every algorithm is a
+// Vector (the only configuration where X may diverge from the points).
+func (sw *Sweep) vectorOnly() bool {
+	for _, a := range sw.Algorithms {
+		for _, spec := range a.Outputs {
+			if !spec.Vector {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Run executes the sweep and assembles its figure. Results are
+// bit-identical at any cfg.Workers; cancelling ctx aborts in-flight
+// cells and returns the context's error.
+func Run(ctx context.Context, sw *Sweep, cfg RunConfig) (*Result, error) {
+	if err := sw.validate(); err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	r := &runner{sw: sw, cfg: cfg}
+	r.insts = make([][]*instSlot, len(sw.Points))
+	for pi := range sw.Points {
+		r.insts[pi] = make([]*instSlot, sw.pointSeeds(pi))
+		for si := range r.insts[pi] {
+			r.insts[pi][si] = new(instSlot)
+		}
+	}
+	r.raw = make([][][][]float64, len(sw.Algorithms))
+	r.durations = make([][][]time.Duration, len(sw.Algorithms))
+	r.evals = make([][][]int64, len(sw.Algorithms))
+	for ai := range sw.Algorithms {
+		r.raw[ai] = make([][][]float64, len(sw.Points))
+		r.durations[ai] = make([][]time.Duration, len(sw.Points))
+		r.evals[ai] = make([][]int64, len(sw.Points))
+		for pi := range sw.Points {
+			r.raw[ai][pi] = make([][]float64, sw.pointSeeds(pi))
+			r.durations[ai][pi] = make([]time.Duration, sw.pointSeeds(pi))
+			r.evals[ai][pi] = make([]int64, sw.pointSeeds(pi))
+		}
+	}
+	// Point-major, then seed, then algorithm: the sequential order the
+	// hand-rolled loops used, so workers=1 replays it exactly.
+	for pi := range sw.Points {
+		for si := 0; si < sw.pointSeeds(pi); si++ {
+			for ai := range sw.Algorithms {
+				r.cells = append(r.cells, cell{point: pi, seed: si, algo: ai})
+			}
+		}
+	}
+	r.errs = make([]error, len(r.cells))
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	r.cancel = cancel
+
+	start := time.Now()
+	if workers > len(r.cells) {
+		workers = len(r.cells)
+	}
+	if workers <= 1 {
+		for idx := range r.cells {
+			r.runCell(runCtx, idx)
+			// Sequential runs stop at the first failure: nothing after
+			// it can succeed once the context is cancelled anyway.
+			if r.errs[idx] != nil {
+				break
+			}
+		}
+	} else {
+		queue := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for idx := range queue {
+					r.runCell(runCtx, idx)
+				}
+			}()
+		}
+		for idx := range r.cells {
+			queue <- idx
+		}
+		close(queue)
+		wg.Wait()
+	}
+	wall := time.Since(start)
+
+	if err := r.firstError(); err != nil {
+		return nil, err
+	}
+
+	fig, err := r.figure()
+	if err != nil {
+		return nil, err
+	}
+	var evaluations int64
+	for ai := range r.evals {
+		for pi := range r.evals[ai] {
+			for _, e := range r.evals[ai][pi] {
+				evaluations += e
+			}
+		}
+	}
+	return &Result{
+		Figure:      fig,
+		Raw:         r.raw,
+		Durations:   r.durations,
+		Evaluations: evaluations,
+		Timing:      NewTiming(sw.ID, wall, len(r.cells), evaluations, workers),
+	}, nil
+}
+
+// instance returns the lazily generated (point, seed) instance.
+func (r *runner) instance(pi, si int) (*Instance, error) {
+	slot := r.insts[pi][si]
+	slot.once.Do(func() {
+		seed := r.sw.BaseSeed + r.sw.SeedStride*int64(pi) + int64(si)
+		rng := rand.New(rand.NewSource(seed))
+		p, err := r.sw.Points[pi].Gen(rng)
+		if err != nil {
+			slot.err = err
+			return
+		}
+		slot.inst = &Instance{
+			Problem:      p,
+			Point:        pi,
+			Seed:         si,
+			X:            r.sw.Points[pi].X,
+			BaseSeed:     r.sw.BaseSeed,
+			InstanceSeed: seed,
+		}
+	})
+	return slot.inst, slot.err
+}
+
+// runCell executes one cell, recording its values, duration and error.
+func (r *runner) runCell(ctx context.Context, idx int) {
+	c := r.cells[idx]
+	algo := &r.sw.Algorithms[c.algo]
+	if r.cfg.Limiter != nil {
+		r.cfg.Limiter.acquire()
+		defer r.cfg.Limiter.release()
+	}
+
+	finish := func(d time.Duration, evals int64, err error) {
+		if err != nil {
+			r.errs[idx] = fmt.Errorf("engine: %s: %s at point %d (x=%v) seed %d: %w",
+				r.sw.ID, algo.Label, c.point, r.sw.Points[c.point].X, c.seed, err)
+			r.cancel() // no later cell can change the outcome; stop early
+		}
+		r.emit(Event{
+			Kind: CellFinished, Sweep: r.sw.ID,
+			Point: c.point, Seed: c.seed, Algorithm: algo.Label,
+			Done: int(r.done.Add(1)), Total: len(r.cells),
+			Duration: d, Evaluations: evals, Err: r.errs[idx],
+		})
+	}
+
+	if err := ctx.Err(); err != nil {
+		finish(0, 0, err)
+		return
+	}
+	inst, err := r.instance(c.point, c.seed)
+	if err != nil {
+		finish(0, 0, err)
+		return
+	}
+
+	r.emit(Event{Kind: CellStarted, Sweep: r.sw.ID, Point: c.point, Seed: c.seed,
+		Algorithm: algo.Label, Total: len(r.cells)})
+	cellCtx := ctx
+	var cancelCell context.CancelFunc
+	if r.cfg.CellTimeout > 0 {
+		cellCtx, cancelCell = context.WithTimeout(ctx, r.cfg.CellTimeout)
+	}
+	start := time.Now()
+	res, err := algo.Run(cellCtx, inst)
+	d := time.Since(start)
+	if cancelCell != nil {
+		cancelCell()
+	}
+	if err == nil {
+		want := len(algo.Outputs)
+		if algo.Outputs[0].Vector {
+			want = len(r.sw.X)
+		}
+		if len(res.Values) != want {
+			err = fmt.Errorf("algorithm returned %d values, want %d", len(res.Values), want)
+		}
+	}
+	if err == nil {
+		r.raw[c.algo][c.point][c.seed] = res.Values
+		r.durations[c.algo][c.point][c.seed] = d
+		r.evals[c.algo][c.point][c.seed] = res.Evaluations
+	}
+	finish(d, res.Evaluations, err)
+}
+
+// emit serialises progress callbacks.
+func (r *runner) emit(ev Event) {
+	if r.cfg.Progress == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cfg.Progress(ev)
+}
+
+// firstError picks the sweep's reported error deterministically: the
+// lowest-indexed cell error that is not a secondary cancellation, so
+// the same failure is reported at any worker count.
+func (r *runner) firstError() error {
+	var firstAny error
+	for _, err := range r.errs {
+		if err == nil {
+			continue
+		}
+		if firstAny == nil {
+			firstAny = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
+	return firstAny
+}
+
+// figure assembles the sweep's Figure from the recorded cell values, in
+// declaration order (algorithms, then outputs, then — for Vector
+// outputs — points).
+func (r *runner) figure() (*Figure, error) {
+	sw := r.sw
+	fig := &Figure{ID: sw.ID, Title: sw.Title, XLabel: sw.XLabel, YLabel: sw.YLabel}
+	if len(sw.X) > 0 {
+		fig.X = append(fig.X, sw.X...)
+	} else {
+		for _, pt := range sw.Points {
+			fig.X = append(fig.X, pt.X)
+		}
+	}
+	for ai := range sw.Algorithms {
+		algo := &sw.Algorithms[ai]
+		for k, spec := range algo.Outputs {
+			if spec.Vector {
+				for pi := range sw.Points {
+					mean, err := stats.MeanSeries(r.raw[ai][pi])
+					if err != nil {
+						return nil, fmt.Errorf("engine: %s: %s point %d: %w", sw.ID, algo.Label, pi, err)
+					}
+					fig.Series = append(fig.Series, Series{Label: sw.Points[pi].Label, Unit: spec.Unit, Y: mean})
+				}
+				continue
+			}
+			s := Series{Label: spec.Label, Unit: spec.Unit, Y: make([]float64, len(sw.Points))}
+			if spec.CI {
+				s.CI95 = make([]float64, len(sw.Points))
+			}
+			for pi := range sw.Points {
+				vals := make([]float64, 0, len(r.raw[ai][pi]))
+				for _, cellVals := range r.raw[ai][pi] {
+					if v := cellVals[k]; !math.IsNaN(v) {
+						vals = append(vals, v)
+					}
+				}
+				if len(vals) == 0 {
+					continue // every cell opted out: the series keeps 0 here
+				}
+				mean, err := stats.Mean(vals)
+				if err != nil {
+					return nil, fmt.Errorf("engine: %s: %s: %w", sw.ID, spec.Label, err)
+				}
+				s.Y[pi] = mean
+				if spec.CI {
+					ci, err := stats.CI95HalfWidth(vals)
+					if err != nil {
+						return nil, fmt.Errorf("engine: %s: %s: %w", sw.ID, spec.Label, err)
+					}
+					s.CI95[pi] = ci
+				}
+			}
+			fig.Series = append(fig.Series, s)
+		}
+	}
+	return fig, nil
+}

@@ -1,0 +1,36 @@
+package engine
+
+// Series is one plotted line: a label and a Y value per X position.
+// It lives in the engine package (re-exported by internal/experiments)
+// because the sweep runner assembles figures directly from cell results.
+type Series struct {
+	Label string `json:"label"`
+	// Unit annotates table headers; empty means the figure's default
+	// (µJ for cost figures).
+	Unit string    `json:"unit,omitempty"`
+	Y    []float64 `json:"y"`
+	// CI95 optionally holds the 95% confidence half-width of each Y
+	// (same length as Y) for experiments averaged over random seeds.
+	CI95 []float64 `json:"ci95,omitempty"`
+}
+
+// Figure is the structured output of one experiment: the X axis and one
+// series per algorithm/configuration, in the paper's units.
+type Figure struct {
+	ID     string    `json:"id"`     // e.g. "fig8"
+	Title  string    `json:"title"`  // what the paper's figure shows
+	XLabel string    `json:"xlabel"` // x-axis meaning
+	YLabel string    `json:"ylabel"` // y-axis meaning (µJ for costs)
+	X      []float64 `json:"x"`
+	Series []Series  `json:"series"`
+}
+
+// Get returns the series with the given label, or nil.
+func (f *Figure) Get(label string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Label == label {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package engine
+
+import "time"
+
+// EventKind discriminates progress events.
+type EventKind int
+
+const (
+	// CellStarted fires when a worker begins executing a cell.
+	CellStarted EventKind = iota
+	// CellFinished fires when a cell's algorithm returns (or errors).
+	CellFinished
+)
+
+// Event is one observation from a running sweep. The runner serialises
+// callbacks (one event at a time), so ProgressFunc implementations need
+// no locking of their own.
+type Event struct {
+	Kind  EventKind
+	Sweep string // Sweep.ID
+
+	// Cell coordinates.
+	Point     int
+	Seed      int
+	Algorithm string // Algorithm.Label
+
+	// Done and Total count finished cells out of the sweep's grid
+	// (valid on CellFinished; Done includes this event's cell).
+	Done  int
+	Total int
+
+	// Duration is the cell's algorithm wall time (CellFinished only;
+	// instance generation is accounted to the sweep, not the cell).
+	Duration time.Duration
+	// Evaluations is the cell's reported solver-evaluation count
+	// (CellFinished only; 0 when the algorithm does not report one).
+	Evaluations int64
+	// Err is the cell's failure, if any (CellFinished only).
+	Err error
+}
+
+// ProgressFunc observes sweep execution. Callbacks run on worker
+// goroutines but are serialised by the runner.
+type ProgressFunc func(Event)
+
+// Timing is the per-sweep performance summary: the machine-readable
+// record behind the BENCH_PR2.json perf artifact.
+type Timing struct {
+	Figure      string  `json:"figure"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Cells       int     `json:"cells"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+	Evaluations int64   `json:"solver_evaluations"`
+	Workers     int     `json:"workers"`
+}
+
+// NewTiming assembles a Timing record from a measured run — used by the
+// runner for per-sweep summaries and by callers aggregating their own
+// wall-clock measurements (e.g. the CLI's per-figure bench artifact).
+func NewTiming(id string, wall time.Duration, cells int, evaluations int64, workers int) Timing {
+	t := Timing{
+		Figure:      id,
+		WallSeconds: wall.Seconds(),
+		Cells:       cells,
+		Evaluations: evaluations,
+		Workers:     workers,
+	}
+	if wall > 0 {
+		t.CellsPerSec = float64(cells) / wall.Seconds()
+	}
+	return t
+}

@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"wrsn/internal/model"
+	"wrsn/internal/solver"
+)
+
+// SolveFunc is the registry's solver shape: a context-aware map from a
+// problem instance to a solved result. Cancelling the context aborts the
+// solver at its next cancellation point (round boundaries for RFH/IDB,
+// evaluation batches for the exact search).
+type SolveFunc func(ctx context.Context, p *model.Problem) (*solver.Result, error)
+
+var registry = struct {
+	sync.RWMutex
+	m map[string]SolveFunc
+}{m: map[string]SolveFunc{}}
+
+// Register adds a named solver to the registry. Registering an empty
+// name, a nil function or a duplicate name panics: the registry is
+// assembled at init time, so a bad registration is a programming error.
+func Register(name string, fn SolveFunc) {
+	if name == "" || fn == nil {
+		panic("engine: Register needs a non-empty name and a non-nil solver")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[name]; dup {
+		panic(fmt.Sprintf("engine: solver %q registered twice", name))
+	}
+	registry.m[name] = fn
+}
+
+// Solver returns the registered solver with the given name.
+func Solver(name string) (SolveFunc, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	fn, ok := registry.m[name]
+	return fn, ok
+}
+
+// MustSolver returns the registered solver or panics — for spec tables
+// whose names are compile-time constants.
+func MustSolver(name string) SolveFunc {
+	fn, ok := Solver(name)
+	if !ok {
+		panic(fmt.Sprintf("engine: no solver registered as %q (have %v)", name, Solvers()))
+	}
+	return fn
+}
+
+// Solvers returns every registered solver name, sorted.
+func Solvers() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	names := make([]string, 0, len(registry.m))
+	for name := range registry.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// IDBSolver returns a SolveFunc running IDB with the given per-round
+// increment δ (sequential evaluation, the paper's reference variant).
+func IDBSolver(delta int) SolveFunc {
+	return func(ctx context.Context, p *model.Problem) (*solver.Result, error) {
+		return solver.IDBCtx(ctx, p, delta)
+	}
+}
+
+// The built-in portfolio: every solver the repo implements, under the
+// names the experiment specs and CLIs use.
+func init() {
+	Register("rfh", func(ctx context.Context, p *model.Problem) (*solver.Result, error) {
+		return solver.RFHCtx(ctx, p, solver.RFHOptions{Iterations: 1})
+	})
+	Register("rfh-iterative", func(ctx context.Context, p *model.Problem) (*solver.Result, error) {
+		return solver.RFHCtx(ctx, p, solver.RFHOptions{Iterations: solver.DefaultRFHIterations})
+	})
+	Register("idb", IDBSolver(1))
+	Register("idb-parallel", func(ctx context.Context, p *model.Problem) (*solver.Result, error) {
+		return solver.IDBWithOptionsCtx(ctx, p, solver.IDBOptions{Delta: 1})
+	})
+	Register("local-search", func(ctx context.Context, p *model.Problem) (*solver.Result, error) {
+		return solver.LocalSearchCtx(ctx, p, solver.LocalSearchOptions{})
+	})
+	Register("idb-local-search", func(ctx context.Context, p *model.Problem) (*solver.Result, error) {
+		seed, err := solver.IDBCtx(ctx, p, 1)
+		if err != nil {
+			return nil, err
+		}
+		return solver.LocalSearchCtx(ctx, p, solver.LocalSearchOptions{Start: seed})
+	})
+	Register("anneal", func(ctx context.Context, p *model.Problem) (*solver.Result, error) {
+		return solver.AnnealCtx(ctx, p, solver.AnnealOptions{Seed: 1})
+	})
+	Register("auto", func(ctx context.Context, p *model.Problem) (*solver.Result, error) {
+		return solver.AutoCtx(ctx, p)
+	})
+	Register("optimal", func(ctx context.Context, p *model.Problem) (*solver.Result, error) {
+		return solver.OptimalCtx(ctx, p, solver.OptimalOptions{})
+	})
+}

@@ -1,14 +1,16 @@
 package experiments
 
 import (
+	"context"
+	"math/rand"
 	"strconv"
 	"time"
 
 	"wrsn/internal/energy"
+	"wrsn/internal/engine"
 	"wrsn/internal/geom"
 	"wrsn/internal/model"
 	"wrsn/internal/solver"
-	"wrsn/internal/stats"
 )
 
 // ExtDelta studies IDB's per-round increment δ, which the paper introduces
@@ -25,51 +27,50 @@ func ExtDelta(opts Options) (*Figure, error) {
 		nodes = 125
 	)
 	deltas := []int{1, 2, 3, 4}
-	seeds := opts.seeds(10, 2)
 
-	fig := &Figure{
-		ID:     "ext-delta",
-		Title:  "Extension: IDB increment δ (300x300m, 25 posts, 125 nodes)",
-		XLabel: "delta (nodes placed per round)",
-		YLabel: "total recharging cost (µJ) / runtime (ms)",
+	sw := &engine.Sweep{
+		ID:       "ext-delta",
+		Title:    "Extension: IDB increment δ (300x300m, 25 posts, 125 nodes)",
+		XLabel:   "delta (nodes placed per round)",
+		YLabel:   "total recharging cost (µJ) / runtime (ms)",
+		Seeds:    opts.seeds(10, 2),
+		BaseSeed: opts.baseSeed(),
 	}
-	for _, d := range deltas {
-		fig.X = append(fig.X, float64(d))
-	}
-	cost := Series{Label: "IDB cost", Y: make([]float64, len(deltas))}
-	runtime := Series{Label: "runtime", Unit: "ms", Y: make([]float64, len(deltas))}
-	evals := Series{Label: "deployments evaluated", Unit: "-", Y: make([]float64, len(deltas))}
 	field := geom.Square(side)
-	for di, delta := range deltas {
-		var costs, times, evalCounts []float64
-		for s := 0; s < seeds; s++ {
-			rng := newSeededRNG(opts.baseSeed() + int64(s))
-			p, err := model.GenerateProblem(rng, model.GenSpec{Field: field, Posts: posts, Nodes: nodes, Energy: energy.Default()})
-			if err != nil {
-				return nil, err
-			}
-			start := time.Now()
-			res, err := solver.IDB(p, delta)
-			if err != nil {
-				return nil, err
-			}
-			costs = append(costs, njToMicroJ(res.Cost))
-			times = append(times, float64(time.Since(start).Microseconds())/1000)
-			evalCounts = append(evalCounts, float64(res.Evaluations))
-		}
-		var err error
-		if cost.Y[di], err = stats.Mean(costs); err != nil {
-			return nil, err
-		}
-		if runtime.Y[di], err = stats.Mean(times); err != nil {
-			return nil, err
-		}
-		if evals.Y[di], err = stats.Mean(evalCounts); err != nil {
-			return nil, err
-		}
+	for _, d := range deltas {
+		sw.Points = append(sw.Points, engine.Point{
+			X:     float64(d),
+			Label: DeltaLabel(d),
+			Gen: func(rng *rand.Rand) (*model.Problem, error) {
+				return model.GenerateProblem(rng, model.GenSpec{Field: field, Posts: posts, Nodes: nodes, Energy: energy.Default()})
+			},
+		})
 	}
-	fig.Series = []Series{cost, runtime, evals}
-	return fig, nil
+	sw.Algorithms = []engine.Algorithm{{
+		Label: "IDB",
+		Outputs: []engine.SeriesSpec{
+			{Label: "IDB cost"},
+			{Label: "runtime", Unit: "ms"},
+			{Label: "deployments evaluated", Unit: "-"},
+		},
+		Run: func(ctx context.Context, inst *engine.Instance) (engine.CellResult, error) {
+			delta := deltas[inst.Point]
+			start := time.Now()
+			res, err := solver.IDBCtx(ctx, inst.Problem, delta)
+			if err != nil {
+				return engine.CellResult{}, err
+			}
+			return engine.CellResult{
+				Values: []float64{
+					njToMicroJ(res.Cost),
+					float64(time.Since(start).Microseconds()) / 1000,
+					float64(res.Evaluations),
+				},
+				Evaluations: res.Evaluations,
+			}, nil
+		},
+	}}
+	return runFigure(opts, sw)
 }
 
 // DeltaLabel names a delta value for table rendering.

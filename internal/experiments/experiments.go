@@ -7,17 +7,21 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"wrsn/internal/charging"
 	"wrsn/internal/energy"
+	"wrsn/internal/engine"
 	"wrsn/internal/geom"
 	"wrsn/internal/model"
 )
 
-// Options controls experiment scale. The zero value is replaced by paper
-// defaults per experiment.
+// Options controls experiment scale and execution. The zero value is
+// replaced by paper defaults per experiment and runs sequentially with
+// GOMAXPROCS engine workers.
 type Options struct {
 	// Seeds is the number of random post distributions to average; the
 	// paper uses 20 for large-scale experiments and 5 for the
@@ -29,6 +33,20 @@ type Options struct {
 	// CI and `go test -bench` runs fast while preserving every trend;
 	// the cmd/wrsn-experiments tool runs full scale by default.
 	Quick bool
+
+	// Context cancels a running experiment mid-sweep (nil means
+	// context.Background()); the error wraps the context's error.
+	Context context.Context
+	// Workers sizes the engine's worker pool (0 = GOMAXPROCS, 1 =
+	// sequential). Results are bit-identical at any value.
+	Workers int
+	// Timeout bounds each (point, seed, algorithm) cell (0 = unbounded).
+	Timeout time.Duration
+	// Progress observes engine cell events (may be nil).
+	Progress engine.ProgressFunc
+	// Limiter optionally shares a cell-concurrency budget with other
+	// experiments running at the same time.
+	Limiter engine.Limiter
 }
 
 func (o Options) seeds(def, quick int) int {
@@ -48,37 +66,41 @@ func (o Options) baseSeed() int64 {
 	return 1
 }
 
-// Series is one plotted line: a label and a Y value per X position.
-type Series struct {
-	Label string `json:"label"`
-	// Unit annotates table headers; empty means the figure's default
-	// (µJ for cost figures).
-	Unit string    `json:"unit,omitempty"`
-	Y    []float64 `json:"y"`
-	// CI95 optionally holds the 95% confidence half-width of each Y
-	// (same length as Y) for experiments averaged over random seeds.
-	CI95 []float64 `json:"ci95,omitempty"`
-}
-
-// Figure is the structured output of one experiment: the X axis and one
-// series per algorithm/configuration, in the paper's units.
-type Figure struct {
-	ID     string    `json:"id"`     // e.g. "fig8"
-	Title  string    `json:"title"`  // what the paper's figure shows
-	XLabel string    `json:"xlabel"` // x-axis meaning
-	YLabel string    `json:"ylabel"` // y-axis meaning (µJ for costs)
-	X      []float64 `json:"x"`
-	Series []Series  `json:"series"`
-}
-
-// Get returns the series with the given label, or nil.
-func (f *Figure) Get(label string) *Series {
-	for i := range f.Series {
-		if f.Series[i].Label == label {
-			return &f.Series[i]
-		}
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
 	}
-	return nil
+	return context.Background()
+}
+
+func (o Options) runConfig() engine.RunConfig {
+	return engine.RunConfig{
+		Workers:     o.Workers,
+		CellTimeout: o.Timeout,
+		Progress:    o.Progress,
+		Limiter:     o.Limiter,
+	}
+}
+
+// Series and Figure are the engine's figure types; every experiment
+// assembles its output through engine.Run, so the types live there and
+// are re-exported here for the package's public API.
+type (
+	// Series is one plotted line: a label and a Y value per X position.
+	Series = engine.Series
+	// Figure is the structured output of one experiment: the X axis and
+	// one series per algorithm/configuration, in the paper's units.
+	Figure = engine.Figure
+)
+
+// runFigure executes a sweep spec under the experiment's options and
+// returns its assembled figure.
+func runFigure(opts Options, sw *engine.Sweep) (*Figure, error) {
+	res, err := engine.Run(opts.ctx(), sw, opts.runConfig())
+	if err != nil {
+		return nil, err
+	}
+	return res.Figure, nil
 }
 
 // njToMicroJ converts the model's nanojoule costs to the paper's

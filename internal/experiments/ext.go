@@ -1,21 +1,32 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"wrsn/internal/charging"
 	"wrsn/internal/energy"
+	"wrsn/internal/engine"
 	"wrsn/internal/geom"
+	"wrsn/internal/model"
 	"wrsn/internal/sim"
 	"wrsn/internal/solver"
-	"wrsn/internal/stats"
 )
 
 // This file holds extension experiments beyond the paper's evaluation:
 // sensitivity of the headline results to the multi-node gain model k(m),
 // to sensing/computation overhead, and a charger-scheduling comparison on
 // the simulator (the open question the paper defers).
+
+// meanCostAlgorithm is costAlgorithm without the CI column (the
+// extension figures report plain means).
+func meanCostAlgorithm(label string, solve engine.SolveFunc) engine.Algorithm {
+	a := costAlgorithm(label, solve)
+	a.Outputs = []engine.SeriesSpec{{Label: label}}
+	return a
+}
 
 // ExtGain measures how the optimised recharging cost depends on the gain
 // model: the paper assumes k(m) = m (linear); the field data bounds the
@@ -38,54 +49,40 @@ func ExtGain(opts Options) (*Figure, error) {
 		{"sublinear m^0.7", charging.Sublinear(0.7)},
 		{"saturating cap=8", charging.Saturating(8)},
 	}
-	seeds := opts.seeds(10, 2)
 
-	fig := &Figure{
-		ID:     "ext-gain",
-		Title:  "Extension: sensitivity to the multi-node gain model (400x400m, 60 posts, 360 nodes)",
-		XLabel: "gain model index",
-		YLabel: "total recharging cost (µJ)",
-	}
-	for i := range gains {
-		fig.X = append(fig.X, float64(i+1))
+	sw := &engine.Sweep{
+		ID:       "ext-gain",
+		Title:    "Extension: sensitivity to the multi-node gain model (400x400m, 60 posts, 360 nodes)",
+		XLabel:   "gain model index",
+		YLabel:   "total recharging cost (µJ)",
+		Seeds:    opts.seeds(10, 2),
+		BaseSeed: opts.baseSeed(),
 	}
 	field := geom.Square(side)
-	rfhSeries := Series{Label: "RFH", Y: make([]float64, len(gains))}
-	idbSeries := Series{Label: "IDB(δ=1)", Y: make([]float64, len(gains))}
-	for gi, g := range gains {
-		var rfhCosts, idbCosts []float64
-		for s := 0; s < seeds; s++ {
-			rng := rand.New(rand.NewSource(opts.baseSeed() + int64(s)))
-			p, err := randomConnectedProblem(rng, field, posts, nodes, energy.Default())
-			if err != nil {
-				return nil, err
-			}
-			cm, err := charging.NewModel(1, g.gain)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: gain %q: %w", g.label, err)
-			}
-			p.Charging = cm
-			rfh, err := solver.IterativeRFH(p)
-			if err != nil {
-				return nil, err
-			}
-			idb, err := solver.IDB(p, 1)
-			if err != nil {
-				return nil, err
-			}
-			rfhCosts = append(rfhCosts, njToMicroJ(rfh.Cost))
-			idbCosts = append(idbCosts, njToMicroJ(idb.Cost))
-		}
-		var err error
-		if rfhSeries.Y[gi], err = stats.Mean(rfhCosts); err != nil {
-			return nil, err
-		}
-		if idbSeries.Y[gi], err = stats.Mean(idbCosts); err != nil {
-			return nil, err
-		}
+	for i, g := range gains {
+		g := g
+		sw.Points = append(sw.Points, engine.Point{
+			X:     float64(i + 1),
+			Label: g.label,
+			Gen: func(rng *rand.Rand) (*model.Problem, error) {
+				p, err := randomConnectedProblem(rng, field, posts, nodes, energy.Default())
+				if err != nil {
+					return nil, err
+				}
+				cm, err := charging.NewModel(1, g.gain)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: gain %q: %w", g.label, err)
+				}
+				p.Charging = cm
+				return p, nil
+			},
+		})
 	}
-	fig.Series = []Series{idbSeries, rfhSeries}
-	return fig, nil
+	sw.Algorithms = []engine.Algorithm{
+		meanCostAlgorithm("IDB(δ=1)", engine.MustSolver("idb")),
+		meanCostAlgorithm("RFH", engine.MustSolver("rfh-iterative")),
+	}
+	return runFigure(opts, sw)
 }
 
 // ExtGainLabels names ExtGain's x positions for table rendering.
@@ -102,46 +99,49 @@ func ExtOverhead(opts Options) (*Figure, error) {
 		nodes = 360
 	)
 	overheads := []float64{0, 25, 50, 100, 200} // nJ per reported bit
-	seeds := opts.seeds(10, 2)
 
-	fig := &Figure{
-		ID:     "ext-overhead",
-		Title:  "Extension: sensing/computation overhead (400x400m, 60 posts, 360 nodes)",
-		XLabel: "per-post overhead (nJ per bit-round)",
-		YLabel: "total recharging cost (µJ)",
-	}
-	for _, oh := range overheads {
-		fig.X = append(fig.X, oh)
+	sw := &engine.Sweep{
+		ID:       "ext-overhead",
+		Title:    "Extension: sensing/computation overhead (400x400m, 60 posts, 360 nodes)",
+		XLabel:   "per-post overhead (nJ per bit-round)",
+		YLabel:   "total recharging cost (µJ)",
+		Seeds:    opts.seeds(10, 2),
+		BaseSeed: opts.baseSeed(),
 	}
 	field := geom.Square(side)
-	rfhSeries := Series{Label: "RFH", Y: make([]float64, len(overheads))}
-	maxDeploy := Series{Label: "max nodes at one post", Unit: "nodes", Y: make([]float64, len(overheads))}
-	for oi, oh := range overheads {
-		var costs, peaks []float64
-		for s := 0; s < seeds; s++ {
-			rng := rand.New(rand.NewSource(opts.baseSeed() + int64(s)))
-			p, err := randomConnectedProblem(rng, field, posts, nodes, energy.Default())
-			if err != nil {
-				return nil, err
-			}
-			p.RoundOverhead = oh
-			res, err := solver.IterativeRFH(p)
-			if err != nil {
-				return nil, err
-			}
-			costs = append(costs, njToMicroJ(res.Cost))
-			peaks = append(peaks, float64(res.Deploy.Max()))
-		}
-		var err error
-		if rfhSeries.Y[oi], err = stats.Mean(costs); err != nil {
-			return nil, err
-		}
-		if maxDeploy.Y[oi], err = stats.Mean(peaks); err != nil {
-			return nil, err
-		}
+	for _, oh := range overheads {
+		oh := oh
+		sw.Points = append(sw.Points, engine.Point{
+			X:     oh,
+			Label: fmt.Sprintf("overhead=%g", oh),
+			Gen: func(rng *rand.Rand) (*model.Problem, error) {
+				p, err := randomConnectedProblem(rng, field, posts, nodes, energy.Default())
+				if err != nil {
+					return nil, err
+				}
+				p.RoundOverhead = oh
+				return p, nil
+			},
+		})
 	}
-	fig.Series = []Series{rfhSeries, maxDeploy}
-	return fig, nil
+	sw.Algorithms = []engine.Algorithm{{
+		Label: "RFH",
+		Outputs: []engine.SeriesSpec{
+			{Label: "RFH"},
+			{Label: "max nodes at one post", Unit: "nodes"},
+		},
+		Run: func(ctx context.Context, inst *engine.Instance) (engine.CellResult, error) {
+			res, err := solver.RFHCtx(ctx, inst.Problem, solver.RFHOptions{Iterations: solver.DefaultRFHIterations})
+			if err != nil {
+				return engine.CellResult{}, err
+			}
+			return engine.CellResult{Values: []float64{
+				njToMicroJ(res.Cost),
+				float64(res.Deploy.Max()),
+			}}, nil
+		},
+	}}
+	return runFigure(opts, sw)
 }
 
 // ExtChargerPolicy compares charger scheduling policies on the running
@@ -155,67 +155,63 @@ func ExtChargerPolicy(opts Options) (*Figure, error) {
 		nodes = 60
 	)
 	policies := []sim.ChargerPolicy{sim.PolicyUrgency, sim.PolicyRoundRobin, sim.PolicyTour}
-	seeds := opts.seeds(5, 2)
+	policyLabels := []string{"urgency", "round-robin", "tour"}
 	rounds := 3 * sim.DefaultBatteryRounds
 
-	fig := &Figure{
-		ID:     "ext-charger",
-		Title:  "Extension: charger scheduling policies under a tight budget (200x200m, 15 posts, 60 nodes)",
-		XLabel: "policy index (1=urgency, 2=round-robin, 3=tour)",
-		YLabel: "delivery ratio / meters per visit",
+	sw := &engine.Sweep{
+		ID:       "ext-charger",
+		Title:    "Extension: charger scheduling policies under a tight budget (200x200m, 15 posts, 60 nodes)",
+		XLabel:   "policy index (1=urgency, 2=round-robin, 3=tour)",
+		YLabel:   "delivery ratio / meters per visit",
+		Seeds:    opts.seeds(5, 2),
+		BaseSeed: opts.baseSeed(),
 	}
-	for i := range policies {
-		fig.X = append(fig.X, float64(i+1))
-	}
-	delivery := Series{Label: "delivery ratio", Unit: "-", Y: make([]float64, len(policies))}
-	travel := Series{Label: "meters per completed charge", Unit: "m", Y: make([]float64, len(policies))}
 	field := geom.Square(side)
-	for pi, policy := range policies {
-		var ratios, perVisit []float64
-		for s := 0; s < seeds; s++ {
-			rng := rand.New(rand.NewSource(opts.baseSeed() + int64(s)))
-			p, err := randomConnectedProblem(rng, field, posts, nodes, energy.Default())
+	for i := range policies {
+		sw.Points = append(sw.Points, engine.Point{
+			X:     float64(i + 1),
+			Label: policyLabels[i],
+			Gen: func(rng *rand.Rand) (*model.Problem, error) {
+				return randomConnectedProblem(rng, field, posts, nodes, energy.Default())
+			},
+		})
+	}
+	sw.Algorithms = []engine.Algorithm{{
+		Label: "simulated policy",
+		Outputs: []engine.SeriesSpec{
+			{Label: "delivery ratio", Unit: "-"},
+			{Label: "meters per completed charge", Unit: "m"},
+		},
+		Run: func(ctx context.Context, inst *engine.Instance) (engine.CellResult, error) {
+			res, err := solver.RFHCtx(ctx, inst.Problem, solver.RFHOptions{Iterations: solver.DefaultRFHIterations})
 			if err != nil {
-				return nil, err
-			}
-			res, err := solver.IterativeRFH(p)
-			if err != nil {
-				return nil, err
+				return engine.CellResult{}, err
 			}
 			simulator, err := sim.New(sim.Config{
-				Problem:  p,
+				Problem:  inst.Problem,
 				Solution: res.Solution,
 				Charger: &sim.ChargerConfig{
 					PowerPerRound: 2e5, // deliberately tight
 					SpeedPerRound: 4,
-					Policy:        policy,
+					Policy:        policies[inst.Point],
 				},
 				PacketBits:        1000,
 				InitialChargeFrac: 0.6,
-				Seed:              opts.baseSeed() + int64(s),
+				Seed:              inst.InstanceSeed,
 			})
 			if err != nil {
-				return nil, err
+				return engine.CellResult{}, err
 			}
-			m, err := simulator.Run(rounds)
+			m, err := simulator.RunCtx(ctx, rounds)
 			if err != nil {
-				return nil, err
+				return engine.CellResult{}, err
 			}
-			ratios = append(ratios, m.DeliveryRatio())
+			perVisit := math.NaN() // no completed charge: this cell opts out of the travel mean
 			if m.ChargerVisits > 0 {
-				perVisit = append(perVisit, m.ChargerDistance/float64(m.ChargerVisits))
+				perVisit = m.ChargerDistance / float64(m.ChargerVisits)
 			}
-		}
-		var err error
-		if delivery.Y[pi], err = stats.Mean(ratios); err != nil {
-			return nil, err
-		}
-		if len(perVisit) > 0 {
-			if travel.Y[pi], err = stats.Mean(perVisit); err != nil {
-				return nil, err
-			}
-		}
-	}
-	fig.Series = []Series{delivery, travel}
-	return fig, nil
+			return engine.CellResult{Values: []float64{m.DeliveryRatio(), perVisit}}, nil
+		},
+	}}
+	return runFigure(opts, sw)
 }

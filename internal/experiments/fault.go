@@ -1,12 +1,16 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
+	"math/rand"
+
 	"wrsn/internal/energy"
+	"wrsn/internal/engine"
 	"wrsn/internal/geom"
 	"wrsn/internal/model"
 	"wrsn/internal/sim"
 	"wrsn/internal/solver"
-	"wrsn/internal/stats"
 )
 
 // ExtFaultTolerance probes the paper's fault-tolerance claim ("deploying
@@ -28,54 +32,64 @@ func ExtFaultTolerance(opts Options) (*Figure, error) {
 	// Binomial(alive, p)); over the 6000-round horizon these kill roughly
 	// 0%, 14%, 45%, 78% and 99.8% of the fleet.
 	failureRates := []float64{0, 2.5e-5, 1e-4, 2.5e-4, 1e-3}
-	seeds := opts.seeds(6, 2)
 	rounds := 3 * sim.DefaultBatteryRounds
 
-	fig := &Figure{
-		ID:     "ext-fault",
-		Title:  "Extension: delivery under permanent node failures (250x250m, 15 posts, 75 nodes)",
-		XLabel: "per-node failure probability per round",
-		YLabel: "delivery ratio",
+	sw := &engine.Sweep{
+		ID:       "ext-fault",
+		Title:    "Extension: delivery under permanent node failures (250x250m, 15 posts, 75 nodes)",
+		XLabel:   "per-node failure probability per round",
+		YLabel:   "delivery ratio",
+		Seeds:    opts.seeds(6, 2),
+		BaseSeed: opts.baseSeed(),
 	}
-	optimised := Series{Label: "optimised deployment", Unit: "-", Y: make([]float64, len(failureRates))}
-	uniform := Series{Label: "uniform deployment", Unit: "-", Y: make([]float64, len(failureRates))}
 	field := geom.Square(side)
-	for fi, rate := range failureRates {
-		fig.X = append(fig.X, rate)
-		var optRatios, uniRatios []float64
-		for s := 0; s < seeds; s++ {
-			rng := newSeededRNG(opts.baseSeed() + int64(s))
-			p, err := model.GenerateProblem(rng, model.GenSpec{Field: field, Posts: posts, Nodes: nodes, Energy: energy.Default()})
+	for _, rate := range failureRates {
+		sw.Points = append(sw.Points, engine.Point{
+			X:     rate,
+			Label: fmt.Sprintf("p=%g", rate),
+			Gen: func(rng *rand.Rand) (*model.Problem, error) {
+				return model.GenerateProblem(rng, model.GenSpec{Field: field, Posts: posts, Nodes: nodes, Energy: energy.Default()})
+			},
+		})
+	}
+	sw.Algorithms = []engine.Algorithm{{
+		Label: "failure sweep",
+		Outputs: []engine.SeriesSpec{
+			{Label: "optimised deployment", Unit: "-"},
+			{Label: "uniform deployment", Unit: "-"},
+		},
+		Run: func(ctx context.Context, inst *engine.Instance) (engine.CellResult, error) {
+			rate := failureRates[inst.Point]
+			opt, err := solver.IDBCtx(ctx, inst.Problem, 1)
 			if err != nil {
-				return nil, err
+				return engine.CellResult{}, err
 			}
-			opt, err := solver.IDB(p, 1)
+			uniDeploy, err := model.UniformDeployment(inst.Problem.N(), inst.Problem.Nodes)
 			if err != nil {
-				return nil, err
+				return engine.CellResult{}, err
 			}
-			uniDeploy, err := model.UniformDeployment(p.N(), p.Nodes)
+			uniTree, _, err := model.BestTreeFor(inst.Problem, uniDeploy)
 			if err != nil {
-				return nil, err
+				return engine.CellResult{}, err
 			}
-			uniTree, _, err := model.BestTreeFor(p, uniDeploy)
-			if err != nil {
-				return nil, err
-			}
+			// Both deployments replay the *same* failure sequence: the
+			// simulator seed depends only on the cell, not the solution.
+			simSeed := inst.BaseSeed + int64(1000*inst.Point) + int64(inst.Seed)
 			run := func(sol model.Solution) (float64, error) {
 				simulator, err := sim.New(sim.Config{
-					Problem:  p,
+					Problem:  inst.Problem,
 					Solution: sol,
 					Charger: &sim.ChargerConfig{
 						PowerPerRound: 1e9,
 						SpeedPerRound: 1e6,
 					},
 					FailurePerRound: rate,
-					Seed:            opts.baseSeed() + int64(1000*fi) + int64(s),
+					Seed:            simSeed,
 				})
 				if err != nil {
 					return 0, err
 				}
-				m, err := simulator.Run(rounds)
+				m, err := simulator.RunCtx(ctx, rounds)
 				if err != nil {
 					return 0, err
 				}
@@ -83,23 +97,17 @@ func ExtFaultTolerance(opts Options) (*Figure, error) {
 			}
 			optRatio, err := run(opt.Solution)
 			if err != nil {
-				return nil, err
+				return engine.CellResult{}, err
 			}
 			uniRatio, err := run(model.Solution{Deploy: uniDeploy, Tree: uniTree})
 			if err != nil {
-				return nil, err
+				return engine.CellResult{}, err
 			}
-			optRatios = append(optRatios, optRatio)
-			uniRatios = append(uniRatios, uniRatio)
-		}
-		var err error
-		if optimised.Y[fi], err = stats.Mean(optRatios); err != nil {
-			return nil, err
-		}
-		if uniform.Y[fi], err = stats.Mean(uniRatios); err != nil {
-			return nil, err
-		}
-	}
-	fig.Series = []Series{optimised, uniform}
-	return fig, nil
+			return engine.CellResult{
+				Values:      []float64{optRatio, uniRatio},
+				Evaluations: opt.Evaluations,
+			}, nil
+		},
+	}}
+	return runFigure(opts, sw)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"wrsn/internal/energy"
+	"wrsn/internal/engine"
 )
 
 // Fig10 reproduces the power-level sweep: 500x500m field, 200 posts, 600
@@ -30,11 +31,11 @@ func Fig10(opts Options) (*Figure, error) {
 		}
 		points = append(points, sweepPoint{X: float64(k), Posts: posts, Nodes: nodes, Energy: em})
 	}
-	fig := &Figure{
+	sw := &engine.Sweep{
 		ID:     "fig10",
 		Title:  "Impact of the number of power levels (500x500m, 200 posts, 600 nodes)",
 		XLabel: "number of transmission ranges",
 		YLabel: "total recharging cost (µJ)",
 	}
-	return runSweep(opts, side, points, []algorithm{idbAlgorithm(1), rfhAlgorithm()}, seeds, fig)
+	return runSweep(opts, side, points, []engine.Algorithm{idbAlgorithm(1), rfhAlgorithm()}, seeds, sw)
 }

@@ -1,13 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"wrsn/internal/energy"
+	"wrsn/internal/engine"
 	"wrsn/internal/geom"
+	"wrsn/internal/model"
 	"wrsn/internal/solver"
-	"wrsn/internal/stats"
 	"wrsn/internal/texttable"
 )
 
@@ -18,7 +20,9 @@ const Fig6Iterations = 10
 // Fig6 reproduces the iterative-RFH convergence study: a 500x500m field
 // with 100 posts, node counts in {400, 600, 800, 1000}, total recharging
 // cost (µJ) after each of 1..10 iterations, averaged over 20 post
-// distributions.
+// distributions. Each node count is one sweep point producing a Vector
+// output — its whole per-iteration convergence curve — so the figure's
+// x-axis is the iteration number, not the points' node counts.
 func Fig6(opts Options) (*Figure, error) {
 	const (
 		side  = 500.0
@@ -30,41 +34,44 @@ func Fig6(opts Options) (*Figure, error) {
 		nodeCounts = []int{400, 800}
 	}
 
-	fig := &Figure{
-		ID:     "fig6",
-		Title:  "The benefit of running RFH iteratively (500x500m, 100 posts)",
-		XLabel: "iteration",
-		YLabel: "total recharging cost (µJ)",
+	sw := &engine.Sweep{
+		ID:       "fig6",
+		Title:    "The benefit of running RFH iteratively (500x500m, 100 posts)",
+		XLabel:   "iteration",
+		YLabel:   "total recharging cost (µJ)",
+		Seeds:    seeds,
+		BaseSeed: opts.baseSeed(),
 	}
 	for it := 1; it <= Fig6Iterations; it++ {
-		fig.X = append(fig.X, float64(it))
+		sw.X = append(sw.X, float64(it))
 	}
 	field := geom.Square(side)
 	for _, m := range nodeCounts {
-		perSeed := make([][]float64, 0, seeds)
-		for s := 0; s < seeds; s++ {
-			rng := rand.New(rand.NewSource(opts.baseSeed() + int64(s)))
-			p, err := randomConnectedProblem(rng, field, posts, m, energy.Default())
+		m := m
+		sw.Points = append(sw.Points, engine.Point{
+			X:     float64(m),
+			Label: fmt.Sprintf("%d nodes", m),
+			Gen: func(rng *rand.Rand) (*model.Problem, error) {
+				return randomConnectedProblem(rng, field, posts, m, energy.Default())
+			},
+		})
+	}
+	sw.Algorithms = []engine.Algorithm{{
+		Label:   "RFH convergence",
+		Outputs: []engine.SeriesSpec{{Vector: true}},
+		Run: func(ctx context.Context, inst *engine.Instance) (engine.CellResult, error) {
+			res, err := solver.RFHCtx(ctx, inst.Problem, solver.RFHOptions{Iterations: Fig6Iterations})
 			if err != nil {
-				return nil, err
-			}
-			res, err := solver.RFH(p, solver.RFHOptions{Iterations: Fig6Iterations})
-			if err != nil {
-				return nil, err
+				return engine.CellResult{}, err
 			}
 			costs := make([]float64, len(res.IterationCosts))
 			for i, c := range res.IterationCosts {
 				costs[i] = njToMicroJ(c)
 			}
-			perSeed = append(perSeed, costs)
-		}
-		mean, err := stats.MeanSeries(perSeed)
-		if err != nil {
-			return nil, err
-		}
-		fig.Series = append(fig.Series, Series{Label: fmt.Sprintf("%d nodes", m), Y: mean})
-	}
-	return fig, nil
+			return engine.CellResult{Values: costs}, nil
+		},
+	}}
+	return runFigure(opts, sw)
 }
 
 // Fig6Table renders the convergence series as a table: one row per

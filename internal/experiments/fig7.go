@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"wrsn/internal/energy"
+	"wrsn/internal/engine"
 )
 
 // Fig7a reproduces the small-scale comparison against the optimal
@@ -23,13 +24,13 @@ func Fig7a(opts Options) (*Figure, error) {
 	for _, m := range nodeCounts {
 		points = append(points, sweepPoint{X: float64(m), Posts: posts, Nodes: m, Energy: energy.Default()})
 	}
-	fig := &Figure{
+	sw := &engine.Sweep{
 		ID:     "fig7a",
 		Title:  "Heuristics vs optimal, varying node count (200x200m, 10 posts)",
 		XLabel: "number of sensor nodes",
 		YLabel: "total recharging cost (µJ)",
 	}
-	return runSweep(opts, side, points, []algorithm{optimalAlgorithm(), idbAlgorithm(1), rfhAlgorithm()}, seeds, fig)
+	return runSweep(opts, side, points, []engine.Algorithm{optimalAlgorithm(), idbAlgorithm(1), rfhAlgorithm()}, seeds, sw)
 }
 
 // Fig7b reproduces the small-scale comparison with a varying post count:
@@ -49,11 +50,11 @@ func Fig7b(opts Options) (*Figure, error) {
 	for _, n := range postCounts {
 		points = append(points, sweepPoint{X: float64(n), Posts: n, Nodes: nodes, Energy: energy.Default()})
 	}
-	fig := &Figure{
+	sw := &engine.Sweep{
 		ID:     "fig7b",
 		Title:  "Heuristics vs optimal, varying post count (200x200m, 36 nodes)",
 		XLabel: "number of posts",
 		YLabel: "total recharging cost (µJ)",
 	}
-	return runSweep(opts, side, points, []algorithm{optimalAlgorithm(), idbAlgorithm(1), rfhAlgorithm()}, seeds, fig)
+	return runSweep(opts, side, points, []engine.Algorithm{optimalAlgorithm(), idbAlgorithm(1), rfhAlgorithm()}, seeds, sw)
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"wrsn/internal/energy"
+	"wrsn/internal/engine"
 )
 
 // Fig8 reproduces the large-scale node-count sweep: 500x500m field, 100
@@ -23,13 +24,13 @@ func Fig8(opts Options) (*Figure, error) {
 	for _, m := range nodeCounts {
 		points = append(points, sweepPoint{X: float64(m), Posts: posts, Nodes: m, Energy: energy.Default()})
 	}
-	fig := &Figure{
+	sw := &engine.Sweep{
 		ID:     "fig8",
 		Title:  "Impact of the number of sensor nodes (500x500m, 100 posts)",
 		XLabel: "number of sensor nodes",
 		YLabel: "total recharging cost (µJ)",
 	}
-	return runSweep(opts, side, points, []algorithm{idbAlgorithm(1), rfhAlgorithm()}, seeds, fig)
+	return runSweep(opts, side, points, []engine.Algorithm{idbAlgorithm(1), rfhAlgorithm()}, seeds, sw)
 }
 
 // Fig9 reproduces the large-scale post-count sweep: 500x500m field, 600
@@ -49,11 +50,11 @@ func Fig9(opts Options) (*Figure, error) {
 	for _, n := range postCounts {
 		points = append(points, sweepPoint{X: float64(n), Posts: n, Nodes: nodes, Energy: energy.Default()})
 	}
-	fig := &Figure{
+	sw := &engine.Sweep{
 		ID:     "fig9",
 		Title:  "Impact of the number of posts (500x500m, 600 nodes)",
 		XLabel: "number of posts",
 		YLabel: "total recharging cost (µJ)",
 	}
-	return runSweep(opts, side, points, []algorithm{idbAlgorithm(1), rfhAlgorithm()}, seeds, fig)
+	return runSweep(opts, side, points, []engine.Algorithm{idbAlgorithm(1), rfhAlgorithm()}, seeds, sw)
 }

@@ -1,10 +1,11 @@
 package experiments
 
 import (
+	"math/rand"
+
+	"wrsn/internal/engine"
 	"wrsn/internal/geom"
 	"wrsn/internal/model"
-	"wrsn/internal/solver"
-	"wrsn/internal/stats"
 )
 
 // ExtLayout studies robustness to the post layout: the paper evaluates
@@ -20,56 +21,40 @@ func ExtLayout(opts Options) (*Figure, error) {
 		nodes = 250
 	)
 	layouts := []model.Layout{model.LayoutUniform, model.LayoutClustered, model.LayoutGrid}
-	seeds := opts.seeds(10, 2)
+	layoutLabels := []string{"uniform", "clustered", "grid"}
 
-	fig := &Figure{
-		ID:     "ext-layout",
-		Title:  "Extension: robustness to post layout (400x400m, 49 posts, 250 nodes)",
-		XLabel: "layout index (1=uniform, 2=clustered, 3=grid)",
-		YLabel: "total recharging cost (µJ)",
+	sw := &engine.Sweep{
+		ID:       "ext-layout",
+		Title:    "Extension: robustness to post layout (400x400m, 49 posts, 250 nodes)",
+		XLabel:   "layout index (1=uniform, 2=clustered, 3=grid)",
+		YLabel:   "total recharging cost (µJ)",
+		Seeds:    opts.seeds(10, 2),
+		BaseSeed: opts.baseSeed(),
 	}
-	for i := range layouts {
-		fig.X = append(fig.X, float64(i+1))
-	}
-	rfhSeries := Series{Label: "RFH", Y: make([]float64, len(layouts))}
-	idbSeries := Series{Label: "IDB(δ=1)", Y: make([]float64, len(layouts))}
 	field := geom.Square(side)
-	for li, layout := range layouts {
-		var rfhCosts, idbCosts []float64
-		layoutSeeds := seeds
+	for i, layout := range layouts {
+		layout := layout
+		pointSeeds := 0 // inherit the sweep default
 		if layout == model.LayoutGrid {
-			layoutSeeds = 1 // grids are deterministic
+			pointSeeds = 1 // grids are deterministic
 		}
-		for s := 0; s < layoutSeeds; s++ {
-			rng := newSeededRNG(opts.baseSeed() + int64(s))
-			p, err := model.GenerateProblem(rng, model.GenSpec{
-				Field:  field,
-				Posts:  posts,
-				Nodes:  nodes,
-				Layout: layout,
-			})
-			if err != nil {
-				return nil, err
-			}
-			rfh, err := solver.IterativeRFH(p)
-			if err != nil {
-				return nil, err
-			}
-			idb, err := solver.IDB(p, 1)
-			if err != nil {
-				return nil, err
-			}
-			rfhCosts = append(rfhCosts, njToMicroJ(rfh.Cost))
-			idbCosts = append(idbCosts, njToMicroJ(idb.Cost))
-		}
-		var err error
-		if rfhSeries.Y[li], err = stats.Mean(rfhCosts); err != nil {
-			return nil, err
-		}
-		if idbSeries.Y[li], err = stats.Mean(idbCosts); err != nil {
-			return nil, err
-		}
+		sw.Points = append(sw.Points, engine.Point{
+			X:     float64(i + 1),
+			Label: layoutLabels[i],
+			Seeds: pointSeeds,
+			Gen: func(rng *rand.Rand) (*model.Problem, error) {
+				return model.GenerateProblem(rng, model.GenSpec{
+					Field:  field,
+					Posts:  posts,
+					Nodes:  nodes,
+					Layout: layout,
+				})
+			},
+		})
 	}
-	fig.Series = []Series{idbSeries, rfhSeries}
-	return fig, nil
+	sw.Algorithms = []engine.Algorithm{
+		meanCostAlgorithm("IDB(δ=1)", engine.MustSolver("idb")),
+		meanCostAlgorithm("RFH", engine.MustSolver("rfh-iterative")),
+	}
+	return runFigure(opts, sw)
 }

@@ -1,12 +1,13 @@
 package experiments
 
 import (
-	"time"
+	"context"
+	"math/rand"
 
 	"wrsn/internal/energy"
+	"wrsn/internal/engine"
 	"wrsn/internal/geom"
 	"wrsn/internal/model"
-	"wrsn/internal/solver"
 	"wrsn/internal/stats"
 )
 
@@ -27,84 +28,93 @@ type PortfolioEntry struct {
 // iterative RFH, RFH+local-search, IDB and IDB+local-search — on a batch
 // of mid-size instances, reporting cost, gap-to-best and runtime. This is
 // the practical "which solver should I use" table that complements the
-// paper's RFH-vs-IDB comparison.
+// paper's RFH-vs-IDB comparison. It is the one experiment that consumes
+// the engine's raw per-cell values and durations instead of the
+// assembled figure: gap-to-best is a cross-algorithm, per-instance
+// statistic no single series holds.
 func ExtPortfolio(opts Options) ([]PortfolioEntry, error) {
 	const (
 		side  = 350.0
 		posts = 40
 		nodes = 200
 	)
-	seeds := opts.seeds(10, 3)
-
-	type algo struct {
-		name string
-		run  func(p *model.Problem) (*solver.Result, error)
-	}
-	algos := []algo{
-		{"basic RFH", func(p *model.Problem) (*solver.Result, error) { return solver.BasicRFH(p) }},
-		{"iterative RFH", solver.IterativeRFH},
-		{"RFH + local search", func(p *model.Problem) (*solver.Result, error) {
-			return solver.LocalSearch(p, solver.LocalSearchOptions{})
-		}},
-		{"IDB(δ=1)", func(p *model.Problem) (*solver.Result, error) { return solver.IDB(p, 1) }},
-		{"IDB + local search", func(p *model.Problem) (*solver.Result, error) {
-			seed, err := solver.IDB(p, 1)
-			if err != nil {
-				return nil, err
-			}
-			return solver.LocalSearch(p, solver.LocalSearchOptions{Start: seed})
-		}},
-		{"RFH + annealing", func(p *model.Problem) (*solver.Result, error) {
-			return solver.Anneal(p, solver.AnnealOptions{Seed: 1})
-		}},
+	entries := []struct {
+		name   string
+		solver string
+	}{
+		{"basic RFH", "rfh"},
+		{"iterative RFH", "rfh-iterative"},
+		{"RFH + local search", "local-search"},
+		{"IDB(δ=1)", "idb"},
+		{"IDB + local search", "idb-local-search"},
+		{"RFH + annealing", "anneal"},
 	}
 
-	costs := make([][]float64, len(algos))   // [algo][seed] µJ
-	gaps := make([][]float64, len(algos))    // [algo][seed] % above best
-	runtime := make([][]float64, len(algos)) // [algo][seed] ms
 	field := geom.Square(side)
-	for s := 0; s < seeds; s++ {
-		rng := newSeededRNG(opts.baseSeed() + int64(s))
-		p, err := randomConnectedProblem(rng, field, posts, nodes, energy.Default())
-		if err != nil {
-			return nil, err
-		}
-		instCosts := make([]float64, len(algos))
-		best := -1.0
-		for ai, a := range algos {
-			start := time.Now()
-			res, err := a.run(p)
-			if err != nil {
-				return nil, err
-			}
-			elapsed := time.Since(start)
-			instCosts[ai] = res.Cost
-			if best < 0 || res.Cost < best {
-				best = res.Cost
-			}
-			costs[ai] = append(costs[ai], njToMicroJ(res.Cost))
-			runtime[ai] = append(runtime[ai], float64(elapsed.Microseconds())/1000)
-		}
-		for ai := range algos {
-			gaps[ai] = append(gaps[ai], (instCosts[ai]/best-1)*100)
-		}
+	sw := &engine.Sweep{
+		ID:       "ext-portfolio",
+		Title:    "Extension: solver portfolio (350x350m, 40 posts, 200 nodes)",
+		XLabel:   "instance batch",
+		YLabel:   "total recharging cost (nJ)",
+		Seeds:    opts.seeds(10, 3),
+		BaseSeed: opts.baseSeed(),
+		Points: []engine.Point{{
+			X:     1,
+			Label: "portfolio batch",
+			Gen: func(rng *rand.Rand) (*model.Problem, error) {
+				return randomConnectedProblem(rng, field, posts, nodes, energy.Default())
+			},
+		}},
+	}
+	for _, e := range entries {
+		solve := engine.MustSolver(e.solver)
+		sw.Algorithms = append(sw.Algorithms, engine.Algorithm{
+			Label:   e.name,
+			Outputs: []engine.SeriesSpec{{Label: e.name, Unit: "nJ"}},
+			Run: func(ctx context.Context, inst *engine.Instance) (engine.CellResult, error) {
+				res, err := solve(ctx, inst.Problem)
+				if err != nil {
+					return engine.CellResult{}, err
+				}
+				return engine.CellResult{Values: []float64{res.Cost}, Evaluations: res.Evaluations}, nil
+			},
+		})
 	}
 
-	out := make([]PortfolioEntry, len(algos))
-	for ai, a := range algos {
-		mc, err := stats.Mean(costs[ai])
+	res, err := engine.Run(opts.ctx(), sw, opts.runConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	seeds := sw.Seeds
+	out := make([]PortfolioEntry, len(entries))
+	for ai, e := range entries {
+		var costs, gaps, runtimes []float64
+		for s := 0; s < seeds; s++ {
+			cost := res.Raw[ai][0][s][0] // nJ
+			best := cost
+			for bi := range entries {
+				if c := res.Raw[bi][0][s][0]; c < best {
+					best = c
+				}
+			}
+			costs = append(costs, njToMicroJ(cost))
+			gaps = append(gaps, (cost/best-1)*100)
+			runtimes = append(runtimes, float64(res.Durations[ai][0][s].Microseconds())/1000)
+		}
+		mc, err := stats.Mean(costs)
 		if err != nil {
 			return nil, err
 		}
-		mg, err := stats.Mean(gaps[ai])
+		mg, err := stats.Mean(gaps)
 		if err != nil {
 			return nil, err
 		}
-		mr, err := stats.Mean(runtime[ai])
+		mr, err := stats.Mean(runtimes)
 		if err != nil {
 			return nil, err
 		}
-		out[ai] = PortfolioEntry{Solver: a.name, MeanCost: mc, MeanGapPct: mg, MeanRuntimeMS: mr}
+		out[ai] = PortfolioEntry{Solver: e.name, MeanCost: mc, MeanGapPct: mg, MeanRuntimeMS: mr}
 	}
 	return out, nil
 }

@@ -1,15 +1,18 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"math"
+	"math/rand"
 
 	"wrsn/internal/deploy"
 	"wrsn/internal/energy"
+	"wrsn/internal/engine"
 	"wrsn/internal/geom"
 	"wrsn/internal/model"
 	"wrsn/internal/sim"
 	"wrsn/internal/solver"
-	"wrsn/internal/stats"
 )
 
 // ExtRepair measures what online routing-tree repair buys under sustained
@@ -42,36 +45,44 @@ func ExtRepair(opts Options) (*Figure, error) {
 	// Per-node per-round failure probabilities. Over the 6000-round
 	// horizon these kill ~0%, 14%, 45% and 78% of nodes respectively.
 	failureRates := []float64{0, 2.5e-5, 1e-4, 2.5e-4}
-	seeds := opts.seeds(6, 2)
 	rounds := 3 * sim.DefaultBatteryRounds
 
-	fig := &Figure{
-		ID:     "ext-repair",
-		Title:  "Extension: self-healing under permanent node failures (250x250m, 20 posts, 80 planned nodes)",
-		XLabel: "per-node failure probability per round",
-		YLabel: "delivery ratio",
+	sw := &engine.Sweep{
+		ID:       "ext-repair",
+		Title:    "Extension: self-healing under permanent node failures (250x250m, 20 posts, 80 planned nodes)",
+		XLabel:   "per-node failure probability per round",
+		YLabel:   "delivery ratio",
+		Seeds:    opts.seeds(6, 2),
+		BaseSeed: opts.baseSeed(),
 	}
-	nRates := len(failureRates)
-	noRepair := Series{Label: "no repair", Unit: "-", Y: make([]float64, nRates)}
-	repair := Series{Label: "online repair", Unit: "-", Y: make([]float64, nRates)}
-	spares := Series{Label: "repair + spares", Unit: "-", Y: make([]float64, nRates)}
-	inflation := Series{Label: "repair cost inflation", Unit: "%", Y: make([]float64, nRates)}
-
 	field := geom.Square(side)
-	for fi, rate := range failureRates {
-		fig.X = append(fig.X, rate)
-		var noR, withR, withS, infl []float64
-		for s := 0; s < seeds; s++ {
-			rng := newSeededRNG(opts.baseSeed() + int64(s))
-			p, err := randomConnectedProblem(rng, field, posts, nodes, energy.Default())
+	for _, rate := range failureRates {
+		sw.Points = append(sw.Points, engine.Point{
+			X:     rate,
+			Label: fmt.Sprintf("p=%g", rate),
+			Gen: func(rng *rand.Rand) (*model.Problem, error) {
+				return randomConnectedProblem(rng, field, posts, nodes, energy.Default())
+			},
+		})
+	}
+	sw.Algorithms = []engine.Algorithm{{
+		Label: "repair policies",
+		Outputs: []engine.SeriesSpec{
+			{Label: "no repair", Unit: "-"},
+			{Label: "online repair", Unit: "-"},
+			{Label: "repair + spares", Unit: "-"},
+			{Label: "repair cost inflation", Unit: "%"},
+		},
+		Run: func(ctx context.Context, inst *engine.Instance) (engine.CellResult, error) {
+			rate := failureRates[inst.Point]
+			opt, err := solver.IDBCtx(ctx, inst.Problem, 1)
 			if err != nil {
-				return nil, err
-			}
-			opt, err := solver.IDB(p, 1)
-			if err != nil {
-				return nil, err
+				return engine.CellResult{}, err
 			}
 
+			// All three arms replay the same failure sequence: the
+			// simulator seed depends only on the cell, not the policy.
+			simSeed := inst.BaseSeed + int64(1000*inst.Point) + int64(inst.Seed)
 			run := func(p *model.Problem, sol model.Solution, rc *sim.RepairConfig) (*sim.Metrics, error) {
 				simulator, err := sim.New(sim.Config{
 					Problem:  p,
@@ -82,21 +93,21 @@ func ExtRepair(opts Options) (*Figure, error) {
 					},
 					Faults: &sim.FaultConfig{NodeFailurePerRound: rate},
 					Repair: rc,
-					Seed:   opts.baseSeed() + int64(1000*fi) + int64(s),
+					Seed:   simSeed,
 				})
 				if err != nil {
 					return nil, err
 				}
-				return simulator.Run(rounds)
+				return simulator.RunCtx(ctx, rounds)
 			}
 
-			mNo, err := run(p, opt.Solution, nil)
+			mNo, err := run(inst.Problem, opt.Solution, nil)
 			if err != nil {
-				return nil, err
+				return engine.CellResult{}, err
 			}
-			mRep, err := run(p, opt.Solution, &sim.RepairConfig{LatencyRounds: repairLatency})
+			mRep, err := run(inst.Problem, opt.Solution, &sim.RepairConfig{LatencyRounds: repairLatency})
 			if err != nil {
-				return nil, err
+				return engine.CellResult{}, err
 			}
 
 			// Spares arm: inflate the planned deployment so each post keeps
@@ -105,45 +116,31 @@ func ExtRepair(opts Options) (*Figure, error) {
 			survive := math.Pow(1-rate, float64(rounds))
 			inflated, total, err := deploy.ProvisionSpares(opt.Deploy, survive, confidence)
 			if err != nil {
-				return nil, err
+				return engine.CellResult{}, err
 			}
-			pSpares := *p
+			pSpares := *inst.Problem
 			pSpares.Nodes = total
 			sparesTree, _, err := model.BestTreeFor(&pSpares, inflated)
 			if err != nil {
-				return nil, err
+				return engine.CellResult{}, err
 			}
 			mSpares, err := run(&pSpares, model.Solution{Deploy: inflated, Tree: sparesTree},
 				&sim.RepairConfig{LatencyRounds: repairLatency})
 			if err != nil {
-				return nil, err
+				return engine.CellResult{}, err
 			}
 
-			noR = append(noR, mNo.DeliveryRatio())
-			withR = append(withR, mRep.DeliveryRatio())
-			withS = append(withS, mSpares.DeliveryRatio())
 			// Cost inflation only exists once a repair ran; a run without
 			// any post death contributes 0 (the plan is untouched).
 			pct := 0.0
 			if mRep.Repairs > 0 {
 				pct = 100 * mRep.RepairCostInflation
 			}
-			infl = append(infl, pct)
-		}
-		var err error
-		if noRepair.Y[fi], err = stats.Mean(noR); err != nil {
-			return nil, err
-		}
-		if repair.Y[fi], err = stats.Mean(withR); err != nil {
-			return nil, err
-		}
-		if spares.Y[fi], err = stats.Mean(withS); err != nil {
-			return nil, err
-		}
-		if inflation.Y[fi], err = stats.Mean(infl); err != nil {
-			return nil, err
-		}
-	}
-	fig.Series = []Series{noRepair, repair, spares, inflation}
-	return fig, nil
+			return engine.CellResult{
+				Values:      []float64{mNo.DeliveryRatio(), mRep.DeliveryRatio(), mSpares.DeliveryRatio(), pct},
+				Evaluations: opt.Evaluations,
+			}, nil
+		},
+	}}
+	return runFigure(opts, sw)
 }

@@ -1,56 +1,51 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strconv"
 
 	"wrsn/internal/energy"
+	"wrsn/internal/engine"
 	"wrsn/internal/geom"
 	"wrsn/internal/model"
-	"wrsn/internal/solver"
-	"wrsn/internal/stats"
 	"wrsn/internal/texttable"
 )
 
-// algorithm is one labelled solver entry in a comparison sweep.
-type algorithm struct {
-	Label string
-	Run   func(p *model.Problem) (float64, error)
+// costAlgorithm adapts a context-aware solver into a one-output engine
+// algorithm reporting total recharging cost in the paper's µJ, with a
+// 95% confidence interval over seeds.
+func costAlgorithm(label string, solve engine.SolveFunc) engine.Algorithm {
+	return engine.Algorithm{
+		Label:   label,
+		Outputs: []engine.SeriesSpec{{Label: label, CI: true}},
+		Run: func(ctx context.Context, inst *engine.Instance) (engine.CellResult, error) {
+			res, err := solve(ctx, inst.Problem)
+			if err != nil {
+				return engine.CellResult{}, err
+			}
+			return engine.CellResult{
+				Values:      []float64{njToMicroJ(res.Cost)},
+				Evaluations: res.Evaluations,
+			}, nil
+		},
+	}
 }
 
 // rfhAlgorithm is the iterative RFH with the paper's seven iterations.
-func rfhAlgorithm() algorithm {
-	return algorithm{Label: "RFH", Run: func(p *model.Problem) (float64, error) {
-		res, err := solver.IterativeRFH(p)
-		if err != nil {
-			return 0, err
-		}
-		return res.Cost, nil
-	}}
+func rfhAlgorithm() engine.Algorithm {
+	return costAlgorithm("RFH", engine.MustSolver("rfh-iterative"))
 }
 
 // idbAlgorithm is IDB with the given delta.
-func idbAlgorithm(delta int) algorithm {
-	label := "IDB(δ=" + strconv.Itoa(delta) + ")"
-	return algorithm{Label: label, Run: func(p *model.Problem) (float64, error) {
-		res, err := solver.IDB(p, delta)
-		if err != nil {
-			return 0, err
-		}
-		return res.Cost, nil
-	}}
+func idbAlgorithm(delta int) engine.Algorithm {
+	return costAlgorithm("IDB(δ="+strconv.Itoa(delta)+")", engine.IDBSolver(delta))
 }
 
 // optimalAlgorithm is the exact branch-and-bound solver.
-func optimalAlgorithm() algorithm {
-	return algorithm{Label: "Optimal", Run: func(p *model.Problem) (float64, error) {
-		res, err := solver.Optimal(p, solver.OptimalOptions{})
-		if err != nil {
-			return 0, err
-		}
-		return res.Cost, nil
-	}}
+func optimalAlgorithm() engine.Algorithm {
+	return costAlgorithm("Optimal", engine.MustSolver("optimal"))
 }
 
 // sweepPoint is one x-axis position of a comparison sweep.
@@ -61,61 +56,34 @@ type sweepPoint struct {
 	Energy energy.Model
 }
 
-// runSweep evaluates every algorithm on every sweep point, averaging
-// total recharging cost (µJ) over `seeds` random post distributions. All
-// algorithms see the *same* instances per (point, seed), matching the
-// paper's methodology.
-func runSweep(opts Options, side float64, points []sweepPoint, algos []algorithm, seeds int, fig *Figure) (*Figure, error) {
+// comparisonSweep fills a sweep spec with the classic comparison shape:
+// every algorithm solves the *same* random instances per (point, seed)
+// — the instance seed depends only on the seed index, not on the sweep
+// point, so sweeps that vary the node budget compare identical post
+// distributions across points (the paper's methodology; its cost-vs-M
+// curves decrease monotonically, which only holds when the instances
+// are shared).
+func comparisonSweep(opts Options, side float64, points []sweepPoint, algos []engine.Algorithm, seeds int, sw *engine.Sweep) *engine.Sweep {
 	field := geom.Square(side)
 	for _, pt := range points {
-		fig.X = append(fig.X, pt.X)
+		pt := pt
+		sw.Points = append(sw.Points, engine.Point{
+			X:     pt.X,
+			Label: fmt.Sprintf("x=%v", pt.X),
+			Gen: func(rng *rand.Rand) (*model.Problem, error) {
+				return randomConnectedProblem(rng, field, pt.Posts, pt.Nodes, pt.Energy)
+			},
+		})
 	}
-	acc := make([][][]float64, len(algos)) // [algo][point][seed]
-	for a := range acc {
-		acc[a] = make([][]float64, len(points))
-	}
-	for pi, pt := range points {
-		for s := 0; s < seeds; s++ {
-			// The seed depends only on s, not on the sweep point: sweeps
-			// that vary the node budget then compare identical post
-			// distributions across points (the paper's methodology —
-			// its cost-vs-M curves decrease monotonically, which only
-			// holds when the instances are shared).
-			rng := rand.New(rand.NewSource(opts.baseSeed() + int64(s)))
-			p, err := randomConnectedProblem(rng, field, pt.Posts, pt.Nodes, pt.Energy)
-			if err != nil {
-				return nil, err
-			}
-			for ai, algo := range algos {
-				cost, err := algo.Run(p)
-				if err != nil {
-					return nil, err
-				}
-				acc[ai][pi] = append(acc[ai][pi], njToMicroJ(cost))
-			}
-		}
-	}
-	for ai, algo := range algos {
-		s := Series{
-			Label: algo.Label,
-			Y:     make([]float64, len(points)),
-			CI95:  make([]float64, len(points)),
-		}
-		for pi := range points {
-			mean, err := stats.Mean(acc[ai][pi])
-			if err != nil {
-				return nil, err
-			}
-			s.Y[pi] = mean
-			ci, err := stats.CI95HalfWidth(acc[ai][pi])
-			if err != nil {
-				return nil, err
-			}
-			s.CI95[pi] = ci
-		}
-		fig.Series = append(fig.Series, s)
-	}
-	return fig, nil
+	sw.Seeds = seeds
+	sw.BaseSeed = opts.baseSeed()
+	sw.Algorithms = algos
+	return sw
+}
+
+// runSweep executes the classic comparison sweep and returns its figure.
+func runSweep(opts Options, side float64, points []sweepPoint, algos []engine.Algorithm, seeds int, sw *engine.Sweep) (*Figure, error) {
+	return runFigure(opts, comparisonSweep(opts, side, points, algos, seeds, sw))
 }
 
 // ComparisonTable renders a sweep figure: one row per X, one column per

@@ -1,7 +1,12 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
+	"math/rand"
+
 	"wrsn/internal/energy"
+	"wrsn/internal/engine"
 	"wrsn/internal/geom"
 	"wrsn/internal/model"
 	"wrsn/internal/sim"
@@ -15,7 +20,9 @@ import (
 // relative deviation between the charger's measured energy per delivered
 // bit-round and model.Evaluate's prediction. Deviations sit well under a
 // percent — evidence that the optimisation objective prices exactly what
-// a real charging schedule pays.
+// a real charging schedule pays. Unlike the comparison sweeps, every
+// x position here is its own instance, so the sweep decorrelates points
+// with SeedStride=1 and runs a single seed per point.
 func ExtSimValidation(opts Options) (*Figure, error) {
 	const (
 		side       = 250.0
@@ -29,56 +36,64 @@ func ExtSimValidation(opts Options) (*Figure, error) {
 		rounds = 8000
 	}
 
-	fig := &Figure{
-		ID:     "ext-validation",
-		Title:  "Extension: simulator vs analytic recharging cost (250x250m, 15 posts, 60 nodes)",
-		XLabel: "instance",
-		YLabel: "nJ per bit-round / % deviation",
+	sw := &engine.Sweep{
+		ID:         "ext-validation",
+		Title:      "Extension: simulator vs analytic recharging cost (250x250m, 15 posts, 60 nodes)",
+		XLabel:     "instance",
+		YLabel:     "nJ per bit-round / % deviation",
+		Seeds:      1,
+		SeedStride: 1,
+		BaseSeed:   opts.baseSeed(),
 	}
-	analytic := Series{Label: "analytic cost", Unit: "nJ/bit-round", Y: make([]float64, seeds)}
-	empirical := Series{Label: "empirical cost", Unit: "nJ/bit-round", Y: make([]float64, seeds)}
-	deviation := Series{Label: "deviation", Unit: "%", Y: make([]float64, seeds)}
 	field := geom.Square(side)
 	for s := 0; s < seeds; s++ {
-		fig.X = append(fig.X, float64(s+1))
-		rng := newSeededRNG(opts.baseSeed() + int64(s))
-		p, err := model.GenerateProblem(rng, model.GenSpec{Field: field, Posts: posts, Nodes: nodes, Energy: energy.Default()})
-		if err != nil {
-			return nil, err
-		}
-		res, err := solver.IterativeRFH(p)
-		if err != nil {
-			return nil, err
-		}
-		simulator, err := sim.New(sim.Config{
-			Problem:  p,
-			Solution: res.Solution,
-			Charger: &sim.ChargerConfig{
-				PowerPerRound: 1e9,
-				SpeedPerRound: 1e6,
-				FillToFrac:    0.95,
-				TargetFrac:    0.90,
+		sw.Points = append(sw.Points, engine.Point{
+			X:     float64(s + 1),
+			Label: fmt.Sprintf("instance %d", s+1),
+			Gen: func(rng *rand.Rand) (*model.Problem, error) {
+				return model.GenerateProblem(rng, model.GenSpec{Field: field, Posts: posts, Nodes: nodes, Energy: energy.Default()})
 			},
-			PacketBits:        packetBits,
-			InitialChargeFrac: 0.93,
-			Seed:              opts.baseSeed() + int64(s),
 		})
-		if err != nil {
-			return nil, err
-		}
-		m, err := simulator.Run(rounds)
-		if err != nil {
-			return nil, err
-		}
-		a, err := simulator.AnalyticCostPerBitRound()
-		if err != nil {
-			return nil, err
-		}
-		e := m.EmpiricalCostPerBitRound(packetBits)
-		analytic.Y[s] = a
-		empirical.Y[s] = e
-		deviation.Y[s] = stats.RelDiff(e, a) * 100
 	}
-	fig.Series = []Series{analytic, empirical, deviation}
-	return fig, nil
+	sw.Algorithms = []engine.Algorithm{{
+		Label: "simulated RFH network",
+		Outputs: []engine.SeriesSpec{
+			{Label: "analytic cost", Unit: "nJ/bit-round"},
+			{Label: "empirical cost", Unit: "nJ/bit-round"},
+			{Label: "deviation", Unit: "%"},
+		},
+		Run: func(ctx context.Context, inst *engine.Instance) (engine.CellResult, error) {
+			res, err := solver.RFHCtx(ctx, inst.Problem, solver.RFHOptions{Iterations: solver.DefaultRFHIterations})
+			if err != nil {
+				return engine.CellResult{}, err
+			}
+			simulator, err := sim.New(sim.Config{
+				Problem:  inst.Problem,
+				Solution: res.Solution,
+				Charger: &sim.ChargerConfig{
+					PowerPerRound: 1e9,
+					SpeedPerRound: 1e6,
+					FillToFrac:    0.95,
+					TargetFrac:    0.90,
+				},
+				PacketBits:        packetBits,
+				InitialChargeFrac: 0.93,
+				Seed:              inst.InstanceSeed,
+			})
+			if err != nil {
+				return engine.CellResult{}, err
+			}
+			m, err := simulator.RunCtx(ctx, rounds)
+			if err != nil {
+				return engine.CellResult{}, err
+			}
+			a, err := simulator.AnalyticCostPerBitRound()
+			if err != nil {
+				return engine.CellResult{}, err
+			}
+			e := m.EmpiricalCostPerBitRound(packetBits)
+			return engine.CellResult{Values: []float64{a, e, stats.RelDiff(e, a) * 100}}, nil
+		},
+	}}
+	return runFigure(opts, sw)
 }

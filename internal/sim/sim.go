@@ -28,6 +28,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -547,10 +548,23 @@ func (s *Simulator) Tree() model.Tree { return s.tree.Clone() }
 // Run advances the simulation by `rounds` rounds and returns cumulative
 // metrics. It may be called repeatedly to continue the same run.
 func (s *Simulator) Run(rounds int) (*Metrics, error) {
+	return s.RunCtx(context.Background(), rounds)
+}
+
+// RunCtx is Run with cancellation: the context is checked every 64
+// rounds, so a cancelled simulation returns ctx.Err() promptly while
+// keeping the check invisible in per-round cost. The simulator state
+// stays consistent (whole rounds only), so the run can be resumed.
+func (s *Simulator) RunCtx(ctx context.Context, rounds int) (*Metrics, error) {
 	if rounds < 0 {
 		return nil, fmt.Errorf("sim: negative round count %d", rounds)
 	}
 	for r := 0; r < rounds; r++ {
+		if r%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		s.step()
 	}
 	s.metrics.postCount = s.p.N()

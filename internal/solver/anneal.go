@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -35,12 +36,19 @@ type AnnealOptions struct {
 // heuristics, sharing their exact inner evaluation (one Dijkstra per
 // proposal).
 func Anneal(p *model.Problem, opts AnnealOptions) (*Result, error) {
+	return AnnealCtx(context.Background(), p, opts)
+}
+
+// AnnealCtx is Anneal with cancellation: the context is checked every
+// ctxCheckStride proposals (and flows into the RFH seed run), so a
+// cancelled walk returns ctx.Err() within a handful of Dijkstra runs.
+func AnnealCtx(ctx context.Context, p *model.Problem, opts AnnealOptions) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	start := opts.Start
 	if start == nil {
-		s, err := IterativeRFH(p)
+		s, err := RFHCtx(ctx, p, RFHOptions{Iterations: DefaultRFHIterations})
 		if err != nil {
 			return nil, fmt.Errorf("solver: anneal could not build a seed: %w", err)
 		}
@@ -84,6 +92,11 @@ func Anneal(p *model.Problem, opts AnnealOptions) (*Result, error) {
 	cooling := math.Pow(finalFrac/initFrac, 1/float64(iterations))
 	var evaluations int64
 	for it := 0; it < iterations; it++ {
+		if it%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		from := rng.Intn(n)
 		if cur[from] <= 1 {
 			temp *= cooling

@@ -1,6 +1,8 @@
 package solver
 
 import (
+	"context"
+
 	"wrsn/internal/deploy"
 	"wrsn/internal/model"
 )
@@ -31,23 +33,29 @@ const (
 //
 // It never returns a worse solution than iterative RFH.
 func Auto(p *model.Problem) (*Result, error) {
+	return AutoCtx(context.Background(), p)
+}
+
+// AutoCtx is Auto with cancellation: the context flows into whichever
+// solver the size tiering picks, inheriting its cancellation cadence.
+func AutoCtx(ctx context.Context, p *model.Problem) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	n, m := p.N(), p.Nodes
 
 	if c := deploy.CountDeployments(n, m); c > 0 && c <= autoExactLimit {
-		return Optimal(p, OptimalOptions{})
+		return OptimalCtx(ctx, p, OptimalOptions{})
 	}
 	if idbEvals := int64(m-n) * int64(n); idbEvals <= autoIDBLimit {
-		return IDBWithOptions(p, IDBOptions{Delta: 1})
+		return IDBWithOptionsCtx(ctx, p, IDBOptions{Delta: 1})
 	}
-	res, err := IterativeRFH(p)
+	res, err := RFHCtx(ctx, p, RFHOptions{Iterations: DefaultRFHIterations})
 	if err != nil {
 		return nil, err
 	}
 	if int64(n)*int64(n) <= autoPolishLimit {
-		polished, err := LocalSearch(p, LocalSearchOptions{Start: res})
+		polished, err := LocalSearchCtx(ctx, p, LocalSearchOptions{Start: res})
 		if err != nil {
 			return nil, err
 		}

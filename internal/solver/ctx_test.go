@@ -1,0 +1,104 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// cancelMidRun starts solve on a background goroutine, cancels its
+// context shortly after, and asserts the solver unwinds with
+// context.Canceled well within the given deadline.
+func cancelMidRun(t *testing.T, name string, deadline time.Duration, solve func(ctx context.Context) error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- solve(ctx) }()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: want context.Canceled, got %v", name, err)
+		}
+	case <-time.After(deadline):
+		t.Fatalf("%s: did not stop within %v of cancellation", name, deadline)
+	}
+}
+
+// TestOptimalCtxCancelsMidSearch aborts the branch-and-bound mid-run:
+// the instance is big enough that the full search takes far longer than
+// the cancellation window.
+func TestOptimalCtxCancelsMidSearch(t *testing.T) {
+	p := randomProblem(t, 501, 200, 12, 44)
+	cancelMidRun(t, "OptimalCtx", 10*time.Second, func(ctx context.Context) error {
+		_, err := OptimalCtx(ctx, p, OptimalOptions{})
+		return err
+	})
+}
+
+// TestIDBCtxCancelsMidRun aborts IDB's incremental rounds mid-run.
+func TestIDBCtxCancelsMidRun(t *testing.T) {
+	p := randomProblem(t, 502, 400, 60, 420)
+	cancelMidRun(t, "IDBCtx", 10*time.Second, func(ctx context.Context) error {
+		_, err := IDBCtx(ctx, p, 1)
+		return err
+	})
+}
+
+// TestIDBParallelCtxCancelsMidRun aborts the parallel candidate pool.
+func TestIDBParallelCtxCancelsMidRun(t *testing.T) {
+	p := randomProblem(t, 503, 400, 60, 420)
+	cancelMidRun(t, "IDBWithOptionsCtx", 10*time.Second, func(ctx context.Context) error {
+		_, err := IDBWithOptionsCtx(ctx, p, IDBOptions{Delta: 1, Workers: 4})
+		return err
+	})
+}
+
+// TestRFHCtxCancelsBetweenRounds: RFH checks its context at every round
+// boundary (a whole round is fast, so mid-run interception is flaky to
+// stage; a pre-cancelled context exercises the same check).
+func TestRFHCtxCancelsBetweenRounds(t *testing.T) {
+	p := randomProblem(t, 504, 200, 8, 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RFHCtx(ctx, p, RFHOptions{Iterations: 50}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RFHCtx: want context.Canceled, got %v", err)
+	}
+}
+
+// TestCtxVariantsMatchPlainResults: with a background context the Ctx
+// entry points are the plain solvers (same code path), so results are
+// identical.
+func TestCtxVariantsMatchPlainResults(t *testing.T) {
+	p := randomProblem(t, 505, 200, 8, 20)
+	plain, err := IDB(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCtx, err := IDBCtx(context.Background(), p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cost != viaCtx.Cost {
+		t.Errorf("IDBCtx diverged from IDB: %v vs %v", viaCtx.Cost, plain.Cost)
+	}
+	for i := range plain.Deploy {
+		if plain.Deploy[i] != viaCtx.Deploy[i] {
+			t.Errorf("IDBCtx deployment diverged at post %d: %d vs %d", i, viaCtx.Deploy[i], plain.Deploy[i])
+		}
+	}
+}
+
+// TestDeadlineExceededPropagates: a short per-call timeout surfaces as
+// context.DeadlineExceeded.
+func TestDeadlineExceededPropagates(t *testing.T) {
+	p := randomProblem(t, 506, 400, 60, 420)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := IDBCtx(ctx, p, 1)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}

@@ -1,11 +1,18 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 
 	"wrsn/internal/deploy"
 	"wrsn/internal/model"
 )
+
+// ctxCheckStride is how many inner evaluations (Dijkstra runs) pass
+// between context checks in the solvers' hot loops: frequent enough that
+// cancellation lands within milliseconds, rare enough to stay invisible
+// in profiles.
+const ctxCheckStride = 64
 
 // IDB runs the Incremental Deployment-Based heuristic (Section V-B).
 //
@@ -18,6 +25,13 @@ import (
 // the cheapest. Smaller delta is cheaper per round but greedier; the
 // paper's comparisons use delta = 1.
 func IDB(p *model.Problem, delta int) (*Result, error) {
+	return IDBCtx(context.Background(), p, delta)
+}
+
+// IDBCtx is IDB with cancellation: the context is checked at every round
+// boundary and every ctxCheckStride candidate evaluations, so a
+// cancelled run returns ctx.Err() within a handful of Dijkstra runs.
+func IDBCtx(ctx context.Context, p *model.Problem, delta int) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -34,6 +48,9 @@ func IDB(p *model.Problem, delta int) (*Result, error) {
 	var evaluations int64
 	bestExtra := make([]int, n)
 	for remaining := p.Nodes - n; remaining > 0; {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		step := delta
 		if step > remaining {
 			step = remaining
@@ -42,6 +59,12 @@ func IDB(p *model.Problem, delta int) (*Result, error) {
 		found := false
 		var evalFailure error
 		loopErr := deploy.ForEachComposition(n, step, func(extra []int) bool {
+			if evaluations%ctxCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					evalFailure = err
+					return false
+				}
+			}
 			for i, e := range extra {
 				cur[i] += e
 			}

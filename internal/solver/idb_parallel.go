@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -28,6 +29,14 @@ type IDBOptions struct {
 // per candidate placement per round — is embarrassingly parallel, and at
 // the paper's large scales (Figs. 8-10) it dominates total runtime.
 func IDBWithOptions(p *model.Problem, opts IDBOptions) (*Result, error) {
+	return IDBWithOptionsCtx(context.Background(), p, opts)
+}
+
+// IDBWithOptionsCtx is IDBWithOptions with cancellation: the context is
+// checked at round boundaries, by the candidate producer, and by every
+// evaluation worker on a ctxCheckStride cadence, so a cancelled run
+// stops feeding work and returns ctx.Err() within a few Dijkstra runs.
+func IDBWithOptionsCtx(ctx context.Context, p *model.Problem, opts IDBOptions) (*Result, error) {
 	if opts.Delta < 1 {
 		return nil, fmt.Errorf("solver: IDB delta must be >= 1, got %d", opts.Delta)
 	}
@@ -36,7 +45,7 @@ func IDBWithOptions(p *model.Problem, opts IDBOptions) (*Result, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 {
-		return IDB(p, opts.Delta)
+		return IDBCtx(ctx, p, opts.Delta)
 	}
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -55,6 +64,9 @@ func IDBWithOptions(p *model.Problem, opts IDBOptions) (*Result, error) {
 	cur := model.Ones(n)
 	var evaluations int64
 	for remaining := p.Nodes - n; remaining > 0; {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		step := opts.Delta
 		if step > remaining {
 			step = remaining
@@ -78,6 +90,15 @@ func IDBWithOptions(p *model.Problem, opts IDBOptions) (*Result, error) {
 				local := cur.Clone()
 				best := &results[w]
 				for extra := range candidates {
+					if best.err != nil {
+						continue // drain the queue after a failure
+					}
+					if best.count%ctxCheckStride == 0 {
+						if err := ctx.Err(); err != nil {
+							best.err = err
+							continue
+						}
+					}
 					for i, e := range extra {
 						local[i] += e
 					}
@@ -98,7 +119,12 @@ func IDBWithOptions(p *model.Problem, opts IDBOptions) (*Result, error) {
 				}
 			}(w)
 		}
+		var ctxErr error
 		loopErr := deploy.ForEachComposition(n, step, func(extra []int) bool {
+			if err := ctx.Err(); err != nil {
+				ctxErr = err // stop feeding; a partial round must not commit
+				return false
+			}
 			candidates <- append([]int(nil), extra...)
 			return true
 		})
@@ -106,6 +132,9 @@ func IDBWithOptions(p *model.Problem, opts IDBOptions) (*Result, error) {
 		wg.Wait()
 		if loopErr != nil {
 			return nil, loopErr
+		}
+		if ctxErr != nil {
+			return nil, ctxErr
 		}
 
 		merged := roundBest{}

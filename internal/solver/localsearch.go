@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 
 	"wrsn/internal/model"
@@ -28,12 +29,20 @@ type LocalSearchOptions struct {
 // 1-move-optimal: a deployment where IDB-style greedy additions and
 // removals have no regrets left.
 func LocalSearch(p *model.Problem, opts LocalSearchOptions) (*Result, error) {
+	return LocalSearchCtx(context.Background(), p, opts)
+}
+
+// LocalSearchCtx is LocalSearch with cancellation: the context is
+// checked every ctxCheckStride move probes (and flows into the RFH seed
+// run), so a cancelled climb returns ctx.Err() within a handful of
+// Dijkstra runs.
+func LocalSearchCtx(ctx context.Context, p *model.Problem, opts LocalSearchOptions) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	start := opts.Start
 	if start == nil {
-		s, err := IterativeRFH(p)
+		s, err := RFHCtx(ctx, p, RFHOptions{Iterations: DefaultRFHIterations})
 		if err != nil {
 			return nil, fmt.Errorf("solver: local search could not build a seed: %w", err)
 		}
@@ -63,6 +72,11 @@ func LocalSearch(p *model.Problem, opts LocalSearchOptions) (*Result, error) {
 			for to := 0; to < n; to++ {
 				if to == from {
 					continue
+				}
+				if evaluations%ctxCheckStride == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
 				}
 				cur[from]--
 				cur[to]++

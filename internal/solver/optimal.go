@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -45,6 +46,15 @@ const costSlack = 1e-9
 // Practical for the paper's small-scale comparison (Fig. 7: N<=12,
 // M<=36); use IDB or RFH beyond that.
 func Optimal(p *model.Problem, opts OptimalOptions) (*Result, error) {
+	return OptimalCtx(context.Background(), p, opts)
+}
+
+// OptimalCtx is Optimal with cancellation: the context is checked on a
+// ctxCheckStride cadence inside the branch-and-bound's evaluation
+// closure — the single funnel every search node passes through — so a
+// cancelled search unwinds and returns ctx.Err() within a handful of
+// Dijkstra runs.
+func OptimalCtx(ctx context.Context, p *model.Problem, opts OptimalOptions) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -56,7 +66,7 @@ func Optimal(p *model.Problem, opts OptimalOptions) (*Result, error) {
 
 	incumbent := opts.Incumbent
 	if incumbent == nil {
-		incumbent, err = IDB(p, 1)
+		incumbent, err = IDBCtx(ctx, p, 1)
 		if err != nil {
 			return nil, fmt.Errorf("solver: optimal could not seed incumbent: %w", err)
 		}
@@ -87,6 +97,11 @@ func Optimal(p *model.Problem, opts OptimalOptions) (*Result, error) {
 		evaluations++
 		if opts.MaxEvaluations > 0 && evaluations > opts.MaxEvaluations {
 			return 0, ErrSearchBudget
+		}
+		if evaluations%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
 		}
 		return ev.MinCost(m)
 	}

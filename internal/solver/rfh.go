@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -45,6 +46,12 @@ const DefaultRFHIterations = 7
 // oscillate slightly due to rounding; the paper observes the same), and
 // Result.IterationCosts holds every round's cost for convergence studies.
 func RFH(p *model.Problem, opts RFHOptions) (*Result, error) {
+	return RFHCtx(context.Background(), p, opts)
+}
+
+// RFHCtx is RFH with cancellation: the context is checked at every round
+// boundary, so a cancelled run returns ctx.Err() within one round.
+func RFHCtx(ctx context.Context, p *model.Problem, opts RFHOptions) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -72,6 +79,9 @@ func RFH(p *model.Problem, opts RFHOptions) (*Result, error) {
 		costs    = make([]float64, 0, iterations)
 	)
 	for round := 0; round < iterations; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		wf := p.EnergyWeights()
 		if opts.IncludeRxInPhase1 {
 			wf = p.EnergyWithRxWeights()
