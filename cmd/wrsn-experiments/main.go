@@ -8,7 +8,8 @@
 //	wrsn-experiments -fig 7a -quick      # scaled-down quick run
 //	wrsn-experiments -fig 6 -csv         # emit CSV instead of tables
 //	wrsn-experiments -fig all -workers 8 -progress
-//	wrsn-experiments -fig all -bench BENCH_PR2.json
+//	wrsn-experiments -fig all -bench BENCH_PR3.json
+//	wrsn-experiments -fig 8 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Figures: 1 (field experiment / Table II), 6 (iterative RFH
 // convergence), 7a/7b (heuristics vs optimal), 8 (node-count sweep),
@@ -31,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"syscall"
@@ -117,9 +119,38 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 		timeout  = fs.Duration("timeout", 0, "per-cell timeout, e.g. 30s (0 = unbounded)")
 		progress = fs.Bool("progress", false, "render a live cell-progress line on stderr")
 		bench    = fs.String("bench", "", "write a machine-readable perf artifact (per-figure wall time, cells/sec, evaluations) to this file")
+		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf  = fs.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		// Deferred so the profile covers the run's live heap, from the
+		// same binary that writes the BENCH_*.json artifacts.
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(stderr, "wrsn-experiments: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "wrsn-experiments: memprofile:", err)
+			}
+		}()
 	}
 	poolSize := *workers
 	if poolSize <= 0 {

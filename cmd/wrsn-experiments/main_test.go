@@ -142,3 +142,24 @@ func TestFlagErrors(t *testing.T) {
 		t.Error("unknown flag accepted")
 	}
 }
+
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if err := run([]string{"-fig", "6", "-quick", "-seeds", "1", "-cpuprofile", cpu, "-memprofile", mem}, &bytes.Buffer{}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, f := range []string{cpu, mem} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", f)
+		}
+	}
+	if err := run([]string{"-fig", "6", "-quick", "-seeds", "1", "-cpuprofile", filepath.Join(dir, "no/such/dir.pprof")}, &bytes.Buffer{}); err == nil {
+		t.Error("unwritable cpuprofile path accepted")
+	}
+}

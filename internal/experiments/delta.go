@@ -19,7 +19,9 @@ import (
 // but combinatorially more expensive. The experiment reports cost and
 // runtime per δ. In practice δ=1 is near-optimal — larger increments buy
 // almost nothing for orders of magnitude more work, justifying the
-// paper's δ=1 comparisons.
+// paper's δ=1 comparisons. (δ=1 is also the shape the incremental
+// evaluator exploits best: each candidate is a single-post CostDelta
+// probe against the round's committed deployment.)
 func ExtDelta(opts Options) (*Figure, error) {
 	const (
 		side  = 300.0

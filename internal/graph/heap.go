@@ -53,6 +53,16 @@ func (h *IndexedMinHeap) Push(key int, priority float64) {
 	h.siftUp(len(h.heap) - 1)
 }
 
+// Reset empties the heap in O(len) so it can be reused for a fresh run
+// without reallocating. Priorities of previously popped keys become
+// meaningless after a reset.
+func (h *IndexedMinHeap) Reset() {
+	for _, k := range h.heap {
+		h.pos[k] = -1
+	}
+	h.heap = h.heap[:0]
+}
+
 // Pop removes and returns the key with the minimum priority and that
 // priority. It must not be called on an empty heap.
 func (h *IndexedMinHeap) Pop() (key int, priority float64) {

@@ -8,6 +8,13 @@
 // It sits above internal/model (problem/tree primitives, degraded
 // evaluation) and internal/routing (the tree-building phases), which is
 // why it is its own package: model cannot import routing without a cycle.
+//
+// Repair deliberately does not use the move-based model.Evaluator
+// protocol the solvers run on: a post death removes vertices and edges
+// from the communication graph, whereas CostDelta moves only reprice
+// edges of a fixed topology. Each repair therefore rebuilds the survivor
+// graph from scratch — rare (one call per last-node death) and nowhere
+// near the solvers' probe rates.
 package heal
 
 import (

@@ -59,8 +59,9 @@ func EvaluateSolution(p *Problem, sol *Solution) error {
 // recharging cost over all routing trees, together with a tree achieving
 // it. Because per-bit recharging cost is additive along a path under
 // RechargeCostWeights, the optimum is a shortest-path tree: one Dijkstra
-// run. This is the inner evaluation used by the IDB heuristic and the
-// exact solver.
+// run. This one-shot form suits single queries; search loops use the
+// Evaluator protocol instead (the solvers probe candidates as CostDelta
+// moves against an IncrementalEvaluator's committed deployment).
 func BestTreeFor(p *Problem, deploy Deployment) (Tree, float64, error) {
 	ev, err := NewCostEvaluator(p)
 	if err != nil {
@@ -79,8 +80,10 @@ func BestTreeFor(p *Problem, deploy Deployment) (Tree, float64, error) {
 
 // MinCostFor returns only the cost part of BestTreeFor, skipping tree
 // materialisation: the sum over posts of their shortest-path recharging
-// cost to the BS. Callers evaluating many deployments should construct a
-// CostEvaluator once instead.
+// cost to the BS. Callers evaluating many deployments should hold an
+// Evaluator instead — an IncrementalEvaluator when successive queries
+// are small perturbations of each other (CostDelta repairs the standing
+// solution), or a CostEvaluator for unrelated whole-vector queries.
 func MinCostFor(p *Problem, deploy Deployment) (float64, error) {
 	ev, err := NewCostEvaluator(p)
 	if err != nil {

@@ -12,9 +12,16 @@ import (
 // problem under deployment m?" repeatedly and fast. It precomputes the
 // communication edges (endpoints and per-bit transmit energies) once and
 // then runs a deployment-parameterised Dijkstra per query without
-// rebuilding any adjacency structure. IDB evaluates ~C(N+delta-1, N-1)
-// deployments per round and the exact solver evaluates up to millions, so
-// this is the performance-critical path of the whole library.
+// rebuilding any adjacency structure or allocating (the indexed heap is
+// reused across queries). IDB evaluates ~C(N+delta-1, N-1) deployments
+// per round and the exact solver evaluates up to millions, so this is the
+// performance-critical path of the whole library.
+//
+// CostEvaluator is stateless between queries: every MinCost call prices
+// the full deployment from scratch. Solvers that probe small perturbations
+// of one deployment should use IncrementalEvaluator (the Evaluator
+// interface's delta-aware implementation), which repairs the previous
+// shortest-path solution instead of recomputing it.
 type CostEvaluator struct {
 	p  *Problem
 	n  int // posts
@@ -28,6 +35,7 @@ type CostEvaluator struct {
 	// scratch buffers reused across queries
 	eff  []float64
 	dist []float64
+	h    *graph.IndexedMinHeap
 }
 
 type evalEdge struct {
@@ -35,18 +43,12 @@ type evalEdge struct {
 	tx   float64
 }
 
-// NewCostEvaluator precomputes the communication topology of p.
-func NewCostEvaluator(p *Problem) (*CostEvaluator, error) {
+// buildInEdges precomputes the in-edge lists of p's communication graph:
+// in[v] holds every edge u->v with its per-bit transmit energy, for v a
+// post or the BS. Edge order is deterministic (ascending u).
+func buildInEdges(p *Problem) ([][]evalEdge, error) {
 	n := p.N()
-	ev := &CostEvaluator{
-		p:    p,
-		n:    n,
-		bs:   n,
-		in:   make([][]evalEdge, n+1),
-		rx:   p.Energy.RxEnergy(),
-		eff:  make([]float64, n),
-		dist: make([]float64, n+1),
-	}
+	in := make([][]evalEdge, n+1)
 	dmax := p.Energy.MaxRange()
 	for u := 0; u < n; u++ {
 		pu := p.Posts[u]
@@ -62,10 +64,29 @@ func NewCostEvaluator(p *Problem) (*CostEvaluator, error) {
 			if err != nil {
 				return nil, fmt.Errorf("model: evaluator edge (%d,%d): %w", u, v, err)
 			}
-			ev.in[v] = append(ev.in[v], evalEdge{from: u, tx: tx})
+			in[v] = append(in[v], evalEdge{from: u, tx: tx})
 		}
 	}
-	return ev, nil
+	return in, nil
+}
+
+// NewCostEvaluator precomputes the communication topology of p.
+func NewCostEvaluator(p *Problem) (*CostEvaluator, error) {
+	n := p.N()
+	in, err := buildInEdges(p)
+	if err != nil {
+		return nil, err
+	}
+	return &CostEvaluator{
+		p:    p,
+		n:    n,
+		bs:   n,
+		in:   in,
+		rx:   p.Energy.RxEnergy(),
+		eff:  make([]float64, n),
+		dist: make([]float64, n+1),
+		h:    graph.NewIndexedMinHeap(n + 1),
+	}, nil
 }
 
 // MinCost returns the minimum total recharging cost achievable for
@@ -77,25 +98,33 @@ func (ev *CostEvaluator) MinCost(m []int) (float64, error) {
 		return 0, err
 	}
 	ev.dijkstra()
+	return totalCost(ev.p, ev.n, ev.dist, ev.eff)
+}
+
+// totalCost sums the paper's objective from per-post shortest recharging
+// distances plus the routing-independent overhead, in a fixed summation
+// order shared by the stateless and incremental evaluators (so both
+// produce bit-identical costs from identical distances).
+func totalCost(p *Problem, n int, dist, eff []float64) (float64, error) {
 	var total float64
-	for u := 0; u < ev.n; u++ {
-		if math.IsInf(ev.dist[u], 1) {
+	for u := 0; u < n; u++ {
+		if math.IsInf(dist[u], 1) {
 			return 0, fmt.Errorf("%w: post %d", ErrDisconnected, u)
 		}
-		total += ev.p.Rate(u) * ev.dist[u]
+		total += p.Rate(u) * dist[u]
 	}
-	return total + ev.overheadCost(), nil
+	return total + overheadCost(p, n, eff), nil
 }
 
 // overheadCost prices the routing-independent per-round overhead at every
-// post under the prepared efficiencies.
-func (ev *CostEvaluator) overheadCost() float64 {
-	if !ev.p.HasOverhead() {
+// post under the given efficiencies.
+func overheadCost(p *Problem, n int, eff []float64) float64 {
+	if !p.HasOverhead() {
 		return 0
 	}
 	var total float64
-	for i := 0; i < ev.n; i++ {
-		total += ev.p.Overhead(i) / ev.eff[i]
+	for i := 0; i < n; i++ {
+		total += p.Overhead(i) / eff[i]
 	}
 	return total
 }
@@ -104,42 +133,64 @@ func (ev *CostEvaluator) overheadCost() float64 {
 // cost, materialising one shortest-path tree: each post's parent is the
 // tight neighbour discovered by Dijkstra (lowest vertex index on ties).
 func (ev *CostEvaluator) BestParents(m []int) ([]int, float64, error) {
-	if err := ev.prepare(m); err != nil {
+	parents := make([]int, ev.n)
+	total, err := ev.BestParentsInto(parents, m)
+	if err != nil {
 		return nil, 0, err
 	}
+	return parents, total, nil
+}
+
+// BestParentsInto is BestParents writing into a caller-provided scratch
+// buffer (len == N), for hot paths that materialise trees repeatedly.
+func (ev *CostEvaluator) BestParentsInto(parents []int, m []int) (float64, error) {
+	if err := ev.prepare(m); err != nil {
+		return 0, err
+	}
 	ev.dijkstra()
-	parents := make([]int, ev.n)
-	var total float64
-	const tol = DAGTolerance
-	for u := 0; u < ev.n; u++ {
-		if math.IsInf(ev.dist[u], 1) {
-			return nil, 0, fmt.Errorf("%w: post %d", ErrDisconnected, u)
-		}
-		total += ev.p.Rate(u) * ev.dist[u]
+	total, err := totalCost(ev.p, ev.n, ev.dist, ev.eff)
+	if err != nil {
+		return 0, err
+	}
+	if err := recoverParents(ev.in, ev.n, ev.bs, ev.eff, ev.rx, ev.dist, parents); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// recoverParents fills parents with a tight-parent vector for the given
+// shortest distances: u's parent is any v with dist[u] = w(u,v) + dist[v]
+// (lowest vertex index on ties, by scan order). Shared by the stateless
+// and incremental evaluators so both materialise identical trees.
+func recoverParents(in [][]evalEdge, n, bs int, eff []float64, rx float64, dist []float64, parents []int) error {
+	if len(parents) != n {
+		return fmt.Errorf("model: parent buffer covers %d posts, want %d", len(parents), n)
+	}
+	for u := 0; u < n; u++ {
 		parents[u] = -1
 	}
-	// Recover parents: u's parent is any v with dist[u] = w(u,v) + dist[v].
-	for v := 0; v <= ev.n; v++ {
-		dv := ev.dist[v]
+	const tol = DAGTolerance
+	for v := 0; v <= n; v++ {
+		dv := dist[v]
 		if math.IsInf(dv, 1) {
 			continue
 		}
-		for _, e := range ev.in[v] {
+		for _, e := range in[v] {
 			u := e.from
 			if parents[u] >= 0 {
 				continue
 			}
-			if math.Abs(ev.dist[u]-(ev.weight(e, v)+dv)) <= tol {
+			if math.Abs(dist[u]-(edgeWeight(e.tx, e.from, v, bs, eff, rx)+dv)) <= tol {
 				parents[u] = v
 			}
 		}
 	}
-	for u, par := range parents {
-		if par < 0 {
-			return nil, 0, fmt.Errorf("model: no tight parent recovered for post %d", u)
+	for u := 0; u < n; u++ {
+		if parents[u] < 0 {
+			return fmt.Errorf("model: no tight parent recovered for post %d", u)
 		}
 	}
-	return parents, total + ev.overheadCost(), nil
+	return nil
 }
 
 // prepare validates m and fills the per-post efficiency scratch buffer.
@@ -157,11 +208,14 @@ func (ev *CostEvaluator) prepare(m []int) error {
 	return nil
 }
 
-// weight prices the edge e.from -> v under the prepared efficiencies.
-func (ev *CostEvaluator) weight(e evalEdge, v int) float64 {
-	w := e.tx / ev.eff[e.from]
-	if v != ev.bs {
-		w += ev.rx / ev.eff[v]
+// edgeWeight prices the communication edge from->to under the given
+// efficiencies: the charger pays tx/eff[from] per bit, plus rx/eff[to]
+// when the receiver is a post. The single shared pricing function keeps
+// every evaluator bit-identical.
+func edgeWeight(tx float64, from, to, bs int, eff []float64, rx float64) float64 {
+	w := tx / eff[from]
+	if to != bs {
+		w += rx / eff[to]
 	}
 	return w
 }
@@ -172,7 +226,8 @@ func (ev *CostEvaluator) dijkstra() {
 		ev.dist[i] = math.Inf(1)
 	}
 	ev.dist[ev.bs] = 0
-	h := graph.NewIndexedMinHeap(ev.n + 1)
+	h := ev.h
+	h.Reset()
 	h.Push(ev.bs, 0)
 	for h.Len() > 0 {
 		v, dv := h.Pop()
@@ -180,7 +235,7 @@ func (ev *CostEvaluator) dijkstra() {
 			continue
 		}
 		for _, e := range ev.in[v] {
-			if nd := dv + ev.weight(e, v); nd < ev.dist[e.from] {
+			if nd := dv + edgeWeight(e.tx, e.from, v, ev.bs, ev.eff, ev.rx); nd < ev.dist[e.from] {
 				ev.dist[e.from] = nd
 				h.Push(e.from, nd)
 			}

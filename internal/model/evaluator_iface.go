@@ -1,0 +1,119 @@
+package model
+
+import "fmt"
+
+// Move adjusts one post's node count by Delta (which may be negative).
+// A slice of Moves describes how one candidate deployment differs from
+// the deployment an Evaluator currently holds — the unit of work of the
+// delta-aware evaluation protocol.
+type Move struct {
+	Post  int
+	Delta int
+}
+
+// Evaluator is the move-based deployment-evaluation protocol every
+// solver hot loop is written against:
+//
+//	cost, _ := ev.Cost(m)            // establish a base deployment
+//	probe, _ := ev.CostDelta(moves)  // price base+moves without committing
+//	ev.Commit()                      // ... accept the probed deployment,
+//	ev.Revert()                      // ... or restore the base
+//
+// Cost fully (re)evaluates an arbitrary deployment and makes it the
+// committed base. CostDelta prices the committed base with moves applied
+// and leaves the evaluator in a pending state that must be resolved by
+// exactly one Commit or Revert before the next probe. Implementations
+// must price identically to a fresh CostEvaluator.MinCost on the
+// materialised vector (the differential and fuzz suites pin this).
+//
+// IncrementalEvaluator is the production implementation (local
+// shortest-path repair per probe); NewReferenceEvaluator wraps the
+// stateless CostEvaluator in the same protocol as a correctness oracle.
+// Implementations are not safe for concurrent use; parallel solvers hold
+// one per worker.
+type Evaluator interface {
+	Cost(m []int) (float64, error)
+	CostDelta(moves []Move) (float64, error)
+	Commit() error
+	Revert() error
+}
+
+// ReferenceEvaluator adapts the stateless CostEvaluator to the Evaluator
+// protocol by materialising every probe into a full vector and pricing it
+// from scratch. It is the trivially correct oracle the incremental
+// implementation is differentially tested against, and a drop-in
+// fallback for callers that want the protocol without incremental state.
+type ReferenceEvaluator struct {
+	ev      *CostEvaluator
+	cur     []int
+	pending []int
+	probed  bool
+	have    bool
+}
+
+// NewReferenceEvaluator returns a protocol adapter over a fresh
+// CostEvaluator for p.
+func NewReferenceEvaluator(p *Problem) (*ReferenceEvaluator, error) {
+	ev, err := NewCostEvaluator(p)
+	if err != nil {
+		return nil, err
+	}
+	n := p.N()
+	return &ReferenceEvaluator{ev: ev, cur: make([]int, n), pending: make([]int, n)}, nil
+}
+
+// Cost fully evaluates m and makes it the committed deployment.
+func (r *ReferenceEvaluator) Cost(m []int) (float64, error) {
+	if r.probed {
+		return 0, errPendingProbe
+	}
+	cost, err := r.ev.MinCost(m)
+	if err != nil {
+		return 0, err
+	}
+	copy(r.cur, m)
+	r.have = true
+	return cost, nil
+}
+
+// CostDelta prices the committed deployment with moves applied.
+func (r *ReferenceEvaluator) CostDelta(moves []Move) (float64, error) {
+	if !r.have {
+		return 0, errNoBase
+	}
+	if r.probed {
+		return 0, errPendingProbe
+	}
+	copy(r.pending, r.cur)
+	for _, mv := range moves {
+		if mv.Post < 0 || mv.Post >= len(r.pending) {
+			return 0, fmt.Errorf("model: move targets post %d of %d", mv.Post, len(r.pending))
+		}
+		r.pending[mv.Post] += mv.Delta
+	}
+	cost, err := r.ev.MinCost(r.pending)
+	if err != nil {
+		return 0, err
+	}
+	r.probed = true
+	return cost, nil
+}
+
+// Commit accepts the last probe as the committed deployment.
+func (r *ReferenceEvaluator) Commit() error {
+	if !r.probed {
+		return errNoProbe
+	}
+	r.cur, r.pending = r.pending, r.cur
+	r.probed = false
+	return nil
+}
+
+// Revert discards the last probe.
+func (r *ReferenceEvaluator) Revert() error {
+	if !r.probed {
+		return errNoProbe
+	}
+	r.probed = false
+	return nil
+}

@@ -1,0 +1,668 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"wrsn/internal/graph"
+)
+
+// Protocol-misuse errors shared by the Evaluator implementations.
+var (
+	errNoBase       = errors.New("model: evaluator has no committed deployment; call Cost first")
+	errPendingProbe = errors.New("model: evaluator has a pending probe; Commit or Revert it first")
+	errNoProbe      = errors.New("model: evaluator has no pending probe")
+)
+
+// IncrementalEvaluator is the delta-aware implementation of the Evaluator
+// protocol: it keeps the last accepted deployment's per-post charging
+// efficiencies, shortest recharging-cost distances and tight-parent
+// structure, and prices a probe by *repairing* that solution instead of
+// re-running Dijkstra from scratch.
+//
+// A move at post i only reprices the communication edges incident to i,
+// so the repair is local:
+//
+//   - posts whose efficiency rose (nodes added) can only shorten
+//     distances; the repair seeds a Dijkstra pass from the repriced edges
+//     and lets improvements propagate.
+//   - posts whose efficiency fell (nodes removed) can only lengthen the
+//     distances of vertices whose shortest path routed through them; the
+//     repair walks the tight-parent structure to collect exactly that
+//     dirty set, invalidates it, and re-settles it from its boundary.
+//     When the dirty set covers more than half the posts the repair
+//     falls back to one full Dijkstra run (it would cost as much anyway).
+//
+// Every touched distance is journaled, so Revert restores the committed
+// state in O(touched) and a probe/revert cycle allocates nothing in
+// steady state. An optional bounded memo (EnableMemo) answers probes for
+// recently seen deployments — simulated annealing revisits states on
+// reject/propose cycles — from a Zobrist-keyed table without touching
+// the graph at all.
+//
+// The arithmetic (edge pricing, relaxation, cost summation) is shared
+// with CostEvaluator, and repaired shortest-path values are built by the
+// same additions along the same paths, so incremental costs are
+// bit-identical to a fresh CostEvaluator.MinCost on the materialised
+// vector; the differential and fuzz suites pin that equivalence.
+//
+// Not safe for concurrent use: parallel solvers hold one per worker.
+type IncrementalEvaluator struct {
+	p  *Problem
+	n  int
+	bs int
+	rx float64
+
+	in  [][]evalEdge // in[v]: edges u->v, shared shape with CostEvaluator
+	out [][]outEdge  // out[u]: edges u->v, for boundary/decrease seeding
+
+	// Committed (or probed) state.
+	m    []int
+	eff  []float64
+	dist []float64
+	par  []int // par[u]: tight parent of post u (a post, or bs)
+	cost float64
+	key  uint64 // Zobrist key of m
+	have bool
+
+	h *graph.IndexedMinHeap
+
+	// Probe bookkeeping.
+	state        int // idle / probed / memoProbed
+	pendingCost  float64
+	pendingKey   uint64
+	journal      []distSave
+	effLog       []effSave
+	pendingMoves []Move
+	full         bool // probe recomputed fully; snapshots hold the base
+	distSnap     []float64
+	parSnap      []int
+
+	// Epoch-stamped scratch (no per-probe clearing).
+	epoch      int64
+	dirtyEpoch int64
+	mark       []int64
+	status     []int8
+	chain      []int
+	affected   []int
+	ups        []int
+	downs      []int
+
+	// Bounded deployment memo (nil when disabled).
+	memoMask  uint64
+	memoKeys  []uint64
+	memoCosts []float64
+
+	stats EvalStats
+}
+
+type outEdge struct {
+	to int
+	tx float64
+}
+
+// distSave journals one vertex's pre-probe shortest-path state. Entries
+// may repeat within a probe; Revert replays them in reverse, so the
+// oldest (correct) value wins.
+type distSave struct {
+	v    int32
+	par  int32
+	dist float64
+}
+
+// effSave journals one changed post's pre-probe deployment state (one
+// entry per distinct post per probe).
+type effSave struct {
+	post   int
+	oldM   int
+	oldEff float64
+	newEff float64
+}
+
+const (
+	stateIdle = iota
+	stateProbed
+	stateMemoProbed
+)
+
+const (
+	statusClean int8 = iota
+	statusDirty
+)
+
+// EvalStats counts how an IncrementalEvaluator answered its queries;
+// probes not covered by Repairs/Fallbacks/MemoHits changed no edge
+// weight (e.g. moves past a saturating gain's cap) and were priced from
+// the standing solution directly.
+type EvalStats struct {
+	// FullEvals counts Cost calls (full Dijkstra over the whole graph).
+	FullEvals int64
+	// Probes counts CostDelta calls.
+	Probes int64
+	// Repairs counts probes priced by local shortest-path repair.
+	Repairs int64
+	// Fallbacks counts probes that fell back to a full re-run because
+	// the dirty region spanned too much of the graph.
+	Fallbacks int64
+	// MemoHits counts probes answered from the deployment memo.
+	MemoHits int64
+}
+
+// NewIncrementalEvaluator precomputes the communication topology of p.
+// Call Cost to establish the first committed deployment.
+func NewIncrementalEvaluator(p *Problem) (*IncrementalEvaluator, error) {
+	n := p.N()
+	in, err := buildInEdges(p)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]outEdge, n)
+	for v := 0; v <= n; v++ {
+		for _, e := range in[v] {
+			out[e.from] = append(out[e.from], outEdge{to: v, tx: e.tx})
+		}
+	}
+	return &IncrementalEvaluator{
+		p:        p,
+		n:        n,
+		bs:       n,
+		rx:       p.Energy.RxEnergy(),
+		in:       in,
+		out:      out,
+		m:        make([]int, n),
+		eff:      make([]float64, n),
+		dist:     make([]float64, n+1),
+		par:      make([]int, n),
+		h:        graph.NewIndexedMinHeap(n + 1),
+		distSnap: make([]float64, n+1),
+		parSnap:  make([]int, n),
+		mark:     make([]int64, n),
+		status:   make([]int8, n),
+	}, nil
+}
+
+// EnableMemo attaches a bounded deployment memo with at least the given
+// number of entries (rounded up to a power of two); entries <= 0 removes
+// it. The memo maps 64-bit Zobrist keys of recently probed deployments
+// to their costs in a direct-mapped table, so revisited probes skip the
+// shortest-path repair entirely.
+func (ev *IncrementalEvaluator) EnableMemo(entries int) {
+	if entries <= 0 {
+		ev.memoKeys, ev.memoCosts, ev.memoMask = nil, nil, 0
+		return
+	}
+	size := 1
+	for size < entries {
+		size <<= 1
+	}
+	ev.memoKeys = make([]uint64, size)
+	ev.memoCosts = make([]float64, size)
+	ev.memoMask = uint64(size - 1)
+}
+
+// Stats returns cumulative query counters.
+func (ev *IncrementalEvaluator) Stats() EvalStats { return ev.stats }
+
+// zkey hashes one (post, count) pair with the splitmix64 finaliser; the
+// deployment key is the XOR over posts, so a move updates it in O(1).
+func zkey(post, count int) uint64 {
+	x := uint64(post)<<32 ^ uint64(uint32(count))
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Cost fully evaluates m and makes it the committed deployment. On error
+// the evaluator loses its committed state and Cost must be called again.
+func (ev *IncrementalEvaluator) Cost(m []int) (float64, error) {
+	if ev.state != stateIdle {
+		return 0, errPendingProbe
+	}
+	if len(m) != ev.n {
+		return 0, fmt.Errorf("model: deployment covers %d posts, want %d", len(m), ev.n)
+	}
+	var key uint64
+	for i, mi := range m {
+		e, err := ev.p.Charging.NetworkEfficiency(mi)
+		if err != nil {
+			ev.have = false
+			return 0, fmt.Errorf("model: post %d: %w", i, err)
+		}
+		ev.eff[i] = e
+		key ^= zkey(i, mi)
+	}
+	copy(ev.m, m)
+	ev.fullDijkstra()
+	cost, err := totalCost(ev.p, ev.n, ev.dist, ev.eff)
+	if err != nil {
+		ev.have = false
+		return 0, err
+	}
+	ev.key = key
+	ev.cost = cost
+	ev.have = true
+	ev.journal = ev.journal[:0]
+	ev.effLog = ev.effLog[:0]
+	ev.full = false
+	ev.stats.FullEvals++
+	ev.memoStore(key, cost)
+	return cost, nil
+}
+
+// CostDelta prices the committed deployment with moves applied, leaving
+// the evaluator pending until Commit or Revert. Moves may repeat posts;
+// deltas accumulate. Every resulting count must stay >= 1.
+func (ev *IncrementalEvaluator) CostDelta(moves []Move) (float64, error) {
+	if !ev.have {
+		return 0, errNoBase
+	}
+	if ev.state != stateIdle {
+		return 0, errPendingProbe
+	}
+	ev.stats.Probes++
+
+	// Apply the moves, journaling one record per distinct post.
+	ev.effLog = ev.effLog[:0]
+	ev.epoch++
+	e0 := ev.epoch
+	for _, mv := range moves {
+		if mv.Post < 0 || mv.Post >= ev.n {
+			ev.rollbackMoves()
+			return 0, fmt.Errorf("model: move targets post %d of %d", mv.Post, ev.n)
+		}
+		if ev.mark[mv.Post] != e0 {
+			ev.mark[mv.Post] = e0
+			ev.effLog = append(ev.effLog, effSave{post: mv.Post, oldM: ev.m[mv.Post], oldEff: ev.eff[mv.Post]})
+		}
+		ev.m[mv.Post] += mv.Delta
+	}
+	key := ev.key
+	for i := range ev.effLog {
+		rec := &ev.effLog[i]
+		newM := ev.m[rec.post]
+		if newM == rec.oldM {
+			rec.newEff = rec.oldEff
+			continue
+		}
+		e, err := ev.p.Charging.NetworkEfficiency(newM)
+		if err != nil {
+			ev.rollbackMoves()
+			return 0, fmt.Errorf("model: post %d: %w", rec.post, err)
+		}
+		rec.newEff = e
+		key ^= zkey(rec.post, rec.oldM) ^ zkey(rec.post, newM)
+	}
+	ev.pendingKey = key
+	ev.pendingMoves = append(ev.pendingMoves[:0], moves...)
+
+	if ev.memoKeys != nil && key != 0 {
+		if idx := key & ev.memoMask; ev.memoKeys[idx] == key {
+			// Deployment seen before: answer from the memo and defer the
+			// shortest-path repair until (and unless) the probe commits.
+			ev.stats.MemoHits++
+			ev.state = stateMemoProbed
+			ev.pendingCost = ev.memoCosts[idx]
+			return ev.pendingCost, nil
+		}
+	}
+
+	cost, err := ev.repairAndPrice()
+	if err != nil {
+		// Disconnection cannot arise from deployment changes (the edge
+		// set is range-based and fixed), so only defensive paths land
+		// here; leave the evaluator needing a fresh Cost.
+		ev.have = false
+		return 0, err
+	}
+	ev.state = stateProbed
+	ev.pendingCost = cost
+	ev.memoStore(key, cost)
+	return cost, nil
+}
+
+// Commit accepts the last probe as the committed deployment.
+func (ev *IncrementalEvaluator) Commit() error {
+	switch ev.state {
+	case stateProbed:
+	case stateMemoProbed:
+		// The probe was answered from the memo without touching the
+		// graph; materialise the repair now that the move is accepted.
+		cost, err := ev.repairAndPrice()
+		if err != nil {
+			ev.have = false
+			return err
+		}
+		ev.pendingCost = cost
+	default:
+		return errNoProbe
+	}
+	ev.state = stateIdle
+	ev.cost = ev.pendingCost
+	ev.key = ev.pendingKey
+	ev.journal = ev.journal[:0]
+	ev.effLog = ev.effLog[:0]
+	ev.full = false
+	return nil
+}
+
+// Revert discards the last probe, restoring the committed deployment's
+// state in O(touched).
+func (ev *IncrementalEvaluator) Revert() error {
+	switch ev.state {
+	case stateProbed:
+		if ev.full {
+			copy(ev.dist, ev.distSnap)
+			copy(ev.par, ev.parSnap)
+			ev.full = false
+		} else {
+			ev.restoreJournal()
+		}
+		for i := len(ev.effLog) - 1; i >= 0; i-- {
+			rec := ev.effLog[i]
+			ev.m[rec.post] = rec.oldM
+			ev.eff[rec.post] = rec.oldEff
+		}
+	case stateMemoProbed:
+		// Only the counts were touched; distances were never repaired.
+		for i := len(ev.effLog) - 1; i >= 0; i-- {
+			ev.m[ev.effLog[i].post] = ev.effLog[i].oldM
+		}
+	default:
+		return errNoProbe
+	}
+	ev.journal = ev.journal[:0]
+	ev.effLog = ev.effLog[:0]
+	ev.state = stateIdle
+	return nil
+}
+
+// BestParents returns a parent vector realising the minimum cost of m
+// along with that cost, identically to CostEvaluator.BestParents. When m
+// is the committed deployment (the usual case: solvers finalise the
+// deployment they just accepted) the standing distances are reused and
+// no Dijkstra runs.
+func (ev *IncrementalEvaluator) BestParents(m []int) ([]int, float64, error) {
+	parents := make([]int, ev.n)
+	total, err := ev.BestParentsInto(parents, m)
+	if err != nil {
+		return nil, 0, err
+	}
+	return parents, total, nil
+}
+
+// BestParentsInto is BestParents writing into a caller-provided buffer.
+func (ev *IncrementalEvaluator) BestParentsInto(parents []int, m []int) (float64, error) {
+	if ev.state != stateIdle {
+		return 0, errPendingProbe
+	}
+	if !ev.have || !sameCounts(ev.m, m) {
+		if _, err := ev.Cost(m); err != nil {
+			return 0, err
+		}
+	}
+	total, err := totalCost(ev.p, ev.n, ev.dist, ev.eff)
+	if err != nil {
+		return 0, err
+	}
+	if err := recoverParents(ev.in, ev.n, ev.bs, ev.eff, ev.rx, ev.dist, parents); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+func sameCounts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rollbackMoves undoes count changes after a validation failure inside
+// CostDelta (efficiencies and distances are untouched at that point).
+func (ev *IncrementalEvaluator) rollbackMoves() {
+	for i := len(ev.effLog) - 1; i >= 0; i-- {
+		ev.m[ev.effLog[i].post] = ev.effLog[i].oldM
+	}
+	ev.effLog = ev.effLog[:0]
+}
+
+func (ev *IncrementalEvaluator) restoreJournal() {
+	for i := len(ev.journal) - 1; i >= 0; i-- {
+		s := ev.journal[i]
+		ev.dist[s.v] = s.dist
+		ev.par[s.v] = int(s.par)
+	}
+	ev.journal = ev.journal[:0]
+}
+
+func (ev *IncrementalEvaluator) saveDist(v int) {
+	ev.journal = append(ev.journal, distSave{v: int32(v), par: int32(ev.par[v]), dist: ev.dist[v]})
+}
+
+func (ev *IncrementalEvaluator) memoStore(key uint64, cost float64) {
+	if ev.memoKeys == nil || key == 0 {
+		return
+	}
+	idx := key & ev.memoMask
+	ev.memoKeys[idx] = key
+	ev.memoCosts[idx] = cost
+}
+
+// repairAndPrice applies the probe's efficiency changes, repairs the
+// shortest-path solution, and prices the result.
+func (ev *IncrementalEvaluator) repairAndPrice() (float64, error) {
+	ev.ups = ev.ups[:0]
+	ev.downs = ev.downs[:0]
+	for _, rec := range ev.effLog {
+		if rec.newEff == rec.oldEff {
+			continue
+		}
+		ev.eff[rec.post] = rec.newEff
+		if rec.newEff > rec.oldEff {
+			ev.ups = append(ev.ups, rec.post)
+		} else {
+			ev.downs = append(ev.downs, rec.post)
+		}
+	}
+	if len(ev.ups) == 0 && len(ev.downs) == 0 {
+		// No edge weight changed (e.g. a move past a saturating gain's
+		// cap): the standing solution already prices this deployment.
+		return totalCost(ev.p, ev.n, ev.dist, ev.eff)
+	}
+	if !ev.repairDist() {
+		ev.fullRecompute()
+	}
+	return totalCost(ev.p, ev.n, ev.dist, ev.eff)
+}
+
+// repairDist repairs dist/par in place for the efficiency changes in
+// ev.ups/ev.downs, journaling every touched vertex. It reports false
+// when the caller should recompute from scratch instead (wide dirty
+// region, or a defensive bail on inconsistent parent structure).
+func (ev *IncrementalEvaluator) repairDist() bool {
+	bs := ev.bs
+	h := ev.h
+	h.Reset()
+	ev.journal = ev.journal[:0]
+	ev.dirtyEpoch = -1
+
+	// Increase side: routes through weakened posts may lengthen. Collect
+	// the dirty set (every vertex whose tight-parent chain passes through
+	// a weakened post), invalidate it, and re-settle it from its boundary.
+	if len(ev.downs) > 0 {
+		if !ev.collectAffected() {
+			return false
+		}
+		if 2*len(ev.affected) > ev.n {
+			return false // dirty region spans most of the graph: full run is cheaper
+		}
+		for _, a := range ev.affected {
+			ev.saveDist(a)
+			ev.dist[a] = math.Inf(1)
+			ev.par[a] = -1
+		}
+		for _, a := range ev.affected {
+			best, bestPar := math.Inf(1), -1
+			for _, e := range ev.out[a] {
+				if cand := ev.dist[e.to] + edgeWeight(e.tx, a, e.to, bs, ev.eff, ev.rx); cand < best {
+					best, bestPar = cand, e.to
+				}
+			}
+			if bestPar >= 0 {
+				ev.dist[a] = best
+				ev.par[a] = bestPar
+				h.Push(a, best)
+			}
+		}
+	}
+
+	// Decrease side: every edge incident to a strengthened post got
+	// cheaper. Seed the post's own distance through its out-edges, and
+	// its in-neighbours through the now-cheaper reception — the post
+	// itself may never enter the heap when only reception improved.
+	for _, i := range ev.ups {
+		if ev.dirtyEpoch >= 0 && ev.mark[i] == ev.dirtyEpoch && ev.status[i] == statusDirty {
+			continue // already invalidated and boundary-seeded above
+		}
+		best, bestPar, improved := ev.dist[i], -1, false
+		for _, e := range ev.out[i] {
+			if cand := ev.dist[e.to] + edgeWeight(e.tx, i, e.to, bs, ev.eff, ev.rx); cand < best {
+				best, bestPar, improved = cand, e.to, true
+			}
+		}
+		if improved {
+			ev.saveDist(i)
+			ev.dist[i] = best
+			ev.par[i] = bestPar
+			h.Push(i, best)
+		}
+		if di := ev.dist[i]; !math.IsInf(di, 1) {
+			for _, e := range ev.in[i] {
+				u := e.from
+				if cand := di + edgeWeight(e.tx, u, i, bs, ev.eff, ev.rx); cand < ev.dist[u] {
+					ev.saveDist(u)
+					ev.dist[u] = cand
+					ev.par[u] = i
+					h.Push(u, cand)
+				}
+			}
+		}
+	}
+
+	// Propagate to fixpoint: standard lazy-deletion Dijkstra over the
+	// seeded frontier, relaxing with the shared edge pricing so repaired
+	// values are built by the same additions as a from-scratch run.
+	for h.Len() > 0 {
+		v, dv := h.Pop()
+		if dv > ev.dist[v] {
+			continue
+		}
+		for _, e := range ev.in[v] {
+			u := e.from
+			if cand := dv + edgeWeight(e.tx, u, v, bs, ev.eff, ev.rx); cand < ev.dist[u] {
+				ev.saveDist(u)
+				ev.dist[u] = cand
+				ev.par[u] = v
+				h.Push(u, cand)
+			}
+		}
+	}
+	ev.stats.Repairs++
+	return true
+}
+
+// collectAffected fills ev.affected with every post whose tight-parent
+// chain passes through a weakened post, memoising chain status so the
+// whole pass is O(N). Reports false when the parent structure is
+// inconsistent (defensive: callers then recompute from scratch).
+func (ev *IncrementalEvaluator) collectAffected() bool {
+	ev.epoch++
+	ep := ev.epoch
+	ev.dirtyEpoch = ep
+	ev.affected = ev.affected[:0]
+	for _, d := range ev.downs {
+		ev.mark[d] = ep
+		ev.status[d] = statusDirty
+		ev.affected = append(ev.affected, d)
+	}
+	for u := 0; u < ev.n; u++ {
+		if ev.mark[u] == ep {
+			continue
+		}
+		ev.chain = ev.chain[:0]
+		v := u
+		st := statusClean
+		for steps := 0; ; steps++ {
+			if v == ev.bs {
+				break
+			}
+			if ev.mark[v] == ep {
+				st = ev.status[v]
+				break
+			}
+			ev.chain = append(ev.chain, v)
+			v = ev.par[v]
+			if v < 0 || steps > ev.n {
+				return false
+			}
+		}
+		for _, c := range ev.chain {
+			ev.mark[c] = ep
+			ev.status[c] = st
+			if st == statusDirty {
+				ev.affected = append(ev.affected, c)
+			}
+		}
+	}
+	return true
+}
+
+// fullRecompute snapshots the committed solution (for Revert) and runs a
+// from-scratch Dijkstra under the probe's efficiencies.
+func (ev *IncrementalEvaluator) fullRecompute() {
+	ev.restoreJournal() // discard any partial repair first
+	copy(ev.distSnap, ev.dist)
+	copy(ev.parSnap, ev.par)
+	ev.full = true
+	ev.fullDijkstra()
+	ev.stats.Fallbacks++
+}
+
+// fullDijkstra recomputes dist/par from scratch under the current
+// efficiencies — the same relaxation order and arithmetic as
+// CostEvaluator.dijkstra, plus tight-parent tracking.
+func (ev *IncrementalEvaluator) fullDijkstra() {
+	for i := range ev.dist {
+		ev.dist[i] = math.Inf(1)
+	}
+	for i := range ev.par {
+		ev.par[i] = -1
+	}
+	ev.dist[ev.bs] = 0
+	h := ev.h
+	h.Reset()
+	h.Push(ev.bs, 0)
+	for h.Len() > 0 {
+		v, dv := h.Pop()
+		if dv > ev.dist[v] {
+			continue
+		}
+		for _, e := range ev.in[v] {
+			u := e.from
+			if nd := dv + edgeWeight(e.tx, u, v, ev.bs, ev.eff, ev.rx); nd < ev.dist[u] {
+				ev.dist[u] = nd
+				ev.par[u] = v
+				h.Push(u, nd)
+			}
+		}
+	}
+}

@@ -33,8 +33,9 @@ type AnnealOptions struct {
 // worsening moves, so it can escape 1-move-optimal basins. The returned
 // solution is the best state ever visited, so Anneal never returns a
 // worse solution than its seed. An extension beyond the paper's
-// heuristics, sharing their exact inner evaluation (one Dijkstra per
-// proposal).
+// heuristics, sharing their exact inner evaluation (each proposal is a
+// two-move CostDelta against the walk's committed state, memoised for
+// the revisits rejected proposals create).
 func Anneal(p *model.Problem, opts AnnealOptions) (*Result, error) {
 	return AnnealCtx(context.Background(), p, opts)
 }
@@ -74,14 +75,17 @@ func AnnealCtx(ctx context.Context, p *model.Problem, opts AnnealOptions) (*Resu
 		return nil, fmt.Errorf("solver: anneal needs final temperature (%g) below initial (%g)", finalFrac, initFrac)
 	}
 
-	ev, err := model.NewCostEvaluator(p)
+	ev, err := model.NewIncrementalEvaluator(p)
 	if err != nil {
 		return nil, err
 	}
+	// The walk revisits states whenever a proposal is rejected and later
+	// re-proposed; a small memo answers those probes without repairing.
+	ev.EnableMemo(1 << 12)
 	rng := rand.New(rand.NewSource(opts.Seed))
 
 	cur := start.Deploy.Clone()
-	curCost, err := ev.MinCost(cur)
+	curCost, err := ev.Cost(cur)
 	if err != nil {
 		return nil, err
 	}
@@ -91,6 +95,7 @@ func AnnealCtx(ctx context.Context, p *model.Problem, opts AnnealOptions) (*Resu
 	temp := initFrac * curCost
 	cooling := math.Pow(finalFrac/initFrac, 1/float64(iterations))
 	var evaluations int64
+	moves := make([]model.Move, 2)
 	for it := 0; it < iterations; it++ {
 		if it%ctxCheckStride == 0 {
 			if err := ctx.Err(); err != nil {
@@ -106,23 +111,27 @@ func AnnealCtx(ctx context.Context, p *model.Problem, opts AnnealOptions) (*Resu
 		if to >= from {
 			to++
 		}
-		cur[from]--
-		cur[to]++
-		cost, evalErr := ev.MinCost(cur)
+		moves[0] = model.Move{Post: from, Delta: -1}
+		moves[1] = model.Move{Post: to, Delta: 1}
+		cost, evalErr := ev.CostDelta(moves)
 		evaluations++
 		if evalErr != nil {
 			return nil, evalErr
 		}
 		delta := cost - curCost
 		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+			if err := ev.Commit(); err != nil {
+				return nil, err
+			}
+			cur[from]--
+			cur[to]++
 			curCost = cost
 			if cost < bestCost {
 				bestCost = cost
 				copy(best, cur)
 			}
-		} else {
-			cur[from]++
-			cur[to]--
+		} else if err := ev.Revert(); err != nil {
+			return nil, err
 		}
 		temp *= cooling
 	}

@@ -20,10 +20,10 @@ const ctxCheckStride = 64
 // rounds of delta nodes each (a final short round handles any remainder):
 // each round enumerates all C(N+delta-1, N-1) ways to spread its delta
 // nodes over the posts, evaluates each candidate's minimum-cost routing —
-// one Dijkstra under recharging-cost weights, since for a fixed
-// deployment the optimal routing is a shortest-path tree — and commits
-// the cheapest. Smaller delta is cheaper per round but greedier; the
-// paper's comparisons use delta = 1.
+// a shortest-path tree under recharging-cost weights, probed as a
+// CostDelta against the round's committed base so only the repriced
+// region is recomputed — and commits the cheapest. Smaller delta is
+// cheaper per round but greedier; the paper's comparisons use delta = 1.
 func IDB(p *model.Problem, delta int) (*Result, error) {
 	return IDBCtx(context.Background(), p, delta)
 }
@@ -39,14 +39,27 @@ func IDBCtx(ctx context.Context, p *model.Problem, delta int) (*Result, error) {
 		return nil, fmt.Errorf("solver: IDB delta must be >= 1, got %d", delta)
 	}
 	n := p.N()
-	ev, err := model.NewCostEvaluator(p)
+	ev, err := model.NewIncrementalEvaluator(p)
 	if err != nil {
 		return nil, err
 	}
 
 	cur := model.Ones(n)
+	if _, err := ev.Cost(cur); err != nil {
+		return nil, err
+	}
 	var evaluations int64
 	bestExtra := make([]int, n)
+	moves := make([]model.Move, 0, delta)
+	extraMoves := func(extra []int) []model.Move {
+		moves = moves[:0]
+		for i, e := range extra {
+			if e != 0 {
+				moves = append(moves, model.Move{Post: i, Delta: e})
+			}
+		}
+		return moves
+	}
 	for remaining := p.Nodes - n; remaining > 0; {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -65,16 +78,14 @@ func IDBCtx(ctx context.Context, p *model.Problem, delta int) (*Result, error) {
 					return false
 				}
 			}
-			for i, e := range extra {
-				cur[i] += e
-			}
-			cost, evalErr := ev.MinCost(cur)
-			for i, e := range extra {
-				cur[i] -= e
-			}
+			cost, evalErr := ev.CostDelta(extraMoves(extra))
 			evaluations++
 			if evalErr != nil {
 				evalFailure = evalErr // impossible once p validated; keep the loop honest
+				return false
+			}
+			if evalErr := ev.Revert(); evalErr != nil {
+				evalFailure = evalErr
 				return false
 			}
 			// Order by (cost, lexicographic placement) — the same
@@ -95,6 +106,14 @@ func IDBCtx(ctx context.Context, p *model.Problem, delta int) (*Result, error) {
 		}
 		if !found {
 			return nil, fmt.Errorf("solver: IDB round evaluated no candidates (delta=%d)", step)
+		}
+		// Commit the round winner: re-probe its moves (not counted as a
+		// candidate evaluation) and accept, making it the next round's base.
+		if _, err := ev.CostDelta(extraMoves(bestExtra)); err != nil {
+			return nil, err
+		}
+		if err := ev.Commit(); err != nil {
+			return nil, err
 		}
 		for i, e := range bestExtra {
 			cur[i] += e

@@ -16,7 +16,8 @@ type IDBOptions struct {
 	Delta int
 	// Workers is the number of goroutines evaluating candidate
 	// placements concurrently; 0 means GOMAXPROCS, 1 runs sequentially.
-	// Each worker carries its own CostEvaluator, so memory scales with
+	// Each worker carries its own IncrementalEvaluator (the protocol is
+	// not concurrency-safe), so memory scales with
 	// workers while results remain bit-identical to the sequential run
 	// (the winning candidate is the cost-minimal one, ties broken by
 	// lexicographically smallest placement — the same candidate the
@@ -52,9 +53,9 @@ func IDBWithOptionsCtx(ctx context.Context, p *model.Problem, opts IDBOptions) (
 	}
 
 	n := p.N()
-	evaluators := make([]*model.CostEvaluator, workers)
+	evaluators := make([]*model.IncrementalEvaluator, workers)
 	for i := range evaluators {
-		ev, err := model.NewCostEvaluator(p)
+		ev, err := model.NewIncrementalEvaluator(p)
 		if err != nil {
 			return nil, err
 		}
@@ -87,8 +88,13 @@ func IDBWithOptionsCtx(ctx context.Context, p *model.Problem, opts IDBOptions) (
 			go func(w int) {
 				defer wg.Done()
 				ev := evaluators[w]
-				local := cur.Clone()
 				best := &results[w]
+				// Rebase this worker's evaluator on the round's committed
+				// deployment; every candidate is then a delta probe.
+				if _, err := ev.Cost(cur); err != nil {
+					best.err = err
+				}
+				var moves []model.Move
 				for extra := range candidates {
 					if best.err != nil {
 						continue // drain the queue after a failure
@@ -99,15 +105,19 @@ func IDBWithOptionsCtx(ctx context.Context, p *model.Problem, opts IDBOptions) (
 							continue
 						}
 					}
+					moves = moves[:0]
 					for i, e := range extra {
-						local[i] += e
+						if e != 0 {
+							moves = append(moves, model.Move{Post: i, Delta: e})
+						}
 					}
-					cost, err := ev.MinCost(local)
-					for i, e := range extra {
-						local[i] -= e
-					}
+					cost, err := ev.CostDelta(moves)
 					best.count++
 					if err != nil {
+						best.err = err
+						continue
+					}
+					if err := ev.Revert(); err != nil {
 						best.err = err
 						continue
 					}

@@ -24,8 +24,9 @@ type LocalSearchOptions struct {
 // LocalSearch is a deployment hill-climber, an extension beyond the
 // paper's two heuristics: starting from a seed solution it repeatedly
 // moves one node from its post to another when that strictly lowers the
-// minimum recharging cost (evaluated exactly — one Dijkstra per probe,
-// like IDB), until no single-node move improves. The result is therefore
+// minimum recharging cost (evaluated exactly — each probe is a two-move
+// CostDelta repairing the standing shortest-path solution, committed on
+// acceptance), until no single-node move improves. The result is therefore
 // 1-move-optimal: a deployment where IDB-style greedy additions and
 // removals have no regrets left.
 func LocalSearch(p *model.Problem, opts LocalSearchOptions) (*Result, error) {
@@ -51,18 +52,19 @@ func LocalSearchCtx(ctx context.Context, p *model.Problem, opts LocalSearchOptio
 	if err := start.Deploy.Validate(p); err != nil {
 		return nil, fmt.Errorf("solver: invalid local-search seed: %w", err)
 	}
-	ev, err := model.NewCostEvaluator(p)
+	ev, err := model.NewIncrementalEvaluator(p)
 	if err != nil {
 		return nil, err
 	}
 
 	n := p.N()
 	cur := start.Deploy.Clone()
-	curCost, err := ev.MinCost(cur)
+	curCost, err := ev.Cost(cur)
 	if err != nil {
 		return nil, err
 	}
 	var evaluations int64
+	moves := make([]model.Move, 2)
 	for pass := 0; opts.MaxPasses == 0 || pass < opts.MaxPasses; pass++ {
 		improved := false
 		for from := 0; from < n; from++ {
@@ -78,20 +80,26 @@ func LocalSearchCtx(ctx context.Context, p *model.Problem, opts LocalSearchOptio
 						return nil, err
 					}
 				}
-				cur[from]--
-				cur[to]++
-				cost, evalErr := ev.MinCost(cur)
+				moves[0] = model.Move{Post: from, Delta: -1}
+				moves[1] = model.Move{Post: to, Delta: 1}
+				cost, evalErr := ev.CostDelta(moves)
 				evaluations++
 				if evalErr != nil {
 					return nil, evalErr
 				}
 				if cost < curCost-costSlack {
+					if err := ev.Commit(); err != nil {
+						return nil, err
+					}
+					cur[from]--
+					cur[to]++
 					curCost = cost
 					improved = true
 					break // first improvement: re-scan from the new state
 				}
-				cur[from]++
-				cur[to]--
+				if err := ev.Revert(); err != nil {
+					return nil, err
+				}
 			}
 			if improved {
 				break

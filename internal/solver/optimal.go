@@ -35,7 +35,9 @@ const costSlack = 1e-9
 //
 //  1. For a fixed deployment the optimal routing is a shortest-path tree
 //     under recharging-cost weights, so evaluating a deployment is one
-//     Dijkstra run (model.CostEvaluator).
+//     shortest-path computation — probed as a delta against the
+//     previously evaluated vector (model.IncrementalEvaluator), so
+//     sibling search nodes pay only for the posts they change.
 //  2. The cost is monotone non-increasing in every m_i, so giving every
 //     undecided post the largest node count it could still receive yields
 //     an admissible lower bound for the whole subtree of completions.
@@ -59,7 +61,7 @@ func OptimalCtx(ctx context.Context, p *model.Problem, opts OptimalOptions) (*Re
 		return nil, err
 	}
 	n := p.N()
-	ev, err := model.NewCostEvaluator(p)
+	ev, err := newDeltaEvaluator(p)
 	if err != nil {
 		return nil, err
 	}
@@ -103,7 +105,9 @@ func OptimalCtx(ctx context.Context, p *model.Problem, opts OptimalOptions) (*Re
 				return 0, err
 			}
 		}
-		return ev.MinCost(m)
+		// Sibling search nodes share most of their vector, so the delta
+		// funnel reprices only the posts the branch actually changed.
+		return ev.eval(m)
 	}
 
 	// dfs assigns order[depth..]; budget nodes remain for them.
@@ -167,7 +171,7 @@ func OptimalCtx(ctx context.Context, p *model.Problem, opts OptimalOptions) (*Re
 		return nil, budgetErr
 	}
 
-	parents, _, err := ev.BestParents(bestDeploy)
+	parents, _, err := ev.bestParents(bestDeploy)
 	if err != nil {
 		return nil, err
 	}
@@ -192,7 +196,7 @@ func NaiveExact(p *model.Problem) (*Result, error) {
 		return nil, err
 	}
 	n := p.N()
-	ev, err := model.NewCostEvaluator(p)
+	ev, err := newDeltaEvaluator(p)
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +207,9 @@ func NaiveExact(p *model.Problem) (*Result, error) {
 		evalFailure error
 	)
 	loopErr := deploy.ForEachDeployment(n, p.Nodes, func(m []int) bool {
-		cost, err := ev.MinCost(m)
+		// Successive compositions differ in a couple of entries, so the
+		// delta funnel turns the exhaustive sweep into cheap repairs.
+		cost, err := ev.eval(m)
 		evaluations++
 		if err != nil {
 			evalFailure = err
@@ -224,7 +230,7 @@ func NaiveExact(p *model.Problem) (*Result, error) {
 	if bestDeploy == nil {
 		return nil, errors.New("solver: exhaustive search found no deployment")
 	}
-	parents, _, err := ev.BestParents(bestDeploy)
+	parents, _, err := ev.bestParents(bestDeploy)
 	if err != nil {
 		return nil, err
 	}

@@ -45,6 +45,13 @@ const DefaultRFHIterations = 7
 // The returned solution is the best across rounds (per-round costs can
 // oscillate slightly due to rounding; the paper observes the same), and
 // Result.IterationCosts holds every round's cost for convergence studies.
+//
+// RFH is the one solver not written against the move-based
+// model.Evaluator protocol: each round rebuilds its routing tree and
+// reallocates every post's nodes at once, so successive evaluations share
+// no base deployment for a delta probe to repair from. Its handful of
+// whole-solution evaluations per round (model.Evaluate on explicit trees)
+// are nowhere near the hot path the delta-aware solvers optimise.
 func RFH(p *model.Problem, opts RFHOptions) (*Result, error) {
 	return RFHCtx(context.Background(), p, opts)
 }

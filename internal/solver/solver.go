@@ -40,3 +40,56 @@ func finalize(p *model.Problem, deploy model.Deployment, tree model.Tree) (*Resu
 	}
 	return &Result{Solution: model.Solution{Deploy: deploy, Tree: tree, Cost: cost}}, nil
 }
+
+// deltaEvaluator adapts the move-based model.Evaluator protocol to
+// solvers that probe whole vectors (branch-and-bound bounds, exhaustive
+// enumeration): each query is diffed against the previously evaluated
+// vector and priced as a committed delta probe, so successive queries
+// that share most of their entries — sibling search nodes, adjacent
+// compositions — pay only for what changed.
+type deltaEvaluator struct {
+	ev    *model.IncrementalEvaluator
+	prev  []int
+	moves []model.Move
+	have  bool
+}
+
+func newDeltaEvaluator(p *model.Problem) (*deltaEvaluator, error) {
+	ev, err := model.NewIncrementalEvaluator(p)
+	if err != nil {
+		return nil, err
+	}
+	return &deltaEvaluator{ev: ev, prev: make([]int, p.N())}, nil
+}
+
+// eval prices m, committing it as the base for the next diff.
+func (d *deltaEvaluator) eval(m []int) (float64, error) {
+	if !d.have {
+		cost, err := d.ev.Cost(m)
+		if err != nil {
+			return 0, err
+		}
+		copy(d.prev, m)
+		d.have = true
+		return cost, nil
+	}
+	d.moves = d.moves[:0]
+	for i, mi := range m {
+		if mi != d.prev[i] {
+			d.moves = append(d.moves, model.Move{Post: i, Delta: mi - d.prev[i]})
+		}
+	}
+	cost, err := d.ev.CostDelta(d.moves)
+	if err != nil {
+		return 0, err
+	}
+	if err := d.ev.Commit(); err != nil {
+		return 0, err
+	}
+	copy(d.prev, m)
+	return cost, nil
+}
+
+func (d *deltaEvaluator) bestParents(m []int) ([]int, float64, error) {
+	return d.ev.BestParents(m)
+}

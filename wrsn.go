@@ -13,8 +13,8 @@
 //   - the RFH heuristic (minimum-energy fat tree -> workload-concentrated
 //     trim -> opportunistic sibling merge -> Lagrange deployment), basic
 //     and iterative;
-//   - the IDB heuristic (incremental deployment, one Dijkstra per
-//     candidate placement);
+//   - the IDB heuristic (incremental deployment; candidate placements
+//     are priced by delta-repairing the round's shortest-path solution);
 //   - exact solvers (branch-and-bound and exhaustive) for small networks;
 //   - the NP-completeness reduction from 3-CNF-SAT as executable code
 //     (wrsn/internal/npc, surfaced by cmd/wrsn-sat);
@@ -92,6 +92,17 @@ type (
 	ExperimentOptions = experiments.Options
 	// Figure is a reproduced paper figure (X axis plus labelled series).
 	Figure = experiments.Figure
+
+	// Move adjusts one post's node count by a (possibly negative) delta —
+	// the unit of the delta-aware evaluation protocol.
+	Move = model.Move
+	// Evaluator is the move-based deployment-evaluation protocol
+	// (Cost / CostDelta / Commit / Revert) the solvers' hot loops run on.
+	Evaluator = model.Evaluator
+	// IncrementalEvaluator prices CostDelta probes by repairing the last
+	// committed deployment's shortest-path solution instead of
+	// recomputing it — the production Evaluator implementation.
+	IncrementalEvaluator = model.IncrementalEvaluator
 )
 
 // Square returns a side x side deployment field with the base station
@@ -147,6 +158,14 @@ func SolveOptimal(p *Problem, opts OptimalOptions) (*Result, error) {
 // (one Dijkstra under recharging-cost weights) and its total cost.
 func BestTreeFor(p *Problem, deploy Deployment) (Tree, float64, error) {
 	return model.BestTreeFor(p, deploy)
+}
+
+// NewIncrementalEvaluator builds a delta-aware evaluator for p, for
+// callers implementing their own deployment searches: establish a base
+// with Cost, then price single-move perturbations with CostDelta and
+// Commit/Revert them. See the Evaluator interface for the protocol.
+func NewIncrementalEvaluator(p *Problem) (*IncrementalEvaluator, error) {
+	return model.NewIncrementalEvaluator(p)
 }
 
 // BuildReport computes a diagnostic digest of a solution: depth, node
