@@ -1,0 +1,101 @@
+// Command benchguard fails CI when a figure's measured wall time
+// regresses against a checked-in baseline artifact.
+//
+// Usage:
+//
+//	benchguard -baseline ci/fig6-baseline.json -current fig6.json -figure 6
+//
+// Both files are cmd/wrsn-experiments -bench artifacts. The guard
+// compares the named figure's wall_seconds and fails when
+//
+//	current > baseline*(1+tolerance) + slack
+//
+// The relative tolerance catches genuine regressions (an accidental
+// return to per-iteration graph rebuilds inflates figure 6 by orders of
+// magnitude); the absolute slack absorbs runner heterogeneity — CI
+// machines are slower and noisier than the machine that recorded the
+// baseline, and sub-second measurements would otherwise flake. Guarded
+// figures should be measured from a standalone run (one figure per
+// invocation): under a shared worker pool a figure's wall clock also
+// counts time spent waiting on co-scheduled figures' cells, which is
+// why concurrent-run artifacts carry active_seconds separately.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"wrsn/internal/engine"
+)
+
+// artifact is the subset of cmd/wrsn-experiments' -bench payload the
+// guard reads.
+type artifact struct {
+	Figures []engine.Timing `json:"figures"`
+}
+
+func loadFigure(path, figure string) (engine.Timing, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return engine.Timing{}, err
+	}
+	var a artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return engine.Timing{}, fmt.Errorf("%s: %w", path, err)
+	}
+	for _, tm := range a.Figures {
+		if tm.Figure == figure {
+			return tm, nil
+		}
+	}
+	return engine.Timing{}, fmt.Errorf("%s: no figure %q in artifact", path, figure)
+}
+
+// check compares one figure's wall time and returns a human-readable
+// verdict plus whether the current run is within budget.
+func check(base, cur engine.Timing, tolerance, slack float64) (string, bool) {
+	budget := base.WallSeconds*(1+tolerance) + slack
+	msg := fmt.Sprintf("figure %s: baseline %.3fs, current %.3fs, budget %.3fs (+%.0f%% +%.1fs)",
+		base.Figure, base.WallSeconds, cur.WallSeconds, budget, 100*tolerance, slack)
+	return msg, cur.WallSeconds <= budget
+}
+
+func run(args []string, out, errOut *os.File) error {
+	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
+	var (
+		baseline  = fs.String("baseline", "", "checked-in bench artifact to compare against")
+		current   = fs.String("current", "", "freshly measured bench artifact")
+		figure    = fs.String("figure", "6", "figure id to guard")
+		tolerance = fs.Float64("tolerance", 0.20, "allowed relative wall-time regression")
+		slack     = fs.Float64("slack", 2.0, "allowed absolute wall-time regression in seconds (runner noise floor)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *baseline == "" || *current == "" {
+		return fmt.Errorf("both -baseline and -current are required")
+	}
+	base, err := loadFigure(*baseline, *figure)
+	if err != nil {
+		return err
+	}
+	cur, err := loadFigure(*current, *figure)
+	if err != nil {
+		return err
+	}
+	msg, ok := check(base, cur, *tolerance, *slack)
+	if !ok {
+		return fmt.Errorf("wall-time regression: %s", msg)
+	}
+	fmt.Fprintln(out, "benchguard:", msg)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"wrsn/internal/engine"
+)
+
+func TestCheckBudget(t *testing.T) {
+	base := engine.Timing{Figure: "6", WallSeconds: 1.0}
+	cases := []struct {
+		cur    float64
+		tol    float64
+		slack  float64
+		within bool
+	}{
+		{cur: 1.0, tol: 0.2, slack: 0, within: true},
+		{cur: 1.19, tol: 0.2, slack: 0, within: true},
+		{cur: 1.21, tol: 0.2, slack: 0, within: false},
+		{cur: 2.0, tol: 0.2, slack: 1.0, within: true}, // slack absorbs noise
+		{cur: 60.0, tol: 0.2, slack: 2.0, within: false},
+	}
+	for _, c := range cases {
+		msg, ok := check(base, engine.Timing{Figure: "6", WallSeconds: c.cur}, c.tol, c.slack)
+		if ok != c.within {
+			t.Errorf("check(cur=%.2f, tol=%.2f, slack=%.2f) = %v, want %v (%s)",
+				c.cur, c.tol, c.slack, ok, c.within, msg)
+		}
+	}
+}
+
+func TestLoadFigure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	payload := `{"figures":[{"figure":"6","wall_seconds":1.5,"active_seconds":1.4,"cells":4}]}`
+	if err := os.WriteFile(path, []byte(payload), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tm, err := loadFigure(path, "6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.WallSeconds != 1.5 || tm.Cells != 4 {
+		t.Errorf("loaded %+v", tm)
+	}
+	if _, err := loadFigure(path, "7a"); err == nil {
+		t.Error("missing figure not reported")
+	}
+	if _, err := loadFigure(filepath.Join(dir, "absent.json"), "6"); err == nil {
+		t.Error("missing file not reported")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, wall float64) string {
+		path := filepath.Join(dir, name)
+		payload := `{"figures":[{"figure":"6","wall_seconds":` + strconv.FormatFloat(wall, 'f', -1, 64) + `}]}`
+		if err := os.WriteFile(path, []byte(payload), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json", 1.0)
+	good := write("good.json", 1.1)
+	bad := write("bad.json", 60.0)
+
+	if err := run([]string{"-baseline", base, "-current", good, "-slack", "0.5"}, os.Stdout, os.Stderr); err != nil {
+		t.Errorf("within-budget run failed: %v", err)
+	}
+	if err := run([]string{"-baseline", base, "-current", bad, "-slack", "0.5"}, os.Stdout, os.Stderr); err == nil {
+		t.Error("regression not flagged")
+	}
+}

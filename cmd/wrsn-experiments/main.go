@@ -97,12 +97,13 @@ func (pr *progressRenderer) finish() {
 // benchArtifact is the machine-readable perf record written by -bench:
 // the trajectory future optimisation PRs measure themselves against.
 type benchArtifact struct {
-	Command          string          `json:"command"`
-	Workers          int             `json:"workers"`
-	TotalWallSeconds float64         `json:"total_wall_seconds"`
-	TotalCells       int             `json:"total_cells"`
-	TotalEvaluations int64           `json:"total_solver_evaluations"`
-	Figures          []engine.Timing `json:"figures"`
+	Command            string          `json:"command"`
+	Workers            int             `json:"workers"`
+	TotalWallSeconds   float64         `json:"total_wall_seconds"`
+	TotalActiveSeconds float64         `json:"total_active_seconds"`
+	TotalCells         int             `json:"total_cells"`
+	TotalEvaluations   int64           `json:"total_solver_evaluations"`
+	Figures            []engine.Timing `json:"figures"`
 }
 
 func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error {
@@ -287,11 +288,16 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 			defer wg.Done()
 			var cells int
 			var evaluations int64
+			var active time.Duration
 			opts := baseOpts
 			opts.Progress = func(ev engine.Event) {
 				if ev.Kind == engine.CellFinished && ev.Err == nil {
 					cells++
 					evaluations += ev.Evaluations
+					// Summed cell runtimes, not elapsed time: under the
+					// shared limiter a figure's wall clock also counts time
+					// spent waiting on other figures' cells.
+					active += ev.Duration
 				}
 				if renderer != nil {
 					renderer.observe(ev)
@@ -303,7 +309,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 			outputs[i] = figOutput{
 				tables:  tables,
 				figures: figures,
-				timing:  engine.NewTiming(r.id, wall, cells, evaluations, poolSize),
+				timing:  engine.NewTiming(r.id, wall, active, cells, evaluations, poolSize),
 				err:     err,
 			}
 		}(i, r)
@@ -357,8 +363,8 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	totalWall := time.Since(totalStart)
 
 	for _, tm := range timings {
-		fmt.Fprintf(stderr, "figure %-14s %7.2fs  %4d cells  %8.1f cells/s  %d evaluations\n",
-			tm.Figure, tm.WallSeconds, tm.Cells, tm.CellsPerSec, tm.Evaluations)
+		fmt.Fprintf(stderr, "figure %-14s %7.2fs wall  %7.2fs active  %4d cells  %8.1f cells/s  %d evaluations\n",
+			tm.Figure, tm.WallSeconds, tm.ActiveSeconds, tm.Cells, tm.CellsPerSec, tm.Evaluations)
 	}
 	if len(timings) > 0 {
 		fmt.Fprintf(stderr, "total %21.2fs  (workers=%d)\n", totalWall.Seconds(), poolSize)
@@ -381,6 +387,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 		}
 		artifact.TotalWallSeconds = totalWall.Seconds()
 		for _, tm := range timings {
+			artifact.TotalActiveSeconds += tm.ActiveSeconds
 			artifact.TotalCells += tm.Cells
 			artifact.TotalEvaluations += tm.Evaluations
 		}

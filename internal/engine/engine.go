@@ -372,12 +372,20 @@ func Run(ctx context.Context, sw *Sweep, cfg RunConfig) (*Result, error) {
 			}
 		}
 	}
+	var active time.Duration
+	for ai := range r.durations {
+		for pi := range r.durations[ai] {
+			for _, d := range r.durations[ai][pi] {
+				active += d
+			}
+		}
+	}
 	return &Result{
 		Figure:      fig,
 		Raw:         r.raw,
 		Durations:   r.durations,
 		Evaluations: evaluations,
-		Timing:      NewTiming(sw.ID, wall, len(r.cells), evaluations, workers),
+		Timing:      NewTiming(sw.ID, wall, active, len(r.cells), evaluations, workers),
 	}, nil
 }
 

@@ -45,25 +45,37 @@ type ProgressFunc func(Event)
 
 // Timing is the per-sweep performance summary: the machine-readable
 // record behind the BENCH_PR2.json perf artifact.
+//
+// WallSeconds and ActiveSeconds answer different questions. Wall time
+// is start-to-finish for the sweep — but sweeps run concurrently under
+// a shared Limiter, so a figure's wall clock keeps ticking while its
+// cells wait for slots occupied by *other* figures; comparing wall
+// times across runs with different figure mixes misattributes that
+// contention. ActiveSeconds sums the cells' own algorithm runtimes
+// (CPU-ish time actually spent computing this figure), which is stable
+// under co-scheduling and is the number perf trajectories should track.
 type Timing struct {
-	Figure      string  `json:"figure"`
-	WallSeconds float64 `json:"wall_seconds"`
-	Cells       int     `json:"cells"`
-	CellsPerSec float64 `json:"cells_per_sec"`
-	Evaluations int64   `json:"solver_evaluations"`
-	Workers     int     `json:"workers"`
+	Figure        string  `json:"figure"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	ActiveSeconds float64 `json:"active_seconds"`
+	Cells         int     `json:"cells"`
+	CellsPerSec   float64 `json:"cells_per_sec"`
+	Evaluations   int64   `json:"solver_evaluations"`
+	Workers       int     `json:"workers"`
 }
 
 // NewTiming assembles a Timing record from a measured run — used by the
 // runner for per-sweep summaries and by callers aggregating their own
 // wall-clock measurements (e.g. the CLI's per-figure bench artifact).
-func NewTiming(id string, wall time.Duration, cells int, evaluations int64, workers int) Timing {
+// active is the summed per-cell algorithm runtime; wall is elapsed time.
+func NewTiming(id string, wall, active time.Duration, cells int, evaluations int64, workers int) Timing {
 	t := Timing{
-		Figure:      id,
-		WallSeconds: wall.Seconds(),
-		Cells:       cells,
-		Evaluations: evaluations,
-		Workers:     workers,
+		Figure:        id,
+		WallSeconds:   wall.Seconds(),
+		ActiveSeconds: active.Seconds(),
+		Cells:         cells,
+		Evaluations:   evaluations,
+		Workers:       workers,
 	}
 	if wall > 0 {
 		t.CellsPerSec = float64(cells) / wall.Seconds()

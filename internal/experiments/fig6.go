@@ -68,7 +68,7 @@ func Fig6(opts Options) (*Figure, error) {
 			for i, c := range res.IterationCosts {
 				costs[i] = njToMicroJ(c)
 			}
-			return engine.CellResult{Values: costs}, nil
+			return engine.CellResult{Values: costs, Evaluations: res.Evaluations}, nil
 		},
 	}}
 	return runFigure(opts, sw)

@@ -52,7 +52,11 @@ func ExtRepair(opts Options) (*Figure, error) {
 		Title:    "Extension: self-healing under permanent node failures (250x250m, 20 posts, 80 planned nodes)",
 		XLabel:   "per-node failure probability per round",
 		YLabel:   "delivery ratio",
-		Seeds:    opts.seeds(6, 2),
+		// 4 quick seeds, not the usual 2: the repair-beats-static margin at
+		// the heaviest failure rate is a cross-seed average, and two seeds
+		// leave it within realisation noise. The event-driven simulator core
+		// keeps even the quick sweep cheap.
+		Seeds:    opts.seeds(6, 4),
 		BaseSeed: opts.baseSeed(),
 	}
 	field := geom.Square(side)

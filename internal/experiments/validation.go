@@ -92,7 +92,10 @@ func ExtSimValidation(opts Options) (*Figure, error) {
 				return engine.CellResult{}, err
 			}
 			e := m.EmpiricalCostPerBitRound(packetBits)
-			return engine.CellResult{Values: []float64{a, e, stats.RelDiff(e, a) * 100}}, nil
+			return engine.CellResult{
+				Values:      []float64{a, e, stats.RelDiff(e, a) * 100},
+				Evaluations: res.Evaluations,
+			}, nil
 		},
 	}}
 	return runFigure(opts, sw)

@@ -1,0 +1,160 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Router runs repeated shortest-path queries over one Graph without
+// re-allocating the Dijkstra state: the indexed heap is recycled through
+// Reset(), the distance vector is overwritten in place, and the DAG's
+// parent lists are truncated and refilled. It exists for the iterative
+// callers (RFH reweights edges between rounds, heal re-masks vertices
+// between repairs) that previously rebuilt graph + heap + DAG per
+// iteration.
+//
+// A Router is not safe for concurrent use, and the slices returned by
+// DistancesTo/DAGTo are owned by the Router: they are valid only until
+// the next query.
+type Router struct {
+	g       *Graph
+	h       *IndexedMinHeap
+	dist    []float64
+	dag     DAG
+	mask    []bool
+	settled int64
+}
+
+// NewRouter returns a Router over g. The graph's vertex count must not
+// change afterwards (edge weights may, via ReweightEdges).
+func NewRouter(g *Graph) *Router {
+	n := g.NumVertices()
+	r := &Router{
+		g:    g,
+		h:    NewIndexedMinHeap(n),
+		dist: make([]float64, n),
+	}
+	r.dag.Dist = r.dist
+	r.dag.Parents = make([][]int, n)
+	return r
+}
+
+// SetVertexMask excludes vertices from subsequent queries: a vertex v
+// with mask[v] == true is treated as removed (its distance is
+// Unreachable and no path routes through it). The Router keeps a
+// reference to mask, so the caller may flip entries between queries; nil
+// clears the mask.
+func (r *Router) SetVertexMask(mask []bool) error {
+	if mask != nil && len(mask) != r.g.NumVertices() {
+		return fmt.Errorf("graph: mask covers %d vertices, want %d", len(mask), r.g.NumVertices())
+	}
+	r.mask = mask
+	return nil
+}
+
+// Settled returns the total number of Dijkstra vertex settlements (heap
+// pops of a vertex at its final distance) across every query run on this
+// Router — the natural "evaluation" count for iterative shortest-path
+// solvers.
+func (r *Router) Settled() int64 { return r.settled }
+
+func (r *Router) masked(v int) bool { return r.mask != nil && r.mask[v] }
+
+// DistancesTo computes, for every vertex u, the cost of the cheapest
+// directed path u -> ... -> target, exactly like Graph.DistancesTo but
+// into the Router's reusable buffers. The returned slice is owned by the
+// Router.
+func (r *Router) DistancesTo(target int) ([]float64, error) {
+	n := r.g.NumVertices()
+	if target < 0 || target >= n {
+		return nil, fmt.Errorf("%w: %d", ErrTargetOutOfRange, target)
+	}
+	if r.masked(target) {
+		return nil, fmt.Errorf("graph: target vertex %d is masked", target)
+	}
+	dist := r.dist
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[target] = 0
+	h := r.h
+	h.Reset()
+	h.Push(target, 0)
+	for h.Len() > 0 {
+		v, dv := h.Pop()
+		if dv > dist[v] {
+			continue
+		}
+		r.settled++
+		for _, e := range r.g.rev[v] {
+			if r.masked(e.To) {
+				continue
+			}
+			if nd := dv + e.Weight; nd < dist[e.To] {
+				dist[e.To] = nd
+				h.Push(e.To, nd)
+			}
+		}
+	}
+	return dist, nil
+}
+
+// DAGTo computes the all-shortest-paths DAG toward target, exactly like
+// Graph.ShortestPathDAG but reusing the Router's buffers (parent lists
+// keep their capacity across calls). Masked vertices have Unreachable
+// distance and empty parent lists, and never appear in any parent list.
+// The returned DAG is owned by the Router and valid until the next
+// query.
+func (r *Router) DAGTo(target int, tol float64) (*DAG, error) {
+	if tol < 0 {
+		return nil, fmt.Errorf("graph: negative tolerance %g", tol)
+	}
+	dist, err := r.DistancesTo(target)
+	if err != nil {
+		return nil, err
+	}
+	r.dag.Target = target
+	parents := r.dag.Parents
+	for u := range parents {
+		parents[u] = parents[u][:0]
+	}
+	for u := range r.g.adj {
+		if u == target || math.IsInf(dist[u], 1) || r.masked(u) {
+			continue
+		}
+		for _, e := range r.g.adj[u] {
+			if math.IsInf(dist[e.To], 1) || r.masked(e.To) {
+				continue
+			}
+			if math.Abs(dist[u]-(e.Weight+dist[e.To])) <= tol {
+				parents[u] = append(parents[u], e.To)
+			}
+		}
+	}
+	return &r.dag, nil
+}
+
+// ReweightEdges recomputes every edge weight in place: for each directed
+// edge u->v the new weight is weigh(u, v). Both the forward and reverse
+// adjacency copies are updated. The graph's structure (vertex and edge
+// sets) is unchanged, which is what lets Routers and DAGs built on top
+// keep their buffers. Weights must remain finite and non-negative.
+func (g *Graph) ReweightEdges(weigh func(u, v int) float64) error {
+	for u := range g.adj {
+		out := g.adj[u]
+		for i := range out {
+			w := weigh(u, out[i].To)
+			if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				return fmt.Errorf("graph: edge (%d,%d) reweighted to %g, must be finite and non-negative", u, out[i].To, w)
+			}
+			out[i].Weight = w
+		}
+	}
+	for v := range g.rev {
+		in := g.rev[v]
+		for i := range in {
+			in[i].Weight = weigh(in[i].To, v)
+		}
+	}
+	return nil
+}

@@ -13,7 +13,7 @@ import (
 // the origin (post i at ((i+1)*30, 0)) with the default models, plus the
 // chain tree i -> i-1 -> ... -> 0 -> BS. The default max range is 80m, so
 // a post can bridge one dead neighbour (60m) but not two (90m).
-func lineProblem(t *testing.T, n, m int) (*model.Problem, model.Tree) {
+func lineProblem(t testing.TB, n, m int) (*model.Problem, model.Tree) {
 	t.Helper()
 	posts := make([]geom.Point, n)
 	for i := range posts {

@@ -1,0 +1,85 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"wrsn/internal/geom"
+	"wrsn/internal/graph"
+)
+
+// CommGraph is the communication graph of a Problem built once and
+// reweighted in place between uses. The graph's structure (which hops are
+// feasible) depends only on geometry and the energy model's maximum
+// range, so iterative algorithms that re-price hops every round — RFH's
+// recharging-cost refinement, heal's survivor repricing — can skip the
+// O(N^2) rebuild (distance + power-level search per pair) and touch only
+// edge weights.
+//
+// Vertices follow BuildGraph's convention: posts 0..N-1 plus the base
+// station at N, edges added in ascending destination order so downstream
+// tie-breaking matches BuildGraph exactly.
+type CommGraph struct {
+	n  int
+	g  *graph.Graph
+	tx []float64 // (n+1)*(n+1) row-major; per-bit tx energy of edge u->v, +Inf when infeasible
+}
+
+// NewCommGraph builds the communication graph of p with the cached
+// per-hop transmit energies as initial weights (the paper's Phase-I
+// EnergyWeights pricing).
+func NewCommGraph(p *Problem) (*CommGraph, error) {
+	n := p.N()
+	c := &CommGraph{n: n, g: graph.New(n + 1), tx: make([]float64, (n+1)*(n+1))}
+	for i := range c.tx {
+		c.tx[i] = math.Inf(1)
+	}
+	dmax := p.Energy.MaxRange()
+	for u := 0; u < n; u++ {
+		pu := p.Posts[u]
+		for v := 0; v <= n; v++ {
+			if v == u {
+				continue
+			}
+			d := geom.Dist(pu, p.Point(v))
+			if d > dmax {
+				continue
+			}
+			tx, err := p.Energy.TxEnergy(d)
+			if err != nil {
+				return nil, fmt.Errorf("model: edge (%d,%d): %w", u, v, err)
+			}
+			c.tx[u*(n+1)+v] = tx
+			if err := c.g.AddEdge(u, v, tx); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c, nil
+}
+
+// Graph returns the underlying graph. Callers may reweight it (via
+// Reweight) but must not add or remove edges.
+func (c *CommGraph) Graph() *graph.Graph { return c.g }
+
+// TxBetween returns the cached per-bit transmit energy of the hop u->v,
+// with ok=false when the hop is infeasible (out of range, self, or u is
+// the base station). It is the vertex-pair form of Energy.TxEnergy,
+// suitable for routing.MergeSpec.TxEnergyBetween.
+func (c *CommGraph) TxBetween(u, v int) (float64, bool) {
+	t := c.tx[u*(c.n+1)+v]
+	if math.IsInf(t, 1) {
+		return 0, false
+	}
+	return t, true
+}
+
+// Reweight re-prices every edge in place as wf(u, v, txEnergy(u,v)),
+// leaving the graph structure untouched.
+func (c *CommGraph) Reweight(wf WeightFunc) error {
+	stride := c.n + 1
+	tx := c.tx
+	return c.g.ReweightEdges(func(u, v int) float64 {
+		return wf(u, v, tx[u*stride+v])
+	})
+}

@@ -19,6 +19,25 @@ type MergeSpec struct {
 	// TxEnergy returns the per-bit transmit energy (nJ) for a hop of
 	// distance d, and ok=false when no power level covers d.
 	TxEnergy func(d float64) (float64, bool)
+	// TxEnergyBetween, when non-nil, replaces TxEnergy with a direct
+	// vertex-pair lookup (ok=false when the hop is infeasible). Callers
+	// with a cached pairwise energy table (model.CommGraph) use this to
+	// skip the distance computation and power-level search per probe.
+	TxEnergyBetween func(u, v int) (float64, bool)
+	// Skip, when non-nil, excludes posts from the merge entirely: a
+	// skipped post is never a head, member or counted child (used for
+	// dead/stranded posts during repair, whose stale parent edges are
+	// inert and must stay untouched).
+	Skip []bool
+}
+
+// hopEnergy prices the hop u->v through TxEnergyBetween when available,
+// falling back to the distance-based TxEnergy.
+func (s *MergeSpec) hopEnergy(u, v int) (float64, bool) {
+	if s.TxEnergyBetween != nil {
+		return s.TxEnergyBetween(u, v)
+	}
+	return s.TxEnergy(geom.Dist(s.Pos(u), s.Pos(v)))
 }
 
 // MergeStats reports what Phase III changed.
@@ -46,16 +65,23 @@ func MergeSiblings(spec MergeSpec, parent []int) (MergeStats, error) {
 	if len(parent) != n {
 		return MergeStats{}, fmt.Errorf("routing: parent vector covers %d posts, want %d", len(parent), n)
 	}
+	if spec.Skip != nil && len(spec.Skip) != n {
+		return MergeStats{}, fmt.Errorf("routing: skip mask covers %d posts, want %d", len(spec.Skip), n)
+	}
+	skipped := func(u int) bool { return spec.Skip != nil && spec.Skip[u] }
 
 	children := make([][]int, n+1)
 	for u := 0; u < n; u++ {
+		if skipped(u) {
+			continue
+		}
 		p := parent[u]
 		if p < 0 || p > n || p == u {
 			return MergeStats{}, fmt.Errorf("routing: post %d has invalid parent %d", u, p)
 		}
 		children[p] = append(children[p], u)
 	}
-	workload := treeWorkloads(parent, n)
+	workload := treeWorkloadsSkip(parent, n, spec.Skip)
 
 	var stats MergeStats
 	for v := 0; v <= n; v++ {
@@ -82,11 +108,11 @@ func MergeSiblings(spec MergeSpec, parent []int) (MergeStats, error) {
 				if c == head || assigned[c] {
 					continue
 				}
-				costToParent, ok := spec.TxEnergy(geom.Dist(spec.Pos(c), spec.Pos(v)))
+				costToParent, ok := spec.hopEnergy(c, v)
 				if !ok {
 					return MergeStats{}, fmt.Errorf("routing: post %d cannot reach its parent %d", c, v)
 				}
-				costToHead, ok := spec.TxEnergy(geom.Dist(spec.Pos(c), spec.Pos(head)))
+				costToHead, ok := spec.hopEnergy(c, head)
 				if !ok || costToHead >= costToParent {
 					continue
 				}
@@ -102,4 +128,44 @@ func MergeSiblings(spec MergeSpec, parent []int) (MergeStats, error) {
 		}
 	}
 	return stats, nil
+}
+
+// treeWorkloadsSkip is treeWorkloads with skipped posts excluded: they
+// are neither counted as descendants nor traversed (their stale parent
+// edges are ignored).
+func treeWorkloadsSkip(parent []int, nPosts int, skip []bool) []int {
+	if skip == nil {
+		return treeWorkloads(parent, nPosts)
+	}
+	w := make([]int, nPosts)
+	childCount := make([]int, nPosts)
+	for u := 0; u < nPosts; u++ {
+		if skip[u] {
+			continue
+		}
+		if p := parent[u]; p < nPosts {
+			childCount[p]++
+		}
+	}
+	queue := make([]int, 0, nPosts)
+	for u := 0; u < nPosts; u++ {
+		if skip[u] {
+			continue
+		}
+		if childCount[u] == 0 {
+			queue = append(queue, u)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if p := parent[v]; p < nPosts {
+			w[p] += w[v] + 1
+			childCount[p]--
+			if childCount[p] == 0 {
+				queue = append(queue, p)
+			}
+		}
+	}
+	return w
 }

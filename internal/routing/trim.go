@@ -25,11 +25,12 @@ import (
 // TrimResult is the outcome of trimming a fat tree.
 type TrimResult struct {
 	// Parent[u] is the single parent of post u in the trimmed tree (a
-	// post index or the DAG's target vertex, i.e. the base station).
+	// post index or the DAG's target vertex, i.e. the base station), or
+	// -1 for posts excluded by a Trimmer skip mask.
 	Parent []int
 	// Workload[u] is u's final routing workload: the number of its
 	// descendants in the trimmed tree (the paper's Phase-II metric;
-	// excludes u itself).
+	// excludes u itself). Zero for skipped posts.
 	Workload []int
 	// Deleted counts the fat-tree edges removed during trimming.
 	Deleted int
@@ -64,105 +65,194 @@ func Trim(dag *graph.DAG, nPosts int) (*TrimResult, error) {
 // paper's uniform model). TrimResult.Workload still reports descendant
 // counts.
 func TrimWeighted(dag *graph.DAG, nPosts int, rates []float64) (*TrimResult, error) {
-	if dag == nil {
-		return nil, errors.New("routing: nil DAG")
+	if nPosts >= 0 {
+		t := NewTrimmer(nPosts)
+		res := &TrimResult{}
+		if err := t.Trim(dag, rates, nil, res); err != nil {
+			return nil, err
+		}
+		return res, nil
 	}
-	if nPosts < 0 || nPosts >= len(dag.Parents)+1 || dag.Target != nPosts {
-		return nil, fmt.Errorf("routing: DAG target %d does not match post count %d", dag.Target, nPosts)
+	return nil, fmt.Errorf("routing: negative post count %d", nPosts)
+}
+
+// Trimmer runs Phase-II trims repeatedly without re-allocating: the
+// parent-list arena, reachability bitsets, workload heap and BFS buffers
+// all persist across calls. The iterative callers (RFH's per-round
+// re-trim, heal's per-repair re-trim) use one Trimmer for the life of a
+// problem instance; its steady state is allocation-free.
+//
+// A Trimmer additionally supports a skip mask for degraded networks:
+// skipped posts (dead or stranded survivors) are excluded from the trim
+// entirely — they need no fat-tree parent, accumulate no workload, and
+// get Parent = -1 in the result.
+type Trimmer struct {
+	n      int
+	par    [][]int
+	sorter distSorter
+	reach  []*bitset.Set
+	load   []float64
+	h      *graph.IndexedMinHeap
+	childCount []int
+	queue      []int
+}
+
+// distSorter sorts the active-post order by decreasing DAG distance,
+// ties broken by ascending index — a total order, so every sort
+// algorithm yields the same permutation. It is a named type (not a
+// sort.Slice closure) so sorting stays allocation-free.
+type distSorter struct {
+	order []int
+	dist  []float64
+}
+
+func (s *distSorter) Len() int      { return len(s.order) }
+func (s *distSorter) Swap(i, j int) { s.order[i], s.order[j] = s.order[j], s.order[i] }
+func (s *distSorter) Less(i, j int) bool {
+	da, db := s.dist[s.order[i]], s.dist[s.order[j]]
+	if da != db {
+		return da > db
+	}
+	return s.order[i] < s.order[j]
+}
+
+// NewTrimmer returns a Trimmer for fat trees over nPosts posts (base
+// station = vertex nPosts).
+func NewTrimmer(nPosts int) *Trimmer {
+	if nPosts < 0 {
+		nPosts = 0
+	}
+	t := &Trimmer{
+		n:          nPosts,
+		par:        make([][]int, nPosts),
+		reach:      make([]*bitset.Set, nPosts),
+		load:       make([]float64, nPosts),
+		h:          graph.NewIndexedMinHeap(nPosts),
+		childCount: make([]int, nPosts),
+		queue:      make([]int, 0, nPosts),
+	}
+	t.sorter.order = make([]int, 0, nPosts)
+	for u := range t.reach {
+		t.reach[u] = bitset.New(nPosts)
+	}
+	return t
+}
+
+// resizeInts returns buf resliced to length n, reallocating only when
+// capacity is insufficient.
+func resizeInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// Trim trims dag into dst, reusing dst's slices when they have capacity.
+// rates follows TrimWeighted; skip, when non-nil, marks posts to exclude
+// (see the type comment). Skipped posts must not appear in any active
+// post's DAG parent list.
+func (t *Trimmer) Trim(dag *graph.DAG, rates []float64, skip []bool, dst *TrimResult) error {
+	nPosts := t.n
+	if dag == nil {
+		return errors.New("routing: nil DAG")
+	}
+	if nPosts >= len(dag.Parents)+1 || dag.Target != nPosts {
+		return fmt.Errorf("routing: DAG target %d does not match post count %d", dag.Target, nPosts)
 	}
 	if rates != nil && len(rates) != nPosts {
-		return nil, fmt.Errorf("routing: %d rates for %d posts", len(rates), nPosts)
+		return fmt.Errorf("routing: %d rates for %d posts", len(rates), nPosts)
 	}
-	rate := func(i int) float64 {
-		if rates == nil {
-			return 1
-		}
-		return rates[i]
+	if skip != nil && len(skip) != nPosts {
+		return fmt.Errorf("routing: skip mask covers %d posts, want %d", len(skip), nPosts)
 	}
+	active := func(u int) bool { return skip == nil || !skip[u] }
 
-	// Mutable copy of each post's parent list.
-	par := make([][]int, nPosts)
+	// Mutable copy of each active post's parent list (arena slices are
+	// reused across calls via [:0]).
 	for u := 0; u < nPosts; u++ {
-		if len(dag.Parents[u]) == 0 {
-			return nil, fmt.Errorf("%w: post %d", ErrNotAFatTree, u)
+		t.par[u] = t.par[u][:0]
+		if !active(u) {
+			continue
 		}
-		par[u] = append([]int(nil), dag.Parents[u]...)
+		if len(dag.Parents[u]) == 0 {
+			return fmt.Errorf("%w: post %d", ErrNotAFatTree, u)
+		}
+		t.par[u] = append(t.par[u], dag.Parents[u]...)
 	}
 
 	// Topological order for the reachability DP: descendants have
 	// strictly larger distance-to-target (edge weights are positive), so
 	// processing posts by decreasing distance finalises every child
 	// before its parents.
-	order := make([]int, nPosts)
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool {
-		da, db := dag.Dist[order[a]], dag.Dist[order[b]]
-		if da != db {
-			return da > db
+	order := t.sorter.order[:0]
+	for u := 0; u < nPosts; u++ {
+		if active(u) {
+			order = append(order, u)
 		}
-		return order[a] < order[b]
-	})
+	}
+	t.sorter.order = order
+	t.sorter.dist = dag.Dist
+	sort.Sort(&t.sorter)
 
 	// reach[u] = set of posts that can reach u via current parent edges
 	// (u's descendants). load[u] = summed rate over reach[u] (== the
 	// descendant count for unit rates), the paper's routing workload.
-	reach := make([]*bitset.Set, nPosts)
-	for u := range reach {
-		reach[u] = bitset.New(nPosts)
-	}
-	load := make([]float64, nPosts)
 	recompute := func() {
 		for _, u := range order {
-			reach[u].Reset()
+			t.reach[u].Reset()
 		}
 		// Children-first order: push each u into all of its parents.
 		for _, u := range order {
-			for _, q := range par[u] {
+			for _, q := range t.par[u] {
 				if q == nPosts {
 					continue // base station accumulates no workload
 				}
-				reach[q].Set(u)
-				reach[q].UnionWith(reach[u])
+				t.reach[q].Set(u)
+				t.reach[q].UnionWith(t.reach[u])
 			}
 		}
-		for u := 0; u < nPosts; u++ {
+		for _, u := range order {
+			if rates == nil {
+				t.load[u] = float64(t.reach[u].Count())
+				continue
+			}
 			sum := 0.0
-			reach[u].ForEach(func(d int) { sum += rate(d) })
-			load[u] = sum
+			t.reach[u].ForEach(func(d int) { sum += rates[d] })
+			t.load[u] = sum
 		}
 	}
 	recompute()
 
 	// Max-heap by workload via negated priorities; ties pop the lowest
 	// post index (IndexedMinHeap's deterministic tie-break).
-	h := graph.NewIndexedMinHeap(nPosts)
-	for u := 0; u < nPosts; u++ {
-		h.Push(u, -load[u])
+	h := t.h
+	h.Reset()
+	for _, u := range order {
+		h.Push(u, -t.load[u])
 	}
 
-	res := &TrimResult{Parent: make([]int, nPosts)}
+	dst.Deleted = 0
+	dst.Parent = resizeInts(dst.Parent, nPosts)
 	for h.Len() > 0 {
 		p, _ := h.Pop()
 		changed := false
-		reach[p].ForEach(func(d int) {
-			kept := par[d][:0]
-			for _, q := range par[d] {
-				if q == p || (q != nPosts && reach[p].Test(q)) {
+		t.reach[p].ForEach(func(d int) {
+			kept := t.par[d][:0]
+			for _, q := range t.par[d] {
+				if q == p || (q != nPosts && t.reach[p].Test(q)) {
 					kept = append(kept, q)
 				} else {
-					res.Deleted++
+					dst.Deleted++
 					changed = true
 				}
 			}
-			par[d] = kept
+			t.par[d] = kept
 		})
 		if changed {
 			recompute()
-			for u := 0; u < nPosts; u++ {
+			for _, u := range order {
 				if h.Contains(u) {
-					h.Push(u, -load[u])
+					h.Push(u, -t.load[u])
 				}
 			}
 		}
@@ -170,27 +260,32 @@ func TrimWeighted(dag *graph.DAG, nPosts int, rates []float64) (*TrimResult, err
 
 	// Resolve any residual multi-parent posts deterministically.
 	for u := 0; u < nPosts; u++ {
-		if len(par[u]) == 0 {
+		if !active(u) {
+			dst.Parent[u] = -1
+			continue
+		}
+		if len(t.par[u]) == 0 {
 			// Cannot happen: every descendant keeps at least the first
 			// hop of one surviving path (see package doc); defensive.
-			return nil, fmt.Errorf("%w: post %d lost all parents during trim", ErrNotAFatTree, u)
+			return fmt.Errorf("%w: post %d lost all parents during trim", ErrNotAFatTree, u)
 		}
 		// Highest-workload parent wins; the base station counts as -Inf
 		// so a tied post parent is preferred (keeps workload
 		// concentrated). Parent lists are in ascending vertex order, so
 		// ties resolve to the lowest index deterministically.
-		best := par[u][0]
-		for _, q := range par[u][1:] {
-			if wl(q, load, nPosts) > wl(best, load, nPosts) {
+		best := t.par[u][0]
+		for _, q := range t.par[u][1:] {
+			if wl(q, t.load, nPosts) > wl(best, t.load, nPosts) {
 				best = q
 			}
 		}
-		res.Parent[u] = best
+		dst.Parent[u] = best
 	}
 
 	// Final workloads (descendant counts) on the resolved tree.
-	res.Workload = treeWorkloads(res.Parent, nPosts)
-	return res, nil
+	dst.Workload = resizeInts(dst.Workload, nPosts)
+	t.treeWorkloadsInto(dst.Parent, skip, dst.Workload)
+	return nil
 }
 
 // wl returns the routing load of vertex q, treating the base station as
@@ -200,6 +295,45 @@ func wl(q int, load []float64, nPosts int) float64 {
 		return math.Inf(-1)
 	}
 	return load[q]
+}
+
+// treeWorkloadsInto computes each active post's descendant count in the
+// tree given by the parent vector (base station = nPosts; skipped posts
+// contribute nothing and keep workload 0), using the Trimmer's buffers.
+func (t *Trimmer) treeWorkloadsInto(parent []int, skip []bool, w []int) {
+	nPosts := t.n
+	for u := 0; u < nPosts; u++ {
+		w[u] = 0
+		t.childCount[u] = 0
+	}
+	for u := 0; u < nPosts; u++ {
+		if skip != nil && skip[u] {
+			continue
+		}
+		if p := parent[u]; p >= 0 && p < nPosts {
+			t.childCount[p]++
+		}
+	}
+	queue := t.queue[:0]
+	for u := 0; u < nPosts; u++ {
+		if skip != nil && skip[u] {
+			continue
+		}
+		if t.childCount[u] == 0 {
+			queue = append(queue, u)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		if p := parent[v]; p >= 0 && p < nPosts {
+			w[p] += w[v] + 1
+			t.childCount[p]--
+			if t.childCount[p] == 0 {
+				queue = append(queue, p)
+			}
+		}
+	}
+	t.queue = queue
 }
 
 // treeWorkloads returns each post's descendant count in the tree given by

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"context"
+	"testing"
+)
+
+func benchConfig(b *testing.B, kind StepperKind, charger bool) Config {
+	b.Helper()
+	p, sol := testNetwork(b, 21, 250, 15, 60)
+	cfg := Config{Problem: p, Solution: sol, Seed: 1, Stepper: kind}
+	if charger {
+		cfg.Charger = &ChargerConfig{PowerPerRound: 1e9, SpeedPerRound: 1e6}
+	}
+	return cfg
+}
+
+// BenchmarkSimRound prices one round of the per-round reference stepper
+// on a healthy charged network — the cost the event core's fast-forward
+// path amortises away.
+func BenchmarkSimRound(b *testing.B) {
+	s, err := New(benchConfig(b, StepperExact, true))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		s.step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.step()
+	}
+}
+
+// BenchmarkSimFastForward prices 1000 rounds of the event core in steady
+// state (healthy network, charger servicing it). CI gates this benchmark
+// at 0 allocs/op: the span machinery must run entirely on persistent
+// buffers.
+func BenchmarkSimFastForward(b *testing.B) {
+	s, err := New(benchConfig(b, StepperEvent, true))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := s.runEvent(ctx, 2000); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.runEvent(ctx, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimLifetime prices a full uncharged lifetime run — network
+// drains to depletion — under both cores. The event core crosses the
+// same rounds in a handful of spans.
+func BenchmarkSimLifetime(b *testing.B) {
+	for _, kind := range []StepperKind{StepperExact, StepperEvent} {
+		b.Run(string(kind), func(b *testing.B) {
+			cfg := benchConfig(b, kind, false)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Run(2 * DefaultBatteryRounds); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

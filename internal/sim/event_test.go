@@ -1,0 +1,433 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The event-driven core's contract (event.go): for every configuration
+// without per-round randomness in the reporting path — fault-free or
+// scheduled-fault runs — it must be bit-identical to the per-round
+// reference stepper in every metric, every battery, every charger and
+// every trace row. Stochastic configurations sample next-event times
+// instead of per-round Bernoulli draws, so they match in distribution,
+// not realisation. These tests enforce both halves.
+
+// cloneConfig deep-copies the pointer-valued sub-configs so two runs of
+// the same scenario never share mutable state.
+func cloneConfig(cfg Config) Config {
+	out := cfg
+	if cfg.Charger != nil {
+		c := *cfg.Charger
+		out.Charger = &c
+	}
+	if cfg.Faults != nil {
+		f := *cfg.Faults
+		out.Faults = &f
+	}
+	if cfg.Repair != nil {
+		r := *cfg.Repair
+		out.Repair = &r
+	}
+	return out
+}
+
+// runCore runs one configuration under the given stepper with a CSV
+// tracer (sampling every `every` rounds) and an availability tracer
+// attached, and returns the simulator, metrics and trace output.
+func runCore(t *testing.T, cfg Config, kind StepperKind, rounds, every int) (*Simulator, *Metrics, []byte, *AvailabilityTracer) {
+	t.Helper()
+	c := cloneConfig(cfg)
+	c.Stepper = kind
+	s, err := New(c)
+	if err != nil {
+		t.Fatalf("New(%q): %v", kind, err)
+	}
+	var csv bytes.Buffer
+	csvTr := NewCSVTracer(&csv, every)
+	avail := &AvailabilityTracer{}
+	s.SetTracer(TracerFunc(func(round int, s *Simulator) {
+		csvTr.Observe(round, s)
+		avail.Observe(round, s)
+	}))
+	m, err := s.Run(rounds)
+	if err != nil {
+		t.Fatalf("Run(%q): %v", kind, err)
+	}
+	if err := csvTr.Flush(); err != nil {
+		t.Fatalf("Flush(%q): %v", kind, err)
+	}
+	return s, m, csv.Bytes(), avail
+}
+
+// assertIdentical compares every observable of an exact and an event run
+// bit-for-bit.
+func assertIdentical(t *testing.T, name string, exact, event *Simulator, me, mv *Metrics, csvE, csvV []byte, availE, availV *AvailabilityTracer) {
+	t.Helper()
+	if *me != *mv {
+		t.Errorf("%s: metrics diverge:\nexact: %+v\nevent: %+v", name, *me, *mv)
+	}
+	for i := range exact.posts {
+		ne, nv := exact.posts[i].Nodes, event.posts[i].Nodes
+		for j := range ne {
+			if ne[j].Alive != nv[j].Alive || ne[j].DownUntil != nv[j].DownUntil ||
+				math.Float64bits(ne[j].Energy) != math.Float64bits(nv[j].Energy) {
+				t.Fatalf("%s: post %d node %d diverges: exact %+v event %+v", name, i, j, ne[j], nv[j])
+			}
+		}
+	}
+	for i := range exact.tree.Parent {
+		if exact.tree.Parent[i] != event.tree.Parent[i] {
+			t.Errorf("%s: tree parent[%d]: exact %d event %d", name, i, exact.tree.Parent[i], event.tree.Parent[i])
+		}
+	}
+	for i := range exact.chargers {
+		ce, cv := exact.chargers[i], event.chargers[i]
+		if ce.pos != cv.pos || ce.target != cv.target || ce.downUntil != cv.downUntil {
+			t.Errorf("%s: charger %d diverges: exact pos=%v target=%d down=%d, event pos=%v target=%d down=%d",
+				name, i, ce.pos, ce.target, ce.downUntil, cv.pos, cv.target, cv.downUntil)
+		}
+	}
+	if !bytes.Equal(csvE, csvV) {
+		t.Errorf("%s: CSV traces differ (%d vs %d bytes)", name, len(csvE), len(csvV))
+		reportFirstCSVDiff(t, csvE, csvV)
+	}
+	if len(availE.Rounds) != len(availV.Rounds) {
+		t.Fatalf("%s: availability series length: exact %d event %d", name, len(availE.Rounds), len(availV.Rounds))
+	}
+	for i := range availE.Rounds {
+		if availE.Rounds[i] != availV.Rounds[i] ||
+			math.Float64bits(availE.Series[i]) != math.Float64bits(availV.Series[i]) {
+			t.Fatalf("%s: availability sample %d: exact (%d, %v) event (%d, %v)",
+				name, i, availE.Rounds[i], availE.Series[i], availV.Rounds[i], availV.Series[i])
+		}
+	}
+}
+
+func reportFirstCSVDiff(t *testing.T, a, b []byte) {
+	t.Helper()
+	la, lb := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+	n := len(la)
+	if len(lb) < n {
+		n = len(lb)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(la[i], lb[i]) {
+			t.Errorf("first differing row %d:\nexact: %s\nevent: %s", i, la[i], lb[i])
+			return
+		}
+	}
+}
+
+// diffRun asserts bit-identity between the cores on one scenario, with
+// the CSV tracer both at every round and at a coarser stride (stride
+// sampling must not change what the event core replays).
+func diffRun(t *testing.T, name string, cfg Config, rounds int) {
+	t.Helper()
+	for _, every := range []int{1, 7} {
+		exact, me, csvE, availE := runCore(t, cfg, StepperExact, rounds, every)
+		event, mv, csvV, availV := runCore(t, cfg, StepperEvent, rounds, every)
+		assertIdentical(t, fmt.Sprintf("%s/every=%d", name, every), exact, event, me, mv, csvE, csvV, availE, availV)
+	}
+}
+
+func TestEventCoreBitIdenticalHealthy(t *testing.T) {
+	p, sol := testNetwork(t, 11, 250, 15, 60)
+	diffRun(t, "urgency", Config{
+		Problem:  p,
+		Solution: sol,
+		Charger:  &ChargerConfig{PowerPerRound: 5e5, SpeedPerRound: 15, Policy: PolicyUrgency},
+		Seed:     1,
+	}, 4000)
+	diffRun(t, "round-robin", Config{
+		Problem:  p,
+		Solution: sol,
+		Charger:  &ChargerConfig{PowerPerRound: 5e5, SpeedPerRound: 15, Policy: PolicyRoundRobin},
+		Seed:     1,
+	}, 3000)
+	diffRun(t, "tour-fleet", Config{
+		Problem:  p,
+		Solution: sol,
+		Charger:  &ChargerConfig{PowerPerRound: 5e5, SpeedPerRound: 15, Policy: PolicyTour},
+		Chargers: 3,
+		Seed:     1,
+	}, 3000)
+}
+
+func TestEventCoreBitIdenticalDepletion(t *testing.T) {
+	// No charger: the network drains, posts starve one by one, and the
+	// run crosses full depletion — every starvation onset must land on
+	// the same round in both cores.
+	p, sol := testNetwork(t, 12, 250, 12, 48)
+	diffRun(t, "depletion", Config{
+		Problem:  p,
+		Solution: sol,
+		Seed:     3,
+	}, 2*DefaultBatteryRounds)
+}
+
+func TestEventCoreBitIdenticalScheduledFaults(t *testing.T) {
+	p, sol := testNetwork(t, 13, 250, 15, 60)
+	base := Config{
+		Problem:  p,
+		Solution: sol,
+		Charger:  &ChargerConfig{PowerPerRound: 5e5, SpeedPerRound: 15, Policy: PolicyUrgency},
+		Seed:     7,
+	}
+
+	killPost := base
+	killPost.Faults = &FaultConfig{Schedule: FaultSchedule{
+		{Round: 300, Kind: FaultKillNode, Post: 2},
+		{Round: 500, Kind: FaultKillPost, Post: 4},
+		{Round: 500, Kind: FaultKillPost, Post: 9},
+		{Round: 1400, Kind: FaultKillPost, Post: 1},
+	}}
+	killPost.Repair = &RepairConfig{LatencyRounds: 10}
+	diffRun(t, "kill-post+repair", killPost, 2500)
+
+	transient := base
+	transient.Faults = &FaultConfig{Schedule: FaultSchedule{
+		{Round: 200, Kind: FaultTransientNode, Post: 3, Duration: 80},
+		{Round: 210, Kind: FaultTransientNode, Post: 3, Duration: 40},
+		{Round: 600, Kind: FaultTransientNode, Post: 7, Duration: 250},
+	}}
+	diffRun(t, "transient", transient, 1500)
+
+	breakdown := base
+	breakdown.Chargers = 2
+	breakdown.Charger = &ChargerConfig{PowerPerRound: 5e5, SpeedPerRound: 15, Policy: PolicyUrgency}
+	breakdown.Faults = &FaultConfig{Schedule: FaultSchedule{
+		{Round: 100, Kind: FaultChargerDown, Charger: 0, Duration: 400},
+		{Round: 350, Kind: FaultChargerDown, Charger: 1, Duration: 100},
+	}}
+	diffRun(t, "charger-down", breakdown, 1500)
+
+	mixed := base
+	mixed.Repair = &RepairConfig{LatencyRounds: 5}
+	mixed.Faults = &FaultConfig{Schedule: FaultSchedule{
+		{Round: 150, Kind: FaultTransientNode, Post: 1, Duration: 60},
+		{Round: 300, Kind: FaultKillPost, Post: 6},
+		{Round: 320, Kind: FaultChargerDown, Charger: 0, Duration: 200},
+		{Round: 800, Kind: FaultKillNode, Post: 2},
+		{Round: 800, Kind: FaultTransientNode, Post: 2, Duration: 100},
+	}}
+	diffRun(t, "mixed", mixed, 2000)
+}
+
+// TestEventCoreBitIdenticalProperty fuzzes scenario shapes: random
+// topologies, charger policies, fleets and scheduled fault mixes, each
+// checked for bit-identity.
+func TestEventCoreBitIdenticalProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test")
+	}
+	policies := []ChargerPolicy{PolicyUrgency, PolicyRoundRobin, PolicyTour}
+	for trial := 0; trial < 6; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		nPosts := 8 + rng.Intn(7)
+		p, sol := testNetwork(t, int64(40+trial), 150+rng.Float64()*100, nPosts, 4*nPosts)
+		cfg := Config{
+			Problem:  p,
+			Solution: sol,
+			Seed:     int64(trial),
+		}
+		if rng.Intn(4) > 0 {
+			cfg.Charger = &ChargerConfig{
+				PowerPerRound: 2e5 + rng.Float64()*8e5,
+				SpeedPerRound: 5 + rng.Float64()*25,
+				Policy:        policies[rng.Intn(len(policies))],
+			}
+			cfg.Chargers = 1 + rng.Intn(3)
+		}
+		var sched FaultSchedule
+		for k := 0; k < rng.Intn(6); k++ {
+			round := 1 + rng.Intn(1200)
+			switch rng.Intn(4) {
+			case 0:
+				sched = append(sched, FaultEvent{Round: round, Kind: FaultKillNode, Post: rng.Intn(nPosts)})
+			case 1:
+				sched = append(sched, FaultEvent{Round: round, Kind: FaultKillPost, Post: rng.Intn(nPosts)})
+			case 2:
+				sched = append(sched, FaultEvent{Round: round, Kind: FaultTransientNode, Post: rng.Intn(nPosts), Duration: 1 + rng.Intn(300)})
+			case 3:
+				if cfg.Charger != nil {
+					sched = append(sched, FaultEvent{Round: round, Kind: FaultChargerDown, Charger: rng.Intn(cfg.Chargers), Duration: 1 + rng.Intn(300)})
+				}
+			}
+		}
+		if len(sched) > 0 {
+			cfg.Faults = &FaultConfig{Schedule: sched}
+			if rng.Intn(2) == 0 {
+				cfg.Repair = &RepairConfig{LatencyRounds: rng.Intn(20)}
+			}
+		}
+		diffRun(t, fmt.Sprintf("property-%d", trial), cfg, 800+rng.Intn(800))
+	}
+}
+
+// TestEventCoreStochasticDistribution checks that next-event sampling
+// reproduces the per-round Bernoulli processes in distribution: mean
+// fault counts and delivery across seeds agree between the cores.
+func TestEventCoreStochasticDistribution(t *testing.T) {
+	p, sol := testNetwork(t, 14, 250, 15, 60)
+	// Rates are set high enough that every process fires often (totals in
+	// the hundreds across seeds), so the relative tolerances below sit at
+	// 3+ standard deviations of the Binomial sampling noise.
+	const (
+		seeds  = 150
+		rounds = 1500
+	)
+	cfg := Config{
+		Problem:  p,
+		Solution: sol,
+		Charger:  &ChargerConfig{PowerPerRound: 5e5, SpeedPerRound: 15, Policy: PolicyUrgency},
+		Chargers: 2,
+		Faults: &FaultConfig{
+			NodeFailurePerRound:    2e-4,
+			TransientPerRound:      5e-4,
+			TransientMeanRounds:    40,
+			PostOutagePerRound:     1e-3,
+			OutageRadius:           30,
+			ChargerFailurePerRound: 1e-3,
+			ChargerRepairRounds:    50,
+		},
+		Repair: &RepairConfig{LatencyRounds: 10},
+	}
+	var sums [2]struct {
+		failures, transients, outages, breakdowns, delivery float64
+	}
+	for ki, kind := range []StepperKind{StepperExact, StepperEvent} {
+		for seed := int64(0); seed < seeds; seed++ {
+			c := cloneConfig(cfg)
+			c.Stepper = kind
+			c.Seed = seed
+			s, err := New(c)
+			if err != nil {
+				t.Fatalf("New(%q, seed %d): %v", kind, seed, err)
+			}
+			m, err := s.Run(rounds)
+			if err != nil {
+				t.Fatalf("Run(%q, seed %d): %v", kind, seed, err)
+			}
+			sums[ki].failures += float64(m.NodeFailures)
+			sums[ki].transients += float64(m.TransientFaults)
+			sums[ki].outages += float64(m.CorrelatedOutages)
+			sums[ki].breakdowns += float64(m.ChargerBreakdowns)
+			sums[ki].delivery += m.DeliveryRatio()
+		}
+	}
+	relClose := func(name string, a, b, tol float64) {
+		t.Helper()
+		mean := (a + b) / 2
+		if mean == 0 {
+			t.Fatalf("%s: both cores produced zero events — test has no power", name)
+		}
+		if math.Abs(a-b) > tol*mean {
+			t.Errorf("%s diverges beyond %.0f%%: exact mean %.2f, event mean %.2f",
+				name, 100*tol, a/seeds, b/seeds)
+		}
+	}
+	relClose("node failures", sums[0].failures, sums[1].failures, 0.15)
+	relClose("transient faults", sums[0].transients, sums[1].transients, 0.15)
+	relClose("correlated outages", sums[0].outages, sums[1].outages, 0.25)
+	relClose("charger breakdowns", sums[0].breakdowns, sums[1].breakdowns, 0.25)
+	if d := math.Abs(sums[0].delivery-sums[1].delivery) / seeds; d > 0.04 {
+		t.Errorf("mean delivery diverges by %.4f: exact %.4f, event %.4f",
+			d, sums[0].delivery/seeds, sums[1].delivery/seeds)
+	}
+}
+
+// TestEventCoreCertainFaultsFire pins the geometric inversion's p=1 edge
+// case: a certain per-round hazard must fire on round 1, exactly like
+// the per-round draw.
+func TestEventCoreCertainFaultsFire(t *testing.T) {
+	p, sol := testNetwork(t, 15, 200, 8, 32)
+	for _, kind := range []StepperKind{StepperExact, StepperEvent} {
+		s, err := New(Config{
+			Problem:  p,
+			Solution: sol,
+			Faults:   &FaultConfig{NodeFailurePerRound: 1},
+			Seed:     1,
+			Stepper:  kind,
+		})
+		if err != nil {
+			t.Fatalf("New(%q): %v", kind, err)
+		}
+		m, err := s.Run(3)
+		if err != nil {
+			t.Fatalf("Run(%q): %v", kind, err)
+		}
+		if m.NodeFailures != int64(p.Nodes) {
+			t.Errorf("%q: %d of %d nodes failed under p=1", kind, m.NodeFailures, p.Nodes)
+		}
+	}
+}
+
+func TestEventCoreDeterministicPerSeed(t *testing.T) {
+	p, sol := testNetwork(t, 16, 250, 10, 40)
+	cfg := Config{
+		Problem:  p,
+		Solution: sol,
+		Charger:  &ChargerConfig{PowerPerRound: 5e5, SpeedPerRound: 15},
+		Faults: &FaultConfig{
+			NodeFailurePerRound: 1e-4,
+			TransientPerRound:   5e-4,
+		},
+		Seed:    42,
+		Stepper: StepperEvent,
+	}
+	run := func() Metrics {
+		s, err := New(cloneConfig(cfg))
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		m, err := s.Run(2000)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return *m
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed, different event-core runs:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestStepperSelection(t *testing.T) {
+	p, sol := testNetwork(t, 17, 200, 8, 32)
+	base := Config{Problem: p, Solution: sol, MaxRetries: 4}
+
+	lossy := base
+	lossy.LinkLossProb = 0.1
+	lossy.Stepper = StepperEvent
+	if _, err := New(lossy); err == nil {
+		t.Error("StepperEvent accepted a lossy-link configuration")
+	}
+
+	lossy.Stepper = StepperAuto
+	s, err := New(lossy)
+	if err != nil {
+		t.Fatalf("StepperAuto rejected a lossy config: %v", err)
+	}
+	if s.eventMode {
+		t.Error("StepperAuto picked the event core for a lossy config")
+	}
+
+	clean := base
+	s, err = New(clean)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if !s.eventMode {
+		t.Error("StepperAuto did not pick the event core for an eligible config")
+	}
+
+	bogus := base
+	bogus.Stepper = StepperKind("per-round")
+	if _, err := New(bogus); err == nil {
+		t.Error("unknown stepper kind accepted")
+	}
+}

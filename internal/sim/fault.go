@@ -157,11 +157,189 @@ func (fc *FaultConfig) active() bool {
 }
 
 // faultEngine drives fault injection for one run: a cursor over the
-// sorted schedule plus the stochastic knobs.
+// sorted schedule plus the stochastic knobs. Under the event core
+// (sampled == true) the per-round Bernoulli draws are replaced by
+// sampled next-event times in a pending min-heap, so fault-free spans
+// carry no per-round cost and the event horizon can peek at the next
+// onset. The sampled realisation is distribution-identical to the
+// per-round draws (geometric inversion) and deterministic per seed, but
+// consumes the RNG stream differently, so it matches the exact core
+// statistically rather than draw-for-draw.
 type faultEngine struct {
 	cfg    FaultConfig
 	sorted FaultSchedule // schedule sorted by round (stable)
 	cursor int
+
+	sampled bool
+	pending []pendingFault // min-heap ordered by pendingFault.before
+}
+
+// Same-round sampled events must fire in the per-round stepper's sweep
+// order — permanents, then transients, then the outage, then chargers,
+// each in ascending (post, node) order — so the heap orders by
+// (round, rank, post, node).
+const (
+	rankPermanent = iota
+	rankTransient
+	rankOutage
+	rankCharger
+)
+
+// pendingFault is one scheduled stochastic onset. post doubles as the
+// charger index for rankCharger events and is -1 for the outage event.
+type pendingFault struct {
+	round int
+	rank  int8
+	post  int
+	node  int
+}
+
+func (a pendingFault) before(b pendingFault) bool {
+	if a.round != b.round {
+		return a.round < b.round
+	}
+	if a.rank != b.rank {
+		return a.rank < b.rank
+	}
+	if a.post != b.post {
+		return a.post < b.post
+	}
+	return a.node < b.node
+}
+
+func (e *faultEngine) push(f pendingFault) {
+	e.pending = append(e.pending, f)
+	i := len(e.pending) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.pending[i].before(e.pending[parent]) {
+			break
+		}
+		e.pending[i], e.pending[parent] = e.pending[parent], e.pending[i]
+		i = parent
+	}
+}
+
+func (e *faultEngine) pop() pendingFault {
+	top := e.pending[0]
+	last := len(e.pending) - 1
+	e.pending[0] = e.pending[last]
+	e.pending = e.pending[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(e.pending) && e.pending[l].before(e.pending[min]) {
+			min = l
+		}
+		if r < len(e.pending) && e.pending[r].before(e.pending[min]) {
+			min = r
+		}
+		if min == i {
+			return top
+		}
+		e.pending[i], e.pending[min] = e.pending[min], e.pending[i]
+		i = min
+	}
+}
+
+// geo samples the number of Bernoulli(p) rounds up to and including the
+// first success, by inverting the geometric CDF with one uniform draw.
+func (e *faultEngine) geo(s *Simulator, p float64) int {
+	if p >= 1 {
+		return 1
+	}
+	g := math.Log(1-s.rng.Float64()) / math.Log(1-p)
+	if g > 1e15 { // log(1-u) hit -Inf, or p is denormal-tiny
+		return 1 << 50
+	}
+	return 1 + int(g)
+}
+
+// initSampled switches the engine to next-event sampling and seeds the
+// heap with every hazard's first onset. The draw order is fixed —
+// permanents in (post, node) order, then transients, the outage
+// process, then chargers — so a given seed always yields the same
+// realisation.
+func (e *faultEngine) initSampled(s *Simulator) {
+	e.sampled = true
+	if p := e.cfg.NodeFailurePerRound; p > 0 {
+		for i := range s.posts {
+			for j := range s.posts[i].Nodes {
+				e.push(pendingFault{e.geo(s, p), rankPermanent, i, j})
+			}
+		}
+	}
+	if p := e.cfg.TransientPerRound; p > 0 {
+		for i := range s.posts {
+			for j := range s.posts[i].Nodes {
+				e.push(pendingFault{e.geo(s, p), rankTransient, i, j})
+			}
+		}
+	}
+	if p := e.cfg.PostOutagePerRound; p > 0 {
+		e.push(pendingFault{e.geo(s, p), rankOutage, -1, -1})
+	}
+	if p := e.cfg.ChargerFailurePerRound; p > 0 {
+		for idx := range s.chargers {
+			e.push(pendingFault{e.geo(s, p), rankCharger, idx, -1})
+		}
+	}
+}
+
+// nextEventRound returns the earliest round at which the engine will
+// fire anything — scheduled or sampled — or 0 when nothing remains.
+func (e *faultEngine) nextEventRound() int {
+	next := 0
+	if e.cursor < len(e.sorted) {
+		next = e.sorted[e.cursor].Round
+	}
+	if len(e.pending) > 0 && (next == 0 || e.pending[0].round < next) {
+		next = e.pending[0].round
+	}
+	return next
+}
+
+// stepSampled fires every sampled onset due at `round` and reschedules
+// the recurring hazards. The per-round sweeps' suppression rules are
+// reproduced exactly: permanents never re-fire on dead nodes (the stale
+// event is discarded), transients are suppressed while the node is
+// already down and resume drawing after DownUntil, and chargers resume
+// drawing after their repair completes.
+func (e *faultEngine) stepSampled(s *Simulator, round int) {
+	for len(e.pending) > 0 && e.pending[0].round <= round {
+		ev := e.pop()
+		switch ev.rank {
+		case rankPermanent:
+			s.killNode(ev.post, ev.node) // no-op if already dead
+		case rankTransient:
+			nd := &s.posts[ev.post].Nodes[ev.node]
+			if !nd.Alive {
+				break // permanent death ends the process
+			}
+			if nd.DownUntil < round {
+				e.takeDown(s, ev.post, ev.node, round, e.drawOutage(s))
+			}
+			next := round
+			if nd.DownUntil > next {
+				next = nd.DownUntil
+			}
+			e.push(pendingFault{next + e.geo(s, e.cfg.TransientPerRound), rankTransient, ev.post, ev.node})
+		case rankOutage:
+			e.strike(s, s.rng.Intn(s.p.N()))
+			e.push(pendingFault{round + e.geo(s, e.cfg.PostOutagePerRound), rankOutage, -1, -1})
+		case rankCharger:
+			ch := s.chargers[ev.post]
+			if ch.downUntil < round {
+				e.breakCharger(s, ev.post, round, e.cfg.ChargerRepairRounds)
+			}
+			next := round
+			if ch.downUntil > next {
+				next = ch.downUntil
+			}
+			e.push(pendingFault{next + e.geo(s, e.cfg.ChargerFailurePerRound), rankCharger, ev.post, -1})
+		}
+	}
 }
 
 func newFaultEngine(cfg FaultConfig) *faultEngine {
@@ -183,6 +361,10 @@ func (e *faultEngine) step(s *Simulator, round int) {
 	for e.cursor < len(e.sorted) && e.sorted[e.cursor].Round <= round {
 		e.apply(s, round, e.sorted[e.cursor])
 		e.cursor++
+	}
+	if e.sampled {
+		e.stepSampled(s, round)
+		return
 	}
 	if p := e.cfg.NodeFailurePerRound; p > 0 {
 		for i := range s.posts {
@@ -255,6 +437,7 @@ func (e *faultEngine) drawOutage(s *Simulator) int {
 // after the current one.
 func (e *faultEngine) takeDown(s *Simulator, post, node, round, rounds int) {
 	s.posts[post].Nodes[node].DownUntil = round + rounds
+	s.everDown = true // the event horizon must watch for the recovery
 	s.metrics.TransientFaults++
 }
 

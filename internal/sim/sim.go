@@ -98,6 +98,13 @@ type Config struct {
 	// Seed drives all randomness (failures). Runs are deterministic for
 	// a fixed seed.
 	Seed int64
+	// Stepper selects the simulation core: StepperAuto (default) runs the
+	// event-driven core whenever the configuration is eligible,
+	// StepperEvent demands it (New errors when ineligible), StepperExact
+	// forces the per-round reference stepper. The two cores are
+	// bit-identical for every configuration without per-round randomness
+	// in the reporting path (see event.go).
+	Stepper StepperKind
 }
 
 // RepairConfig tunes the online tree-repair policy.
@@ -332,6 +339,23 @@ type Simulator struct {
 	repairApplyAfter int // last round the old tree stays in effect
 
 	lastRoundDelivered int64 // reports delivered in the most recent round
+
+	// Reusable per-round scratch (persistent so the steady state of both
+	// cores allocates nothing).
+	arrived []int64 // reports awaiting forwarding at each post this round
+
+	// Event-driven core state (event.go).
+	eventMode bool      // run the event-horizon core instead of per-round stepping
+	span      spanState // per-span flow snapshot and per-round deltas
+	everDown  bool      // some node has been transiently down at least once
+
+	// Online repair machinery, built lazily on the first repair and kept
+	// for the run: the healer reuses its graph, router and trim state
+	// across repairs instead of rebuilding them per event.
+	healer    *heal.Healer
+	healerErr error      // sticky construction failure (repairs degrade to no-ops)
+	repairDst model.Tree // destination buffer Repair writes into (swapped with tree)
+	aliveBuf  []int      // per-post alive counts scratch
 }
 
 // SetTracer installs a per-round observer (nil disables tracing).
@@ -421,7 +445,20 @@ func New(cfg Config) (*Simulator, error) {
 		p:        p,
 		tree:     cfg.Solution.Tree.Clone(),
 		deadPost: make([]bool, n),
+		arrived:  make([]int64, n),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+	switch cfg.Stepper {
+	case StepperAuto:
+		s.eventMode = cfg.LinkLossProb == 0
+	case StepperEvent:
+		if cfg.LinkLossProb != 0 {
+			return nil, errors.New("sim: the event-driven core cannot simulate lossy links (per-report randomness); use StepperExact or StepperAuto")
+		}
+		s.eventMode = true
+	case StepperExact:
+	default:
+		return nil, fmt.Errorf("sim: unknown stepper kind %q", cfg.Stepper)
 	}
 	s.metrics.FirstLossRound = -1
 	s.metrics.FirstPartitionRound = -1
@@ -469,6 +506,14 @@ func New(cfg Config) (*Simulator, error) {
 			}
 			s.chargers = append(s.chargers, ch)
 		}
+	}
+	if s.eventMode {
+		if s.faults != nil {
+			// The event core replaces per-round Bernoulli draws with
+			// sampled next-event times (geometric/exponential inversion).
+			s.faults.initSampled(s)
+		}
+		s.span.init(n)
 	}
 	return s, nil
 }
@@ -552,20 +597,27 @@ func (s *Simulator) Run(rounds int) (*Metrics, error) {
 }
 
 // RunCtx is Run with cancellation: the context is checked every 64
-// rounds, so a cancelled simulation returns ctx.Err() promptly while
+// rounds (per-round core) or at every event-horizon boundary (event
+// core), so a cancelled simulation returns ctx.Err() promptly while
 // keeping the check invisible in per-round cost. The simulator state
 // stays consistent (whole rounds only), so the run can be resumed.
 func (s *Simulator) RunCtx(ctx context.Context, rounds int) (*Metrics, error) {
 	if rounds < 0 {
 		return nil, fmt.Errorf("sim: negative round count %d", rounds)
 	}
-	for r := 0; r < rounds; r++ {
-		if r%64 == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
+	if s.eventMode {
+		if err := s.runEvent(ctx, rounds); err != nil {
+			return nil, err
 		}
-		s.step()
+	} else {
+		for r := 0; r < rounds; r++ {
+			if r%64 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			s.step()
+		}
 	}
 	s.metrics.postCount = s.p.N()
 	out := s.metrics
@@ -609,7 +661,16 @@ func (s *Simulator) step() {
 
 	// arrived[i]: number of reports post i must forward this round that
 	// actually arrived (its own + surviving children traffic).
-	arrived := make([]int64, n)
+	arrived := s.arrived
+	for i := range arrived {
+		arrived[i] = 0
+	}
+	// Network energy accumulates into a per-round sum added once at the
+	// end of the pass. Keeping the accumulation order identical between
+	// rounds lets the event core replay a homogeneous span bit-exactly
+	// (the sum is the same float every round, so `+= roundNE` repeated is
+	// the stepper's own arithmetic).
+	roundNE := 0.0
 	for _, i := range s.order {
 		carry := arrived[i] + 1 // children's surviving reports + own
 		// Lossy links: every report needs a geometric number of
@@ -642,7 +703,7 @@ func (s *Simulator) step() {
 		}
 		node := &s.posts[i].Nodes[idx]
 		node.Energy -= need
-		s.metrics.NetworkEnergy += need
+		roundNE += need
 		if dropped := carry - forwarded; dropped > 0 {
 			s.metrics.ReportsLost += dropped
 			if s.metrics.FirstLossRound < 0 {
@@ -656,6 +717,7 @@ func (s *Simulator) step() {
 			s.metrics.BitsDelivered += forwarded * int64(s.cfg.PacketBits)
 		}
 	}
+	s.metrics.NetworkEnergy += roundNE
 	s.lastRoundDelivered = s.metrics.ReportsDelivered - deliveredBefore
 
 	// Fault injection, death detection and repair scheduling.
@@ -721,22 +783,33 @@ func (s *Simulator) detectDeaths(round int) {
 
 // applyRepair rebuilds the routing tree over the surviving posts and
 // swaps it in, updating the repair metrics. Deaths that occurred while
-// the repair was pending are healed by the same rebuild.
+// the repair was pending are healed by the same rebuild. The healer is
+// constructed once on the first repair and reused for the run, so
+// repeated repairs pay no graph-construction cost.
 func (s *Simulator) applyRepair(round int) {
 	s.repairPending = false
-	aliveCounts := make([]int, len(s.posts))
-	for i := range s.posts {
-		aliveCounts[i] = s.posts[i].AliveCount()
+	if s.healer == nil && s.healerErr == nil {
+		s.healer, s.healerErr = heal.NewHealer(s.p, heal.Options{
+			DisableSiblingMerge: s.cfg.Repair.DisableSiblingMerge,
+		})
 	}
-	patched, stranded, err := heal.RepairTree(s.p, s.tree, aliveCounts, heal.Options{
-		DisableSiblingMerge: s.cfg.Repair.DisableSiblingMerge,
-	})
-	if err != nil {
+	if s.healerErr != nil {
 		// Defensive: an unrepairable topology keeps the old tree; the
 		// network degrades as if no repair were configured.
 		return
 	}
-	s.tree = patched
+	if cap(s.aliveBuf) < len(s.posts) {
+		s.aliveBuf = make([]int, len(s.posts))
+	}
+	aliveCounts := s.aliveBuf[:len(s.posts)]
+	for i := range s.posts {
+		aliveCounts[i] = s.posts[i].AliveCount()
+	}
+	stranded, err := s.healer.Repair(s.tree, aliveCounts, &s.repairDst)
+	if err != nil {
+		return
+	}
+	s.tree, s.repairDst = s.repairDst, s.tree
 	if err := s.rebuildDerived(); err != nil {
 		return
 	}

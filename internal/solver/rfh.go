@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"wrsn/internal/deploy"
+	"wrsn/internal/graph"
 	"wrsn/internal/model"
 	"wrsn/internal/routing"
 )
@@ -51,7 +52,12 @@ const DefaultRFHIterations = 7
 // reallocates every post's nodes at once, so successive evaluations share
 // no base deployment for a delta probe to repair from. Its handful of
 // whole-solution evaluations per round (model.Evaluate on explicit trees)
-// are nowhere near the hot path the delta-aware solvers optimise.
+// are nowhere near the hot path the delta-aware solvers optimise. The
+// per-round graph machinery is amortised instead: the communication
+// graph is built once (model.CommGraph), re-priced in place each round,
+// and the Dijkstra/trim state is recycled across rounds
+// (graph.Router/routing.Trimmer). Result.Evaluations reports the total
+// Dijkstra vertex settlements.
 func RFH(p *model.Problem, opts RFHOptions) (*Result, error) {
 	return RFHCtx(context.Background(), p, opts)
 }
@@ -67,16 +73,21 @@ func RFHCtx(ctx context.Context, p *model.Problem, opts RFHOptions) (*Result, er
 		iterations = 1
 	}
 
+	// One-time graph machinery, reused every round: the communication
+	// graph with cached hop energies, the Dijkstra router (heap, distance
+	// vector and DAG recycled through Reset), and the Phase-II trimmer.
+	cg, err := model.NewCommGraph(p)
+	if err != nil {
+		return nil, err
+	}
+	router := graph.NewRouter(cg.Graph())
+	trimmer := routing.NewTrimmer(p.N())
+	var trimmed routing.TrimResult
+
 	mergeSpec := routing.MergeSpec{
-		NPosts: p.N(),
-		Pos:    p.Point,
-		TxEnergy: func(d float64) (float64, bool) {
-			e, err := p.Energy.TxEnergy(d)
-			if err != nil {
-				return 0, false
-			}
-			return e, true
-		},
+		NPosts:          p.N(),
+		Pos:             p.Point,
+		TxEnergyBetween: cg.TxBetween,
 	}
 
 	var (
@@ -100,12 +111,23 @@ func RFHCtx(ctx context.Context, p *model.Problem, opts RFHOptions) (*Result, er
 			}
 			wf = w
 		}
-		dag, err := p.FatTree(wf)
+		if err := cg.Reweight(wf); err != nil {
+			return nil, err
+		}
+		dag, err := router.DAGTo(p.BSIndex(), model.DAGTolerance)
 		if err != nil {
 			return nil, err
 		}
-		trimmed, err := routing.TrimWeighted(dag, p.N(), p.ReportRates)
-		if err != nil {
+		if round == 0 {
+			// Reachability depends only on the edge set, which reweighting
+			// never changes — checking the first round covers all of them.
+			for u := 0; u < p.N(); u++ {
+				if !dag.Reachable(u) {
+					return nil, fmt.Errorf("%w: post %d", model.ErrDisconnected, u)
+				}
+			}
+		}
+		if err := trimmer.Trim(dag, p.ReportRates, nil, &trimmed); err != nil {
 			return nil, err
 		}
 		// Phase III is *opportunistic*: the merged tree concentrates
@@ -154,6 +176,7 @@ func RFHCtx(ctx context.Context, p *model.Problem, opts RFHOptions) (*Result, er
 		}
 	}
 	best.IterationCosts = costs
+	best.Evaluations = router.Settled()
 	return best, nil
 }
 

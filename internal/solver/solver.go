@@ -26,8 +26,11 @@ type Result struct {
 	// iteration; Fig. 6 plots exactly this series). Single-pass solvers
 	// leave it nil.
 	IterationCosts []float64
-	// Evaluations counts candidate deployments whose minimum-cost tree
-	// was evaluated (IDB, Optimal, NaiveExact); 0 for RFH.
+	// Evaluations counts the solver's unit of search work: candidate
+	// deployments whose minimum-cost tree was evaluated (IDB, Optimal,
+	// NaiveExact), or Dijkstra vertex settlements across the per-round
+	// fat-tree rebuilds (RFH), so RFH-driven figures report comparable
+	// perf-trajectory numbers instead of 0.
 	Evaluations int64
 }
 
