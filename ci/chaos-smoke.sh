@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Chaos smoke: run a sweep with deterministic fault injection (panics and
+# injected errors absorbed by retries), SIGKILL it mid-journal, resume
+# from the checkpoint, and require the resumed output to be
+# byte-identical to an uninterrupted run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=${BIN:-$(mktemp -d)/wrsn-experiments}
+go build -o "$BIN" ./cmd/wrsn-experiments
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+ARGS=(-fig 8 -quick -seeds 2 -workers 2
+      -chaos-panic 0.1 -chaos-error 0.1 -chaos-seed 42 -retries 20)
+
+# Uninterrupted reference run: every injected fault must be retried away.
+"$BIN" "${ARGS[@]}" -json "$WORK/clean.json" > "$WORK/clean.out"
+
+# Checkpointed run, killed hard once the journal shows real progress.
+CKPT="$WORK/ckpt"
+"$BIN" "${ARGS[@]}" -checkpoint "$CKPT" > /dev/null 2>&1 &
+PID=$!
+for _ in $(seq 1 200); do
+    lines=$(wc -l < "$CKPT/fig8.journal" 2>/dev/null || echo 0)
+    if [ "$lines" -ge 4 ]; then
+        break
+    fi
+    sleep 0.05
+done
+kill -9 "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+echo "chaos-smoke: killed run after $lines journal lines"
+
+# Resume skips the journaled cells (possibly leaving a torn tail from
+# the SIGKILL behind) and must reproduce the clean run byte for byte.
+# If the kill raced the run to completion the resume is a no-op replay —
+# the comparison is identical either way.
+"$BIN" "${ARGS[@]}" -checkpoint "$CKPT" -resume -json "$WORK/resumed.json" > "$WORK/resumed.out"
+
+cmp "$WORK/clean.json" "$WORK/resumed.json"
+cmp "$WORK/clean.out" "$WORK/resumed.out"
+echo "chaos-smoke: resumed output byte-identical to clean run"

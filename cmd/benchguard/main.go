@@ -31,20 +31,27 @@ import (
 )
 
 // artifact is the subset of cmd/wrsn-experiments' -bench payload the
-// guard reads.
+// guard reads. Partial marks an artifact from an interrupted run: its
+// wall times cover only the cells that completed before the interrupt,
+// so they are not comparable to a full run's.
 type artifact struct {
+	Partial bool            `json:"partial"`
 	Figures []engine.Timing `json:"figures"`
 }
 
-func loadFigure(path, figure string) (engine.Timing, error) {
+func loadArtifact(path string) (*artifact, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return engine.Timing{}, err
+		return nil, err
 	}
 	var a artifact
 	if err := json.Unmarshal(data, &a); err != nil {
-		return engine.Timing{}, fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	return &a, nil
+}
+
+func (a *artifact) figure(path, figure string) (engine.Timing, error) {
 	for _, tm := range a.Figures {
 		if tm.Figure == figure {
 			return tm, nil
@@ -77,11 +84,30 @@ func run(args []string, out, errOut *os.File) error {
 	if *baseline == "" || *current == "" {
 		return fmt.Errorf("both -baseline and -current are required")
 	}
-	base, err := loadFigure(*baseline, *figure)
+	baseArt, err := loadArtifact(*baseline)
 	if err != nil {
 		return err
 	}
-	cur, err := loadFigure(*current, *figure)
+	// A partial baseline is a configuration error: an interrupted run's
+	// timings would make every future comparison meaningless.
+	if baseArt.Partial {
+		return fmt.Errorf("%s: baseline artifact is partial (interrupted run); re-record it from a complete run", *baseline)
+	}
+	curArt, err := loadArtifact(*current)
+	if err != nil {
+		return err
+	}
+	// A partial current run carries no comparable timing — flag it and
+	// skip the comparison rather than failing CI on an interrupt.
+	if curArt.Partial {
+		fmt.Fprintf(out, "benchguard: %s is partial (interrupted run); skipping wall-time comparison for figure %s\n", *current, *figure)
+		return nil
+	}
+	base, err := baseArt.figure(*baseline, *figure)
+	if err != nil {
+		return err
+	}
+	cur, err := curArt.figure(*current, *figure)
 	if err != nil {
 		return err
 	}

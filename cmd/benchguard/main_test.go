@@ -39,17 +39,24 @@ func TestLoadFigure(t *testing.T) {
 	if err := os.WriteFile(path, []byte(payload), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	tm, err := loadFigure(path, "6")
+	art, err := loadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Partial {
+		t.Error("artifact without partial key loaded as partial")
+	}
+	tm, err := art.figure(path, "6")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if tm.WallSeconds != 1.5 || tm.Cells != 4 {
 		t.Errorf("loaded %+v", tm)
 	}
-	if _, err := loadFigure(path, "7a"); err == nil {
+	if _, err := art.figure(path, "7a"); err == nil {
 		t.Error("missing figure not reported")
 	}
-	if _, err := loadFigure(filepath.Join(dir, "absent.json"), "6"); err == nil {
+	if _, err := loadArtifact(filepath.Join(dir, "absent.json")); err == nil {
 		t.Error("missing file not reported")
 	}
 }
@@ -73,5 +80,34 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if err := run([]string{"-baseline", base, "-current", bad, "-slack", "0.5"}, os.Stdout, os.Stderr); err == nil {
 		t.Error("regression not flagged")
+	}
+}
+
+// TestPartialArtifacts: an interrupted run's artifact carries
+// "partial": true — tolerated (flagged and skipped) as -current, but a
+// hard error as -baseline.
+func TestPartialArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, payload string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(payload), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	full := write("full.json", `{"figures":[{"figure":"6","wall_seconds":1.0}]}`)
+	// Wall time way over budget AND the figure missing entirely: with
+	// partial set, neither may fail the guard.
+	partial := write("partial.json", `{"partial":true,"figures":[{"figure":"6","wall_seconds":500.0}]}`)
+	partialEmpty := write("partial-empty.json", `{"partial":true,"figures":[]}`)
+
+	if err := run([]string{"-baseline", full, "-current", partial}, os.Stdout, os.Stderr); err != nil {
+		t.Errorf("partial -current not tolerated: %v", err)
+	}
+	if err := run([]string{"-baseline", full, "-current", partialEmpty}, os.Stdout, os.Stderr); err != nil {
+		t.Errorf("partial empty -current not tolerated: %v", err)
+	}
+	if err := run([]string{"-baseline", partial, "-current", full}, os.Stdout, os.Stderr); err == nil {
+		t.Error("partial -baseline accepted")
 	}
 }

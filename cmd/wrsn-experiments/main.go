@@ -10,6 +10,8 @@
 //	wrsn-experiments -fig all -workers 8 -progress
 //	wrsn-experiments -fig all -bench BENCH_PR3.json
 //	wrsn-experiments -fig 8 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	wrsn-experiments -fig all -checkpoint ckpt        # journal each cell
+//	wrsn-experiments -fig all -checkpoint ckpt -resume # skip journaled cells
 //
 // Figures: 1 (field experiment / Table II), 6 (iterative RFH
 // convergence), 7a/7b (heuristics vs optimal), 8 (node-count sweep),
@@ -20,7 +22,11 @@
 // one cell-concurrency budget (-workers); output is buffered per figure
 // and printed in a fixed order, so stdout is byte-identical at any
 // worker count. Ctrl-C cancels in-flight sweeps; figures completed
-// before the interrupt are still printed and written to -json.
+// before the interrupt are still printed and written to -json, in-flight
+// cells get -grace to finish and be journaled, and artifacts carry
+// "partial": true. A second Ctrl-C kills the process immediately. With
+// -checkpoint, a later run with -resume replays the journals and
+// produces byte-identical output to an uninterrupted run.
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -47,6 +54,13 @@ import (
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// After the first signal starts a graceful drain, unregister the
+	// handler so a second Ctrl-C falls through to the default action and
+	// kills the process immediately.
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
 	if err := runCtx(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "wrsn-experiments:", err)
 		os.Exit(1)
@@ -97,13 +111,17 @@ func (pr *progressRenderer) finish() {
 // benchArtifact is the machine-readable perf record written by -bench:
 // the trajectory future optimisation PRs measure themselves against.
 type benchArtifact struct {
-	Command            string          `json:"command"`
-	Workers            int             `json:"workers"`
-	TotalWallSeconds   float64         `json:"total_wall_seconds"`
-	TotalActiveSeconds float64         `json:"total_active_seconds"`
-	TotalCells         int             `json:"total_cells"`
-	TotalEvaluations   int64           `json:"total_solver_evaluations"`
-	Figures            []engine.Timing `json:"figures"`
+	Command            string  `json:"command"`
+	Workers            int     `json:"workers"`
+	TotalWallSeconds   float64 `json:"total_wall_seconds"`
+	TotalActiveSeconds float64 `json:"total_active_seconds"`
+	TotalCells         int     `json:"total_cells"`
+	TotalEvaluations   int64   `json:"total_solver_evaluations"`
+	// Partial marks an artifact from an interrupted run: its numbers
+	// cover only the cells that completed and are not comparable to a
+	// full run's (cmd/benchguard flags and skips such artifacts).
+	Partial bool            `json:"partial,omitempty"`
+	Figures []engine.Timing `json:"figures"`
 }
 
 func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error {
@@ -122,9 +140,25 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 		bench    = fs.String("bench", "", "write a machine-readable perf artifact (per-figure wall time, cells/sec, evaluations) to this file")
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = fs.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
+
+		checkpoint = fs.String("checkpoint", "", "journal each completed cell to a crash-safe file per figure under this directory")
+		resume     = fs.Bool("resume", false, "replay existing -checkpoint journals and skip already-completed cells (output stays byte-identical)")
+		retries    = fs.Int("retries", 1, "attempts per cell before a failure is terminal (1 = no retry)")
+		retryBase  = fs.Duration("retry-base", 100*time.Millisecond, "first retry backoff delay (doubles per retry, deterministically jittered)")
+		retryMax   = fs.Duration("retry-max", 5*time.Second, "backoff delay cap")
+		grace      = fs.Duration("grace", 10*time.Second, "how long in-flight cells may finish (and be journaled) after an interrupt before being hard-cancelled")
+
+		chaosPanic   = fs.Float64("chaos-panic", 0, "TESTING: fraction of cell attempts that panic (deterministic, seeded)")
+		chaosError   = fs.Float64("chaos-error", 0, "TESTING: fraction of cell attempts that fail with an injected error")
+		chaosLatFrac = fs.Float64("chaos-latency-frac", 0, "TESTING: fraction of cell attempts delayed by -chaos-latency")
+		chaosLatency = fs.Duration("chaos-latency", 10*time.Millisecond, "TESTING: injected latency per affected attempt")
+		chaosSeed    = fs.Int64("chaos-seed", 0, "TESTING: chaos injection seed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
 	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -166,7 +200,21 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 		Timeout:  *timeout,
 		// One budget for every concurrently running figure: combined
 		// active cells never exceed the pool size.
-		Limiter: engine.NewLimiter(poolSize),
+		Limiter:    engine.NewLimiter(poolSize),
+		Retry:      engine.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryBase, MaxDelay: *retryMax},
+		DrainGrace: *grace,
+	}
+	if *checkpoint != "" {
+		baseOpts.Checkpoint = &engine.Checkpoint{Dir: *checkpoint, Resume: *resume}
+	}
+	if *chaosPanic > 0 || *chaosError > 0 || *chaosLatFrac > 0 {
+		baseOpts.Chaos = &engine.ChaosConfig{
+			Seed:        *chaosSeed,
+			PanicFrac:   *chaosPanic,
+			ErrorFrac:   *chaosError,
+			LatencyFrac: *chaosLatFrac,
+			Latency:     *chaosLatency,
+		}
 	}
 
 	type runner struct {
@@ -383,6 +431,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 		artifact := benchArtifact{
 			Command: "wrsn-experiments -fig " + *fig,
 			Workers: poolSize,
+			Partial: ctx.Err() != nil,
 			Figures: timings,
 		}
 		artifact.TotalWallSeconds = totalWall.Seconds()
@@ -400,17 +449,43 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	return firstErr
 }
 
-// writeJSON atomically-ish writes v as indented JSON to path.
+// writeJSON atomically writes v as indented JSON to path: encode into a
+// temp file in the destination's directory, fsync, then rename over the
+// target. A crash or encode failure at any point leaves an existing
+// artifact at path untouched — readers never see a truncated file.
 func writeJSON(path string, v interface{}) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	discard := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
 		return err
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		f.Close()
+		return discard(err)
+	}
+	if err := f.Sync(); err != nil {
+		return discard(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Persist the rename itself; best-effort, as not every filesystem
+	// supports directory fsync.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
 }

@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -161,5 +164,150 @@ func TestProfileFlags(t *testing.T) {
 	}
 	if err := run([]string{"-fig", "6", "-quick", "-seeds", "1", "-cpuprofile", filepath.Join(dir, "no/such/dir.pprof")}, &bytes.Buffer{}); err == nil {
 		t.Error("unwritable cpuprofile path accepted")
+	}
+}
+
+// TestWriteJSONAtomic: a failed write (unmarshalable value) must never
+// truncate or clobber an existing artifact at the destination path.
+func TestWriteJSONAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.json")
+	if err := writeJSON(path, map[string]int{"ok": 1}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NaN is not representable in JSON: Encode fails after os.Create
+	// would already have truncated the file under the old implementation.
+	if err := writeJSON(path, map[string]float64{"bad": math.NaN()}); err == nil {
+		t.Fatal("NaN payload encoded without error")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("existing artifact destroyed by failed write: %v", err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Errorf("existing artifact modified by failed write:\n%s\nvs\n%s", after, before)
+	}
+	// No temp-file litter either.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "artifact.json" {
+		t.Errorf("directory not clean after failed write: %v", entries)
+	}
+}
+
+// TestCheckpointResumeCLI: a checkpointed run, a resumed run and a plain
+// run all produce byte-identical stdout and JSON.
+func TestCheckpointResumeCLI(t *testing.T) {
+	runWith := func(extra ...string) (string, []byte) {
+		t.Helper()
+		jsonPath := filepath.Join(t.TempDir(), "figs.json")
+		var out bytes.Buffer
+		args := append([]string{"-fig", "8", "-quick", "-seeds", "1", "-json", jsonPath}, extra...)
+		if err := run(args, &out); err != nil {
+			t.Fatalf("run %v: %v", extra, err)
+		}
+		raw, err := os.ReadFile(jsonPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String(), raw
+	}
+	plainOut, plainJSON := runWith()
+
+	ckpt := t.TempDir()
+	ckptOut, ckptJSON := runWith("-checkpoint", ckpt)
+	if ckptOut != plainOut || !bytes.Equal(ckptJSON, plainJSON) {
+		t.Error("checkpointed run differs from plain run")
+	}
+	if _, err := os.Stat(filepath.Join(ckpt, "fig8.journal")); err != nil {
+		t.Errorf("journal not written: %v", err)
+	}
+
+	// Resume from the complete journal: every cell is replayed, output
+	// stays byte-identical.
+	resumeOut, resumeJSON := runWith("-checkpoint", ckpt, "-resume")
+	if resumeOut != plainOut || !bytes.Equal(resumeJSON, plainJSON) {
+		t.Error("resumed run differs from plain run")
+	}
+}
+
+// TestResumeRequiresCheckpoint: -resume without -checkpoint is a usage
+// error, not a silent no-op.
+func TestResumeRequiresCheckpoint(t *testing.T) {
+	err := run([]string{"-fig", "8", "-quick", "-seeds", "1", "-resume"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "-checkpoint") {
+		t.Errorf("want -resume usage error, got %v", err)
+	}
+}
+
+// TestChaosFlagsByteIdentical: with enough retries every injected fault
+// is absorbed and the output matches a clean run exactly.
+func TestChaosFlagsByteIdentical(t *testing.T) {
+	runWith := func(extra ...string) string {
+		t.Helper()
+		var out bytes.Buffer
+		args := append([]string{"-fig", "6", "-quick", "-seeds", "1"}, extra...)
+		if err := run(args, &out); err != nil {
+			t.Fatalf("run %v: %v", extra, err)
+		}
+		return out.String()
+	}
+	clean := runWith()
+	chaotic := runWith("-chaos-error", "0.3", "-chaos-panic", "0.1", "-chaos-seed", "11", "-retries", "20")
+	if chaotic != clean {
+		t.Errorf("chaos run output differs from clean run:\n%s\nvs\n%s", chaotic, clean)
+	}
+}
+
+// TestBenchArtifactNotPartial: an uninterrupted run must not mark its
+// bench artifact partial.
+func TestBenchArtifactNotPartial(t *testing.T) {
+	benchPath := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-fig", "6", "-quick", "-seeds", "1", "-bench", benchPath}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art struct {
+		Partial bool `json:"partial"`
+	}
+	if err := json.Unmarshal(raw, &art); err != nil {
+		t.Fatal(err)
+	}
+	if art.Partial {
+		t.Error("clean run marked partial")
+	}
+}
+
+// TestInterruptedBenchArtifactPartial: cancelling mid-run still writes
+// the bench artifact, marked "partial": true.
+func TestInterruptedBenchArtifactPartial(t *testing.T) {
+	benchPath := filepath.Join(t.TempDir(), "bench.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := runCtx(ctx, []string{"-fig", "8", "-quick", "-seeds", "1", "-bench", benchPath, "-grace", "0s"}, io.Discard, io.Discard)
+	if err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	raw, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatalf("bench artifact not written on interrupt: %v", err)
+	}
+	var art struct {
+		Partial bool `json:"partial"`
+	}
+	if err := json.Unmarshal(raw, &art); err != nil {
+		t.Fatal(err)
+	}
+	if !art.Partial {
+		t.Errorf("interrupted artifact not marked partial: %s", raw)
 	}
 }

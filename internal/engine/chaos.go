@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// ErrChaos marks an error injected by a ChaosConfig.
+var ErrChaos = errors.New("chaos: injected error")
+
+// ChaosConfig injects deterministic faults into cell attempts — a test
+// and bench harness for the engine's own fault tolerance, never for
+// production sweeps. Each (cell, attempt) draws independent uniforms
+// from a platform-stable hash of (Seed, sweep ID, point, seed,
+// algorithm, attempt), so a given configuration always injects the same
+// faults into the same attempts, at any worker count: chaos runs are as
+// reproducible as clean ones.
+//
+// Because the draw includes the attempt number, a cell that panics on
+// its first attempt usually succeeds on a retry — which is exactly what
+// the retry machinery is supposed to deliver, and what the chaos test
+// suite asserts.
+type ChaosConfig struct {
+	// Seed decorrelates chaos schedules between configurations.
+	Seed int64
+	// PanicFrac is the fraction of attempts that panic.
+	PanicFrac float64
+	// ErrorFrac is the fraction of attempts that return ErrChaos.
+	ErrorFrac float64
+	// LatencyFrac is the fraction of attempts delayed by Latency before
+	// the algorithm runs.
+	LatencyFrac float64
+	Latency     time.Duration
+}
+
+// enabled reports whether any fault kind is configured.
+func (c *ChaosConfig) enabled() bool {
+	return c != nil && (c.PanicFrac > 0 || c.ErrorFrac > 0 || (c.LatencyFrac > 0 && c.Latency > 0))
+}
+
+// uniform draws the deterministic uniform in [0, 1) for one
+// (salt, cell, attempt) coordinate.
+func (c *ChaosConfig) uniform(salt uint64, sweep string, pi, si, ai, attempt int) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(sweep))
+	x := h.Sum64() ^ uint64(c.Seed)
+	for _, v := range [...]uint64{salt, uint64(pi), uint64(si), uint64(ai), uint64(attempt)} {
+		x = splitmix64(x ^ v)
+	}
+	return float64(x>>11) / float64(1<<53)
+}
+
+// inject runs the configured faults for one cell attempt: an optional
+// latency stall, then a panic or an injected error. It returns nil when
+// this attempt is left alone.
+func (c *ChaosConfig) inject(ctx context.Context, sweep string, pi, si, ai, attempt int) error {
+	if c.LatencyFrac > 0 && c.Latency > 0 && c.uniform(1, sweep, pi, si, ai, attempt) < c.LatencyFrac {
+		if !sleepCtx(ctx, c.Latency) {
+			return context.Cause(ctx)
+		}
+	}
+	if c.PanicFrac > 0 && c.uniform(2, sweep, pi, si, ai, attempt) < c.PanicFrac {
+		panic(fmt.Sprintf("chaos: injected panic at %s point %d seed %d algorithm %d attempt %d",
+			sweep, pi, si, ai, attempt))
+	}
+	if c.ErrorFrac > 0 && c.uniform(3, sweep, pi, si, ai, attempt) < c.ErrorFrac {
+		return fmt.Errorf("%w at %s point %d seed %d algorithm %d attempt %d",
+			ErrChaos, sweep, pi, si, ai, attempt)
+	}
+	return nil
+}

@@ -1,6 +1,6 @@
 // Package engine is the unified experiment engine behind every figure
 // of the paper reproduction and its extensions: a registry of named,
-// context-aware solvers and a declarative sweep runner.
+// context-aware solvers and a declarative, fault-tolerant sweep runner.
 //
 // A Sweep describes a (point × seed × algorithm) grid — the shape shared
 // by all of the paper's Section VI evaluations and the extension
@@ -22,10 +22,27 @@
 // runs in declaration order after all cells finish. Scheduling can
 // change only wall time, never values.
 //
+// # Fault tolerance
+//
+// The runner survives its own workload. A panicking solver is recovered
+// on the worker and becomes a per-cell CellError instead of crashing the
+// pool; failed and timed-out cells are retried under RunConfig.Retry
+// with deterministic exponential backoff; cells that stay failed after
+// their attempt budget surface in Result.Failed (and as Run's returned
+// error) while every other cell still completes. With
+// RunConfig.Checkpoint, each completed cell is journaled to an
+// append-only, CRC-framed, fsynced JSONL file as it finishes, and a
+// resumed run replays the journal — skipping completed cells — to a
+// final figure byte-identical to an uninterrupted run's. ChaosConfig
+// injects deterministic panics, errors and latency to test all of the
+// above under fire.
+//
 // # Cancellation and observability
 //
 // The context passed to Run flows into every cell; cancelling it aborts
-// in-flight solvers at their next cancellation point. RunConfig can
+// in-flight solvers at their next cancellation point (or, with
+// RunConfig.DrainGrace, lets them drain for a grace period first so
+// their results still reach the checkpoint journal). RunConfig can
 // additionally bound each cell with a timeout, observe cell lifecycle
 // events through a ProgressFunc, and share a Limiter between
 // concurrently running sweeps so their combined parallelism stays
@@ -39,6 +56,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -111,6 +129,11 @@ type CellResult struct {
 // every (point, seed) instance, producing one value per declared output.
 // A NaN value marks "no observation for this cell" and is skipped by
 // aggregation (e.g. travel-per-visit when no visit completed).
+//
+// Run must be pure with respect to its instance: the engine may invoke
+// it again for the same cell (retries after a fault, reruns after a
+// crash-resume of an incomplete journal), and every invocation must
+// produce the same values.
 type Algorithm struct {
 	Label   string
 	Outputs []SeriesSpec
@@ -155,14 +178,32 @@ func (l Limiter) acquire() { l <- struct{}{} }
 func (l Limiter) release() { <-l }
 
 // RunConfig tunes sweep execution. The zero value runs with GOMAXPROCS
-// workers, no per-cell timeout and no observers.
+// workers, no per-cell timeout, no retries, no checkpointing and no
+// observers.
 type RunConfig struct {
 	// Workers is the worker-pool size; 0 means GOMAXPROCS(0), 1 is
 	// fully sequential. Results are identical at any value.
 	Workers int
 	// CellTimeout bounds each cell's algorithm run (0 = unbounded). A
-	// cell exceeding it fails the sweep with context.DeadlineExceeded.
+	// cell exceeding it fails with a cause wrapping
+	// context.DeadlineExceeded ("cell deadline (30s) exceeded") and is
+	// retried under Retry like any other failure.
 	CellTimeout time.Duration
+	// Retry re-runs failed cells with deterministic exponential backoff
+	// before declaring them terminally failed. Zero value: one attempt.
+	Retry RetryPolicy
+	// Checkpoint journals each completed cell to an append-only file
+	// under Checkpoint.Dir; with Checkpoint.Resume, already-journaled
+	// cells are restored instead of re-run (nil = no journaling).
+	Checkpoint *Checkpoint
+	// DrainGrace is how long in-flight cells may keep running after the
+	// parent context is cancelled, so their results still land in the
+	// journal before the sweep returns (0 = abort in-flight cells
+	// immediately, the historical behaviour).
+	DrainGrace time.Duration
+	// Chaos deterministically injects panics, errors and latency into
+	// cell attempts. Testing and benchmarking only.
+	Chaos *ChaosConfig
 	// Progress observes cell lifecycle events (may be nil).
 	Progress ProgressFunc
 	// Limiter optionally shares a concurrency budget with other sweeps
@@ -172,17 +213,38 @@ type RunConfig struct {
 
 // Result is a finished sweep: the assembled figure, the raw per-cell
 // values for custom post-processing, and the performance summary.
+//
+// Run returns a non-nil Result alongside a non-nil error when the sweep
+// ran but did not fully succeed: terminally failed cells are listed in
+// Failed (their raw values stay nil and their figure contributions are
+// skipped), and an interrupted sweep is marked Partial.
 type Result struct {
 	Figure *Figure
 	// Raw is indexed [algorithm][point][seed][output] (for Vector
-	// outputs the last index spans the X axis).
+	// outputs the last index spans the X axis). Rows of failed or
+	// not-run cells are nil.
 	Raw [][][][]float64
 	// Durations is each cell's algorithm wall time, indexed
-	// [algorithm][point][seed]. Instance generation is excluded.
+	// [algorithm][point][seed]. Instance generation is excluded; cells
+	// restored from a checkpoint report their journaled duration.
 	Durations [][][]time.Duration
 	// Evaluations is the summed solver-evaluation count.
 	Evaluations int64
 	Timing      Timing
+
+	// Failed lists terminally failed cells (attempt budget exhausted) in
+	// deterministic grid order. Failed[0] is also Run's returned error.
+	Failed []*CellError
+	// Partial marks a sweep interrupted by context cancellation: some
+	// cells never ran. Completed cells are still present in Raw and in
+	// the checkpoint journal, if one was configured.
+	Partial bool
+	// Resumed counts cells restored from the checkpoint journal instead
+	// of being re-run.
+	Resumed int
+	// Retries counts attempts beyond each cell's first, across the
+	// whole sweep.
+	Retries int
 }
 
 // cell is one unit of work.
@@ -204,13 +266,16 @@ type runner struct {
 	raw       [][][][]float64
 	durations [][][]time.Duration
 	evals     [][][]int64
-	errs      []error // per cell index
+	errs      []error // per cell index: terminal failure or cancellation
+	skip      []bool  // per cell index: restored from the journal
+
+	journal *journal
+	retried atomic.Int64
 
 	cells []cell
 	done  atomic.Int64
 
-	mu     sync.Mutex // serialises progress callbacks
-	cancel context.CancelFunc
+	mu sync.Mutex // serialises progress callbacks
 }
 
 // pointSeeds returns the effective seed count of point pi.
@@ -275,9 +340,21 @@ func (sw *Sweep) vectorOnly() bool {
 	return true
 }
 
+// wantValues is the number of values algorithm ai must return per cell.
+func (sw *Sweep) wantValues(ai int) int {
+	if sw.Algorithms[ai].Outputs[0].Vector {
+		return len(sw.X)
+	}
+	return len(sw.Algorithms[ai].Outputs)
+}
+
 // Run executes the sweep and assembles its figure. Results are
-// bit-identical at any cfg.Workers; cancelling ctx aborts in-flight
-// cells and returns the context's error.
+// bit-identical at any cfg.Workers. Cancelling ctx aborts or drains
+// in-flight cells and returns a Partial result with an error wrapping
+// the context's cause; terminally failed cells (after cfg.Retry's
+// attempt budget) never abort the rest of the sweep — they are reported
+// in Result.Failed and as the returned error once every other cell has
+// finished.
 func Run(ctx context.Context, sw *Sweep, cfg RunConfig) (*Result, error) {
 	if err := sw.validate(); err != nil {
 		return nil, err
@@ -318,23 +395,68 @@ func Run(ctx context.Context, sw *Sweep, cfg RunConfig) (*Result, error) {
 		}
 	}
 	r.errs = make([]error, len(r.cells))
+	r.skip = make([]bool, len(r.cells))
 
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	r.cancel = cancel
+	resumed, err := r.openCheckpoint()
+	if err != nil {
+		return nil, err
+	}
+	if r.journal != nil {
+		defer r.journal.Close()
+	}
+
+	// workCtx governs in-flight cell execution. Without DrainGrace it
+	// follows ctx directly; with it, cells already running when ctx is
+	// cancelled get a grace period to finish (and be journaled) before
+	// the hard cancel. Scheduling of *new* cells always stops at ctx.
+	workCtx, workCancel := context.WithCancelCause(context.Background())
+	defer workCancel(nil)
+	poolDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			if cfg.DrainGrace > 0 {
+				select {
+				case <-time.After(cfg.DrainGrace):
+					workCancel(fmt.Errorf("engine: drain grace (%s) exceeded after interrupt: %w",
+						cfg.DrainGrace, context.Cause(ctx)))
+				case <-poolDone:
+				}
+				return
+			}
+			workCancel(context.Cause(ctx))
+		case <-poolDone:
+		}
+	}()
 
 	start := time.Now()
-	if workers > len(r.cells) {
-		workers = len(r.cells)
+	// Replay journaled cells first, in grid order: their finish events
+	// (Resumed, zero duration) precede any live execution.
+	for idx := range r.cells {
+		if !r.skip[idx] {
+			continue
+		}
+		c := r.cells[idx]
+		r.emit(Event{
+			Kind: CellFinished, Sweep: sw.ID,
+			Point: c.point, Seed: c.seed, Algorithm: sw.Algorithms[c.algo].Label,
+			Done: int(r.done.Add(1)), Total: len(r.cells),
+			Evaluations: r.evals[c.algo][c.point][c.seed], Resumed: true,
+		})
+	}
+
+	live := make([]int, 0, len(r.cells))
+	for idx := range r.cells {
+		if !r.skip[idx] {
+			live = append(live, idx)
+		}
+	}
+	if workers > len(live) {
+		workers = len(live)
 	}
 	if workers <= 1 {
-		for idx := range r.cells {
-			r.runCell(runCtx, idx)
-			// Sequential runs stop at the first failure: nothing after
-			// it can succeed once the context is cancelled anyway.
-			if r.errs[idx] != nil {
-				break
-			}
+		for _, idx := range live {
+			r.runCell(ctx, workCtx, idx)
 		}
 	} else {
 		queue := make(chan int)
@@ -344,26 +466,19 @@ func Run(ctx context.Context, sw *Sweep, cfg RunConfig) (*Result, error) {
 			go func() {
 				defer wg.Done()
 				for idx := range queue {
-					r.runCell(runCtx, idx)
+					r.runCell(ctx, workCtx, idx)
 				}
 			}()
 		}
-		for idx := range r.cells {
+		for _, idx := range live {
 			queue <- idx
 		}
 		close(queue)
 		wg.Wait()
 	}
+	close(poolDone)
 	wall := time.Since(start)
 
-	if err := r.firstError(); err != nil {
-		return nil, err
-	}
-
-	fig, err := r.figure()
-	if err != nil {
-		return nil, err
-	}
 	var evaluations int64
 	for ai := range r.evals {
 		for pi := range r.evals[ai] {
@@ -380,13 +495,74 @@ func Run(ctx context.Context, sw *Sweep, cfg RunConfig) (*Result, error) {
 			}
 		}
 	}
-	return &Result{
-		Figure:      fig,
+	res := &Result{
 		Raw:         r.raw,
 		Durations:   r.durations,
 		Evaluations: evaluations,
 		Timing:      NewTiming(sw.ID, wall, active, len(r.cells), evaluations, workers),
-	}, nil
+		Failed:      r.failedCells(),
+		Partial:     ctx.Err() != nil,
+		Resumed:     resumed,
+		Retries:     int(r.retried.Load()),
+	}
+	fig, figErr := r.figure()
+	res.Figure = fig
+	if res.Partial {
+		return res, fmt.Errorf("engine: %s interrupted: %w", sw.ID, context.Cause(ctx))
+	}
+	if len(res.Failed) > 0 {
+		return res, res.Failed[0]
+	}
+	if figErr != nil {
+		return nil, figErr
+	}
+	return res, nil
+}
+
+// openCheckpoint opens the configured journal, restores already-journaled
+// cells into the result arrays and returns how many were restored.
+func (r *runner) openCheckpoint() (int, error) {
+	if r.cfg.Checkpoint == nil {
+		return 0, nil
+	}
+	j, recs, err := openJournal(r.cfg.Checkpoint, r.sw, len(r.cells))
+	if err != nil {
+		return 0, err
+	}
+	r.journal = j
+	// Cells are laid out point-major/seed/algorithm; index arithmetic
+	// must match the construction loop in Run.
+	offset := make([]int, len(r.sw.Points))
+	n := 0
+	for pi := range r.sw.Points {
+		offset[pi] = n
+		n += r.sw.pointSeeds(pi) * len(r.sw.Algorithms)
+	}
+	resumed := 0
+	for _, rec := range recs {
+		if rec.Point < 0 || rec.Point >= len(r.sw.Points) ||
+			rec.Seed < 0 || rec.Seed >= r.sw.pointSeeds(rec.Point) ||
+			rec.Algo < 0 || rec.Algo >= len(r.sw.Algorithms) ||
+			len(rec.ValueBits) != r.sw.wantValues(rec.Algo) {
+			return 0, fmt.Errorf("%s: %w: cell record (point %d, seed %d, algorithm %d, %d values) outside the sweep grid",
+				journalPath(r.cfg.Checkpoint.Dir, r.sw.ID), ErrCheckpointMismatch,
+				rec.Point, rec.Seed, rec.Algo, len(rec.ValueBits))
+		}
+		idx := offset[rec.Point] + rec.Seed*len(r.sw.Algorithms) + rec.Algo
+		if r.skip[idx] {
+			continue
+		}
+		r.skip[idx] = true
+		vals := make([]float64, len(rec.ValueBits))
+		for i, b := range rec.ValueBits {
+			vals[i] = math.Float64frombits(b)
+		}
+		r.raw[rec.Algo][rec.Point][rec.Seed] = vals
+		r.durations[rec.Algo][rec.Point][rec.Seed] = time.Duration(rec.DurationNS)
+		r.evals[rec.Algo][rec.Point][rec.Seed] = rec.Evaluations
+		resumed++
+	}
+	return resumed, nil
 }
 
 // instance returns the lazily generated (point, seed) instance.
@@ -412,8 +588,9 @@ func (r *runner) instance(pi, si int) (*Instance, error) {
 	return slot.inst, slot.err
 }
 
-// runCell executes one cell, recording its values, duration and error.
-func (r *runner) runCell(ctx context.Context, idx int) {
+// runCell executes one cell — panic-isolated, chaos-injected, retried
+// under the retry policy — recording its values, duration and error.
+func (r *runner) runCell(ctx, workCtx context.Context, idx int) {
 	c := r.cells[idx]
 	algo := &r.sw.Algorithms[c.algo]
 	if r.cfg.Limiter != nil {
@@ -421,58 +598,143 @@ func (r *runner) runCell(ctx context.Context, idx int) {
 		defer r.cfg.Limiter.release()
 	}
 
-	finish := func(d time.Duration, evals int64, err error) {
-		if err != nil {
-			r.errs[idx] = fmt.Errorf("engine: %s: %s at point %d (x=%v) seed %d: %w",
-				r.sw.ID, algo.Label, c.point, r.sw.Points[c.point].X, c.seed, err)
-			r.cancel() // no later cell can change the outcome; stop early
-		}
+	finish := func(d time.Duration, evals int64, attempt int, err error) {
+		r.errs[idx] = err
 		r.emit(Event{
 			Kind: CellFinished, Sweep: r.sw.ID,
 			Point: c.point, Seed: c.seed, Algorithm: algo.Label,
 			Done: int(r.done.Add(1)), Total: len(r.cells),
-			Duration: d, Evaluations: evals, Err: r.errs[idx],
+			Duration: d, Evaluations: evals, Attempt: attempt, Err: err,
+		})
+	}
+	cancelled := func(d time.Duration, attempt int) {
+		cause := context.Cause(ctx)
+		if cause == nil {
+			cause = ctx.Err()
+		}
+		finish(d, 0, attempt, fmt.Errorf("engine: %s: %s at point %d (x=%v) seed %d not run: %w",
+			r.sw.ID, algo.Label, c.point, r.sw.Points[c.point].X, c.seed, cause))
+	}
+	terminal := func(d time.Duration, attempt int, panicked bool, stack string, err error) {
+		finish(d, 0, attempt, &CellError{
+			Sweep: r.sw.ID, Point: c.point, Seed: c.seed, X: r.sw.Points[c.point].X,
+			Algorithm: algo.Label, Attempts: attempt, Panicked: panicked, Stack: stack, Err: err,
 		})
 	}
 
-	if err := ctx.Err(); err != nil {
-		finish(0, 0, err)
+	if ctx.Err() != nil {
+		cancelled(0, 0)
 		return
 	}
 	inst, err := r.instance(c.point, c.seed)
 	if err != nil {
-		finish(0, 0, err)
+		// Generators are deterministic: retrying cannot help.
+		terminal(0, 1, false, "", err)
 		return
 	}
 
-	r.emit(Event{Kind: CellStarted, Sweep: r.sw.ID, Point: c.point, Seed: c.seed,
-		Algorithm: algo.Label, Total: len(r.cells)})
-	cellCtx := ctx
-	var cancelCell context.CancelFunc
+	attempts := r.cfg.Retry.attempts()
+	for attempt := 1; ; attempt++ {
+		if attempt > 1 {
+			r.retried.Add(1)
+			if !sleepCtx(workCtx, r.cfg.Retry.Backoff(attempt-1, inst.InstanceSeed)) {
+				cancelled(0, attempt-1)
+				return
+			}
+		}
+		r.emit(Event{Kind: CellStarted, Sweep: r.sw.ID, Point: c.point, Seed: c.seed,
+			Algorithm: algo.Label, Total: len(r.cells), Attempt: attempt})
+		res, d, panicked, stack, err := r.attempt(workCtx, inst, algo, c, attempt)
+		if err == nil {
+			if r.journal != nil {
+				err = r.journalCell(c, res, d, attempt)
+			}
+			if err == nil {
+				r.raw[c.algo][c.point][c.seed] = res.Values
+				r.durations[c.algo][c.point][c.seed] = d
+				r.evals[c.algo][c.point][c.seed] = res.Evaluations
+				finish(d, res.Evaluations, attempt, nil)
+				return
+			}
+		}
+		// A failure observed while the sweep itself is shutting down is
+		// an interrupt, not a cell fault: don't retry, don't blame the
+		// cell.
+		if workCtx.Err() != nil {
+			cancelled(d, attempt)
+			return
+		}
+		if attempt >= attempts {
+			terminal(d, attempt, panicked, stack, err)
+			return
+		}
+		// Retrying; a drain that started mid-attempt stops further
+		// attempts at the sleepCtx above or the next workCtx check.
+		if ctx.Err() != nil {
+			cancelled(d, attempt)
+			return
+		}
+	}
+}
+
+// attempt runs one panic-isolated attempt of a cell's algorithm,
+// injecting chaos and applying the per-cell timeout.
+func (r *runner) attempt(workCtx context.Context, inst *Instance, algo *Algorithm, c cell, attemptNo int) (res CellResult, d time.Duration, panicked bool, stack string, err error) {
+	cellCtx := workCtx
 	if r.cfg.CellTimeout > 0 {
-		cellCtx, cancelCell = context.WithTimeout(ctx, r.cfg.CellTimeout)
+		cause := fmt.Errorf("cell deadline (%s) exceeded: %w", r.cfg.CellTimeout, context.DeadlineExceeded)
+		var cancelCell context.CancelFunc
+		cellCtx, cancelCell = context.WithTimeoutCause(workCtx, r.cfg.CellTimeout, cause)
+		defer cancelCell()
 	}
 	start := time.Now()
-	res, err := algo.Run(cellCtx, inst)
-	d := time.Since(start)
-	if cancelCell != nil {
-		cancelCell()
-	}
-	if err == nil {
-		want := len(algo.Outputs)
-		if algo.Outputs[0].Vector {
-			want = len(r.sw.X)
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				panicked = true
+				stack = string(debug.Stack())
+				err = fmt.Errorf("panic: %v", v)
+			}
+		}()
+		if r.cfg.Chaos.enabled() {
+			if cerr := r.cfg.Chaos.inject(cellCtx, r.sw.ID, c.point, c.seed, c.algo, attemptNo); cerr != nil {
+				err = cerr
+				return
+			}
 		}
-		if len(res.Values) != want {
+		res, err = algo.Run(cellCtx, inst)
+	}()
+	d = time.Since(start)
+	if err == nil {
+		if want := r.sw.wantValues(c.algo); len(res.Values) != want {
 			err = fmt.Errorf("algorithm returned %d values, want %d", len(res.Values), want)
 		}
 	}
-	if err == nil {
-		r.raw[c.algo][c.point][c.seed] = res.Values
-		r.durations[c.algo][c.point][c.seed] = d
-		r.evals[c.algo][c.point][c.seed] = res.Evaluations
+	// Surface the timeout *cause* ("cell deadline (30s) exceeded")
+	// instead of a bare context.DeadlineExceeded.
+	if err != nil && errors.Is(err, context.DeadlineExceeded) {
+		if cause := context.Cause(cellCtx); cause != nil && cause != err && errors.Is(cause, context.DeadlineExceeded) {
+			err = cause
+		}
 	}
-	finish(d, res.Evaluations, err)
+	return res, d, panicked, stack, err
+}
+
+// journalCell appends one completed cell to the checkpoint journal.
+func (r *runner) journalCell(c cell, res CellResult, d time.Duration, attempt int) error {
+	bits := make([]uint64, len(res.Values))
+	for i, v := range res.Values {
+		bits[i] = math.Float64bits(v)
+	}
+	err := r.journal.append("c", cellRecord{
+		Point: c.point, Seed: c.seed, Algo: c.algo,
+		ValueBits: bits, Evaluations: res.Evaluations,
+		DurationNS: int64(d), Attempts: attempt,
+	})
+	if err != nil {
+		return fmt.Errorf("checkpoint journal: %w", err)
+	}
+	return nil
 }
 
 // emit serialises progress callbacks.
@@ -485,28 +747,23 @@ func (r *runner) emit(ev Event) {
 	r.cfg.Progress(ev)
 }
 
-// firstError picks the sweep's reported error deterministically: the
-// lowest-indexed cell error that is not a secondary cancellation, so
-// the same failure is reported at any worker count.
-func (r *runner) firstError() error {
-	var firstAny error
+// failedCells collects terminal cell failures in grid order, so the
+// same failure is reported first at any worker count.
+func (r *runner) failedCells() []*CellError {
+	var failed []*CellError
 	for _, err := range r.errs {
-		if err == nil {
-			continue
-		}
-		if firstAny == nil {
-			firstAny = err
-		}
-		if !errors.Is(err, context.Canceled) {
-			return err
+		var ce *CellError
+		if errors.As(err, &ce) {
+			failed = append(failed, ce)
 		}
 	}
-	return firstAny
+	return failed
 }
 
 // figure assembles the sweep's Figure from the recorded cell values, in
 // declaration order (algorithms, then outputs, then — for Vector
-// outputs — points).
+// outputs — points). Cells that failed or never ran have nil rows and
+// simply don't contribute, like NaN opt-outs.
 func (r *runner) figure() (*Figure, error) {
 	sw := r.sw
 	fig := &Figure{ID: sw.ID, Title: sw.Title, XLabel: sw.XLabel, YLabel: sw.YLabel}
@@ -522,7 +779,17 @@ func (r *runner) figure() (*Figure, error) {
 		for k, spec := range algo.Outputs {
 			if spec.Vector {
 				for pi := range sw.Points {
-					mean, err := stats.MeanSeries(r.raw[ai][pi])
+					rows := make([][]float64, 0, len(r.raw[ai][pi]))
+					for _, row := range r.raw[ai][pi] {
+						if row != nil {
+							rows = append(rows, row)
+						}
+					}
+					if len(rows) == 0 {
+						fig.Series = append(fig.Series, Series{Label: sw.Points[pi].Label, Unit: spec.Unit, Y: make([]float64, len(sw.X))})
+						continue
+					}
+					mean, err := stats.MeanSeries(rows)
 					if err != nil {
 						return nil, fmt.Errorf("engine: %s: %s point %d: %w", sw.ID, algo.Label, pi, err)
 					}
@@ -537,6 +804,9 @@ func (r *runner) figure() (*Figure, error) {
 			for pi := range sw.Points {
 				vals := make([]float64, 0, len(r.raw[ai][pi]))
 				for _, cellVals := range r.raw[ai][pi] {
+					if len(cellVals) <= k {
+						continue // failed or not-run cell
+					}
 					if v := cellVals[k]; !math.IsNaN(v) {
 						vals = append(vals, v)
 					}

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"reflect"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -179,14 +180,20 @@ func TestRunCancellation(t *testing.T) {
 }
 
 // TestRunCellTimeout: a cell exceeding CellTimeout fails the sweep with
-// context.DeadlineExceeded, within roughly one timeout.
+// context.DeadlineExceeded, within roughly one timeout, and the error
+// names the deadline that was hit (context.WithTimeoutCause).
 func TestRunCellTimeout(t *testing.T) {
 	sw := testSweep()
+	var causes []string
+	var mu sync.Mutex
 	sw.Algorithms = []Algorithm{{
 		Label:   "stuck",
 		Outputs: []SeriesSpec{{Label: "stuck"}},
 		Run: func(ctx context.Context, inst *Instance) (CellResult, error) {
 			<-ctx.Done()
+			mu.Lock()
+			causes = append(causes, context.Cause(ctx).Error())
+			mu.Unlock()
 			return CellResult{}, ctx.Err()
 		},
 	}}
@@ -194,6 +201,24 @@ func TestRunCellTimeout(t *testing.T) {
 	_, err := Run(context.Background(), sw, RunConfig{Workers: 2, CellTimeout: 30 * time.Millisecond})
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	const wantCause = "cell deadline (30ms) exceeded"
+	if !strings.Contains(err.Error(), wantCause) {
+		t.Errorf("sweep error %q does not name the cell deadline", err)
+	}
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CellError, got %T: %v", err, err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(causes) == 0 {
+		t.Fatal("no cell observed a cancellation cause")
+	}
+	for _, c := range causes {
+		if !strings.Contains(c, wantCause) {
+			t.Errorf("context.Cause inside cell = %q, want it to name the 30ms deadline", c)
+		}
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Errorf("timeout took %v, want about one cell timeout", elapsed)

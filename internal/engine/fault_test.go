@@ -1,0 +1,329 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// valueSweep builds a cheap two-point sweep whose algorithm returns a
+// deterministic function of the cell coordinates — fast enough for
+// fault-machinery tests that don't need real solvers.
+func valueSweep(run func(ctx context.Context, inst *Instance) (CellResult, error)) *Sweep {
+	sw := testSweep()
+	sw.Algorithms = []Algorithm{{
+		Label:   "probe",
+		Outputs: []SeriesSpec{{Label: "probe", CI: true}},
+		Run:     run,
+	}}
+	return sw
+}
+
+func cellValue(inst *Instance) float64 {
+	return float64(100*inst.Point + 10*inst.Seed + 1)
+}
+
+// TestPanicIsolation: a panicking cell becomes a CellError carrying the
+// panic value and stack; every other cell still completes and the pool
+// never crashes.
+func TestPanicIsolation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		sw := valueSweep(func(ctx context.Context, inst *Instance) (CellResult, error) {
+			if inst.Point == 0 && inst.Seed == 1 {
+				panic("boom at cell (0,1)")
+			}
+			return CellResult{Values: []float64{cellValue(inst)}}, nil
+		})
+		res, err := Run(context.Background(), sw, RunConfig{Workers: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: want error for the panicked cell", workers)
+		}
+		var ce *CellError
+		if !errors.As(err, &ce) {
+			t.Fatalf("workers=%d: error is %T, want *CellError: %v", workers, err, err)
+		}
+		if !ce.Panicked || ce.Point != 0 || ce.Seed != 1 {
+			t.Errorf("workers=%d: wrong CellError: %+v", workers, ce)
+		}
+		if !strings.Contains(ce.Err.Error(), "boom at cell (0,1)") {
+			t.Errorf("workers=%d: panic value lost: %v", workers, ce.Err)
+		}
+		if !strings.Contains(ce.Stack, "fault_test.go") {
+			t.Errorf("workers=%d: stack trace missing origin:\n%s", workers, ce.Stack)
+		}
+		if res == nil {
+			t.Fatalf("workers=%d: want a partial Result alongside the error", workers)
+		}
+		if len(res.Failed) != 1 || res.Failed[0] != ce {
+			t.Errorf("workers=%d: Failed = %v, want exactly the panicked cell first", workers, res.Failed)
+		}
+		// Every other cell completed despite the panic.
+		completed := 0
+		for pi := range sw.Points {
+			for si := 0; si < sw.pointSeeds(pi); si++ {
+				if res.Raw[0][pi][si] != nil {
+					completed++
+				}
+			}
+		}
+		if want := 2*3 - 1; completed != want {
+			t.Errorf("workers=%d: %d cells completed, want %d", workers, completed, want)
+		}
+	}
+}
+
+// TestRetryRecovers: cells failing their first attempts succeed within
+// the retry budget; the sweep reports no error and counts the retries.
+func TestRetryRecovers(t *testing.T) {
+	var mu sync.Mutex
+	attempts := map[[2]int]int{}
+	sw := valueSweep(func(ctx context.Context, inst *Instance) (CellResult, error) {
+		mu.Lock()
+		attempts[[2]int{inst.Point, inst.Seed}]++
+		n := attempts[[2]int{inst.Point, inst.Seed}]
+		mu.Unlock()
+		if n < 3 {
+			if n == 1 {
+				panic(fmt.Sprintf("transient panic at (%d,%d)", inst.Point, inst.Seed))
+			}
+			return CellResult{}, fmt.Errorf("transient error at (%d,%d)", inst.Point, inst.Seed)
+		}
+		return CellResult{Values: []float64{cellValue(inst)}}, nil
+	})
+	res, err := Run(context.Background(), sw, RunConfig{
+		Workers: 2,
+		Retry:   RetryPolicy{MaxAttempts: 3},
+	})
+	if err != nil {
+		t.Fatalf("retries should have recovered every cell: %v", err)
+	}
+	if res.Retries != 2*6 {
+		t.Errorf("Retries = %d, want %d (two retries for each of 6 cells)", res.Retries, 2*6)
+	}
+	for pi := range sw.Points {
+		for si := 0; si < 3; si++ {
+			if got, want := res.Raw[0][pi][si][0], float64(100*pi+10*si+1); got != want {
+				t.Errorf("cell (%d,%d) = %v, want %v", pi, si, got, want)
+			}
+		}
+	}
+}
+
+// TestRetryExhausted: a cell failing every attempt is reported once,
+// with the configured attempt count, after the rest of the sweep
+// completed.
+func TestRetryExhausted(t *testing.T) {
+	wantErr := errors.New("persistent fault")
+	sw := valueSweep(func(ctx context.Context, inst *Instance) (CellResult, error) {
+		if inst.Point == 1 && inst.Seed == 2 {
+			return CellResult{}, wantErr
+		}
+		return CellResult{Values: []float64{cellValue(inst)}}, nil
+	})
+	res, err := Run(context.Background(), sw, RunConfig{Workers: 2, Retry: RetryPolicy{MaxAttempts: 4}})
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CellError, got %v", err)
+	}
+	if !errors.Is(err, wantErr) {
+		t.Errorf("CellError does not unwrap to the cell's error: %v", err)
+	}
+	if ce.Attempts != 4 || ce.Panicked {
+		t.Errorf("CellError = %+v, want 4 non-panic attempts", ce)
+	}
+	if res.Retries != 3 {
+		t.Errorf("Retries = %d, want 3 (one failing cell, three retries)", res.Retries)
+	}
+}
+
+// TestBackoffDeterministic: backoff delays depend only on (policy,
+// retry, seed), grow exponentially and respect the cap.
+func TestBackoffDeterministic(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 8, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond}
+	for retry := 1; retry <= 7; retry++ {
+		d1 := p.Backoff(retry, 42)
+		d2 := p.Backoff(retry, 42)
+		if d1 != d2 {
+			t.Fatalf("retry %d: backoff not deterministic: %v vs %v", retry, d1, d2)
+		}
+		// Nominal delay min(10ms*2^(retry-1), 80ms), jittered into
+		// [0.5, 1.0) of nominal.
+		nominal := p.BaseDelay << (retry - 1)
+		if nominal > p.MaxDelay {
+			nominal = p.MaxDelay
+		}
+		if d1 < nominal/2 || d1 >= nominal {
+			t.Errorf("retry %d: backoff %v outside [%v, %v)", retry, d1, nominal/2, nominal)
+		}
+	}
+	if p.Backoff(1, 1) == p.Backoff(1, 2) {
+		t.Error("different seeds produced identical jitter (suspicious)")
+	}
+	if got := (RetryPolicy{}).Backoff(3, 7); got != 0 {
+		t.Errorf("zero-value policy should not delay, got %v", got)
+	}
+}
+
+// TestChaosRunByteIdentical is the chaos harness's core guarantee:
+// a sweep under injected panics, errors and latency — with retries to
+// absorb them — produces byte-identical figure JSON to a clean run.
+func TestChaosRunByteIdentical(t *testing.T) {
+	clean, err := Run(context.Background(), testSweep(), RunConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanJSON, _ := json.Marshal(clean.Figure)
+	for _, workers := range []int{1, 4} {
+		res, err := Run(context.Background(), testSweep(), RunConfig{
+			Workers: workers,
+			Retry:   RetryPolicy{MaxAttempts: 25},
+			Chaos: &ChaosConfig{
+				Seed:        7,
+				PanicFrac:   0.25,
+				ErrorFrac:   0.25,
+				LatencyFrac: 0.5,
+				Latency:     100 * time.Microsecond,
+			},
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: chaos run failed despite retries: %v", workers, err)
+		}
+		if res.Retries == 0 {
+			t.Errorf("workers=%d: chaos injected nothing (Retries = 0) — fractions or seed wrong?", workers)
+		}
+		gotJSON, _ := json.Marshal(res.Figure)
+		if string(gotJSON) != string(cleanJSON) {
+			t.Errorf("workers=%d: chaos run JSON differs from clean run:\n%s\nvs\n%s", workers, gotJSON, cleanJSON)
+		}
+	}
+}
+
+// TestChaosDeterministic: the same chaos configuration injects the same
+// faults — measured by the retry count — on every run at any worker
+// count.
+func TestChaosDeterministic(t *testing.T) {
+	run := func(workers int) int {
+		t.Helper()
+		res, err := Run(context.Background(), testSweep(), RunConfig{
+			Workers: workers,
+			Retry:   RetryPolicy{MaxAttempts: 25},
+			Chaos:   &ChaosConfig{Seed: 3, ErrorFrac: 0.5},
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res.Retries
+	}
+	base := run(1)
+	if base == 0 {
+		t.Fatal("chaos injected nothing")
+	}
+	for _, workers := range []int{1, 4} {
+		if got := run(workers); got != base {
+			t.Errorf("workers=%d: %d retries, want %d (chaos schedule must not depend on scheduling)", workers, got, base)
+		}
+	}
+}
+
+// TestDrainGrace: cancelling the parent context lets in-flight cells
+// finish within the grace period — their results are recorded and
+// journaled — while unstarted cells are cancelled, and the result is
+// marked Partial.
+func TestDrainGrace(t *testing.T) {
+	dir := t.TempDir()
+	started := make(chan struct{}, 16)
+	sw := valueSweep(func(ctx context.Context, inst *Instance) (CellResult, error) {
+		started <- struct{}{}
+		time.Sleep(50 * time.Millisecond) // deliberately ignores ctx
+		return CellResult{Values: []float64{cellValue(inst)}}, nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-started
+		cancel()
+	}()
+	res, err := Run(ctx, sw, RunConfig{
+		Workers:    2,
+		DrainGrace: 5 * time.Second,
+		Checkpoint: &Checkpoint{Dir: dir},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled after drain, got %v", err)
+	}
+	if res == nil || !res.Partial {
+		t.Fatalf("want a Partial result, got %+v", res)
+	}
+	completed := 0
+	for pi := range sw.Points {
+		for si := 0; si < sw.pointSeeds(pi); si++ {
+			if res.Raw[0][pi][si] != nil {
+				completed++
+			}
+		}
+	}
+	if completed == 0 {
+		t.Error("no in-flight cell survived the drain")
+	}
+	if completed == 6 {
+		t.Error("every cell completed; cancellation did not stop scheduling")
+	}
+	// The drained cells made it to the journal: resuming completes the
+	// sweep without re-running them.
+	res2, err := Run(context.Background(), sw, RunConfig{
+		Workers:    2,
+		Checkpoint: &Checkpoint{Dir: dir, Resume: true},
+	})
+	if err != nil {
+		t.Fatalf("resume after drain: %v", err)
+	}
+	if res2.Resumed != completed {
+		t.Errorf("resume restored %d cells, want the %d drained ones", res2.Resumed, completed)
+	}
+}
+
+// TestDrainGraceExceeded: cells that outlive the grace period are hard-
+// cancelled with a cause naming the drain, not left running forever.
+func TestDrainGraceExceeded(t *testing.T) {
+	started := make(chan struct{}, 16)
+	var mu sync.Mutex
+	var causes []string
+	sw := valueSweep(func(ctx context.Context, inst *Instance) (CellResult, error) {
+		started <- struct{}{}
+		<-ctx.Done() // only the hard cancel at grace expiry unblocks this
+		mu.Lock()
+		causes = append(causes, fmt.Sprint(context.Cause(ctx)))
+		mu.Unlock()
+		return CellResult{}, context.Cause(ctx)
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-started
+		cancel()
+	}()
+	start := time.Now()
+	res, err := Run(ctx, sw, RunConfig{Workers: 2, DrainGrace: 20 * time.Millisecond})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("drain took %v, want about one grace period", elapsed)
+	}
+	if !res.Partial {
+		t.Error("result not marked Partial")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(causes) == 0 {
+		t.Fatal("no cell saw the hard cancel")
+	}
+	for _, c := range causes {
+		if !strings.Contains(c, "drain grace (20ms) exceeded") {
+			t.Errorf("hard-cancel cause = %q, want it to name the drain grace", c)
+		}
+	}
+}

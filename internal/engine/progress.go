@@ -31,11 +31,21 @@ type Event struct {
 
 	// Duration is the cell's algorithm wall time (CellFinished only;
 	// instance generation is accounted to the sweep, not the cell).
+	// Cells restored from a checkpoint journal report zero here: they
+	// cost this run nothing.
 	Duration time.Duration
 	// Evaluations is the cell's reported solver-evaluation count
 	// (CellFinished only; 0 when the algorithm does not report one).
 	Evaluations int64
-	// Err is the cell's failure, if any (CellFinished only).
+	// Attempt is which attempt this event belongs to (1 = first;
+	// CellStarted fires once per attempt, CellFinished reports the
+	// attempt that settled the cell).
+	Attempt int
+	// Resumed marks a cell restored from the checkpoint journal rather
+	// than executed (CellFinished only).
+	Resumed bool
+	// Err is the cell's failure, if any (CellFinished only). Terminal
+	// failures are *CellError values.
 	Err error
 }
 

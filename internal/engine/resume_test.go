@@ -1,0 +1,237 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func figureJSON(t *testing.T, res *Result) string {
+	t.Helper()
+	buf, err := json.Marshal(res.Figure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(buf)
+}
+
+// TestCheckpointResumeDifferential is the kill-at-cell-K differential
+// test: a sweep killed (context-cancelled) after K cells completed and
+// resumed from its checkpoint journal produces byte-identical figure
+// JSON to an uninterrupted run, for K ∈ {0, mid, all-but-one} and
+// workers ∈ {1, 4}.
+func TestCheckpointResumeDifferential(t *testing.T) {
+	const total = 2 * 3 * 2 // points × seeds × algorithms of testSweep
+	for _, workers := range []int{1, 4} {
+		clean, err := Run(context.Background(), testSweep(), RunConfig{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d clean run: %v", workers, err)
+		}
+		cleanJSON := figureJSON(t, clean)
+
+		for _, k := range []int{0, total / 2, total - 1} {
+			t.Run(fmt.Sprintf("workers=%d/kill-at-%d", workers, k), func(t *testing.T) {
+				dir := t.TempDir()
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				var finished atomic.Int64
+				cfg := RunConfig{
+					Workers:    workers,
+					Checkpoint: &Checkpoint{Dir: dir},
+					Progress: func(ev Event) {
+						if ev.Kind == CellFinished && ev.Err == nil && !ev.Resumed {
+							if finished.Add(1) >= int64(k) {
+								cancel()
+							}
+						}
+					},
+				}
+				if k == 0 {
+					cancel()
+				}
+				res, err := Run(ctx, testSweep(), cfg)
+				if err == nil {
+					// The cancel raced with completion (possible for
+					// k = total-1 at high worker counts); the journal
+					// is then simply complete.
+					if k < total-workers {
+						t.Fatalf("interrupted run unexpectedly succeeded at k=%d", k)
+					}
+				} else if !errors.Is(err, context.Canceled) {
+					t.Fatalf("interrupted run: want context.Canceled, got %v", err)
+				} else if !res.Partial {
+					t.Fatal("interrupted result not marked Partial")
+				}
+
+				resumed, err := Run(context.Background(), testSweep(), RunConfig{
+					Workers:    workers,
+					Checkpoint: &Checkpoint{Dir: dir, Resume: true},
+				})
+				if err != nil {
+					t.Fatalf("resume: %v", err)
+				}
+				if resumed.Resumed < k {
+					t.Errorf("resume restored %d cells, want at least the %d that finished before the kill", resumed.Resumed, k)
+				}
+				if got := figureJSON(t, resumed); got != cleanJSON {
+					t.Errorf("resumed figure JSON differs from clean run:\n%s\nvs\n%s", got, cleanJSON)
+				}
+			})
+		}
+	}
+}
+
+// TestResumeWithoutJournal: -resume against an empty checkpoint
+// directory is a fresh run, not an error.
+func TestResumeWithoutJournal(t *testing.T) {
+	clean, err := Run(context.Background(), testSweep(), RunConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), testSweep(), RunConfig{
+		Workers:    2,
+		Checkpoint: &Checkpoint{Dir: t.TempDir(), Resume: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resumed != 0 {
+		t.Errorf("Resumed = %d from an empty directory", res.Resumed)
+	}
+	if figureJSON(t, res) != figureJSON(t, clean) {
+		t.Error("fresh resume run differs from clean run")
+	}
+}
+
+// TestResumeCompleteJournal: resuming a fully complete journal restores
+// every cell without running any algorithm, byte-identically.
+func TestResumeCompleteJournal(t *testing.T) {
+	dir := t.TempDir()
+	first, err := Run(context.Background(), testSweep(), RunConfig{
+		Workers:    2,
+		Checkpoint: &Checkpoint{Dir: dir},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := testSweep()
+	for ai := range sw.Algorithms {
+		sw.Algorithms[ai].Run = func(ctx context.Context, inst *Instance) (CellResult, error) {
+			return CellResult{}, errors.New("must not run: every cell is journaled")
+		}
+	}
+	res, err := Run(context.Background(), sw, RunConfig{
+		Workers:    2,
+		Checkpoint: &Checkpoint{Dir: dir, Resume: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resumed != 2*3*2 {
+		t.Errorf("Resumed = %d, want all 12 cells", res.Resumed)
+	}
+	if figureJSON(t, res) != figureJSON(t, first) {
+		t.Error("fully resumed run differs from original")
+	}
+	if res.Evaluations != first.Evaluations {
+		t.Errorf("Evaluations not restored: %d vs %d", res.Evaluations, first.Evaluations)
+	}
+}
+
+// TestResumeWithoutResumeFlagTruncates: pointing -checkpoint at an
+// existing journal without Resume starts over.
+func TestResumeWithoutResumeFlagTruncates(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Run(context.Background(), testSweep(), RunConfig{Workers: 2, Checkpoint: &Checkpoint{Dir: dir}}); err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int64
+	sw := testSweep()
+	for ai := range sw.Algorithms {
+		inner := sw.Algorithms[ai].Run
+		sw.Algorithms[ai].Run = func(ctx context.Context, inst *Instance) (CellResult, error) {
+			ran.Add(1)
+			return inner(ctx, inst)
+		}
+	}
+	res, err := Run(context.Background(), sw, RunConfig{Workers: 2, Checkpoint: &Checkpoint{Dir: dir}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resumed != 0 || ran.Load() != 2*3*2 {
+		t.Errorf("without Resume: restored %d, ran %d — journal was not truncated", res.Resumed, ran.Load())
+	}
+}
+
+// TestResumedProgressEvents: restored cells surface as Resumed finish
+// events with zero duration, before any live cell runs.
+func TestResumedProgressEvents(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Run(context.Background(), testSweep(), RunConfig{Workers: 2, Checkpoint: &Checkpoint{Dir: dir}}); err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	_, err := Run(context.Background(), testSweep(), RunConfig{
+		Workers:    2,
+		Checkpoint: &Checkpoint{Dir: dir, Resume: true},
+		Progress:   func(ev Event) { events = append(events, ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, maxDone := 0, 0
+	for _, ev := range events {
+		if ev.Kind != CellFinished {
+			t.Errorf("unexpected non-finish event on a full resume: %+v", ev)
+			continue
+		}
+		if !ev.Resumed || ev.Duration != 0 {
+			t.Errorf("restored cell event not marked Resumed with zero duration: %+v", ev)
+		}
+		resumed++
+		if ev.Done > maxDone {
+			maxDone = ev.Done
+		}
+	}
+	if resumed != 12 || maxDone != 12 {
+		t.Errorf("resumed events = %d, maxDone = %d, want 12 each", resumed, maxDone)
+	}
+}
+
+// TestResumeDeterministicAcrossWorkerCounts: a journal written at one
+// worker count resumes byte-identically at another.
+func TestResumeDeterministicAcrossWorkerCounts(t *testing.T) {
+	clean, err := Run(context.Background(), testSweep(), RunConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var finished atomic.Int64
+	_, _ = Run(ctx, testSweep(), RunConfig{
+		Workers:    4,
+		Checkpoint: &Checkpoint{Dir: dir},
+		Progress: func(ev Event) {
+			if ev.Kind == CellFinished && ev.Err == nil && finished.Add(1) >= 5 {
+				cancel()
+			}
+		},
+	})
+	res, err := Run(context.Background(), testSweep(), RunConfig{
+		Workers:    1,
+		Checkpoint: &Checkpoint{Dir: dir, Resume: true},
+		// A cell timeout also exercises the timeout path under resume.
+		CellTimeout: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if figureJSON(t, res) != figureJSON(t, clean) {
+		t.Error("cross-worker-count resume differs from clean run")
+	}
+}

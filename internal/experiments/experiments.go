@@ -47,6 +47,22 @@ type Options struct {
 	// Limiter optionally shares a cell-concurrency budget with other
 	// experiments running at the same time.
 	Limiter engine.Limiter
+
+	// Retry re-runs failed cells with deterministic exponential backoff
+	// before declaring them terminal (zero value: one attempt, no retry).
+	Retry engine.RetryPolicy
+	// Checkpoint journals every completed cell to a crash-safe per-sweep
+	// file under Checkpoint.Dir; with Checkpoint.Resume an existing
+	// journal is replayed and journaled cells are skipped, byte-
+	// identically (nil disables checkpointing).
+	Checkpoint *engine.Checkpoint
+	// DrainGrace lets in-flight cells finish (and be journaled) for this
+	// long after Context is cancelled before they are hard-cancelled.
+	DrainGrace time.Duration
+	// Chaos injects deterministic, seeded faults into cell execution —
+	// a test/CI harness for the retry and checkpoint machinery, never
+	// for real measurements (nil disables injection).
+	Chaos *engine.ChaosConfig
 }
 
 func (o Options) seeds(def, quick int) int {
@@ -79,6 +95,10 @@ func (o Options) runConfig() engine.RunConfig {
 		CellTimeout: o.Timeout,
 		Progress:    o.Progress,
 		Limiter:     o.Limiter,
+		Retry:       o.Retry,
+		Checkpoint:  o.Checkpoint,
+		DrainGrace:  o.DrainGrace,
+		Chaos:       o.Chaos,
 	}
 }
 
