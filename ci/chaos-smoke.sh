@@ -42,3 +42,42 @@ echo "chaos-smoke: killed run after $lines journal lines"
 cmp "$WORK/clean.json" "$WORK/resumed.json"
 cmp "$WORK/clean.out" "$WORK/resumed.out"
 echo "chaos-smoke: resumed output byte-identical to clean run"
+
+# --- Sharded sweep: chaos-killed workers, then a coordinator kill and
+# restart from the spool; the merged output must still be byte-identical.
+
+SPOOL="$WORK/spool"
+SHARD_ARGS=("${ARGS[@]}" -shard-coordinator -shard-spool "$SPOOL"
+            -shard-workers 2 -shard-size 2 -shard-lease-ttl 5s
+            -chaos-worker-kill 0.4)
+
+# First coordinator life: let workers commit some shards (chaos SIGKILLs
+# whole worker processes mid-shard along the way), then kill the
+# coordinator itself mid-protocol.
+"$BIN" "${SHARD_ARGS[@]}" > /dev/null 2> "$WORK/coord1.err" &
+COORD=$!
+for _ in $(seq 1 400); do
+    segs=$(ls "$SPOOL"/seg/*.journal 2>/dev/null | wc -l) || segs=0
+    if [ "$segs" -ge 2 ]; then
+        break
+    fi
+    sleep 0.05
+done
+kill -9 "$COORD" 2>/dev/null || true
+wait "$COORD" 2>/dev/null || true
+# Orphaned workers of the dead coordinator become zombies: let them
+# finish or die, then restart. Their segments either carry the epochs
+# the lease table recorded (restored) or are fenced at merge.
+pkill -9 -f -- "-shard-worker" 2>/dev/null || true
+sleep 0.2
+echo "chaos-smoke: killed coordinator with $segs committed segment(s)"
+
+# Second coordinator life: resume from the spool's lease table, re-grant
+# only unfinished shards, merge, and match the clean run byte for byte.
+"$BIN" "${SHARD_ARGS[@]}" -json "$WORK/sharded.json" > "$WORK/sharded.out" 2> "$WORK/coord2.err"
+grep -q "restored committed segment" "$WORK/coord2.err" \
+    || echo "chaos-smoke: note: restart had no committed segments to restore"
+
+cmp "$WORK/clean.json" "$WORK/sharded.json"
+cmp "$WORK/clean.out" "$WORK/sharded.out"
+echo "chaos-smoke: sharded output byte-identical to clean run after coordinator restart"

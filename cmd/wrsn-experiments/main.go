@@ -12,6 +12,8 @@
 //	wrsn-experiments -fig 8 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	wrsn-experiments -fig all -checkpoint ckpt        # journal each cell
 //	wrsn-experiments -fig all -checkpoint ckpt -resume # skip journaled cells
+//	wrsn-experiments -fig 8 -shard-coordinator -shard-spool spool -shard-workers 4
+//	wrsn-experiments -fig 8 -shard-merge -shard-spool spool   # merge a finished spool
 //
 // Figures: 1 (field experiment / Table II), 6 (iterative RFH
 // convergence), 7a/7b (heuristics vs optimal), 8 (node-count sweep),
@@ -27,19 +29,35 @@
 // "partial": true. A second Ctrl-C kills the process immediately. With
 // -checkpoint, a later run with -resume replays the journals and
 // produces byte-identical output to an uninterrupted run.
+//
+// Exit codes: 0 on success, 3 for a drained interrupt (completed
+// figures were printed and artifacts are valid), 1 for failure.
+//
+// With -shard-coordinator, each sweep's cell grid is partitioned into
+// shards executed by -shard-workers subprocesses (each re-invoking this
+// binary in -shard-worker mode) coordinated through -shard-spool:
+// leases are revoked and re-granted when workers die or stop
+// heartbeating, and the merged output is byte-identical to an
+// in-process run. A coordinator killed mid-run can be restarted against
+// the same spool; -shard-merge assembles figures from a spool whose
+// segments are already complete (e.g. hand-launched workers on a shared
+// filesystem).
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -48,8 +66,29 @@ import (
 	"wrsn/internal/engine"
 	"wrsn/internal/experiments"
 	"wrsn/internal/render"
+	"wrsn/internal/shard"
 	"wrsn/internal/texttable"
 )
+
+// Exit codes. A drained interrupt (Ctrl-C mid-run) is not a failure:
+// completed figures were printed, artifacts are valid and resumable, so
+// callers get a distinct code for "stopped early, state is good".
+const (
+	exitFailed  = 1
+	exitPartial = 3
+)
+
+// exitCode classifies a run error for the process exit status.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, context.Canceled):
+		return exitPartial
+	default:
+		return exitFailed
+	}
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -63,7 +102,7 @@ func main() {
 	}()
 	if err := runCtx(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "wrsn-experiments:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 }
 
@@ -153,12 +192,66 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 		chaosLatFrac = fs.Float64("chaos-latency-frac", 0, "TESTING: fraction of cell attempts delayed by -chaos-latency")
 		chaosLatency = fs.Duration("chaos-latency", 10*time.Millisecond, "TESTING: injected latency per affected attempt")
 		chaosSeed    = fs.Int64("chaos-seed", 0, "TESTING: chaos injection seed")
+
+		chaosWorkerKill  = fs.Float64("chaos-worker-kill", 0, "TESTING: fraction of shard-worker lease attempts killed mid-shard")
+		chaosWorkerWedge = fs.Float64("chaos-worker-wedge", 0, "TESTING: fraction of shard-worker lease attempts wedged mid-shard (heartbeats stop)")
+		chaosHBDelayFrac = fs.Float64("chaos-heartbeat-delay-frac", 0, "TESTING: fraction of shard-worker leases whose heartbeats are delayed by -chaos-heartbeat-delay")
+		chaosHBDelay     = fs.Duration("chaos-heartbeat-delay", 0, "TESTING: injected heartbeat delay per affected lease")
+
+		shardCoord   = fs.Bool("shard-coordinator", false, "run each selected figure's sweeps sharded across worker processes (requires -shard-spool)")
+		shardWorkers = fs.Int("shard-workers", 2, "worker processes the shard coordinator keeps running concurrently")
+		shardSize    = fs.Int("shard-size", 0, "cells per shard lease (0 = about four shards per worker)")
+		shardTTL     = fs.Duration("shard-lease-ttl", 15*time.Second, "revoke a shard lease after this long without a worker heartbeat")
+		shardSpool   = fs.String("shard-spool", "", "shared spool directory for sharded sweeps (lease table, segments, heartbeats)")
+		shardMerge   = fs.Bool("shard-merge", false, "merge a spool's committed segments into final figures without running any cells (requires -shard-spool)")
+		shardWorker  = fs.Bool("shard-worker", false, "INTERNAL: execute one shard lease against -shard-spool and exit")
+		shardRange   = fs.String("shard-range", "", "INTERNAL: leased cell range start:end (with -shard-worker)")
+		shardEpoch   = fs.Int64("shard-epoch", 0, "INTERNAL: lease attempt epoch (with -shard-worker)")
+		shardSweep   = fs.String("shard-sweep", "", "INTERNAL: sweep ID the lease belongs to (with -shard-worker)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *resume && *checkpoint == "" {
 		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	chaosRequested := false
+	for name := range explicit {
+		if strings.HasPrefix(name, "chaos-") && name != "chaos-seed" {
+			chaosRequested = true
+		}
+	}
+	if chaosRequested && !explicit["chaos-seed"] {
+		return fmt.Errorf("-chaos-* flags require an explicit -chaos-seed: chaos schedules are deterministic and the seed is part of the experiment record")
+	}
+	shardModes := 0
+	for _, on := range []bool{*shardCoord, *shardWorker, *shardMerge} {
+		if on {
+			shardModes++
+		}
+	}
+	if shardModes > 1 {
+		return fmt.Errorf("-shard-coordinator, -shard-worker and -shard-merge are mutually exclusive")
+	}
+	if shardModes == 0 {
+		for _, name := range []string{"shard-spool", "shard-workers", "shard-size", "shard-lease-ttl", "shard-range", "shard-epoch", "shard-sweep"} {
+			if explicit[name] {
+				return fmt.Errorf("-%s needs one of -shard-coordinator, -shard-worker or -shard-merge", name)
+			}
+		}
+	}
+	if shardModes == 1 {
+		if *shardSpool == "" {
+			return fmt.Errorf("sharded modes require -shard-spool")
+		}
+		if *checkpoint != "" {
+			return fmt.Errorf("-checkpoint cannot be combined with sharded modes: the spool owns journaling")
+		}
+	}
+	if *shardWorker && (*shardSweep == "" || *shardRange == "" || *shardEpoch < 1) {
+		return fmt.Errorf("-shard-worker requires -shard-sweep, -shard-range and -shard-epoch >= 1")
 	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -207,13 +300,110 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	if *checkpoint != "" {
 		baseOpts.Checkpoint = &engine.Checkpoint{Dir: *checkpoint, Resume: *resume}
 	}
-	if *chaosPanic > 0 || *chaosError > 0 || *chaosLatFrac > 0 {
+	if *chaosPanic > 0 || *chaosError > 0 || *chaosLatFrac > 0 ||
+		*chaosWorkerKill > 0 || *chaosWorkerWedge > 0 || *chaosHBDelayFrac > 0 {
 		baseOpts.Chaos = &engine.ChaosConfig{
 			Seed:        *chaosSeed,
 			PanicFrac:   *chaosPanic,
 			ErrorFrac:   *chaosError,
 			LatencyFrac: *chaosLatFrac,
 			Latency:     *chaosLatency,
+
+			WorkerKillFrac:     *chaosWorkerKill,
+			WorkerWedgeFrac:    *chaosWorkerWedge,
+			HeartbeatDelayFrac: *chaosHBDelayFrac,
+			HeartbeatDelay:     *chaosHBDelay,
+		}
+	}
+
+	switch {
+	case *shardWorker:
+		start, end, err := shard.ParseRange(*shardRange)
+		if err != nil {
+			return err
+		}
+		lease := shard.Lease{
+			Sweep: *shardSweep, Start: start, End: end, Epoch: *shardEpoch,
+			Worker: fmt.Sprintf("pid%d", os.Getpid()),
+		}
+		spool := *shardSpool
+		baseOpts.RunSweep = func(ctx context.Context, sw *engine.Sweep, cfg engine.RunConfig) (*engine.Result, error) {
+			if sw.ID != lease.Sweep {
+				// A figure selection can span several sweeps; those
+				// outside the lease run zero cells so figure assembly
+				// still proceeds (the worker's stdout is discarded).
+				cfg.Shard = &engine.ShardSpec{}
+				return engine.Run(ctx, sw, cfg)
+			}
+			return shard.RunWorker(ctx, sw, shard.WorkerConfig{Spool: spool, Lease: lease, Run: cfg})
+		}
+	case *shardMerge:
+		spool := *shardSpool
+		baseOpts.RunSweep = func(ctx context.Context, sw *engine.Sweep, cfg engine.RunConfig) (*engine.Result, error) {
+			res, rejected, err := shard.MergeSpool(ctx, sw, cfg, spool)
+			for _, rej := range rejected {
+				fmt.Fprintf(stderr, "wrsn-experiments: shard merge: rejected %s: %s\n", rej.Path, rej.Reason)
+			}
+			return res, err
+		}
+	case *shardCoord:
+		bin, err := os.Executable()
+		if err != nil {
+			return fmt.Errorf("shard coordinator: %w", err)
+		}
+		// Split the cell budget across worker processes; each worker runs
+		// its shard with its own in-process pool.
+		perWorker := poolSize / *shardWorkers
+		if perWorker < 1 {
+			perWorker = 1
+		}
+		workerArgs := []string{
+			"-fig", *fig,
+			"-seeds", strconv.Itoa(*seeds),
+			"-seed", strconv.FormatInt(*seed, 10),
+			"-workers", strconv.Itoa(perWorker),
+			"-timeout", timeout.String(),
+			"-retries", strconv.Itoa(*retries),
+			"-retry-base", retryBase.String(),
+			"-retry-max", retryMax.String(),
+			"-grace", grace.String(),
+		}
+		if *quick {
+			workerArgs = append(workerArgs, "-quick")
+		}
+		if c := baseOpts.Chaos; c != nil {
+			workerArgs = append(workerArgs,
+				"-chaos-seed", strconv.FormatInt(c.Seed, 10),
+				"-chaos-panic", fmt.Sprint(c.PanicFrac),
+				"-chaos-error", fmt.Sprint(c.ErrorFrac),
+				"-chaos-latency-frac", fmt.Sprint(c.LatencyFrac),
+				"-chaos-latency", c.Latency.String(),
+				"-chaos-worker-kill", fmt.Sprint(c.WorkerKillFrac),
+				"-chaos-worker-wedge", fmt.Sprint(c.WorkerWedgeFrac),
+				"-chaos-heartbeat-delay-frac", fmt.Sprint(c.HeartbeatDelayFrac),
+				"-chaos-heartbeat-delay", c.HeartbeatDelay.String(),
+			)
+		}
+		launch := &execLauncher{bin: bin, args: workerArgs, spool: *shardSpool, stderr: stderr}
+		coordCfg := shard.Config{
+			Spool:     *shardSpool,
+			Workers:   *shardWorkers,
+			ShardSize: *shardSize,
+			LeaseTTL:  *shardTTL,
+			Launch:    launch,
+			Log: func(format string, logArgs ...interface{}) {
+				fmt.Fprintf(stderr, "wrsn-experiments: "+format+"\n", logArgs...)
+			},
+		}
+		baseOpts.RunSweep = func(ctx context.Context, sw *engine.Sweep, cfg engine.RunConfig) (*engine.Result, error) {
+			// Cell execution — pool size, chaos, retries — belongs to the
+			// worker processes via their own flags; only progress and the
+			// shared limiter stay with the coordinator's merge replay.
+			res, _, err := shard.Coordinate(ctx, sw, engine.RunConfig{
+				Progress: cfg.Progress,
+				Limiter:  cfg.Limiter,
+			}, coordCfg)
+			return res, err
 		}
 	}
 
@@ -447,6 +637,48 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 		}
 	}
 	return firstErr
+}
+
+// execLauncher starts shard workers as subprocesses of this binary in
+// -shard-worker mode — the process-level half of -shard-coordinator.
+// Worker stdout (figure tables assembled from a partial grid) is
+// discarded; the committed spool segment is the real output. Worker
+// stderr passes through for debugging.
+type execLauncher struct {
+	bin    string
+	args   []string
+	spool  string
+	stderr io.Writer
+}
+
+func (e *execLauncher) Start(_ context.Context, lease shard.Lease) (shard.Handle, error) {
+	args := append(append([]string{}, e.args...),
+		"-shard-worker",
+		"-shard-spool", e.spool,
+		"-shard-sweep", lease.Sweep,
+		"-shard-range", fmt.Sprintf("%d:%d", lease.Start, lease.End),
+		"-shard-epoch", strconv.FormatInt(lease.Epoch, 10),
+	)
+	cmd := exec.Command(e.bin, args...)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = e.stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return &execHandle{cmd: cmd}, nil
+}
+
+type execHandle struct{ cmd *exec.Cmd }
+
+func (h *execHandle) Wait() error { return h.cmd.Wait() }
+
+// Kill revokes the lease with a SIGKILL — the worker gets no chance to
+// commit, which is exactly the guarantee revocation needs (anything it
+// might still write carries a stale epoch and is fenced at merge).
+func (h *execHandle) Kill() {
+	if h.cmd.Process != nil {
+		_ = h.cmd.Process.Kill()
+	}
 }
 
 // writeJSON atomically writes v as indented JSON to path: encode into a

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 	"math"
 	"os"
@@ -309,5 +311,120 @@ func TestInterruptedBenchArtifactPartial(t *testing.T) {
 	}
 	if !art.Partial {
 		t.Errorf("interrupted artifact not marked partial: %s", raw)
+	}
+}
+
+// TestExitCodeClassification pins the process exit contract: 0 for a
+// complete run, 3 for a drained interrupt (partial but valid), 1 for
+// real failure — including that a cancelled runCtx error classifies as
+// partial end to end.
+func TestExitCodeClassification(t *testing.T) {
+	if got := exitCode(nil); got != 0 {
+		t.Errorf("exitCode(nil) = %d, want 0", got)
+	}
+	if got := exitCode(errors.New("boom")); got != exitFailed {
+		t.Errorf("exitCode(failure) = %d, want %d", got, exitFailed)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := runCtx(ctx, []string{"-fig", "8", "-quick", "-seeds", "1", "-grace", "0s"}, io.Discard, io.Discard)
+	if err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	if got := exitCode(err); got != exitPartial {
+		t.Errorf("exitCode(interrupted run) = %d, want %d (err: %v)", got, exitPartial, err)
+	}
+}
+
+// TestChaosRequiresSeed: enabling any chaos injection without an
+// explicit -chaos-seed is a usage error — the seed is part of the
+// experiment record, not an implicit default.
+func TestChaosRequiresSeed(t *testing.T) {
+	for _, args := range [][]string{
+		{"-fig", "6", "-quick", "-seeds", "1", "-chaos-error", "0.1"},
+		{"-fig", "6", "-quick", "-seeds", "1", "-chaos-panic", "0.1"},
+		{"-fig", "6", "-quick", "-seeds", "1", "-chaos-worker-kill", "0.5"},
+	} {
+		err := run(args, &bytes.Buffer{})
+		if err == nil || !strings.Contains(err.Error(), "-chaos-seed") {
+			t.Errorf("run %v: want chaos-seed usage error, got %v", args, err)
+		}
+	}
+	// An explicit seed satisfies the check even with chaos disabled.
+	if err := run([]string{"-fig", "6", "-quick", "-seeds", "1", "-chaos-seed", "7"}, &bytes.Buffer{}); err != nil {
+		t.Errorf("explicit -chaos-seed alone rejected: %v", err)
+	}
+}
+
+// TestShardFlagValidation: malformed shard-mode flag combinations fail
+// fast with a usage error instead of half-starting a run.
+func TestShardFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-fig", "8", "-shard-coordinator", "-shard-worker", "-shard-spool", "s"}, "mutually exclusive"},
+		{[]string{"-fig", "8", "-shard-spool", "s"}, "needs one of"},
+		{[]string{"-fig", "8", "-shard-workers", "4"}, "needs one of"},
+		{[]string{"-fig", "8", "-shard-coordinator"}, "require -shard-spool"},
+		{[]string{"-fig", "8", "-shard-coordinator", "-shard-spool", "s", "-checkpoint", "c"}, "spool owns journaling"},
+		{[]string{"-fig", "8", "-shard-worker", "-shard-spool", "s"}, "-shard-worker requires"},
+		{[]string{"-fig", "8", "-shard-worker", "-shard-spool", "s", "-shard-sweep", "fig8", "-shard-range", "0:4"}, "-shard-worker requires"},
+	}
+	for _, tc := range cases {
+		err := run(tc.args, &bytes.Buffer{})
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run %v: want error containing %q, got %v", tc.args, tc.want, err)
+		}
+	}
+}
+
+// TestShardWorkerMergeCLI runs a figure as two -shard-worker
+// invocations over complementary cell ranges plus a -shard-merge, all
+// in-process, and requires stdout and the JSON artifact to be
+// byte-identical to a plain run. (The subprocess coordinator path is
+// exercised end to end by ci/chaos-smoke.sh.)
+func TestShardWorkerMergeCLI(t *testing.T) {
+	ckpt := t.TempDir()
+	jsonPlain := filepath.Join(t.TempDir(), "figs.json")
+	var plainOut bytes.Buffer
+	if err := run([]string{"-fig", "8", "-quick", "-seeds", "1", "-json", jsonPlain, "-checkpoint", ckpt}, &plainOut); err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+	// The journal records one line per cell plus a header: the grid size
+	// without hardcoding the figure's quick-mode dimensions.
+	journal, err := os.ReadFile(filepath.Join(ckpt, "fig8.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := bytes.Count(journal, []byte("\n")) - 1
+	if cells < 2 {
+		t.Fatalf("fig8 quick grid has %d cells, too small to shard", cells)
+	}
+
+	spool := t.TempDir()
+	mid := cells / 2
+	for _, rng := range [][2]int{{0, mid}, {mid, cells}} {
+		args := []string{"-fig", "8", "-quick", "-seeds", "1",
+			"-shard-worker", "-shard-spool", spool, "-shard-sweep", "fig8",
+			"-shard-range", fmt.Sprintf("%d:%d", rng[0], rng[1]), "-shard-epoch", "1"}
+		if err := run(args, io.Discard); err != nil {
+			t.Fatalf("worker [%d:%d): %v", rng[0], rng[1], err)
+		}
+	}
+
+	jsonMerged := filepath.Join(t.TempDir(), "figs.json")
+	var mergedOut bytes.Buffer
+	if err := run([]string{"-fig", "8", "-quick", "-seeds", "1", "-json", jsonMerged,
+		"-shard-merge", "-shard-spool", spool}, &mergedOut); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if mergedOut.String() != plainOut.String() {
+		t.Errorf("merged stdout differs from plain run:\n%s\nvs\n%s", mergedOut.String(), plainOut.String())
+	}
+	plainJSON, _ := os.ReadFile(jsonPlain)
+	mergedJSON, _ := os.ReadFile(jsonMerged)
+	if !bytes.Equal(plainJSON, mergedJSON) {
+		t.Error("merged JSON artifact differs from plain run")
 	}
 }

@@ -34,11 +34,60 @@ type ChaosConfig struct {
 	// the algorithm runs.
 	LatencyFrac float64
 	Latency     time.Duration
+
+	// Worker-level faults for the sharded sweep engine (internal/shard),
+	// drawn once per (shard range, epoch) so a re-granted lease draws a
+	// fresh fate — reassignment absorbs faults exactly like retries
+	// absorb cell faults.
+
+	// WorkerKillFrac is the fraction of shard lease executions that die
+	// mid-shard without committing a segment (a simulated SIGKILL).
+	WorkerKillFrac float64
+	// WorkerWedgeFrac is the fraction of shard lease executions that
+	// wedge mid-shard: stop heartbeating and hang until revoked.
+	WorkerWedgeFrac float64
+	// HeartbeatDelayFrac is the fraction of shard lease executions whose
+	// every heartbeat is delayed by HeartbeatDelay.
+	HeartbeatDelayFrac float64
+	HeartbeatDelay     time.Duration
 }
 
-// enabled reports whether any fault kind is configured.
+// enabled reports whether any cell-attempt fault kind is configured.
 func (c *ChaosConfig) enabled() bool {
 	return c != nil && (c.PanicFrac > 0 || c.ErrorFrac > 0 || (c.LatencyFrac > 0 && c.Latency > 0))
+}
+
+// WorkerFault is the fate drawn for one shard lease execution.
+type WorkerFault struct {
+	// Kill aborts the worker mid-shard without committing its segment.
+	Kill bool
+	// Wedge stops the worker's heartbeats mid-shard and hangs it until
+	// the lease is revoked. Kill and Wedge are mutually exclusive.
+	Wedge bool
+	// HeartbeatDelay delays every heartbeat write by this much.
+	HeartbeatDelay time.Duration
+}
+
+// WorkerFaults draws the deterministic fate of one shard lease
+// execution, keyed by (sweep, cell range, epoch): the same lease grant
+// always draws the same fault, at any scheduling, and a re-grant
+// (higher epoch) draws independently.
+func (c *ChaosConfig) WorkerFaults(sweep string, start, end int, epoch int64) WorkerFault {
+	if c == nil {
+		return WorkerFault{}
+	}
+	var f WorkerFault
+	if c.WorkerKillFrac > 0 && c.uniform(4, sweep, start, end, 0, int(epoch)) < c.WorkerKillFrac {
+		f.Kill = true
+	}
+	if !f.Kill && c.WorkerWedgeFrac > 0 && c.uniform(5, sweep, start, end, 0, int(epoch)) < c.WorkerWedgeFrac {
+		f.Wedge = true
+	}
+	if c.HeartbeatDelayFrac > 0 && c.HeartbeatDelay > 0 &&
+		c.uniform(6, sweep, start, end, 0, int(epoch)) < c.HeartbeatDelayFrac {
+		f.HeartbeatDelay = c.HeartbeatDelay
+	}
+	return f
 }
 
 // uniform draws the deterministic uniform in [0, 1) for one

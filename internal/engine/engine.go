@@ -201,6 +201,13 @@ type RunConfig struct {
 	// journal before the sweep returns (0 = abort in-flight cells
 	// immediately, the historical behaviour).
 	DrainGrace time.Duration
+	// Shard restricts execution to the cell-index range [Shard.Start,
+	// Shard.End) of the canonical point-major grid — the worker half of
+	// the sharded sweep protocol (internal/shard). Cells outside the
+	// range are neither run nor reported, and the checkpoint journal
+	// header carries Shard.Lease so the resulting segment is
+	// self-describing. Nil runs the whole grid.
+	Shard *ShardSpec
 	// Chaos deterministically injects panics, errors and latency into
 	// cell attempts. Testing and benchmarking only.
 	Chaos *ChaosConfig
@@ -268,6 +275,7 @@ type runner struct {
 	evals     [][][]int64
 	errs      []error // per cell index: terminal failure or cancellation
 	skip      []bool  // per cell index: restored from the journal
+	excluded  []bool  // per cell index: outside cfg.Shard's range
 
 	journal *journal
 	retried atomic.Int64
@@ -396,6 +404,18 @@ func Run(ctx context.Context, sw *Sweep, cfg RunConfig) (*Result, error) {
 	}
 	r.errs = make([]error, len(r.cells))
 	r.skip = make([]bool, len(r.cells))
+	r.excluded = make([]bool, len(r.cells))
+	if s := cfg.Shard; s != nil {
+		if s.Start < 0 || s.End > len(r.cells) || s.Start > s.End {
+			return nil, fmt.Errorf("engine: sweep %s: shard range [%d,%d) outside the %d-cell grid",
+				sw.ID, s.Start, s.End, len(r.cells))
+		}
+		for idx := range r.cells {
+			if idx < s.Start || idx >= s.End {
+				r.excluded[idx] = true
+			}
+		}
+	}
 
 	resumed, err := r.openCheckpoint()
 	if err != nil {
@@ -433,7 +453,7 @@ func Run(ctx context.Context, sw *Sweep, cfg RunConfig) (*Result, error) {
 	// Replay journaled cells first, in grid order: their finish events
 	// (Resumed, zero duration) precede any live execution.
 	for idx := range r.cells {
-		if !r.skip[idx] {
+		if !r.skip[idx] || r.excluded[idx] {
 			continue
 		}
 		c := r.cells[idx]
@@ -447,7 +467,7 @@ func Run(ctx context.Context, sw *Sweep, cfg RunConfig) (*Result, error) {
 
 	live := make([]int, 0, len(r.cells))
 	for idx := range r.cells {
-		if !r.skip[idx] {
+		if !r.skip[idx] && !r.excluded[idx] {
 			live = append(live, idx)
 		}
 	}
@@ -525,7 +545,11 @@ func (r *runner) openCheckpoint() (int, error) {
 	if r.cfg.Checkpoint == nil {
 		return 0, nil
 	}
-	j, recs, err := openJournal(r.cfg.Checkpoint, r.sw, len(r.cells))
+	var lease *LeaseMeta
+	if r.cfg.Shard != nil {
+		lease = r.cfg.Shard.Lease
+	}
+	j, recs, err := openJournal(r.cfg.Checkpoint, r.sw, lease)
 	if err != nil {
 		return 0, err
 	}
@@ -726,7 +750,7 @@ func (r *runner) journalCell(c cell, res CellResult, d time.Duration, attempt in
 	for i, v := range res.Values {
 		bits[i] = math.Float64bits(v)
 	}
-	err := r.journal.append("c", cellRecord{
+	err := r.journal.append("c", CellRecord{
 		Point: c.point, Seed: c.seed, Algo: c.algo,
 		ValueBits: bits, Evaluations: res.Evaluations,
 		DurationNS: int64(d), Attempts: attempt,

@@ -43,7 +43,10 @@ var (
 const journalVersion = 1
 
 // journalHeader is the journal's first record: enough sweep identity to
-// refuse resuming a journal that belongs to a different grid.
+// refuse resuming a journal that belongs to a different grid. A journal
+// written by a sharded worker additionally carries its lease metadata,
+// which identifies the segment but never participates in header
+// matching (a merged journal has no lease).
 type journalHeader struct {
 	Version    int      `json:"version"`
 	Sweep      string   `json:"sweep"`
@@ -52,12 +55,15 @@ type journalHeader struct {
 	Cells      int      `json:"cells"`
 	Points     int      `json:"points"`
 	Algorithms []string `json:"algorithms"`
+	// Lease marks a journal segment written by a sharded worker under a
+	// revocable lease (nil for whole-sweep journals and merged journals).
+	Lease *LeaseMeta `json:"lease,omitempty"`
 }
 
-// cellRecord is one completed cell. Values are stored as IEEE-754 bit
-// patterns (math.Float64bits): exact round-trip, and JSON floats could
-// not carry the NaN "no observation" marker anyway.
-type cellRecord struct {
+// CellRecord is one completed journaled cell. Values are stored as
+// IEEE-754 bit patterns (math.Float64bits): exact round-trip, and JSON
+// floats could not carry the NaN "no observation" marker anyway.
+type CellRecord struct {
 	Point int `json:"p"`
 	Seed  int `json:"s"`
 	Algo  int `json:"a"`
@@ -122,7 +128,7 @@ func decodeLine(line []byte) (kind string, rec json.RawMessage, err error) {
 // very first record is unusable the journal is treated as empty
 // (hdr == nil, validLen 0). Duplicate cell records keep the first copy —
 // cells are deterministic, so any duplicate carries the same values.
-func decodeJournal(data []byte) (hdr *journalHeader, recs []cellRecord, validLen int, err error) {
+func decodeJournal(data []byte) (hdr *journalHeader, recs []CellRecord, validLen int, err error) {
 	seen := map[[3]int]bool{}
 	off := 0
 	for off < len(data) {
@@ -138,7 +144,7 @@ func decodeJournal(data []byte) (hdr *journalHeader, recs []cellRecord, validLen
 		line := data[off:lineEnd]
 		isLast := next >= len(data)
 
-		bad := func(cause error) (*journalHeader, []cellRecord, int, error) {
+		bad := func(cause error) (*journalHeader, []CellRecord, int, error) {
 			if isLast {
 				return hdr, recs, off, nil // torn tail: keep the valid prefix
 			}
@@ -166,7 +172,7 @@ func decodeJournal(data []byte) (hdr *journalHeader, recs []cellRecord, validLen
 			if hdr == nil {
 				return bad(errors.New("cell record before header"))
 			}
-			var c cellRecord
+			var c CellRecord
 			if uerr := json.Unmarshal(raw, &c); uerr != nil {
 				return bad(uerr)
 			}
@@ -204,21 +210,14 @@ func headerMatches(got, want *journalHeader) bool {
 // replays an existing journal (validating its header against the sweep,
 // truncating any torn tail) and returns the restored cell records; in
 // all other cases it starts a fresh journal whose first record is the
-// sweep header.
-func openJournal(cp *Checkpoint, sw *Sweep, cells int) (*journal, []cellRecord, error) {
+// sweep header (carrying lease metadata when the run is one shard of a
+// sharded sweep).
+func openJournal(cp *Checkpoint, sw *Sweep, lease *LeaseMeta) (*journal, []CellRecord, error) {
 	if err := os.MkdirAll(cp.Dir, 0o755); err != nil {
 		return nil, nil, err
 	}
 	path := journalPath(cp.Dir, sw.ID)
-	want := &journalHeader{
-		Version:    journalVersion,
-		Sweep:      sw.ID,
-		BaseSeed:   sw.BaseSeed,
-		SeedStride: sw.SeedStride,
-		Cells:      cells,
-		Points:     len(sw.Points),
-		Algorithms: algoLabels(sw),
-	}
+	want := headerFor(sw, lease)
 
 	if cp.Resume {
 		data, err := os.ReadFile(path)

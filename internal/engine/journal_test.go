@@ -22,7 +22,7 @@ func buildJournalBytes(t testing.TB, n int) []byte {
 	}
 	buf.Write(line)
 	for i := 0; i < n; i++ {
-		rec := cellRecord{Point: i % 2, Seed: i / 2, Algo: i % 2,
+		rec := CellRecord{Point: i % 2, Seed: i / 2, Algo: i % 2,
 			ValueBits: []uint64{uint64(i) * 0x123456789, 42}, Evaluations: int64(i), DurationNS: 1000, Attempts: 1}
 		line, err := encodeLine("c", rec)
 		if err != nil {
@@ -125,7 +125,7 @@ func TestDecodeJournalGarbage(t *testing.T) {
 func TestResumeHeaderMismatch(t *testing.T) {
 	dir := t.TempDir()
 	sw := testSweep()
-	j, _, err := openJournal(&Checkpoint{Dir: dir}, sw, 12)
+	j, _, err := openJournal(&Checkpoint{Dir: dir}, sw, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,12 +133,12 @@ func TestResumeHeaderMismatch(t *testing.T) {
 
 	other := testSweep()
 	other.BaseSeed = 99
-	if _, _, err := openJournal(&Checkpoint{Dir: dir, Resume: true}, other, 12); !errors.Is(err, ErrCheckpointMismatch) {
+	if _, _, err := openJournal(&Checkpoint{Dir: dir, Resume: true}, other, nil); !errors.Is(err, ErrCheckpointMismatch) {
 		t.Errorf("BaseSeed mismatch: want ErrCheckpointMismatch, got %v", err)
 	}
 	other = testSweep()
 	other.Algorithms[0].Label = "renamed"
-	if _, _, err := openJournal(&Checkpoint{Dir: dir, Resume: true}, other, 12); !errors.Is(err, ErrCheckpointMismatch) {
+	if _, _, err := openJournal(&Checkpoint{Dir: dir, Resume: true}, other, nil); !errors.Is(err, ErrCheckpointMismatch) {
 		t.Errorf("algorithm mismatch: want ErrCheckpointMismatch, got %v", err)
 	}
 }
@@ -156,7 +156,7 @@ func TestResumeTruncatesTornTail(t *testing.T) {
 	var buf bytes.Buffer
 	line, _ := encodeLine("h", hdr)
 	buf.Write(line)
-	rec := cellRecord{Point: 0, Seed: 0, Algo: 0, ValueBits: []uint64{1}}
+	rec := CellRecord{Point: 0, Seed: 0, Algo: 0, ValueBits: []uint64{1}}
 	line, _ = encodeLine("c", rec)
 	buf.Write(line)
 	torn := append(buf.Bytes(), []byte(`{"k":"c","crc":12,"rec":{"p":`)...)
@@ -165,7 +165,7 @@ func TestResumeTruncatesTornTail(t *testing.T) {
 	if err := os.WriteFile(path, torn, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	j, recs, err := openJournal(&Checkpoint{Dir: dir, Resume: true}, sw, 12)
+	j, recs, err := openJournal(&Checkpoint{Dir: dir, Resume: true}, sw, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestResumeTruncatesTornTail(t *testing.T) {
 		t.Fatalf("restored %d records, want 1", len(recs))
 	}
 	// Append another record; the file must now decode cleanly end to end.
-	if err := j.append("c", cellRecord{Point: 0, Seed: 0, Algo: 1, ValueBits: []uint64{2}}); err != nil {
+	if err := j.append("c", CellRecord{Point: 0, Seed: 0, Algo: 1, ValueBits: []uint64{2}}); err != nil {
 		t.Fatal(err)
 	}
 	j.Close()
@@ -236,7 +236,7 @@ func TestJournalFilePerSweep(t *testing.T) {
 	for _, id := range []string{"alpha", "beta"} {
 		sw := testSweep()
 		sw.ID = id
-		j, _, err := openJournal(&Checkpoint{Dir: dir}, sw, 12)
+		j, _, err := openJournal(&Checkpoint{Dir: dir}, sw, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

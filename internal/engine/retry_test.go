@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestBackoffPinnedSchedule pins the exact deterministic backoff
+// schedule for two cell seeds: base 10ms doubling to an 80ms cap, with
+// splitmix64 jitter in [0.5, 1.0) keyed by (seed, retry). These values
+// are part of the reproducibility contract — a rerun of the same sweep
+// must replay the same delays, so any change here is a breaking change
+// to recorded experiment timing, not a refactor.
+func TestBackoffPinnedSchedule(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 8, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond}
+	cases := []struct {
+		seed  int64
+		retry int
+		want  time.Duration
+	}{
+		{seed: 7, retry: 1, want: 7615335},   // 7.615335ms
+		{seed: 7, retry: 2, want: 17390873},  // 17.390873ms
+		{seed: 7, retry: 3, want: 37774368},  // 37.774368ms
+		{seed: 7, retry: 4, want: 57949571},  // 57.949571ms
+		{seed: 7, retry: 5, want: 60444059},  // 60.444059ms
+		{seed: 7, retry: 6, want: 48106378},  // 48.106378ms
+		{seed: 42, retry: 1, want: 6181802},  // 6.181802ms
+		{seed: 42, retry: 2, want: 10082189}, // 10.082189ms
+		{seed: 42, retry: 3, want: 34135024}, // 34.135024ms
+		{seed: 42, retry: 4, want: 40104135}, // 40.104135ms
+		{seed: 42, retry: 5, want: 58637604}, // 58.637604ms
+		{seed: 42, retry: 6, want: 69479805}, // 69.479805ms
+	}
+	for _, tc := range cases {
+		if got := p.Backoff(tc.retry, tc.seed); got != tc.want {
+			t.Errorf("Backoff(retry=%d, seed=%d) = %v, want %v", tc.retry, tc.seed, got, tc.want)
+		}
+	}
+}
+
+// TestBackoffMaxDelayClamp: once the exponential curve reaches MaxDelay,
+// every later retry's delay stays within [MaxDelay/2, MaxDelay) — the
+// cap scaled by the jitter range — no matter how large retry grows.
+func TestBackoffMaxDelayClamp(t *testing.T) {
+	p := RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 16 * time.Millisecond}
+	for retry := 5; retry <= 64; retry++ {
+		for seed := int64(0); seed < 20; seed++ {
+			d := p.Backoff(retry, seed)
+			if d < p.MaxDelay/2 || d >= p.MaxDelay {
+				t.Fatalf("Backoff(retry=%d, seed=%d) = %v outside clamp [%v, %v)",
+					retry, seed, d, p.MaxDelay/2, p.MaxDelay)
+			}
+		}
+	}
+	// Uncapped policy must not overflow into a negative duration even at
+	// absurd retry counts: the doubling loop detects overflow and falls
+	// back to MaxDelay (zero here, meaning the base keeps the last
+	// pre-overflow value's clamp path — the result must stay positive).
+	huge := RetryPolicy{BaseDelay: time.Hour}
+	if d := huge.Backoff(63, 1); d < 0 {
+		t.Errorf("uncapped Backoff overflowed to %v", d)
+	}
+}
+
+// TestRetryBudgetExhaustedByPanics: a cell whose algorithm panics on
+// every attempt consumes exactly MaxAttempts attempts, surfaces as a
+// panicking CellError, and fails the run — the panic never escapes the
+// worker pool.
+func TestRetryBudgetExhaustedByPanics(t *testing.T) {
+	const budget = 3
+	attempts := make(map[[2]int]int) // (point, seed) → attempts; runs serially at Workers:1
+	sw := testSweep()
+	sw.Algorithms = sw.Algorithms[:1]
+	sw.Algorithms[0].Run = func(ctx context.Context, inst *Instance) (CellResult, error) {
+		attempts[[2]int{inst.Point, inst.Seed}]++
+		panic("deliberate test panic")
+	}
+
+	res, err := Run(context.Background(), sw, RunConfig{
+		Workers: 1,
+		Retry:   RetryPolicy{MaxAttempts: budget},
+	})
+	if err == nil {
+		t.Fatal("run with always-panicking algorithm succeeded")
+	}
+	var cellErr *CellError
+	if !errors.As(err, &cellErr) {
+		t.Fatalf("want *CellError, got %T: %v", err, err)
+	}
+	if !cellErr.Panicked {
+		t.Errorf("CellError not marked Panicked: %v", cellErr)
+	}
+	if cellErr.Attempts != budget {
+		t.Errorf("CellError.Attempts = %d, want %d", cellErr.Attempts, budget)
+	}
+	if cellErr.Stack == "" {
+		t.Error("panicking CellError carries no stack trace")
+	}
+	for cell, n := range attempts {
+		if n != budget {
+			t.Errorf("cell %v ran %d attempts, want exactly %d", cell, n, budget)
+		}
+	}
+	if res == nil || len(res.Failed) == 0 {
+		t.Fatal("result does not list the failed cells")
+	}
+	for _, f := range res.Failed {
+		if f.Attempts != budget {
+			t.Errorf("failed cell %s/%d attempts = %d, want %d", f.Algorithm, f.Seed, f.Attempts, budget)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCellIndexGrid: CellIndex enumerates the canonical point-major
+// grid order exactly, and rejects out-of-grid coordinates.
+func TestCellIndexGrid(t *testing.T) {
+	sw := testSweep() // 2 points × 3 seeds × 2 algorithms
+	if got := CellCount(sw); got != 12 {
+		t.Fatalf("CellCount = %d, want 12", got)
+	}
+	want := 0
+	for p := 0; p < len(sw.Points); p++ {
+		for s := 0; s < sw.Seeds; s++ {
+			for a := 0; a < len(sw.Algorithms); a++ {
+				if got := CellIndex(sw, p, s, a); got != want {
+					t.Errorf("CellIndex(%d,%d,%d) = %d, want %d", p, s, a, got, want)
+				}
+				want++
+			}
+		}
+	}
+	for _, bad := range [][3]int{{-1, 0, 0}, {2, 0, 0}, {0, 3, 0}, {0, 0, 2}} {
+		if got := CellIndex(sw, bad[0], bad[1], bad[2]); got != -1 {
+			t.Errorf("CellIndex%v = %d, want -1", bad, got)
+		}
+	}
+}
+
+// TestShardSegmentRoundtrip runs the sweep as two complementary shard
+// halves (the worker path: RunConfig.Shard with lease metadata), reads
+// both segments back with full validation, merges their records into a
+// single journal, and resume-replays it — asserting byte-identical
+// figure JSON against a clean in-process run. This is the engine half
+// of the sharded-sweep protocol without internal/shard's coordination.
+func TestShardSegmentRoundtrip(t *testing.T) {
+	clean, err := Run(context.Background(), testSweep(), RunConfig{Workers: 1})
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	cleanJSON := figureJSON(t, clean)
+
+	var recs []CellRecord
+	segDir := t.TempDir()
+	for _, rng := range [][2]int{{0, 5}, {5, 12}} {
+		sw := testSweep()
+		lease := &LeaseMeta{Sweep: sw.ID, Start: rng[0], End: rng[1], Epoch: 1, Worker: "test"}
+		dir := filepath.Join(segDir, lease.ID())
+		res, err := Run(context.Background(), sw, RunConfig{
+			Workers:    2,
+			Checkpoint: &Checkpoint{Dir: dir},
+			Shard:      &ShardSpec{Start: rng[0], End: rng[1], Lease: lease},
+		})
+		if err != nil {
+			t.Fatalf("shard [%d,%d): %v", rng[0], rng[1], err)
+		}
+		// A shard run reports only its own cells: the rest of the grid is
+		// excluded, not failed.
+		if res.Partial {
+			t.Errorf("shard [%d,%d) marked Partial", rng[0], rng[1])
+		}
+		seg, err := ReadSegment(journalPath(dir, sw.ID), sw)
+		if err != nil {
+			t.Fatalf("read segment [%d,%d): %v", rng[0], rng[1], err)
+		}
+		if seg.Lease != *lease {
+			t.Errorf("segment lease %+v, want %+v", seg.Lease, *lease)
+		}
+		if len(seg.Records) != rng[1]-rng[0] {
+			t.Errorf("segment [%d,%d) has %d records, want %d", rng[0], rng[1], len(seg.Records), rng[1]-rng[0])
+		}
+		recs = append(recs, seg.Records...)
+	}
+
+	mergedDir := t.TempDir()
+	if _, err := WriteMergedJournal(mergedDir, testSweep(), recs); err != nil {
+		t.Fatalf("write merged journal: %v", err)
+	}
+	merged, err := Run(context.Background(), testSweep(), RunConfig{
+		Workers:    1,
+		Checkpoint: &Checkpoint{Dir: mergedDir, Resume: true},
+	})
+	if err != nil {
+		t.Fatalf("merged replay: %v", err)
+	}
+	if merged.Resumed != 12 {
+		t.Errorf("merged replay restored %d cells, want 12", merged.Resumed)
+	}
+	if got := figureJSON(t, merged); got != cleanJSON {
+		t.Errorf("merged figure JSON differs from clean run:\n%s\nvs\n%s", got, cleanJSON)
+	}
+}
+
+// TestReadSegmentValidation: every way a segment can be unusable is an
+// explicit error, never a silent partial read.
+func TestReadSegmentValidation(t *testing.T) {
+	sw := testSweep()
+	lease := &LeaseMeta{Sweep: sw.ID, Start: 0, End: 6, Epoch: 2}
+	dir := t.TempDir()
+	if _, err := Run(context.Background(), sw, RunConfig{
+		Workers:    1,
+		Checkpoint: &Checkpoint{Dir: dir},
+		Shard:      &ShardSpec{Start: 0, End: 6, Lease: lease},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	segPath := journalPath(dir, sw.ID)
+
+	t.Run("valid", func(t *testing.T) {
+		if _, err := ReadSegment(segPath, sw); err != nil {
+			t.Fatalf("valid segment rejected: %v", err)
+		}
+	})
+
+	t.Run("torn tail", func(t *testing.T) {
+		data, err := os.ReadFile(segPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		torn := filepath.Join(t.TempDir(), "torn.journal")
+		if err := os.WriteFile(torn, data[:len(data)-3], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err = ReadSegment(torn, sw)
+		if err == nil || !strings.Contains(err.Error(), "torn tail") {
+			t.Fatalf("want torn-tail rejection, got %v", err)
+		}
+	})
+
+	t.Run("no lease metadata", func(t *testing.T) {
+		// A full-run checkpoint journal is a valid journal but not a
+		// segment: it carries no lease and must not be merged as one.
+		fullDir := t.TempDir()
+		if _, err := Run(context.Background(), sw, RunConfig{
+			Workers:    1,
+			Checkpoint: &Checkpoint{Dir: fullDir},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		_, err := ReadSegment(journalPath(fullDir, sw.ID), sw)
+		if err == nil || !strings.Contains(err.Error(), "no lease metadata") {
+			t.Fatalf("want lease-metadata rejection, got %v", err)
+		}
+	})
+
+	t.Run("wrong sweep", func(t *testing.T) {
+		other := testSweep()
+		other.BaseSeed = 1234
+		_, err := ReadSegment(segPath, other)
+		if !errors.Is(err, ErrCheckpointMismatch) {
+			t.Fatalf("want ErrCheckpointMismatch for wrong sweep, got %v", err)
+		}
+	})
+
+	t.Run("missing file", func(t *testing.T) {
+		_, err := ReadSegment(filepath.Join(t.TempDir(), "absent.journal"), sw)
+		if !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("want os.ErrNotExist, got %v", err)
+		}
+	})
+}
+
+// TestShardSpecValidation: a shard range outside the grid is refused up
+// front, and an empty range runs zero cells.
+func TestShardSpecValidation(t *testing.T) {
+	sw := testSweep()
+	for _, bad := range []ShardSpec{{Start: -1, End: 4}, {Start: 0, End: 13}, {Start: 8, End: 4}} {
+		bad := bad
+		if _, err := Run(context.Background(), sw, RunConfig{Shard: &bad}); err == nil ||
+			!strings.Contains(err.Error(), "shard range") {
+			t.Errorf("Shard %+v: want range error, got %v", bad, err)
+		}
+	}
+	res, err := Run(context.Background(), testSweep(), RunConfig{Shard: &ShardSpec{Start: 4, End: 4}})
+	if err != nil {
+		t.Fatalf("empty shard: %v", err)
+	}
+	if res.Partial {
+		t.Error("empty shard marked Partial")
+	}
+}

@@ -63,6 +63,14 @@ type Options struct {
 	// a test/CI harness for the retry and checkpoint machinery, never
 	// for real measurements (nil disables injection).
 	Chaos *engine.ChaosConfig
+
+	// RunSweep, when non-nil, replaces engine.Run for every sweep an
+	// experiment executes — the hook cmd/wrsn-experiments' sharded modes
+	// use to route sweeps through a shard coordinator, a single shard
+	// worker, or a spool merge instead of plain in-process execution.
+	// Implementations must preserve engine.Run's contract: same Result,
+	// byte-identical values.
+	RunSweep func(ctx context.Context, sw *engine.Sweep, cfg engine.RunConfig) (*engine.Result, error)
 }
 
 func (o Options) seeds(def, quick int) int {
@@ -113,10 +121,19 @@ type (
 	Figure = engine.Figure
 )
 
+// runSweep executes a sweep through the RunSweep hook, or engine.Run
+// directly when no hook is installed.
+func (o Options) runSweep(sw *engine.Sweep) (*engine.Result, error) {
+	if o.RunSweep != nil {
+		return o.RunSweep(o.ctx(), sw, o.runConfig())
+	}
+	return engine.Run(o.ctx(), sw, o.runConfig())
+}
+
 // runFigure executes a sweep spec under the experiment's options and
 // returns its assembled figure.
 func runFigure(opts Options, sw *engine.Sweep) (*Figure, error) {
-	res, err := engine.Run(opts.ctx(), sw, opts.runConfig())
+	res, err := opts.runSweep(sw)
 	if err != nil {
 		return nil, err
 	}

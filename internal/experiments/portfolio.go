@@ -81,7 +81,7 @@ func ExtPortfolio(opts Options) ([]PortfolioEntry, error) {
 		})
 	}
 
-	res, err := engine.Run(opts.ctx(), sw, opts.runConfig())
+	res, err := opts.runSweep(sw)
 	if err != nil {
 		return nil, err
 	}

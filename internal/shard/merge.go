@@ -1,0 +1,151 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"wrsn/internal/engine"
+)
+
+// RejectedSegment records one spool segment the merge refused, and why:
+// a stale (fenced) epoch, a corrupt or incomplete journal, or a lease
+// that does not belong to the sweep's shard plan.
+type RejectedSegment struct {
+	Path   string
+	Reason string
+}
+
+// mergeSegments assembles the final Result from the spool's committed
+// segments. expect maps each planned shard range to the epoch whose
+// segment is current; any other segment for that range is fenced out.
+// With a nil expect (standalone merge of a hand-run spool), the
+// highest-epoch valid segment per range wins and the ranges found must
+// tile the grid exactly.
+//
+// Accepted segments are CRC-checked, header-matched and
+// completeness-checked (ReadSegment), required to tile [0, CellCount)
+// with no gaps or overlaps, written into a single merged journal, and
+// replayed through the engine's checkpoint-resume path — so the
+// returned Result's values are byte-identical to an uninterrupted
+// in-process run at any worker count.
+func mergeSegments(ctx context.Context, sw *engine.Sweep, runCfg engine.RunConfig, l layout, expect map[[2]int]int64) (*engine.Result, []RejectedSegment, error) {
+	entries, err := os.ReadDir(l.segDir())
+	if err != nil {
+		return nil, nil, fmt.Errorf("shard: merge: %w", err)
+	}
+	var rejected []RejectedSegment
+	best := map[[2]int]*engine.Segment{} // current segment per cell range
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".journal") {
+			continue
+		}
+		path := filepath.Join(l.segDir(), ent.Name())
+		seg, err := engine.ReadSegment(path, sw)
+		if err != nil {
+			rejected = append(rejected, RejectedSegment{Path: path, Reason: err.Error()})
+			continue
+		}
+		rng := [2]int{seg.Lease.Start, seg.Lease.End}
+		if expect != nil {
+			want, planned := expect[rng]
+			if !planned {
+				rejected = append(rejected, RejectedSegment{Path: path,
+					Reason: fmt.Sprintf("lease %s is not part of the shard plan", seg.Lease)})
+				continue
+			}
+			if seg.Lease.Epoch != want {
+				rejected = append(rejected, RejectedSegment{Path: path,
+					Reason: fmt.Sprintf("stale lease epoch %d (current epoch %d): fenced zombie segment", seg.Lease.Epoch, want)})
+				continue
+			}
+			best[rng] = seg
+			continue
+		}
+		if cur := best[rng]; cur == nil || seg.Lease.Epoch > cur.Lease.Epoch {
+			if cur != nil {
+				rejected = append(rejected, RejectedSegment{Path: cur.Path,
+					Reason: fmt.Sprintf("superseded by epoch %d", seg.Lease.Epoch)})
+			}
+			best[rng] = seg
+		} else {
+			rejected = append(rejected, RejectedSegment{Path: path,
+				Reason: fmt.Sprintf("superseded by epoch %d", cur.Lease.Epoch)})
+		}
+	}
+	if expect != nil {
+		for rng, epoch := range expect {
+			if best[rng] == nil {
+				return nil, rejected, fmt.Errorf("shard: merge: no segment for shard [%d,%d) epoch %d", rng[0], rng[1], epoch)
+			}
+		}
+	}
+
+	// The accepted ranges must tile the grid exactly: no gap may be
+	// silently filled by live execution, no overlap double-merged.
+	ranges := make([][2]int, 0, len(best))
+	for rng := range best {
+		ranges = append(ranges, rng)
+	}
+	sort.Slice(ranges, func(i, j int) bool { return ranges[i][0] < ranges[j][0] })
+	cells := engine.CellCount(sw)
+	at := 0
+	for _, rng := range ranges {
+		if rng[0] != at {
+			return nil, rejected, fmt.Errorf("shard: merge: segments do not tile the grid: cells [%d,%d) uncovered", at, rng[0])
+		}
+		at = rng[1]
+	}
+	if at != cells {
+		return nil, rejected, fmt.Errorf("shard: merge: segments do not tile the grid: cells [%d,%d) uncovered", at, cells)
+	}
+
+	var recs []engine.CellRecord
+	for _, rng := range ranges {
+		recs = append(recs, best[rng].Records...)
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		return engine.CellIndex(sw, recs[i].Point, recs[i].Seed, recs[i].Algo) <
+			engine.CellIndex(sw, recs[j].Point, recs[j].Seed, recs[j].Algo)
+	})
+	mergedDir := l.mergedDir(sw.ID)
+	if err := os.RemoveAll(mergedDir); err != nil {
+		return nil, rejected, fmt.Errorf("shard: merge: %w", err)
+	}
+	if _, err := engine.WriteMergedJournal(mergedDir, sw, recs); err != nil {
+		return nil, rejected, fmt.Errorf("shard: merge: %w", err)
+	}
+
+	// Replay the merged journal through the engine's resume path: every
+	// cell restores from its journaled Float64bits, figure assembly runs
+	// in declaration order, and no algorithm executes.
+	res, err := engine.Run(ctx, sw, engine.RunConfig{
+		Workers:    1,
+		Checkpoint: &engine.Checkpoint{Dir: mergedDir, Resume: true},
+		Progress:   runCfg.Progress,
+		Limiter:    runCfg.Limiter,
+	})
+	if err != nil {
+		return nil, rejected, fmt.Errorf("shard: merge replay: %w", err)
+	}
+	if res.Resumed != cells {
+		return nil, rejected, fmt.Errorf("shard: merge replay restored %d of %d cells", res.Resumed, cells)
+	}
+	return res, rejected, nil
+}
+
+// MergeSpool merges whatever committed segments a spool holds into a
+// final Result, without a coordinator: the highest-epoch valid segment
+// per cell range wins, and the segments must cover the sweep's grid
+// exactly. This is the multi-machine escape hatch — run workers by hand
+// against a shared spool, then merge once they are all committed.
+func MergeSpool(ctx context.Context, sw *engine.Sweep, runCfg engine.RunConfig, spool string) (*engine.Result, []RejectedSegment, error) {
+	l := newLayout(spool)
+	if err := l.ensure(); err != nil {
+		return nil, nil, err
+	}
+	return mergeSegments(ctx, sw, runCfg, l, nil)
+}

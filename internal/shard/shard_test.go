@@ -1,0 +1,450 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wrsn/internal/charging"
+	"wrsn/internal/energy"
+	"wrsn/internal/engine"
+	"wrsn/internal/geom"
+	"wrsn/internal/model"
+)
+
+// testSweep mirrors the engine test fixture: 2 points × 3 seeds × 2
+// algorithms = 12 cells, every cell finishing in milliseconds.
+func testSweep() *engine.Sweep {
+	sw := &engine.Sweep{
+		ID:       "shard-test-sweep",
+		Title:    "shard test sweep",
+		XLabel:   "nodes",
+		YLabel:   "cost",
+		Seeds:    3,
+		BaseSeed: 7,
+	}
+	for _, nodes := range []int{12, 16} {
+		nodes := nodes
+		sw.Points = append(sw.Points, engine.Point{
+			X:     float64(nodes),
+			Label: fmt.Sprintf("%d nodes", nodes),
+			Gen: func(rng *rand.Rand) (*model.Problem, error) {
+				field := geom.Square(120)
+				for attempt := 0; attempt < 1000; attempt++ {
+					p := &model.Problem{
+						Posts:    field.RandomPoints(rng, 5),
+						BS:       field.Corner(),
+						Nodes:    nodes,
+						Energy:   energy.Default(),
+						Charging: charging.Default(),
+					}
+					if err := p.Validate(); err == nil {
+						return p, nil
+					}
+				}
+				return nil, errors.New("no connected test instance")
+			},
+		})
+	}
+	for _, name := range []string{"rfh", "idb"} {
+		solve := engine.MustSolver(name)
+		label := name
+		sw.Algorithms = append(sw.Algorithms, engine.Algorithm{
+			Label:   label,
+			Outputs: []engine.SeriesSpec{{Label: label, CI: true}},
+			Run: func(ctx context.Context, inst *engine.Instance) (engine.CellResult, error) {
+				res, err := solve(ctx, inst.Problem)
+				if err != nil {
+					return engine.CellResult{}, err
+				}
+				return engine.CellResult{Values: []float64{res.Cost}, Evaluations: res.Evaluations}, nil
+			},
+		})
+	}
+	return sw
+}
+
+func figureJSON(t *testing.T, res *engine.Result) string {
+	t.Helper()
+	buf, err := json.Marshal(res.Figure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(buf)
+}
+
+// rawBits flattens Result.Raw to Float64bits so comparisons are
+// bit-exact, not merely approximately equal.
+func rawBits(res *engine.Result) []uint64 {
+	var bits []uint64
+	for _, alg := range res.Raw {
+		for _, pt := range alg {
+			for _, seeds := range pt {
+				for _, v := range seeds {
+					bits = append(bits, math.Float64bits(v))
+				}
+			}
+		}
+	}
+	return bits
+}
+
+func bitsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// inprocHandle runs one RunWorker call in a goroutine.
+type inprocHandle struct {
+	cancel  context.CancelFunc
+	done    chan struct{}
+	err     error
+	release chan struct{} // zombie leases: Kill releases the wedge instead of cancelling
+	killed  sync.Once
+}
+
+func (h *inprocHandle) Wait() error { <-h.done; return h.err }
+
+func (h *inprocHandle) Kill() {
+	h.killed.Do(func() {
+		if h.release != nil {
+			// Zombie mode: the "revoked" worker survives the kill, wakes
+			// from its wedge, and commits a stale segment before the
+			// coordinator proceeds — the worst-case fencing scenario.
+			close(h.release)
+			<-h.done
+			return
+		}
+		h.cancel()
+	})
+}
+
+// inprocLauncher runs workers as goroutines in this process, with
+// per-lease hooks for chaos config and zombie wedges.
+type inprocLauncher struct {
+	spool   string
+	hbEvery time.Duration
+	run     func(lease Lease) engine.RunConfig // nil = zero config
+	zombie  func(lease Lease) bool             // nil = never
+	// startErr, when non-nil, may refuse a grant (coordinator-crash
+	// simulation). Called before the worker starts.
+	startErr func(lease Lease) error
+}
+
+func (il *inprocLauncher) Start(ctx context.Context, lease Lease) (Handle, error) {
+	if il.startErr != nil {
+		if err := il.startErr(lease); err != nil {
+			return nil, err
+		}
+	}
+	var runCfg engine.RunConfig
+	if il.run != nil {
+		runCfg = il.run(lease)
+	}
+	wctx, cancel := context.WithCancel(context.Background())
+	h := &inprocHandle{cancel: cancel, done: make(chan struct{})}
+	cfg := WorkerConfig{
+		Spool:          il.spool,
+		Lease:          lease,
+		Run:            runCfg,
+		HeartbeatEvery: il.hbEvery,
+	}
+	if il.zombie != nil && il.zombie(lease) {
+		h.release = make(chan struct{})
+		cfg.wedgeRelease = h.release
+	}
+	go func() {
+		defer close(h.done)
+		defer cancel()
+		_, h.err = RunWorker(wctx, testSweep(), cfg)
+	}()
+	return h, nil
+}
+
+// TestCoordinateDifferential is the tentpole acceptance test: for
+// N ∈ {1, 2, 4} workers, with chaos killing at least one worker
+// mid-shard, the coordinated merged Result is byte-identical
+// (Float64bits and figure JSON) to a clean in-process workers=1 run.
+func TestCoordinateDifferential(t *testing.T) {
+	clean, err := engine.Run(context.Background(), testSweep(), engine.RunConfig{Workers: 1})
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	cleanJSON := figureJSON(t, clean)
+	cleanBits := rawBits(clean)
+
+	// Fixed shard size so the fault schedule — drawn from (sweep, range,
+	// epoch) — is identical at every worker count. The seed is chosen so
+	// some first-epoch draws kill and their re-grants survive.
+	chaos := &engine.ChaosConfig{Seed: 11, WorkerKillFrac: 0.6}
+	for _, workers := range []int{1, 2, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			launch := &inprocLauncher{
+				spool:   t.TempDir(),
+				hbEvery: 20 * time.Millisecond,
+				run:     func(Lease) engine.RunConfig { return engine.RunConfig{Workers: 1, Chaos: chaos} },
+			}
+			res, report, err := Coordinate(context.Background(), testSweep(), engine.RunConfig{}, Config{
+				Spool:     launch.spool,
+				Workers:   workers,
+				ShardSize: 3,
+				LeaseTTL:  2 * time.Second,
+				Poll:      20 * time.Millisecond,
+				MaxEpochs: 8,
+				Launch:    launch,
+			})
+			if err != nil {
+				t.Fatalf("coordinate: %v", err)
+			}
+			if report.Exited == 0 {
+				t.Fatalf("chaos killed no worker mid-shard (granted %d): the differential proves nothing", report.Granted)
+			}
+			if report.Granted <= report.Shards {
+				t.Errorf("granted %d leases over %d shards: no shard was re-granted after its kill", report.Granted, report.Shards)
+			}
+			if got := figureJSON(t, res); got != cleanJSON {
+				t.Errorf("merged figure JSON differs from clean run:\n%s\nvs\n%s", got, cleanJSON)
+			}
+			if !bitsEqual(rawBits(res), cleanBits) {
+				t.Errorf("merged raw values differ from clean run (Float64bits)")
+			}
+			if res.Resumed != engine.CellCount(testSweep()) {
+				t.Errorf("merge replay restored %d cells, want %d", res.Resumed, engine.CellCount(testSweep()))
+			}
+		})
+	}
+}
+
+// TestZombieLeaseFenced drives the epoch-fencing invariant end to end:
+// a worker wedges mid-shard, its heartbeats go silent, the lease
+// expires and is revoked — but the zombie survives the revocation,
+// wakes up, and commits its stale-epoch segment BEFORE the re-granted
+// worker runs. The merge must provably reject the zombie's segment and
+// still produce a byte-identical Result.
+func TestZombieLeaseFenced(t *testing.T) {
+	clean, err := engine.Run(context.Background(), testSweep(), engine.RunConfig{Workers: 1})
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+
+	spool := t.TempDir()
+	wedged := Lease{Sweep: "shard-test-sweep", Start: 0, End: 6, Epoch: 1}
+	launch := &inprocLauncher{
+		spool:   spool,
+		hbEvery: 20 * time.Millisecond,
+		run: func(lease Lease) engine.RunConfig {
+			if sameGrant(lease, wedged) {
+				// First epoch of shard 0 wedges halfway through its cells.
+				return engine.RunConfig{Workers: 1, Chaos: &engine.ChaosConfig{Seed: 1, WorkerWedgeFrac: 1}}
+			}
+			return engine.RunConfig{Workers: 1}
+		},
+		zombie: func(lease Lease) bool { return sameGrant(lease, wedged) },
+	}
+	res, report, err := Coordinate(context.Background(), testSweep(), engine.RunConfig{}, Config{
+		Spool:     spool,
+		Workers:   2,
+		ShardSize: 6,
+		LeaseTTL:  250 * time.Millisecond,
+		Poll:      25 * time.Millisecond,
+		Launch:    launch,
+	})
+	if err != nil {
+		t.Fatalf("coordinate: %v", err)
+	}
+	if report.Revoked == 0 {
+		t.Fatal("the wedged worker's lease was never revoked")
+	}
+	var fenced bool
+	for _, rej := range report.Rejected {
+		if strings.Contains(rej.Reason, "fenced zombie segment") {
+			fenced = true
+		}
+	}
+	if !fenced {
+		t.Fatalf("no segment was epoch-fenced; rejected: %+v", report.Rejected)
+	}
+	if got, want := figureJSON(t, res), figureJSON(t, clean); got != want {
+		t.Errorf("figure JSON differs from clean run after fencing:\n%s\nvs\n%s", got, want)
+	}
+	if !bitsEqual(rawBits(res), rawBits(clean)) {
+		t.Errorf("raw values differ from clean run after fencing")
+	}
+}
+
+// sameGrant matches leases by (range, epoch); the Worker name is
+// coordinator-assigned and irrelevant to identity.
+func sameGrant(a, b Lease) bool {
+	return a.Start == b.Start && a.End == b.End && a.Epoch == b.Epoch
+}
+
+// TestCoordinatorRestart simulates a coordinator crash after one shard's
+// segment is committed but before the lease table marks it done, then
+// restarts against the same spool: the committed segment must be
+// restored (not re-run), only the unfinished shard re-granted, and the
+// final Result byte-identical to a clean run.
+func TestCoordinatorRestart(t *testing.T) {
+	clean, err := engine.Run(context.Background(), testSweep(), engine.RunConfig{Workers: 1})
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	spool := t.TempDir()
+	l := newLayout(spool)
+
+	// First life: shard 0's worker runs normally; the grant for shard 1
+	// waits until shard 0's segment is committed, then fails, killing the
+	// coordinator mid-protocol with durable state behind it.
+	firstSeg := l.segPath(Lease{Sweep: "shard-test-sweep", Start: 0, End: 6, Epoch: 1})
+	launch1 := &inprocLauncher{
+		spool:   spool,
+		hbEvery: 20 * time.Millisecond,
+		startErr: func(lease Lease) error {
+			if lease.Start == 0 {
+				return nil
+			}
+			deadline := time.Now().Add(10 * time.Second)
+			for time.Now().Before(deadline) {
+				if _, err := os.Stat(firstSeg); err == nil {
+					return errors.New("simulated coordinator crash")
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			return errors.New("shard 0 never committed")
+		},
+	}
+	_, _, err = Coordinate(context.Background(), testSweep(), engine.RunConfig{}, Config{
+		Spool: spool, Workers: 1, ShardSize: 6, Launch: launch1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "simulated coordinator crash") {
+		t.Fatalf("first coordinator life: want simulated crash, got %v", err)
+	}
+
+	// Second life: same spool, healthy launcher. Shard 0 must be restored
+	// from its committed segment; only shard 1 runs.
+	launch2 := &inprocLauncher{spool: spool, hbEvery: 20 * time.Millisecond}
+	res, report, err := Coordinate(context.Background(), testSweep(), engine.RunConfig{}, Config{
+		Spool: spool, Workers: 1, ShardSize: 6, Launch: launch2,
+	})
+	if err != nil {
+		t.Fatalf("restarted coordinator: %v", err)
+	}
+	if report.RestoredShards != 1 {
+		t.Errorf("restored %d shards, want 1", report.RestoredShards)
+	}
+	if report.Granted != 1 {
+		t.Errorf("restarted coordinator granted %d leases, want 1 (only the unfinished shard)", report.Granted)
+	}
+	if got, want := figureJSON(t, res), figureJSON(t, clean); got != want {
+		t.Errorf("figure JSON differs from clean run after restart:\n%s\nvs\n%s", got, want)
+	}
+	if !bitsEqual(rawBits(res), rawBits(clean)) {
+		t.Errorf("raw values differ from clean run after restart")
+	}
+}
+
+// TestRestartRejectsForeignSpool: a restarted coordinator pointed at a
+// spool whose lease table belongs to a different sweep configuration
+// must refuse, not merge unrelated segments.
+func TestRestartRejectsForeignSpool(t *testing.T) {
+	spool := t.TempDir()
+	launch := &inprocLauncher{spool: spool, hbEvery: 20 * time.Millisecond}
+	if _, _, err := Coordinate(context.Background(), testSweep(), engine.RunConfig{}, Config{
+		Spool: spool, Workers: 2, Launch: launch,
+	}); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	other := testSweep()
+	other.BaseSeed = 999 // different seeding = different sweep identity
+	_, _, err := Coordinate(context.Background(), other, engine.RunConfig{}, Config{
+		Spool: spool, Workers: 2, Launch: launch,
+	})
+	if err == nil || !strings.Contains(err.Error(), "different sweep configuration") {
+		t.Fatalf("want sweep-configuration refusal, got %v", err)
+	}
+}
+
+// TestMergeSpool exercises the standalone (coordinator-less) merge: two
+// hand-run workers covering complementary ranges, then MergeSpool.
+func TestMergeSpool(t *testing.T) {
+	clean, err := engine.Run(context.Background(), testSweep(), engine.RunConfig{Workers: 1})
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	spool := t.TempDir()
+	for _, rng := range [][2]int{{0, 7}, {7, 12}} {
+		lease := Lease{Sweep: "shard-test-sweep", Start: rng[0], End: rng[1], Epoch: 1, Worker: "hand"}
+		if _, err := RunWorker(context.Background(), testSweep(), WorkerConfig{
+			Spool: spool, Lease: lease, Run: engine.RunConfig{Workers: 2},
+		}); err != nil {
+			t.Fatalf("worker [%d,%d): %v", rng[0], rng[1], err)
+		}
+	}
+	res, rejected, err := MergeSpool(context.Background(), testSweep(), engine.RunConfig{}, spool)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if len(rejected) != 0 {
+		t.Errorf("merge rejected %+v, want none", rejected)
+	}
+	if got, want := figureJSON(t, res), figureJSON(t, clean); got != want {
+		t.Errorf("merged figure JSON differs from clean run")
+	}
+	if !bitsEqual(rawBits(res), rawBits(clean)) {
+		t.Errorf("merged raw values differ from clean run")
+	}
+}
+
+// TestMergeSpoolRefusesGaps: segments that do not tile the grid must be
+// an error, never a silent partial merge.
+func TestMergeSpoolRefusesGaps(t *testing.T) {
+	spool := t.TempDir()
+	lease := Lease{Sweep: "shard-test-sweep", Start: 0, End: 6, Epoch: 1}
+	if _, err := RunWorker(context.Background(), testSweep(), WorkerConfig{
+		Spool: spool, Lease: lease, Run: engine.RunConfig{Workers: 1},
+	}); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	_, _, err := MergeSpool(context.Background(), testSweep(), engine.RunConfig{}, spool)
+	if err == nil || !strings.Contains(err.Error(), "do not tile the grid") {
+		t.Fatalf("want tiling refusal, got %v", err)
+	}
+}
+
+// TestWorkerChaosKillLeavesNoSegment: a chaos-killed worker must commit
+// nothing — the spool's seg/ directory stays empty.
+func TestWorkerChaosKillLeavesNoSegment(t *testing.T) {
+	spool := t.TempDir()
+	l := newLayout(spool)
+	lease := Lease{Sweep: "shard-test-sweep", Start: 0, End: 12, Epoch: 1}
+	_, err := RunWorker(context.Background(), testSweep(), WorkerConfig{
+		Spool: spool,
+		Lease: lease,
+		Run:   engine.RunConfig{Workers: 1, Chaos: &engine.ChaosConfig{Seed: 3, WorkerKillFrac: 1}},
+	})
+	if !errors.Is(err, ErrKilled) {
+		t.Fatalf("want ErrKilled, got %v", err)
+	}
+	entries, err := os.ReadDir(l.segDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("killed worker left %d segment files, want none", len(entries))
+	}
+}
