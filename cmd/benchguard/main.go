@@ -4,11 +4,19 @@
 // Usage:
 //
 //	benchguard -baseline ci/fig6-baseline.json -current fig6.json -figure 6
+//	benchguard -baseline ci/suite-baseline.json -current suite.json -total
 //
 // Both files are cmd/wrsn-experiments -bench artifacts. The guard
-// compares the named figure's wall_seconds and fails when
+// compares the named figure's wall_seconds — or, with -total, the whole
+// suite's total_wall_seconds — and fails when
 //
 //	current > baseline*(1+tolerance) + slack
+//
+// -total additionally requires the current artifact to cover exactly
+// the baseline's figure set: a run of a figure subset (or an
+// interrupted run whose artifact was hand-stripped of its partial
+// marker) produces a small total that would otherwise always pass, so
+// mismatched coverage is a hard error, not a pass.
 //
 // The relative tolerance catches genuine regressions (an accidental
 // return to per-iteration graph rebuilds inflates figure 6 by orders of
@@ -35,8 +43,9 @@ import (
 // wall times cover only the cells that completed before the interrupt,
 // so they are not comparable to a full run's.
 type artifact struct {
-	Partial bool            `json:"partial"`
-	Figures []engine.Timing `json:"figures"`
+	Partial          bool            `json:"partial"`
+	TotalWallSeconds float64         `json:"total_wall_seconds"`
+	Figures          []engine.Timing `json:"figures"`
 }
 
 func loadArtifact(path string) (*artifact, error) {
@@ -69,12 +78,41 @@ func check(base, cur engine.Timing, tolerance, slack float64) (string, bool) {
 	return msg, cur.WallSeconds <= budget
 }
 
+// checkTotal compares two artifacts' suite totals under the same
+// budget formula, after verifying the current run covers exactly the
+// baseline's figures.
+func checkTotal(baseArt, curArt *artifact, tolerance, slack float64) (string, bool, error) {
+	baseSet := make(map[string]bool, len(baseArt.Figures))
+	for _, tm := range baseArt.Figures {
+		baseSet[tm.Figure] = true
+	}
+	curSet := make(map[string]bool, len(curArt.Figures))
+	for _, tm := range curArt.Figures {
+		curSet[tm.Figure] = true
+	}
+	for fig := range baseSet {
+		if !curSet[fig] {
+			return "", false, fmt.Errorf("current artifact is missing figure %q from the baseline suite; totals are not comparable", fig)
+		}
+	}
+	for fig := range curSet {
+		if !baseSet[fig] {
+			return "", false, fmt.Errorf("current artifact has figure %q absent from the baseline suite; totals are not comparable", fig)
+		}
+	}
+	budget := baseArt.TotalWallSeconds*(1+tolerance) + slack
+	msg := fmt.Sprintf("suite total: baseline %.3fs, current %.3fs, budget %.3fs (+%.0f%% +%.1fs, %d figures)",
+		baseArt.TotalWallSeconds, curArt.TotalWallSeconds, budget, 100*tolerance, slack, len(baseArt.Figures))
+	return msg, curArt.TotalWallSeconds <= budget, nil
+}
+
 func run(args []string, out, errOut *os.File) error {
 	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
 	var (
 		baseline  = fs.String("baseline", "", "checked-in bench artifact to compare against")
 		current   = fs.String("current", "", "freshly measured bench artifact")
 		figure    = fs.String("figure", "6", "figure id to guard")
+		total     = fs.Bool("total", false, "guard the suite's total_wall_seconds instead of one figure (requires matching figure coverage)")
 		tolerance = fs.Float64("tolerance", 0.20, "allowed relative wall-time regression")
 		slack     = fs.Float64("slack", 2.0, "allowed absolute wall-time regression in seconds (runner noise floor)")
 	)
@@ -100,7 +138,18 @@ func run(args []string, out, errOut *os.File) error {
 	// A partial current run carries no comparable timing — flag it and
 	// skip the comparison rather than failing CI on an interrupt.
 	if curArt.Partial {
-		fmt.Fprintf(out, "benchguard: %s is partial (interrupted run); skipping wall-time comparison for figure %s\n", *current, *figure)
+		fmt.Fprintf(out, "benchguard: %s is partial (interrupted run); skipping wall-time comparison\n", *current)
+		return nil
+	}
+	if *total {
+		msg, ok, err := checkTotal(baseArt, curArt, *tolerance, *slack)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("wall-time regression: %s", msg)
+		}
+		fmt.Fprintln(out, "benchguard:", msg)
 		return nil
 	}
 	base, err := baseArt.figure(*baseline, *figure)

@@ -83,6 +83,49 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 }
 
+// TestTotalMode: -total guards the suite total and hard-fails on
+// mismatched figure coverage (a subset run's small total must never
+// read as a pass).
+func TestTotalMode(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, payload string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(payload), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json",
+		`{"total_wall_seconds":90.0,"figures":[{"figure":"6","wall_seconds":50.0},{"figure":"7a","wall_seconds":40.0}]}`)
+	good := write("good.json",
+		`{"total_wall_seconds":95.0,"figures":[{"figure":"6","wall_seconds":52.0},{"figure":"7a","wall_seconds":43.0}]}`)
+	slow := write("slow.json",
+		`{"total_wall_seconds":200.0,"figures":[{"figure":"6","wall_seconds":110.0},{"figure":"7a","wall_seconds":90.0}]}`)
+	subset := write("subset.json",
+		`{"total_wall_seconds":1.0,"figures":[{"figure":"6","wall_seconds":1.0}]}`)
+	superset := write("superset.json",
+		`{"total_wall_seconds":91.0,"figures":[{"figure":"6","wall_seconds":50.0},{"figure":"7a","wall_seconds":40.0},{"figure":"8","wall_seconds":1.0}]}`)
+	partial := write("partial.json",
+		`{"partial":true,"total_wall_seconds":1.0,"figures":[{"figure":"6","wall_seconds":1.0}]}`)
+
+	if err := run([]string{"-baseline", base, "-current", good, "-total"}, os.Stdout, os.Stderr); err != nil {
+		t.Errorf("within-budget total failed: %v", err)
+	}
+	if err := run([]string{"-baseline", base, "-current", slow, "-total"}, os.Stdout, os.Stderr); err == nil {
+		t.Error("total regression not flagged")
+	}
+	if err := run([]string{"-baseline", base, "-current", subset, "-total"}, os.Stdout, os.Stderr); err == nil {
+		t.Error("subset run accepted as a suite total")
+	}
+	if err := run([]string{"-baseline", base, "-current", superset, "-total"}, os.Stdout, os.Stderr); err == nil {
+		t.Error("superset run accepted as a suite total")
+	}
+	// A genuinely interrupted run keeps the flag-and-skip behaviour.
+	if err := run([]string{"-baseline", base, "-current", partial, "-total"}, os.Stdout, os.Stderr); err != nil {
+		t.Errorf("partial -current not tolerated in total mode: %v", err)
+	}
+}
+
 // TestPartialArtifacts: an interrupted run's artifact carries
 // "partial": true — tolerated (flagged and skipped) as -current, but a
 // hard error as -baseline.

@@ -20,25 +20,40 @@ func ForEachComposition(n, total int, fn func(counts []int) bool) error {
 		return fmt.Errorf("deploy: negative composition total %d", total)
 	}
 	counts := make([]int, n)
-	var rec func(pos, remaining int) bool
-	rec = func(pos, remaining int) bool {
-		if pos == n-1 {
-			counts[pos] = remaining
-			ok := fn(counts)
-			counts[pos] = 0
-			return ok
-		}
-		for v := 0; v <= remaining; v++ {
-			counts[pos] = v
-			if !rec(pos+1, remaining-v) {
-				counts[pos] = 0
-				return false
-			}
-		}
-		counts[pos] = 0
-		return true
+	if n == 1 || total == 0 {
+		counts[n-1] = total
+		fn(counts)
+		counts[n-1] = 0
+		return nil
 	}
-	rec(0, total)
+	// Iterative lexicographic successor, O(1) amortized per composition
+	// (the recursive formulation costs O(n) stack per leaf and dominated
+	// IDB round profiles at paper scale). Invariant: r is the rightmost
+	// nonzero index. Successor of [.., c_j, c_r, 0..] (r rightmost
+	// nonzero, j its left neighbor position r-1): increment c_{r-1}, move
+	// the remaining c_r - 1 units to the last position.
+	counts[n-1] = total
+	r := n - 1
+	for {
+		if !fn(counts) {
+			break
+		}
+		if r == 0 {
+			break
+		}
+		s := counts[r]
+		counts[r] = 0
+		counts[r-1]++
+		if s > 1 {
+			counts[n-1] = s - 1
+			r = n - 1
+		} else {
+			r--
+		}
+	}
+	for i := range counts {
+		counts[i] = 0
+	}
 	return nil
 }
 

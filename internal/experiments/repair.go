@@ -48,10 +48,10 @@ func ExtRepair(opts Options) (*Figure, error) {
 	rounds := 3 * sim.DefaultBatteryRounds
 
 	sw := &engine.Sweep{
-		ID:       "ext-repair",
-		Title:    "Extension: self-healing under permanent node failures (250x250m, 20 posts, 80 planned nodes)",
-		XLabel:   "per-node failure probability per round",
-		YLabel:   "delivery ratio",
+		ID:     "ext-repair",
+		Title:  "Extension: self-healing under permanent node failures (250x250m, 20 posts, 80 planned nodes)",
+		XLabel: "per-node failure probability per round",
+		YLabel: "delivery ratio",
 		// 4 quick seeds, not the usual 2: the repair-beats-static margin at
 		// the heaviest failure rate is a cross-seed average, and two seeds
 		// leave it within realisation noise. The event-driven simulator core

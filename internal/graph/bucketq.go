@@ -1,0 +1,528 @@
+package graph
+
+import (
+	"math"
+	"math/bits"
+)
+
+// MaxWeightRatio bounds wmax/wmin for bucket mode. Beyond it the dial
+// ring gets too wide to be worth the memory and Configure falls back to
+// heap mode.
+const MaxWeightRatio = 4096
+
+// MinBucketKeys is the scale half of the applicability rule: bucket mode
+// engages only for queues over at least this many keys. Below it the
+// embedded binary heap's cache-resident sift is measurably faster than
+// the dial's per-op constant (bucket-id arithmetic, occupancy-bitset
+// maintenance, ring scans) — on the paper-scale suite (up to ~300 posts)
+// heap mode wins every figure, which is why the default keeps small
+// queues on the heap. A var, not a const, so tests and large-instance
+// callers can tune it; both modes pop in the same (priority, key) order,
+// so the setting never affects results.
+var MinBucketKeys = 1024
+
+// BucketQueue is a monotone priority queue over the integer keys 0..n-1
+// with float64 priorities, the Dijkstra companion for the recharging-cost
+// weight structure: edge weights drawn from k discrete power levels
+// cluster in a narrow band [wmin, wmax], so a dial/bucket queue with
+// bucket width wmin/2 replaces O(log n) heap sifts with O(1) bucket
+// appends. Keys are unique (a second Push of a live key is a
+// decrease/increase-key). Pop order is by (priority, key) — the same
+// total order IndexedMinHeap uses — so the two structures produce
+// identical pop sequences for identical Push traces; the differential
+// fuzzer pins this.
+//
+// Mode is chosen by Configure from the weight bounds (the applicability
+// rule): bucket mode requires wmin > 0, wmax finite, and
+// wmax/wmin <= MaxWeightRatio; otherwise the queue transparently runs on
+// an embedded IndexedMinHeap. Callers use one concrete type either way —
+// no interface dispatch in the relax loop.
+//
+// Bucket mode internals: priorities map to absolute bucket ids
+// floor((p-base)*inv). The ring holds the window [curID, curID+nb);
+// entries beyond it wait in an overflow list that is drained as the dial
+// advances. Until the first Pop the origin is unknown (seeded multi-source
+// runs push arbitrary distances first), so pushes stage in a flat list and
+// the first Pop sets base to the staged minimum. All per-key and
+// per-bucket state is epoch-stamped: Reset is O(1) and never touches the
+// ring.
+type BucketQueue struct {
+	n        int
+	bucketed bool
+	h        *IndexedMinHeap // heap mode (and the fallback target)
+
+	// Geometry (bucket mode).
+	width float64
+	inv   float64
+	nb    int   // ring size, power of two
+	mask  int64 // nb-1
+	wmin  float64
+	wmax  float64
+
+	epoch int64
+	count int
+
+	// Per-key state, epoch-stamped via kEpoch.
+	prio   []float64
+	bkt    []int64 // absolute bucket id; bktStaged / bktOverflow when not in ring
+	slot   []int32 // index within its bucket / staging / overflow slice
+	kEpoch []int64
+
+	// Ring, epoch-stamped via bEpoch; occupancy bitset stamped via wEpoch.
+	buckets [][]int32
+	bEpoch  []int64
+	occ     []uint64
+	wEpoch  []int64
+
+	staging  []int32
+	overflow []int32
+	minOver  int64
+	haveBase bool
+	base     float64
+	curID    int64
+	sortedID int64 // bucket id kept sorted (descending (prio,key)); -1 none
+}
+
+const (
+	bktStaged   = int64(-2)
+	bktOverflow = int64(-3)
+)
+
+// NewBucketQueue returns a queue over keys 0..n-1 in heap mode. Call
+// Configure with the weight bounds to enable bucket mode.
+func NewBucketQueue(n int) *BucketQueue {
+	return &BucketQueue{
+		n:        n,
+		h:        NewIndexedMinHeap(n),
+		epoch:    1,
+		minOver:  math.MaxInt64,
+		sortedID: -1,
+	}
+}
+
+// Configure picks the queue mode from the bounds on the edge weights that
+// subsequent runs will relax with: bucket mode iff the queue spans at
+// least MinBucketKeys keys, 0 < wmin <= wmax, wmax finite, and
+// wmax/wmin <= MaxWeightRatio. The queue must be empty. Reconfiguring
+// with the same bounds is free, so callers may invoke it before every
+// run.
+func (q *BucketQueue) Configure(wmin, wmax float64) {
+	if q.count != 0 || (q.h != nil && q.h.Len() != 0) {
+		panic("graph: BucketQueue.Configure on a non-empty queue")
+	}
+	if q.bucketed && wmin == q.wmin && wmax == q.wmax {
+		return
+	}
+	q.bucketed = q.n >= MinBucketKeys && wmin > 0 && wmax >= wmin && !math.IsInf(wmax, 1) && wmax/wmin <= MaxWeightRatio
+	if !q.bucketed {
+		return
+	}
+	q.wmin, q.wmax = wmin, wmax
+	q.width = wmin / 2
+	q.inv = 1 / q.width
+	// Ring window: relax pushes land within wmax of the current popped
+	// priority, i.e. within wmax/width = 2*ratio buckets; double it for
+	// slack so overflow stays a seed-phase-only path.
+	span := int(math.Ceil(wmax/q.width))*2 + 16
+	nb := 1 << bits.Len(uint(span))
+	if q.nb != nb {
+		q.nb = nb
+		q.mask = int64(nb - 1)
+		q.buckets = make([][]int32, nb)
+		q.bEpoch = make([]int64, nb)
+		q.occ = make([]uint64, (nb+63)/64)
+		q.wEpoch = make([]int64, (nb+63)/64)
+	}
+	if q.prio == nil {
+		q.prio = make([]float64, q.n)
+		q.bkt = make([]int64, q.n)
+		q.slot = make([]int32, q.n)
+		q.kEpoch = make([]int64, q.n)
+	}
+}
+
+// Bucketed reports whether the queue is running in bucket (dial) mode.
+func (q *BucketQueue) Bucketed() bool { return q.bucketed }
+
+// Heap exposes the embedded IndexedMinHeap so heap-mode hot loops can
+// push/pop on the concrete heap without the mode-dispatch call per
+// operation (the dispatching wrappers are beyond the inlining budget,
+// and a relax loop performs millions of queue operations). Callers must
+// only drive the heap directly while !Bucketed(); mixing direct heap use
+// with bucket mode corrupts the queue.
+func (q *BucketQueue) Heap() *IndexedMinHeap {
+	if q.bucketed {
+		panic("graph: BucketQueue.Heap while in bucket mode")
+	}
+	return q.h
+}
+
+// Len returns the number of keys currently queued.
+func (q *BucketQueue) Len() int {
+	if !q.bucketed {
+		return q.h.Len()
+	}
+	return q.count
+}
+
+// Reset empties the queue in O(1) (bucket mode bumps the epoch stamp;
+// heap mode delegates) so it can be reused for a fresh run.
+func (q *BucketQueue) Reset() {
+	if !q.bucketed {
+		q.h.Reset()
+		return
+	}
+	q.epoch++
+	q.count = 0
+	q.staging = q.staging[:0]
+	q.overflow = q.overflow[:0]
+	q.minOver = math.MaxInt64
+	q.haveBase = false
+	q.curID = 0
+	q.sortedID = -1
+}
+
+func (q *BucketQueue) id(p float64) int64 {
+	return int64(math.Floor((p - q.base) * q.inv))
+}
+
+func (q *BucketQueue) live(key int) bool {
+	return q.kEpoch[key] == q.epoch && q.bkt[key] != math.MinInt64
+}
+
+// bucketRef returns the ring bucket for absolute id, clearing stale
+// epochs.
+func (q *BucketQueue) bucketAt(id int64) int {
+	idx := int(id & q.mask)
+	if q.bEpoch[idx] != q.epoch {
+		q.bEpoch[idx] = q.epoch
+		q.buckets[idx] = q.buckets[idx][:0]
+	}
+	return idx
+}
+
+func (q *BucketQueue) setOcc(idx int) {
+	w := idx >> 6
+	if q.wEpoch[w] != q.epoch {
+		q.wEpoch[w] = q.epoch
+		q.occ[w] = 0
+	}
+	q.occ[w] |= 1 << uint(idx&63)
+}
+
+func (q *BucketQueue) clearOcc(idx int) {
+	w := idx >> 6
+	if q.wEpoch[w] != q.epoch {
+		q.wEpoch[w] = q.epoch
+		q.occ[w] = 0
+	}
+	q.occ[w] &^= 1 << uint(idx&63)
+}
+
+func (q *BucketQueue) occWord(w int) uint64 {
+	if q.wEpoch[w] != q.epoch {
+		return 0
+	}
+	return q.occ[w]
+}
+
+// Push inserts key with the given priority, or moves a live key to the
+// new priority (decrease- or increase-key), matching IndexedMinHeap.Push
+// semantics.
+func (q *BucketQueue) Push(key int, priority float64) {
+	if !q.bucketed {
+		q.h.Push(key, priority)
+		return
+	}
+	if q.live(key) {
+		q.update(key, priority)
+		return
+	}
+	q.kEpoch[key] = q.epoch
+	q.prio[key] = priority
+	q.count++
+	if !q.haveBase {
+		q.bkt[key] = bktStaged
+		q.slot[key] = int32(len(q.staging))
+		q.staging = append(q.staging, int32(key))
+		return
+	}
+	q.place(key, priority)
+}
+
+// place files a key (already counted, prio set) into the ring or
+// overflow, based on its absolute bucket id. Requires haveBase.
+func (q *BucketQueue) place(key int, priority float64) {
+	id := q.id(priority)
+	if id < q.curID {
+		// Guard against floating-point rounding at the window edge: the
+		// dial never moves backwards.
+		id = q.curID
+	}
+	if id >= q.curID+int64(q.nb) {
+		q.bkt[key] = bktOverflow
+		q.slot[key] = int32(len(q.overflow))
+		q.overflow = append(q.overflow, int32(key))
+		if id < q.minOver {
+			q.minOver = id
+		}
+		return
+	}
+	q.bkt[key] = id
+	idx := q.bucketAt(id)
+	b := q.buckets[idx]
+	if id == q.sortedID {
+		// Insert preserving descending (prio, key) order: the minimum
+		// lives at the end, where Pop takes it.
+		pos := len(b)
+		for pos > 0 && qless(q.prio[b[pos-1]], int(b[pos-1]), priority, key) {
+			pos--
+		}
+		b = append(b, 0)
+		copy(b[pos+1:], b[pos:])
+		b[pos] = int32(key)
+		for i := pos; i < len(b); i++ {
+			q.slot[b[i]] = int32(i)
+		}
+		q.buckets[idx] = b
+	} else {
+		q.slot[key] = int32(len(b))
+		q.buckets[idx] = append(b, int32(key))
+	}
+	q.setOcc(idx)
+}
+
+// qless reports (pa, ka) < (pb, kb) in the pop total order.
+func qless(pa float64, ka int, pb float64, kb int) bool {
+	if pa != pb {
+		return pa < pb
+	}
+	return ka < kb
+}
+
+// update moves a live key to a new priority.
+func (q *BucketQueue) update(key int, priority float64) {
+	old := q.prio[key]
+	if priority == old {
+		return
+	}
+	q.prio[key] = priority
+	switch q.bkt[key] {
+	case bktStaged:
+		return // staging ignores order; finalized at first Pop
+	case bktOverflow:
+		q.removeOverflow(key)
+		q.count++ // removeOverflow decremented
+		q.place(key, priority)
+	default:
+		q.removeRing(key)
+		q.count++
+		q.place(key, priority)
+	}
+}
+
+func (q *BucketQueue) removeOverflow(key int) {
+	s := int(q.slot[key])
+	last := len(q.overflow) - 1
+	moved := q.overflow[last]
+	q.overflow[s] = moved
+	q.slot[moved] = int32(s)
+	q.overflow = q.overflow[:last]
+	q.count--
+	q.bkt[key] = math.MinInt64
+	// minOver may now be stale (too small); that is harmless — it only
+	// triggers an extra overflow scan.
+}
+
+func (q *BucketQueue) removeRing(key int) {
+	id := q.bkt[key]
+	idx := q.bucketAt(id)
+	b := q.buckets[idx]
+	s := int(q.slot[key])
+	if id == q.sortedID {
+		copy(b[s:], b[s+1:])
+		b = b[:len(b)-1]
+		for i := s; i < len(b); i++ {
+			q.slot[b[i]] = int32(i)
+		}
+	} else {
+		last := len(b) - 1
+		moved := b[last]
+		b[s] = moved
+		q.slot[moved] = int32(s)
+		b = b[:last]
+	}
+	q.buckets[idx] = b
+	if len(b) == 0 {
+		q.clearOcc(idx)
+	}
+	q.count--
+	q.bkt[key] = math.MinInt64
+}
+
+// finalizeStaging computes the origin from the staged minimum and files
+// every staged entry.
+func (q *BucketQueue) finalizeStaging() {
+	base := math.Inf(1)
+	for _, k := range q.staging {
+		if q.prio[k] < base {
+			base = q.prio[k]
+		}
+	}
+	q.base = base
+	q.haveBase = true
+	q.curID = 0
+	for _, k := range q.staging {
+		q.place(int(k), q.prio[k])
+	}
+	q.staging = q.staging[:0]
+}
+
+// drainOverflow refiles overflow entries that now fit the ring window and
+// recomputes minOver.
+func (q *BucketQueue) drainOverflow() {
+	minOver := int64(math.MaxInt64)
+	for i := 0; i < len(q.overflow); {
+		k := q.overflow[i]
+		id := q.id(q.prio[k])
+		if id < q.curID+int64(q.nb) {
+			last := len(q.overflow) - 1
+			moved := q.overflow[last]
+			q.overflow[i] = moved
+			q.slot[moved] = int32(i)
+			q.overflow = q.overflow[:last]
+			q.bkt[k] = math.MinInt64
+			q.place(int(k), q.prio[k])
+			continue
+		}
+		if id < minOver {
+			minOver = id
+		}
+		i++
+	}
+	q.minOver = minOver
+}
+
+// nextRingID scans the occupancy bitset circularly for the first nonempty
+// bucket at id >= curID within the window, returning MaxInt64 if none.
+// Ring slot idx holds absolute id curID + ((idx - curID) mod nb) by the
+// window invariant.
+func (q *BucketQueue) nextRingID() int64 {
+	startIdx := int(q.curID & q.mask)
+	w := startIdx >> 6
+	bit := startIdx & 63
+	if word := q.occWord(w) >> uint(bit); word != 0 {
+		return q.curID + int64(bits.TrailingZeros64(word))
+	}
+	scanned := 64 - bit
+	nw := len(q.occ)
+	wi := w + 1
+	if wi == nw {
+		wi = 0
+	}
+	for scanned < q.nb {
+		if word := q.occWord(wi); word != 0 {
+			idx := wi<<6 + bits.TrailingZeros64(word)
+			d := (int64(idx) - int64(startIdx)) & q.mask
+			return q.curID + d
+		}
+		scanned += 64
+		wi++
+		if wi == nw {
+			wi = 0
+		}
+	}
+	// Wrap back into the start word's low bits (slots before startIdx map
+	// to the largest ids in the window).
+	if bit > 0 {
+		if word := q.occWord(w) & (1<<uint(bit) - 1); word != 0 {
+			idx := w<<6 + bits.TrailingZeros64(word)
+			d := (int64(idx) - int64(startIdx)) & q.mask
+			return q.curID + d
+		}
+	}
+	return math.MaxInt64
+}
+
+// Pop removes and returns the key with the minimum (priority, key) and
+// its priority. It must not be called on an empty queue.
+func (q *BucketQueue) Pop() (int, float64) {
+	if !q.bucketed {
+		return q.h.Pop()
+	}
+	if q.count == 0 {
+		panic("graph: Pop on empty BucketQueue")
+	}
+	if !q.haveBase {
+		q.finalizeStaging()
+	}
+	// Advance the dial. minOver is a lower bound on the true overflow
+	// minimum (removals leave it stale-small), so "minOver > cid" proves
+	// the ring bucket at cid holds the global minimum; anything else —
+	// including an overflow entry tied with cid, which must compete
+	// inside that bucket — drains overflow, which recomputes minOver
+	// exactly and makes progress.
+	for {
+		cid := q.nextRingID()
+		if cid != math.MaxInt64 && q.minOver > cid {
+			q.curID = cid
+			break
+		}
+		if len(q.overflow) == 0 {
+			if cid == math.MaxInt64 {
+				panic("graph: BucketQueue accounting error")
+			}
+			q.minOver = math.MaxInt64
+			q.curID = cid
+			break
+		}
+		if cid == math.MaxInt64 && q.minOver >= q.curID+int64(q.nb) {
+			// Ring empty and every overflow entry lies beyond the window:
+			// jump the window to the overflow minimum.
+			q.curID = q.minOver
+		}
+		q.drainOverflow()
+	}
+	idx := q.bucketAt(q.curID)
+	if q.sortedID != q.curID {
+		q.sortBucket(idx)
+		q.sortedID = q.curID
+	}
+	b := q.buckets[idx]
+	last := len(b) - 1
+	key := int(b[last])
+	q.buckets[idx] = b[:last]
+	if last == 0 {
+		q.clearOcc(idx)
+	}
+	q.count--
+	q.bkt[key] = math.MinInt64
+	return key, q.prio[key]
+}
+
+// sortBucket orders bucket idx descending by (prio, key) with insertion
+// sort — buckets hold a handful of entries — and refreshes slots.
+func (q *BucketQueue) sortBucket(idx int) {
+	b := q.buckets[idx]
+	for i := 1; i < len(b); i++ {
+		k := b[i]
+		p := q.prio[k]
+		j := i - 1
+		for j >= 0 && qless(q.prio[b[j]], int(b[j]), p, int(k)) {
+			b[j+1] = b[j]
+			j--
+		}
+		b[j+1] = k
+	}
+	for i, k := range b {
+		q.slot[k] = int32(i)
+	}
+}
+
+// Contains reports whether key is currently queued.
+func (q *BucketQueue) Contains(key int) bool {
+	if !q.bucketed {
+		return q.h.Contains(key)
+	}
+	return q.live(key)
+}

@@ -9,17 +9,17 @@ import (
 // lineGraph builds 0 -> 1 -> 2 -> ... -> n-1 with unit weights.
 func lineGraph(t *testing.T, n int) *Graph {
 	t.Helper()
-	g := New(n)
+	b := NewBuilder(n)
 	for i := 0; i+1 < n; i++ {
-		if err := g.AddEdge(i, i+1, 1); err != nil {
+		if err := b.AddEdge(i, i+1, 1); err != nil {
 			t.Fatal(err)
 		}
 	}
-	return g
+	return b.Build()
 }
 
 func TestAddEdgeValidation(t *testing.T) {
-	g := New(3)
+	g := NewBuilder(3)
 	cases := []struct {
 		name string
 		u, v int
@@ -42,8 +42,8 @@ func TestAddEdgeValidation(t *testing.T) {
 	if err := g.AddEdge(0, 1, 0); err != nil {
 		t.Errorf("zero-weight edge rejected: %v", err)
 	}
-	if g.NumEdges() != 1 {
-		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	if built := g.Build(); built.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", built.NumEdges())
 	}
 }
 
@@ -74,14 +74,14 @@ func TestDistancesToLine(t *testing.T) {
 }
 
 func TestDistancesToPicksCheaperParallelEdge(t *testing.T) {
-	g := New(2)
-	if err := g.AddEdge(0, 1, 5); err != nil {
+	b := NewBuilder(2)
+	if err := b.AddEdge(0, 1, 5); err != nil {
 		t.Fatal(err)
 	}
-	if err := g.AddEdge(0, 1, 2); err != nil {
+	if err := b.AddEdge(0, 1, 2); err != nil {
 		t.Fatal(err)
 	}
-	dist, err := g.DistancesTo(1)
+	dist, err := b.Build().DistancesTo(1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestDistancesToPicksCheaperParallelEdge(t *testing.T) {
 }
 
 func TestDistancesToErrors(t *testing.T) {
-	g := New(2)
+	g := NewBuilder(2).Build()
 	if _, err := g.DistancesTo(2); err == nil {
 		t.Error("out-of-range target accepted")
 	}
@@ -102,15 +102,15 @@ func TestDistancesToErrors(t *testing.T) {
 
 // randomGraph builds a random DAG-ish directed graph for property tests.
 func randomGraph(rng *rand.Rand, n int, density float64) *Graph {
-	g := New(n)
+	b := NewBuilder(n)
 	for u := 0; u < n; u++ {
 		for v := 0; v < n; v++ {
 			if u != v && rng.Float64() < density {
-				_ = g.AddEdge(u, v, rng.Float64()*100)
+				_ = b.AddEdge(u, v, rng.Float64()*100)
 			}
 		}
 	}
-	return g
+	return b.Build()
 }
 
 func TestDijkstraMatchesBellmanFord(t *testing.T) {
@@ -181,16 +181,16 @@ func TestShortestPathDAGTightEdges(t *testing.T) {
 
 func TestShortestPathDAGMultipleParents(t *testing.T) {
 	// Diamond: 0 -> {1, 2} -> 3 with equal-cost sides.
-	g := New(4)
+	b := NewBuilder(4)
 	for _, e := range []struct {
 		u, v int
 		w    float64
 	}{{0, 1, 1}, {0, 2, 1}, {1, 3, 1}, {2, 3, 1}} {
-		if err := g.AddEdge(e.u, e.v, e.w); err != nil {
+		if err := b.AddEdge(e.u, e.v, e.w); err != nil {
 			t.Fatal(err)
 		}
 	}
-	dag, err := g.ShortestPathDAG(3, 0)
+	dag, err := b.Build().ShortestPathDAG(3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,20 +203,21 @@ func TestShortestPathDAGMultipleParents(t *testing.T) {
 }
 
 func TestShortestPathDAGToleranceRejectsNegative(t *testing.T) {
-	g := New(2)
+	g := NewBuilder(2).Build()
 	if _, err := g.ShortestPathDAG(0, -1); err == nil {
 		t.Error("negative tolerance accepted")
 	}
 }
 
 func TestInOutViews(t *testing.T) {
-	g := New(3)
-	if err := g.AddBoth(0, 1, 2.5); err != nil {
+	b := NewBuilder(3)
+	if err := b.AddBoth(0, 1, 2.5); err != nil {
 		t.Fatal(err)
 	}
-	if err := g.AddEdge(2, 1, 1); err != nil {
+	if err := b.AddEdge(2, 1, 1); err != nil {
 		t.Fatal(err)
 	}
+	g := b.Build()
 	if len(g.Out(0)) != 1 || g.Out(0)[0].To != 1 {
 		t.Errorf("Out(0) = %v", g.Out(0))
 	}

@@ -1,5 +1,7 @@
 package graph
 
+import "fmt"
+
 // IndexedMinHeap is a binary min-heap over the integer keys 0..n-1 with
 // float64 priorities and O(log n) decrease-key, the classic companion
 // structure for Dijkstra. The zero value is not usable; construct with
@@ -8,6 +10,7 @@ type IndexedMinHeap struct {
 	prio []float64 // prio[key] = current priority of key (valid while key is in the heap)
 	heap []int     // heap[i] = key at heap slot i
 	pos  []int     // pos[key] = slot of key in heap, or -1 when absent
+	seen []bool    // seen[key] = key has been pushed at least once (guards Priority)
 }
 
 // NewIndexedMinHeap returns an empty heap over keys 0..n-1.
@@ -20,6 +23,7 @@ func NewIndexedMinHeap(n int) *IndexedMinHeap {
 		prio: make([]float64, n),
 		heap: make([]int, 0, n),
 		pos:  pos,
+		seen: make([]bool, n),
 	}
 }
 
@@ -29,14 +33,24 @@ func (h *IndexedMinHeap) Len() int { return len(h.heap) }
 // Contains reports whether key is currently in the heap.
 func (h *IndexedMinHeap) Contains(key int) bool { return h.pos[key] >= 0 }
 
-// Priority returns the priority most recently set for key. It is only
-// meaningful for keys that are in the heap or were previously popped.
-func (h *IndexedMinHeap) Priority(key int) float64 { return h.prio[key] }
+// Priority returns the priority most recently set for key. It panics for
+// a key that has never been pushed since the heap was constructed: the
+// backing slot would otherwise read as a stale 0, silently
+// indistinguishable from a real zero priority. After a Reset, priorities
+// of keys pushed before the reset remain readable (they are "most
+// recently set" values, not live heap state).
+func (h *IndexedMinHeap) Priority(key int) float64 {
+	if !h.seen[key] {
+		panic(fmt.Sprintf("graph: Priority(%d) read for a key never pushed", key))
+	}
+	return h.prio[key]
+}
 
 // Push inserts key with the given priority, or lowers/raises its priority
 // if already present (a combined insert/update, convenient for Dijkstra's
 // relax step).
 func (h *IndexedMinHeap) Push(key int, priority float64) {
+	h.seen[key] = true
 	if h.pos[key] >= 0 {
 		old := h.prio[key]
 		h.prio[key] = priority

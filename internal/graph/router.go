@@ -72,6 +72,7 @@ func (r *Router) DistancesTo(target int) ([]float64, error) {
 	if r.masked(target) {
 		return nil, fmt.Errorf("graph: target vertex %d is masked", target)
 	}
+	g := r.g
 	dist := r.dist
 	for i := range dist {
 		dist[i] = Unreachable
@@ -86,13 +87,14 @@ func (r *Router) DistancesTo(target int) ([]float64, error) {
 			continue
 		}
 		r.settled++
-		for _, e := range r.g.rev[v] {
-			if r.masked(e.To) {
+		for s := g.rOff[v]; s < g.rOff[v+1]; s++ {
+			u := int(g.rSrc[s])
+			if r.masked(u) {
 				continue
 			}
-			if nd := dv + e.Weight; nd < dist[e.To] {
-				dist[e.To] = nd
-				h.Push(e.To, nd)
+			if nd := dv + g.fW[g.rFwd[s]]; nd < dist[u] {
+				dist[u] = nd
+				h.Push(u, nd)
 			}
 		}
 	}
@@ -113,48 +115,25 @@ func (r *Router) DAGTo(target int, tol float64) (*DAG, error) {
 	if err != nil {
 		return nil, err
 	}
+	g := r.g
 	r.dag.Target = target
 	parents := r.dag.Parents
 	for u := range parents {
 		parents[u] = parents[u][:0]
 	}
-	for u := range r.g.adj {
+	for u := 0; u < g.n; u++ {
 		if u == target || math.IsInf(dist[u], 1) || r.masked(u) {
 			continue
 		}
-		for _, e := range r.g.adj[u] {
-			if math.IsInf(dist[e.To], 1) || r.masked(e.To) {
+		for s := g.fOff[u]; s < g.fOff[u+1]; s++ {
+			v := int(g.fDst[s])
+			if math.IsInf(dist[v], 1) || r.masked(v) {
 				continue
 			}
-			if math.Abs(dist[u]-(e.Weight+dist[e.To])) <= tol {
-				parents[u] = append(parents[u], e.To)
+			if math.Abs(dist[u]-(g.fW[s]+dist[v])) <= tol {
+				parents[u] = append(parents[u], v)
 			}
 		}
 	}
 	return &r.dag, nil
-}
-
-// ReweightEdges recomputes every edge weight in place: for each directed
-// edge u->v the new weight is weigh(u, v). Both the forward and reverse
-// adjacency copies are updated. The graph's structure (vertex and edge
-// sets) is unchanged, which is what lets Routers and DAGs built on top
-// keep their buffers. Weights must remain finite and non-negative.
-func (g *Graph) ReweightEdges(weigh func(u, v int) float64) error {
-	for u := range g.adj {
-		out := g.adj[u]
-		for i := range out {
-			w := weigh(u, out[i].To)
-			if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
-				return fmt.Errorf("graph: edge (%d,%d) reweighted to %g, must be finite and non-negative", u, out[i].To, w)
-			}
-			out[i].Weight = w
-		}
-	}
-	for v := range g.rev {
-		in := g.rev[v]
-		for i := range in {
-			in[i].Weight = weigh(in[i].To, v)
-		}
-	}
-	return nil
 }

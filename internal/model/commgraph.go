@@ -30,10 +30,11 @@ type CommGraph struct {
 // EnergyWeights pricing).
 func NewCommGraph(p *Problem) (*CommGraph, error) {
 	n := p.N()
-	c := &CommGraph{n: n, g: graph.New(n + 1), tx: make([]float64, (n+1)*(n+1))}
+	c := &CommGraph{n: n, tx: make([]float64, (n+1)*(n+1))}
 	for i := range c.tx {
 		c.tx[i] = math.Inf(1)
 	}
+	b := graph.NewBuilder(n + 1)
 	dmax := p.Energy.MaxRange()
 	for u := 0; u < n; u++ {
 		pu := p.Posts[u]
@@ -50,11 +51,12 @@ func NewCommGraph(p *Problem) (*CommGraph, error) {
 				return nil, fmt.Errorf("model: edge (%d,%d): %w", u, v, err)
 			}
 			c.tx[u*(n+1)+v] = tx
-			if err := c.g.AddEdge(u, v, tx); err != nil {
+			if err := b.AddEdge(u, v, tx); err != nil {
 				return nil, err
 			}
 		}
 	}
+	c.g = b.Build()
 	return c, nil
 }
 

@@ -4,89 +4,75 @@ import (
 	"fmt"
 	"math"
 
-	"wrsn/internal/geom"
 	"wrsn/internal/graph"
 )
 
+var inf = math.Inf(1)
+
 // CostEvaluator answers "what is the minimum total recharging cost of this
 // problem under deployment m?" repeatedly and fast. It precomputes the
-// communication edges (endpoints and per-bit transmit energies) once and
-// then runs a deployment-parameterised Dijkstra per query without
-// rebuilding any adjacency structure or allocating (the indexed heap is
-// reused across queries). IDB evaluates ~C(N+delta-1, N-1) deployments
-// per round and the exact solver evaluates up to millions, so this is the
-// performance-critical path of the whole library.
+// communication edges (a frozen CSR over endpoints and per-bit transmit
+// energies) once and then runs a deployment-parameterised Dijkstra per
+// query without rebuilding any adjacency structure or allocating (the
+// indexed heap is reused across queries). IDB evaluates
+// ~C(N+delta-1, N-1) deployments per round and the exact solver evaluates
+// up to millions, so this is the performance-critical path of the whole
+// library.
 //
 // CostEvaluator is stateless between queries: every MinCost call prices
-// the full deployment from scratch. Solvers that probe small perturbations
-// of one deployment should use IncrementalEvaluator (the Evaluator
-// interface's delta-aware implementation), which repairs the previous
-// shortest-path solution instead of recomputing it.
+// the full deployment from scratch, dividing out each edge weight in the
+// relax loop. That keeps it arithmetically independent of the
+// IncrementalEvaluator's maintained weight arrays — the differential
+// suites use it as the oracle the incremental path must match
+// bit-for-bit.
+//
+// Solvers that probe small perturbations of one deployment should use
+// IncrementalEvaluator (the Evaluator interface's delta-aware
+// implementation), which repairs the previous shortest-path solution
+// instead of recomputing it.
 type CostEvaluator struct {
 	p  *Problem
 	n  int // posts
 	bs int // base-station vertex index (== n)
 
-	// in[v] lists the communication edges u->v (v may be the BS);
-	// weights under deployment m are tx/eff[u] (+ rx/eff[v] for v != bs).
-	in [][]evalEdge
+	c  *commCSR
 	rx float64
 
 	// scratch buffers reused across queries
-	eff  []float64
-	dist []float64
-	h    *graph.IndexedMinHeap
-}
-
-type evalEdge struct {
-	from int
-	tx   float64
-}
-
-// buildInEdges precomputes the in-edge lists of p's communication graph:
-// in[v] holds every edge u->v with its per-bit transmit energy, for v a
-// post or the BS. Edge order is deterministic (ascending u).
-func buildInEdges(p *Problem) ([][]evalEdge, error) {
-	n := p.N()
-	in := make([][]evalEdge, n+1)
-	dmax := p.Energy.MaxRange()
-	for u := 0; u < n; u++ {
-		pu := p.Posts[u]
-		for v := 0; v <= n; v++ {
-			if v == u {
-				continue
-			}
-			d := geom.Dist(pu, p.Point(v))
-			if d > dmax {
-				continue
-			}
-			tx, err := p.Energy.TxEnergy(d)
-			if err != nil {
-				return nil, fmt.Errorf("model: evaluator edge (%d,%d): %w", u, v, err)
-			}
-			in[v] = append(in[v], evalEdge{from: u, tx: tx})
-		}
-	}
-	return in, nil
+	eff   []float64
+	dist  []float64
+	rates []float64
+	h     *graph.IndexedMinHeap
 }
 
 // NewCostEvaluator precomputes the communication topology of p.
 func NewCostEvaluator(p *Problem) (*CostEvaluator, error) {
 	n := p.N()
-	in, err := buildInEdges(p)
+	c, err := buildCommCSR(p)
 	if err != nil {
 		return nil, err
 	}
 	return &CostEvaluator{
-		p:    p,
-		n:    n,
-		bs:   n,
-		in:   in,
-		rx:   p.Energy.RxEnergy(),
-		eff:  make([]float64, n),
-		dist: make([]float64, n+1),
-		h:    graph.NewIndexedMinHeap(n + 1),
+		p:     p,
+		n:     n,
+		bs:    n,
+		c:     c,
+		rx:    p.Energy.RxEnergy(),
+		eff:   make([]float64, n),
+		dist:  make([]float64, n+1),
+		rates: buildRates(p, n),
+		h:     graph.NewIndexedMinHeap(n + 1),
 	}, nil
+}
+
+// buildRates materialises the per-post report rates once so the cost
+// summation indexes a flat slice instead of calling p.Rate per term.
+func buildRates(p *Problem, n int) []float64 {
+	rates := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rates[i] = p.Rate(i)
+	}
+	return rates
 }
 
 // MinCost returns the minimum total recharging cost achievable for
@@ -98,20 +84,20 @@ func (ev *CostEvaluator) MinCost(m []int) (float64, error) {
 		return 0, err
 	}
 	ev.dijkstra()
-	return totalCost(ev.p, ev.n, ev.dist, ev.eff)
+	return totalCost(ev.p, ev.n, ev.dist, ev.eff, ev.rates)
 }
 
 // totalCost sums the paper's objective from per-post shortest recharging
 // distances plus the routing-independent overhead, in a fixed summation
 // order shared by the stateless and incremental evaluators (so both
 // produce bit-identical costs from identical distances).
-func totalCost(p *Problem, n int, dist, eff []float64) (float64, error) {
+func totalCost(p *Problem, n int, dist, eff, rates []float64) (float64, error) {
 	var total float64
 	for u := 0; u < n; u++ {
-		if math.IsInf(dist[u], 1) {
+		if dist[u] == inf {
 			return 0, fmt.Errorf("%w: post %d", ErrDisconnected, u)
 		}
-		total += p.Rate(u) * dist[u]
+		total += rates[u] * dist[u]
 	}
 	return total + overheadCost(p, n, eff), nil
 }
@@ -148,11 +134,11 @@ func (ev *CostEvaluator) BestParentsInto(parents []int, m []int) (float64, error
 		return 0, err
 	}
 	ev.dijkstra()
-	total, err := totalCost(ev.p, ev.n, ev.dist, ev.eff)
+	total, err := totalCost(ev.p, ev.n, ev.dist, ev.eff, ev.rates)
 	if err != nil {
 		return 0, err
 	}
-	if err := recoverParents(ev.in, ev.n, ev.bs, ev.eff, ev.rx, ev.dist, parents); err != nil {
+	if err := recoverParents(ev.c, ev.eff, ev.rx, ev.dist, parents); err != nil {
 		return 0, err
 	}
 	return total, nil
@@ -162,7 +148,8 @@ func (ev *CostEvaluator) BestParentsInto(parents []int, m []int) (float64, error
 // shortest distances: u's parent is any v with dist[u] = w(u,v) + dist[v]
 // (lowest vertex index on ties, by scan order). Shared by the stateless
 // and incremental evaluators so both materialise identical trees.
-func recoverParents(in [][]evalEdge, n, bs int, eff []float64, rx float64, dist []float64, parents []int) error {
+func recoverParents(c *commCSR, eff []float64, rx float64, dist []float64, parents []int) error {
+	n, bs := c.n, c.bs
 	if len(parents) != n {
 		return fmt.Errorf("model: parent buffer covers %d posts, want %d", len(parents), n)
 	}
@@ -172,15 +159,15 @@ func recoverParents(in [][]evalEdge, n, bs int, eff []float64, rx float64, dist 
 	const tol = DAGTolerance
 	for v := 0; v <= n; v++ {
 		dv := dist[v]
-		if math.IsInf(dv, 1) {
+		if dv == inf {
 			continue
 		}
-		for _, e := range in[v] {
-			u := e.from
+		for s := c.inOff[v]; s < c.inOff[v+1]; s++ {
+			u := int(c.inFrom[s])
 			if parents[u] >= 0 {
 				continue
 			}
-			if math.Abs(dist[u]-(edgeWeight(e.tx, e.from, v, bs, eff, rx)+dv)) <= tol {
+			if math.Abs(dist[u]-(edgeWeight(c.inTx[s], u, v, bs, eff, rx)+dv)) <= tol {
 				parents[u] = v
 			}
 		}
@@ -222,8 +209,9 @@ func edgeWeight(tx float64, from, to, bs int, eff []float64, rx float64) float64
 
 // dijkstra fills ev.dist with shortest recharging-cost distances to the BS.
 func (ev *CostEvaluator) dijkstra() {
+	c := ev.c
 	for i := range ev.dist {
-		ev.dist[i] = math.Inf(1)
+		ev.dist[i] = inf
 	}
 	ev.dist[ev.bs] = 0
 	h := ev.h
@@ -234,10 +222,11 @@ func (ev *CostEvaluator) dijkstra() {
 		if dv > ev.dist[v] {
 			continue
 		}
-		for _, e := range ev.in[v] {
-			if nd := dv + edgeWeight(e.tx, e.from, v, ev.bs, ev.eff, ev.rx); nd < ev.dist[e.from] {
-				ev.dist[e.from] = nd
-				h.Push(e.from, nd)
+		for s := c.inOff[v]; s < c.inOff[v+1]; s++ {
+			u := int(c.inFrom[s])
+			if nd := dv + edgeWeight(c.inTx[s], u, v, ev.bs, ev.eff, ev.rx); nd < ev.dist[u] {
+				ev.dist[u] = nd
+				h.Push(u, nd)
 			}
 		}
 	}

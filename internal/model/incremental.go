@@ -3,7 +3,6 @@ package model
 import (
 	"errors"
 	"fmt"
-	"math"
 
 	"wrsn/internal/graph"
 )
@@ -28,24 +27,35 @@ var (
 //     distances; the repair seeds a Dijkstra pass from the repriced edges
 //     and lets improvements propagate.
 //   - posts whose efficiency fell (nodes removed) can only lengthen the
-//     distances of vertices whose shortest path routed through them; the
-//     repair walks the tight-parent structure to collect exactly that
-//     dirty set, invalidates it, and re-settles it from its boundary.
-//     When the dirty set covers more than half the posts the repair
-//     falls back to one full Dijkstra run (it would cost as much anyway).
+//     distances of vertices whose shortest path routed through them. That
+//     is exactly the weakened posts' subtrees in the tight-parent tree,
+//     which the evaluator maintains as intrusive child lists — so the
+//     dirty set is collected in O(|dirty|), invalidated, and re-settled
+//     from its boundary. When the dirty set covers more than half the
+//     posts the repair falls back to one full Dijkstra run (it would
+//     cost as much anyway).
+//
+// The hot loops run over the frozen commCSR slices with *maintained*
+// weight-component arrays: inTxw[s] = tx/eff[tail] per in slot and
+// rxw[v] = rx/eff[v] per vertex (0 for the BS), refreshed only for the
+// slots a move touches. A relaxation is then dv + (inTxw[s] + rxw[v])
+// with no division — the exact operation tree edgeWeight computes — so
+// repaired shortest-path values are bit-identical to a fresh
+// CostEvaluator.MinCost on the materialised vector; the differential and
+// fuzz suites pin that equivalence.
+//
+// The priority queue is a BucketQueue: heap mode at this suite's scale,
+// dial/bucket mode when Configure's applicability rule selects it for
+// large instances with a narrow discrete weight band — the two modes pop
+// in the same (priority, key) order, so the choice never changes results.
 //
 // Every touched distance is journaled, so Revert restores the committed
 // state in O(touched) and a probe/revert cycle allocates nothing in
 // steady state. An optional bounded memo (EnableMemo) answers probes for
 // recently seen deployments — simulated annealing revisits states on
 // reject/propose cycles — from a Zobrist-keyed table without touching
-// the graph at all.
-//
-// The arithmetic (edge pricing, relaxation, cost summation) is shared
-// with CostEvaluator, and repaired shortest-path values are built by the
-// same additions along the same paths, so incremental costs are
-// bit-identical to a fresh CostEvaluator.MinCost on the materialised
-// vector; the differential and fuzz suites pin that equivalence.
+// the graph at all. AttachSharedMemo adds a second, concurrency-safe
+// lookup tier shared across evaluators solving the same instance.
 //
 // Not safe for concurrent use: parallel solvers hold one per worker.
 type IncrementalEvaluator struct {
@@ -54,8 +64,15 @@ type IncrementalEvaluator struct {
 	bs int
 	rx float64
 
-	in  [][]evalEdge // in[v]: edges u->v, shared shape with CostEvaluator
-	out [][]outEdge  // out[u]: edges u->v, for boundary/decrease seeding
+	c *commCSR
+
+	// Maintained weight components (always consistent with eff):
+	//   rxw[v]   = rx/eff[v] for posts, 0 for the BS
+	//   inTxw[s] = inTx[s]/eff[inFrom[s]]
+	// Edge weight of in slot s into v is inTxw[s] + rxw[v], associated
+	// exactly as edgeWeight computes it.
+	rxw   []float64
+	inTxw []float64
 
 	// Committed (or probed) state.
 	m    []int
@@ -66,24 +83,38 @@ type IncrementalEvaluator struct {
 	key  uint64 // Zobrist key of m
 	have bool
 
-	h *graph.IndexedMinHeap
+	// Intrusive child lists mirroring par: childHead[v] is the first
+	// child of v (-1 none), childNext/childPrev link siblings. They turn
+	// "every vertex routing through post d" into a subtree walk.
+	childHead []int32
+	childNext []int32
+	childPrev []int32
+
+	rates []float64
+	q     *graph.BucketQueue
+
+	// Efficiency extremes ever observed, for the queue's weight-band
+	// configuration (conservative: monotone over the evaluator's life).
+	effLo float64
+	effHi float64
+
+	// Lazily grown cache of Charging.NetworkEfficiency(m) for m >= 1.
+	effTab []float64
 
 	// Probe bookkeeping.
-	state        int // idle / probed / memoProbed
-	pendingCost  float64
-	pendingKey   uint64
-	journal      []distSave
-	effLog       []effSave
-	pendingMoves []Move
-	full         bool // probe recomputed fully; snapshots hold the base
-	distSnap     []float64
-	parSnap      []int
+	state       int // idle / probed / memoProbed
+	pendingCost float64
+	pendingKey  uint64
+	journal     []distSave
+	effLog      []effSave
+	full        bool // probe recomputed fully; snapshots hold the base
+	distSnap    []float64
+	parSnap     []int
 
 	// Epoch-stamped scratch (no per-probe clearing).
 	epoch      int64
 	dirtyEpoch int64
 	mark       []int64
-	status     []int8
 	chain      []int
 	affected   []int
 	ups        []int
@@ -94,12 +125,11 @@ type IncrementalEvaluator struct {
 	memoKeys  []uint64
 	memoCosts []float64
 
-	stats EvalStats
-}
+	// Cross-cell shared memo (nil when not attached).
+	shared     *SharedMemo
+	sharedSalt uint64
 
-type outEdge struct {
-	to int
-	tx float64
+	stats EvalStats
 }
 
 // distSave journals one vertex's pre-probe shortest-path state. Entries
@@ -126,15 +156,10 @@ const (
 	stateMemoProbed
 )
 
-const (
-	statusClean int8 = iota
-	statusDirty
-)
-
 // EvalStats counts how an IncrementalEvaluator answered its queries;
-// probes not covered by Repairs/Fallbacks/MemoHits changed no edge
-// weight (e.g. moves past a saturating gain's cap) and were priced from
-// the standing solution directly.
+// probes not covered by Repairs/Fallbacks/MemoHits/SharedHits changed no
+// edge weight (e.g. moves past a saturating gain's cap) and were priced
+// from the standing solution directly.
 type EvalStats struct {
 	// FullEvals counts Cost calls (full Dijkstra over the whole graph).
 	FullEvals int64
@@ -145,40 +170,43 @@ type EvalStats struct {
 	// Fallbacks counts probes that fell back to a full re-run because
 	// the dirty region spanned too much of the graph.
 	Fallbacks int64
-	// MemoHits counts probes answered from the deployment memo.
+	// MemoHits counts probes answered from the private deployment memo.
 	MemoHits int64
+	// SharedHits counts probes answered from the cross-cell shared memo.
+	SharedHits int64
 }
 
 // NewIncrementalEvaluator precomputes the communication topology of p.
 // Call Cost to establish the first committed deployment.
 func NewIncrementalEvaluator(p *Problem) (*IncrementalEvaluator, error) {
 	n := p.N()
-	in, err := buildInEdges(p)
+	c, err := buildCommCSR(p)
 	if err != nil {
 		return nil, err
 	}
-	out := make([][]outEdge, n)
-	for v := 0; v <= n; v++ {
-		for _, e := range in[v] {
-			out[e.from] = append(out[e.from], outEdge{to: v, tx: e.tx})
-		}
-	}
+	m := c.numEdges()
 	return &IncrementalEvaluator{
-		p:        p,
-		n:        n,
-		bs:       n,
-		rx:       p.Energy.RxEnergy(),
-		in:       in,
-		out:      out,
-		m:        make([]int, n),
-		eff:      make([]float64, n),
-		dist:     make([]float64, n+1),
-		par:      make([]int, n),
-		h:        graph.NewIndexedMinHeap(n + 1),
-		distSnap: make([]float64, n+1),
-		parSnap:  make([]int, n),
-		mark:     make([]int64, n),
-		status:   make([]int8, n),
+		p:         p,
+		n:         n,
+		bs:        n,
+		rx:        p.Energy.RxEnergy(),
+		c:         c,
+		rxw:       make([]float64, n+1),
+		inTxw:     make([]float64, m),
+		m:         make([]int, n),
+		eff:       make([]float64, n),
+		dist:      make([]float64, n+1),
+		par:       make([]int, n),
+		childHead: make([]int32, n+1),
+		childNext: make([]int32, n),
+		childPrev: make([]int32, n),
+		rates:     buildRates(p, n),
+		q:         graph.NewBucketQueue(n + 1),
+		effLo:     inf,
+		effHi:     0,
+		distSnap:  make([]float64, n+1),
+		parSnap:   make([]int, n),
+		mark:      make([]int64, n),
 	}, nil
 }
 
@@ -201,6 +229,17 @@ func (ev *IncrementalEvaluator) EnableMemo(entries int) {
 	ev.memoMask = uint64(size - 1)
 }
 
+// AttachSharedMemo connects the evaluator to a cross-cell shared memo:
+// probes check it after the private memo, and every priced deployment is
+// published to it. salt must identify the problem instance (two
+// evaluators may share a memo with the same salt only if they price
+// bit-identical problems), which is what keeps hits exact rather than
+// heuristic. nil detaches.
+func (ev *IncrementalEvaluator) AttachSharedMemo(m *SharedMemo, salt uint64) {
+	ev.shared = m
+	ev.sharedSalt = salt
+}
+
 // Stats returns cumulative query counters.
 func (ev *IncrementalEvaluator) Stats() EvalStats { return ev.stats }
 
@@ -216,6 +255,128 @@ func zkey(post, count int) uint64 {
 	return x ^ (x >> 31)
 }
 
+// netEff is Charging.NetworkEfficiency through a lazily grown cache:
+// counts repeat constantly across probes and the gain factor is a pure
+// function of m. Errors (m < 1) stay uncached.
+func (ev *IncrementalEvaluator) netEff(m int) (float64, error) {
+	if m >= 1 && m < len(ev.effTab) {
+		if e := ev.effTab[m]; e > 0 {
+			return e, nil
+		}
+	}
+	e, err := ev.p.Charging.NetworkEfficiency(m)
+	if err != nil {
+		return 0, err
+	}
+	if m >= len(ev.effTab) {
+		grown := make([]float64, m+16)
+		copy(grown, ev.effTab)
+		ev.effTab = grown
+	}
+	ev.effTab[m] = e
+	return e, nil
+}
+
+// reweightPost refreshes the maintained weight components for every edge
+// incident to post i after eff[i] changed. The divisions are exactly
+// edgeWeight's, so relaxations stay bit-identical to on-the-fly pricing.
+func (ev *IncrementalEvaluator) reweightPost(i int) {
+	c := ev.c
+	effI := ev.eff[i]
+	if effI < ev.effLo {
+		ev.effLo = effI
+	}
+	if effI > ev.effHi {
+		ev.effHi = effI
+	}
+	ev.rxw[i] = ev.rx / effI
+	for os := c.outOff[i]; os < c.outOff[i+1]; os++ {
+		ev.inTxw[c.outSlot[os]] = c.outTx[os] / effI
+	}
+}
+
+// reweightAll rebuilds the maintained weight components from scratch
+// under the current efficiencies.
+func (ev *IncrementalEvaluator) reweightAll() {
+	c := ev.c
+	ev.rxw[ev.bs] = 0
+	for i := 0; i < ev.n; i++ {
+		effI := ev.eff[i]
+		if effI < ev.effLo {
+			ev.effLo = effI
+		}
+		if effI > ev.effHi {
+			ev.effHi = effI
+		}
+		ev.rxw[i] = ev.rx / effI
+	}
+	for s := range ev.inTxw {
+		ev.inTxw[s] = c.inTx[s] / ev.eff[c.inFrom[s]]
+	}
+}
+
+// configureQueue applies the bucket-queue applicability rule from the
+// conservative weight band [minTx/effHi, (maxTx+rx)/effLo]. Cheap when
+// the band is unchanged; flips the queue to heap mode if the band has
+// grown degenerate.
+func (ev *IncrementalEvaluator) configureQueue() {
+	if ev.effHi <= 0 {
+		return
+	}
+	ev.q.Configure(ev.c.minTx/ev.effHi, (ev.c.maxTx+ev.rx)/ev.effLo)
+}
+
+// setPar reparents post u, keeping the intrusive child lists in sync.
+// np == -1 detaches u (an invalidated vertex).
+func (ev *IncrementalEvaluator) setPar(u, np int) {
+	op := ev.par[u]
+	if op == np {
+		return
+	}
+	if op >= 0 {
+		prev, next := ev.childPrev[u], ev.childNext[u]
+		if prev >= 0 {
+			ev.childNext[prev] = next
+		} else {
+			ev.childHead[op] = next
+		}
+		if next >= 0 {
+			ev.childPrev[next] = prev
+		}
+	}
+	ev.par[u] = np
+	if np >= 0 {
+		head := ev.childHead[np]
+		ev.childNext[u] = head
+		ev.childPrev[u] = -1
+		if head >= 0 {
+			ev.childPrev[head] = int32(u)
+		}
+		ev.childHead[np] = int32(u)
+	}
+}
+
+// rebuildChildren derives the child lists from par after a bulk rewrite
+// (full Dijkstra, snapshot restore).
+func (ev *IncrementalEvaluator) rebuildChildren() {
+	for i := range ev.childHead {
+		ev.childHead[i] = -1
+	}
+	for u := 0; u < ev.n; u++ {
+		p := ev.par[u]
+		if p < 0 {
+			continue
+		}
+		head := ev.childHead[p]
+		ev.childNext[u] = head
+		ev.childPrev[u] = -1
+		if head >= 0 {
+			ev.childPrev[head] = int32(u)
+		}
+		ev.childHead[p] = int32(u)
+	}
+}
+
 // Cost fully evaluates m and makes it the committed deployment. On error
 // the evaluator loses its committed state and Cost must be called again.
 func (ev *IncrementalEvaluator) Cost(m []int) (float64, error) {
@@ -227,7 +388,7 @@ func (ev *IncrementalEvaluator) Cost(m []int) (float64, error) {
 	}
 	var key uint64
 	for i, mi := range m {
-		e, err := ev.p.Charging.NetworkEfficiency(mi)
+		e, err := ev.netEff(mi)
 		if err != nil {
 			ev.have = false
 			return 0, fmt.Errorf("model: post %d: %w", i, err)
@@ -236,8 +397,9 @@ func (ev *IncrementalEvaluator) Cost(m []int) (float64, error) {
 		key ^= zkey(i, mi)
 	}
 	copy(ev.m, m)
+	ev.reweightAll()
 	ev.fullDijkstra()
-	cost, err := totalCost(ev.p, ev.n, ev.dist, ev.eff)
+	cost, err := totalCost(ev.p, ev.n, ev.dist, ev.eff, ev.rates)
 	if err != nil {
 		ev.have = false
 		return 0, err
@@ -288,7 +450,7 @@ func (ev *IncrementalEvaluator) CostDelta(moves []Move) (float64, error) {
 			rec.newEff = rec.oldEff
 			continue
 		}
-		e, err := ev.p.Charging.NetworkEfficiency(newM)
+		e, err := ev.netEff(newM)
 		if err != nil {
 			ev.rollbackMoves()
 			return 0, fmt.Errorf("model: post %d: %w", rec.post, err)
@@ -297,7 +459,6 @@ func (ev *IncrementalEvaluator) CostDelta(moves []Move) (float64, error) {
 		key ^= zkey(rec.post, rec.oldM) ^ zkey(rec.post, newM)
 	}
 	ev.pendingKey = key
-	ev.pendingMoves = append(ev.pendingMoves[:0], moves...)
 
 	if ev.memoKeys != nil && key != 0 {
 		if idx := key & ev.memoMask; ev.memoKeys[idx] == key {
@@ -307,6 +468,14 @@ func (ev *IncrementalEvaluator) CostDelta(moves []Move) (float64, error) {
 			ev.state = stateMemoProbed
 			ev.pendingCost = ev.memoCosts[idx]
 			return ev.pendingCost, nil
+		}
+	}
+	if ev.shared != nil && key != 0 {
+		if cost, ok := ev.shared.load(key ^ ev.sharedSalt); ok {
+			ev.stats.SharedHits++
+			ev.state = stateMemoProbed
+			ev.pendingCost = cost
+			return cost, nil
 		}
 	}
 
@@ -329,7 +498,7 @@ func (ev *IncrementalEvaluator) Commit() error {
 	switch ev.state {
 	case stateProbed:
 	case stateMemoProbed:
-		// The probe was answered from the memo without touching the
+		// The probe was answered from a memo without touching the
 		// graph; materialise the repair now that the move is accepted.
 		cost, err := ev.repairAndPrice()
 		if err != nil {
@@ -357,6 +526,7 @@ func (ev *IncrementalEvaluator) Revert() error {
 		if ev.full {
 			copy(ev.dist, ev.distSnap)
 			copy(ev.par, ev.parSnap)
+			ev.rebuildChildren()
 			ev.full = false
 		} else {
 			ev.restoreJournal()
@@ -365,9 +535,13 @@ func (ev *IncrementalEvaluator) Revert() error {
 			rec := ev.effLog[i]
 			ev.m[rec.post] = rec.oldM
 			ev.eff[rec.post] = rec.oldEff
+			if rec.newEff != rec.oldEff {
+				ev.reweightPost(rec.post)
+			}
 		}
 	case stateMemoProbed:
-		// Only the counts were touched; distances were never repaired.
+		// Only the counts were touched; distances and weights were never
+		// repaired.
 		for i := len(ev.effLog) - 1; i >= 0; i-- {
 			ev.m[ev.effLog[i].post] = ev.effLog[i].oldM
 		}
@@ -404,11 +578,11 @@ func (ev *IncrementalEvaluator) BestParentsInto(parents []int, m []int) (float64
 			return 0, err
 		}
 	}
-	total, err := totalCost(ev.p, ev.n, ev.dist, ev.eff)
+	total, err := totalCost(ev.p, ev.n, ev.dist, ev.eff, ev.rates)
 	if err != nil {
 		return 0, err
 	}
-	if err := recoverParents(ev.in, ev.n, ev.bs, ev.eff, ev.rx, ev.dist, parents); err != nil {
+	if err := recoverParents(ev.c, ev.eff, ev.rx, ev.dist, parents); err != nil {
 		return 0, err
 	}
 	return total, nil
@@ -439,7 +613,7 @@ func (ev *IncrementalEvaluator) restoreJournal() {
 	for i := len(ev.journal) - 1; i >= 0; i-- {
 		s := ev.journal[i]
 		ev.dist[s.v] = s.dist
-		ev.par[s.v] = int(s.par)
+		ev.setPar(int(s.v), int(s.par))
 	}
 	ev.journal = ev.journal[:0]
 }
@@ -449,12 +623,17 @@ func (ev *IncrementalEvaluator) saveDist(v int) {
 }
 
 func (ev *IncrementalEvaluator) memoStore(key uint64, cost float64) {
-	if ev.memoKeys == nil || key == 0 {
+	if key == 0 {
 		return
 	}
-	idx := key & ev.memoMask
-	ev.memoKeys[idx] = key
-	ev.memoCosts[idx] = cost
+	if ev.memoKeys != nil {
+		idx := key & ev.memoMask
+		ev.memoKeys[idx] = key
+		ev.memoCosts[idx] = cost
+	}
+	if ev.shared != nil {
+		ev.shared.store(key^ev.sharedSalt, cost)
+	}
 }
 
 // repairAndPrice applies the probe's efficiency changes, repairs the
@@ -467,6 +646,7 @@ func (ev *IncrementalEvaluator) repairAndPrice() (float64, error) {
 			continue
 		}
 		ev.eff[rec.post] = rec.newEff
+		ev.reweightPost(rec.post)
 		if rec.newEff > rec.oldEff {
 			ev.ups = append(ev.ups, rec.post)
 		} else {
@@ -476,51 +656,58 @@ func (ev *IncrementalEvaluator) repairAndPrice() (float64, error) {
 	if len(ev.ups) == 0 && len(ev.downs) == 0 {
 		// No edge weight changed (e.g. a move past a saturating gain's
 		// cap): the standing solution already prices this deployment.
-		return totalCost(ev.p, ev.n, ev.dist, ev.eff)
+		return totalCost(ev.p, ev.n, ev.dist, ev.eff, ev.rates)
 	}
 	if !ev.repairDist() {
 		ev.fullRecompute()
 	}
-	return totalCost(ev.p, ev.n, ev.dist, ev.eff)
+	return totalCost(ev.p, ev.n, ev.dist, ev.eff, ev.rates)
 }
 
 // repairDist repairs dist/par in place for the efficiency changes in
 // ev.ups/ev.downs, journaling every touched vertex. It reports false
-// when the caller should recompute from scratch instead (wide dirty
-// region, or a defensive bail on inconsistent parent structure).
+// when the caller should recompute from scratch instead (the dirty
+// region spans most of the graph).
 func (ev *IncrementalEvaluator) repairDist() bool {
-	bs := ev.bs
-	h := ev.h
-	h.Reset()
+	c := ev.c
+	q := ev.q
+	ev.configureQueue()
+	q.Reset()
 	ev.journal = ev.journal[:0]
 	ev.dirtyEpoch = -1
 
-	// Increase side: routes through weakened posts may lengthen. Collect
-	// the dirty set (every vertex whose tight-parent chain passes through
-	// a weakened post), invalidate it, and re-settle it from its boundary.
+	// Increase side: routes through weakened posts may lengthen. The
+	// dirty set is the union of the weakened posts' subtrees in the
+	// tight-parent tree; invalidate it and re-settle it from its
+	// boundary.
 	if len(ev.downs) > 0 {
-		if !ev.collectAffected() {
+		if 2*len(ev.downs) > ev.n {
+			// The dirty set contains every weakened post, so it already
+			// spans most of the graph: skip the collection walk and take
+			// the full-run fallback directly (identical decision).
 			return false
 		}
+		ev.collectAffected()
 		if 2*len(ev.affected) > ev.n {
 			return false // dirty region spans most of the graph: full run is cheaper
 		}
 		for _, a := range ev.affected {
 			ev.saveDist(a)
-			ev.dist[a] = math.Inf(1)
-			ev.par[a] = -1
+			ev.dist[a] = inf
+			ev.setPar(a, -1)
 		}
 		for _, a := range ev.affected {
-			best, bestPar := math.Inf(1), -1
-			for _, e := range ev.out[a] {
-				if cand := ev.dist[e.to] + edgeWeight(e.tx, a, e.to, bs, ev.eff, ev.rx); cand < best {
-					best, bestPar = cand, e.to
+			best, bestPar := inf, -1
+			for os := c.outOff[a]; os < c.outOff[a+1]; os++ {
+				to := c.outTo[os]
+				if cand := ev.dist[to] + (ev.inTxw[c.outSlot[os]] + ev.rxw[to]); cand < best {
+					best, bestPar = cand, int(to)
 				}
 			}
 			if bestPar >= 0 {
 				ev.dist[a] = best
-				ev.par[a] = bestPar
-				h.Push(a, best)
+				ev.setPar(a, bestPar)
+				q.Push(a, best)
 			}
 		}
 	}
@@ -528,51 +715,78 @@ func (ev *IncrementalEvaluator) repairDist() bool {
 	// Decrease side: every edge incident to a strengthened post got
 	// cheaper. Seed the post's own distance through its out-edges, and
 	// its in-neighbours through the now-cheaper reception — the post
-	// itself may never enter the heap when only reception improved.
+	// itself may never enter the queue when only reception improved.
 	for _, i := range ev.ups {
-		if ev.dirtyEpoch >= 0 && ev.mark[i] == ev.dirtyEpoch && ev.status[i] == statusDirty {
+		if ev.dirtyEpoch >= 0 && ev.mark[i] == ev.dirtyEpoch {
 			continue // already invalidated and boundary-seeded above
 		}
 		best, bestPar, improved := ev.dist[i], -1, false
-		for _, e := range ev.out[i] {
-			if cand := ev.dist[e.to] + edgeWeight(e.tx, i, e.to, bs, ev.eff, ev.rx); cand < best {
-				best, bestPar, improved = cand, e.to, true
+		for os := c.outOff[i]; os < c.outOff[i+1]; os++ {
+			to := c.outTo[os]
+			if cand := ev.dist[to] + (ev.inTxw[c.outSlot[os]] + ev.rxw[to]); cand < best {
+				best, bestPar, improved = cand, int(to), true
 			}
 		}
 		if improved {
 			ev.saveDist(i)
 			ev.dist[i] = best
-			ev.par[i] = bestPar
-			h.Push(i, best)
+			ev.setPar(i, bestPar)
+			q.Push(i, best)
 		}
-		if di := ev.dist[i]; !math.IsInf(di, 1) {
-			for _, e := range ev.in[i] {
-				u := e.from
-				if cand := di + edgeWeight(e.tx, u, i, bs, ev.eff, ev.rx); cand < ev.dist[u] {
+		if di := ev.dist[i]; di != inf {
+			ri := ev.rxw[i]
+			for s := c.inOff[i]; s < c.inOff[i+1]; s++ {
+				u := int(c.inFrom[s])
+				if cand := di + (ev.inTxw[s] + ri); cand < ev.dist[u] {
 					ev.saveDist(u)
 					ev.dist[u] = cand
-					ev.par[u] = i
-					h.Push(u, cand)
+					ev.setPar(u, i)
+					q.Push(u, cand)
 				}
 			}
 		}
 	}
 
 	// Propagate to fixpoint: standard lazy-deletion Dijkstra over the
-	// seeded frontier, relaxing with the shared edge pricing so repaired
-	// values are built by the same additions as a from-scratch run.
-	for h.Len() > 0 {
-		v, dv := h.Pop()
-		if dv > ev.dist[v] {
-			continue
+	// seeded frontier, relaxing with the maintained weight components so
+	// repaired values are built by the same operations as a from-scratch
+	// run. The loop is written once per queue mode so every operation
+	// lands on the concrete structure without the mode-dispatch call
+	// (both modes pop in the same (priority, key) order, so the split
+	// cannot change results).
+	if q.Bucketed() {
+		for q.Len() > 0 {
+			v, dv := q.Pop()
+			if dv > ev.dist[v] {
+				continue
+			}
+			rv := ev.rxw[v]
+			for s := c.inOff[v]; s < c.inOff[v+1]; s++ {
+				u := int(c.inFrom[s])
+				if cand := dv + (ev.inTxw[s] + rv); cand < ev.dist[u] {
+					ev.saveDist(u)
+					ev.dist[u] = cand
+					ev.setPar(u, v)
+					q.Push(u, cand)
+				}
+			}
 		}
-		for _, e := range ev.in[v] {
-			u := e.from
-			if cand := dv + edgeWeight(e.tx, u, v, bs, ev.eff, ev.rx); cand < ev.dist[u] {
-				ev.saveDist(u)
-				ev.dist[u] = cand
-				ev.par[u] = v
-				h.Push(u, cand)
+	} else {
+		h := q.Heap()
+		for h.Len() > 0 {
+			v, dv := h.Pop()
+			if dv > ev.dist[v] {
+				continue
+			}
+			rv := ev.rxw[v]
+			for s := c.inOff[v]; s < c.inOff[v+1]; s++ {
+				u := int(c.inFrom[s])
+				if cand := dv + (ev.inTxw[s] + rv); cand < ev.dist[u] {
+					ev.saveDist(u)
+					ev.dist[u] = cand
+					ev.setPar(u, v)
+					h.Push(u, cand)
+				}
 			}
 		}
 	}
@@ -581,49 +795,38 @@ func (ev *IncrementalEvaluator) repairDist() bool {
 }
 
 // collectAffected fills ev.affected with every post whose tight-parent
-// chain passes through a weakened post, memoising chain status so the
-// whole pass is O(N). Reports false when the parent structure is
-// inconsistent (defensive: callers then recompute from scratch).
-func (ev *IncrementalEvaluator) collectAffected() bool {
+// chain passes through a weakened post — the union of the weakened
+// posts' subtrees, walked over the maintained child lists in
+// O(|affected|). Visited posts are stamped with ev.dirtyEpoch in
+// ev.mark.
+func (ev *IncrementalEvaluator) collectAffected() {
 	ev.epoch++
 	ep := ev.epoch
 	ev.dirtyEpoch = ep
 	ev.affected = ev.affected[:0]
+	stack := ev.chain[:0]
 	for _, d := range ev.downs {
+		if ev.mark[d] == ep {
+			continue // nested inside an earlier weakened post's subtree
+		}
 		ev.mark[d] = ep
-		ev.status[d] = statusDirty
 		ev.affected = append(ev.affected, d)
-	}
-	for u := 0; u < ev.n; u++ {
-		if ev.mark[u] == ep {
-			continue
-		}
-		ev.chain = ev.chain[:0]
-		v := u
-		st := statusClean
-		for steps := 0; ; steps++ {
-			if v == ev.bs {
-				break
-			}
-			if ev.mark[v] == ep {
-				st = ev.status[v]
-				break
-			}
-			ev.chain = append(ev.chain, v)
-			v = ev.par[v]
-			if v < 0 || steps > ev.n {
-				return false
-			}
-		}
-		for _, c := range ev.chain {
-			ev.mark[c] = ep
-			ev.status[c] = st
-			if st == statusDirty {
-				ev.affected = append(ev.affected, c)
+		stack = append(stack, d)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for ch := ev.childHead[v]; ch >= 0; ch = ev.childNext[ch] {
+				u := int(ch)
+				if ev.mark[u] == ep {
+					continue
+				}
+				ev.mark[u] = ep
+				ev.affected = append(ev.affected, u)
+				stack = append(stack, u)
 			}
 		}
 	}
-	return true
+	ev.chain = stack[:0]
 }
 
 // fullRecompute snapshots the committed solution (for Revert) and runs a
@@ -639,30 +842,55 @@ func (ev *IncrementalEvaluator) fullRecompute() {
 
 // fullDijkstra recomputes dist/par from scratch under the current
 // efficiencies — the same relaxation order and arithmetic as
-// CostEvaluator.dijkstra, plus tight-parent tracking.
+// CostEvaluator.dijkstra (the maintained weight components are combined
+// by edgeWeight's own operation tree), plus tight-parent tracking.
 func (ev *IncrementalEvaluator) fullDijkstra() {
+	c := ev.c
 	for i := range ev.dist {
-		ev.dist[i] = math.Inf(1)
+		ev.dist[i] = inf
 	}
 	for i := range ev.par {
 		ev.par[i] = -1
 	}
 	ev.dist[ev.bs] = 0
-	h := ev.h
-	h.Reset()
-	h.Push(ev.bs, 0)
-	for h.Len() > 0 {
-		v, dv := h.Pop()
-		if dv > ev.dist[v] {
-			continue
+	q := ev.q
+	ev.configureQueue()
+	q.Reset()
+	q.Push(ev.bs, 0)
+	// Specialized per queue mode, like repairDist's propagate loop.
+	if q.Bucketed() {
+		for q.Len() > 0 {
+			v, dv := q.Pop()
+			if dv > ev.dist[v] {
+				continue
+			}
+			rv := ev.rxw[v]
+			for s := c.inOff[v]; s < c.inOff[v+1]; s++ {
+				u := int(c.inFrom[s])
+				if nd := dv + (ev.inTxw[s] + rv); nd < ev.dist[u] {
+					ev.dist[u] = nd
+					ev.par[u] = v
+					q.Push(u, nd)
+				}
+			}
 		}
-		for _, e := range ev.in[v] {
-			u := e.from
-			if nd := dv + edgeWeight(e.tx, u, v, ev.bs, ev.eff, ev.rx); nd < ev.dist[u] {
-				ev.dist[u] = nd
-				ev.par[u] = v
-				h.Push(u, nd)
+	} else {
+		h := q.Heap()
+		for h.Len() > 0 {
+			v, dv := h.Pop()
+			if dv > ev.dist[v] {
+				continue
+			}
+			rv := ev.rxw[v]
+			for s := c.inOff[v]; s < c.inOff[v+1]; s++ {
+				u := int(c.inFrom[s])
+				if nd := dv + (ev.inTxw[s] + rv); nd < ev.dist[u] {
+					ev.dist[u] = nd
+					ev.par[u] = v
+					h.Push(u, nd)
+				}
 			}
 		}
 	}
+	ev.rebuildChildren()
 }

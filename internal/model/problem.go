@@ -227,7 +227,7 @@ func (p *Problem) RechargeCostWeights(deploy Deployment) (WeightFunc, error) {
 // tie-breaking is deterministic.
 func (p *Problem) BuildGraph(wf WeightFunc) (*graph.Graph, error) {
 	n := p.N()
-	g := graph.New(n + 1)
+	b := graph.NewBuilder(n + 1)
 	dmax := p.Energy.MaxRange()
 	for u := 0; u < n; u++ {
 		pu := p.Posts[u]
@@ -243,12 +243,12 @@ func (p *Problem) BuildGraph(wf WeightFunc) (*graph.Graph, error) {
 			if err != nil {
 				return nil, fmt.Errorf("model: edge (%d,%d): %w", u, v, err)
 			}
-			if err := g.AddEdge(u, v, wf(u, v, tx)); err != nil {
+			if err := b.AddEdge(u, v, wf(u, v, tx)); err != nil {
 				return nil, err
 			}
 		}
 	}
-	return g, nil
+	return b.Build(), nil
 }
 
 // DAGTolerance is the absolute tolerance used when recognising tied

@@ -1,0 +1,112 @@
+package model
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+)
+
+// SharedMemo is a fixed-size, lock-free deployment-cost memo shared by
+// every evaluator pricing the same problem instance — e.g. the solver
+// cells of one sweep point that differ only in algorithm. It is a
+// direct-mapped table of (key, cost) pairs stored as two atomic words
+// with an XOR integrity check: slot word a holds key^bits(cost), slot
+// word b holds bits(cost), and a load is valid only when a^b recovers
+// the probed key. A torn read (concurrent overwrite between the two
+// loads) fails the check and reports a miss — never a wrong cost — so
+// the table needs no locks and stays exact under any interleaving.
+//
+// Keys are Zobrist deployment keys XOR-salted per instance by the
+// caller (see IncrementalEvaluator.AttachSharedMemo); a salted key of 0
+// is remapped so the zero-initialised table never fakes a hit.
+type SharedMemo struct {
+	mask  uint64
+	words []atomic.Uint64 // pairs: words[2i] = key^bits, words[2i+1] = bits
+}
+
+// DefaultSharedMemoEntries sizes shared memos when the caller does not
+// specify one (engine.RunConfig.MemoEntries == 0): 16Ki entries = 256KiB.
+const DefaultSharedMemoEntries = 1 << 14
+
+// NewSharedMemo allocates a shared memo with at least the given number
+// of entries, rounded up to a power of two. entries <= 0 returns nil
+// (callers treat a nil memo as disabled).
+func NewSharedMemo(entries int) *SharedMemo {
+	if entries <= 0 {
+		return nil
+	}
+	size := 1
+	for size < entries {
+		size <<= 1
+	}
+	return &SharedMemo{
+		mask:  uint64(size - 1),
+		words: make([]atomic.Uint64, 2*size),
+	}
+}
+
+func sharedKey(key uint64) uint64 {
+	if key == 0 {
+		return 0x9E3779B97F4A7C15 // arbitrary non-zero remap
+	}
+	return key
+}
+
+// load probes the memo; ok reports whether a validated entry for key was
+// present.
+func (m *SharedMemo) load(key uint64) (cost float64, ok bool) {
+	key = sharedKey(key)
+	i := 2 * (key & m.mask)
+	a := m.words[i].Load()
+	b := m.words[i+1].Load()
+	if a^b != key {
+		return 0, false
+	}
+	return math.Float64frombits(b), true
+}
+
+// store publishes (key, cost), overwriting whatever occupied the slot.
+func (m *SharedMemo) store(key uint64, cost float64) {
+	key = sharedKey(key)
+	i := 2 * (key & m.mask)
+	b := math.Float64bits(cost)
+	m.words[i].Store(key ^ b)
+	m.words[i+1].Store(b)
+}
+
+// sharedMemoCtxKey carries a shared memo and its instance salt through a
+// context.
+type sharedMemoCtxKey struct{}
+
+type sharedMemoCtxVal struct {
+	m    *SharedMemo
+	salt uint64
+}
+
+// WithSharedMemo returns a context carrying m and the per-instance
+// Zobrist salt (nil m returns ctx unchanged). The engine attaches one
+// memo per (point, seed) instance so every solver cell pricing that
+// instance shares priced deployments; the salt keeps keys from distinct
+// instances from aliasing if a memo is ever reused across them.
+func WithSharedMemo(ctx context.Context, m *SharedMemo, salt uint64) context.Context {
+	if m == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, sharedMemoCtxKey{}, sharedMemoCtxVal{m: m, salt: salt})
+}
+
+// SharedMemoFrom extracts the shared memo and salt carried by ctx
+// (nil, 0 when absent).
+func SharedMemoFrom(ctx context.Context) (*SharedMemo, uint64) {
+	v, _ := ctx.Value(sharedMemoCtxKey{}).(sharedMemoCtxVal)
+	return v.m, v.salt
+}
+
+// AttachSharedMemoFromContext attaches the context's shared memo (if
+// any) to ev, salted as the context directs. No-op when ctx carries
+// none, so solvers can call it unconditionally.
+func (ev *IncrementalEvaluator) AttachSharedMemoFromContext(ctx context.Context) {
+	if m, salt := SharedMemoFrom(ctx); m != nil {
+		ev.AttachSharedMemo(m, salt)
+	}
+}

@@ -236,7 +236,7 @@ func (in *Instance) EvaluateSolution(deploy []int, parents []int) (float64, erro
 // posts yield an error.
 func (in *Instance) minCostForDeployment(deploy []int) (float64, []int, error) {
 	n := in.NumPosts
-	g := graph.New(n + 1)
+	b := graph.NewBuilder(n + 1)
 	for u := 0; u < n; u++ {
 		for _, e := range in.Edges[u] {
 			tx, err := in.TxEnergy(e.Level)
@@ -247,12 +247,12 @@ func (in *Instance) minCostForDeployment(deploy []int) (float64, []int, error) {
 			if e.To != n {
 				w += in.Params.E0 / (float64(deploy[e.To]) * in.Params.Eta)
 			}
-			if err := g.AddEdge(u, e.To, w); err != nil {
+			if err := b.AddEdge(u, e.To, w); err != nil {
 				return 0, nil, err
 			}
 		}
 	}
-	dag, err := g.ShortestPathDAG(n, 1e-12)
+	dag, err := b.Build().ShortestPathDAG(n, 1e-12)
 	if err != nil {
 		return 0, nil, err
 	}

@@ -87,12 +87,12 @@ func TrimWeighted(dag *graph.DAG, nPosts int, rates []float64) (*TrimResult, err
 // entirely — they need no fat-tree parent, accumulate no workload, and
 // get Parent = -1 in the result.
 type Trimmer struct {
-	n      int
-	par    [][]int
-	sorter distSorter
-	reach  []*bitset.Set
-	load   []float64
-	h      *graph.IndexedMinHeap
+	n          int
+	par        [][]int
+	sorter     distSorter
+	reach      []*bitset.Set
+	load       []float64
+	h          *graph.IndexedMinHeap
 	childCount []int
 	queue      []int
 }

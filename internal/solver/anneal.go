@@ -79,6 +79,7 @@ func AnnealCtx(ctx context.Context, p *model.Problem, opts AnnealOptions) (*Resu
 	if err != nil {
 		return nil, err
 	}
+	ev.AttachSharedMemoFromContext(ctx)
 	// The walk revisits states whenever a proposal is rejected and later
 	// re-proposed; a small memo answers those probes without repairing.
 	ev.EnableMemo(1 << 12)

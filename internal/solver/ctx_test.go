@@ -38,9 +38,11 @@ func TestOptimalCtxCancelsMidSearch(t *testing.T) {
 	})
 }
 
-// TestIDBCtxCancelsMidRun aborts IDB's incremental rounds mid-run.
+// TestIDBCtxCancelsMidRun aborts IDB's incremental rounds mid-run. The
+// instance must run far longer than the cancellation sleep even on a
+// loaded machine, so it is sized well past the paper scale.
 func TestIDBCtxCancelsMidRun(t *testing.T) {
-	p := randomProblem(t, 502, 400, 60, 420)
+	p := randomProblem(t, 502, 400, 120, 3000)
 	cancelMidRun(t, "IDBCtx", 10*time.Second, func(ctx context.Context) error {
 		_, err := IDBCtx(ctx, p, 1)
 		return err
@@ -49,7 +51,7 @@ func TestIDBCtxCancelsMidRun(t *testing.T) {
 
 // TestIDBParallelCtxCancelsMidRun aborts the parallel candidate pool.
 func TestIDBParallelCtxCancelsMidRun(t *testing.T) {
-	p := randomProblem(t, 503, 400, 60, 420)
+	p := randomProblem(t, 503, 400, 120, 3000)
 	cancelMidRun(t, "IDBWithOptionsCtx", 10*time.Second, func(ctx context.Context) error {
 		_, err := IDBWithOptionsCtx(ctx, p, IDBOptions{Delta: 1, Workers: 4})
 		return err
@@ -91,12 +93,15 @@ func TestCtxVariantsMatchPlainResults(t *testing.T) {
 	}
 }
 
-// TestDeadlineExceededPropagates: a short per-call timeout surfaces as
-// context.DeadlineExceeded.
+// TestDeadlineExceededPropagates: an exceeded per-call timeout surfaces
+// as context.DeadlineExceeded. The deadline is allowed to expire before
+// the call so the test does not depend on how fast the solver clears a
+// particular instance.
 func TestDeadlineExceededPropagates(t *testing.T) {
 	p := randomProblem(t, 506, 400, 60, 420)
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
 	defer cancel()
+	<-ctx.Done()
 	_, err := IDBCtx(ctx, p, 1)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("want context.DeadlineExceeded, got %v", err)

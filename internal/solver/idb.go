@@ -43,6 +43,7 @@ func IDBCtx(ctx context.Context, p *model.Problem, delta int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	ev.AttachSharedMemoFromContext(ctx)
 
 	cur := model.Ones(n)
 	if _, err := ev.Cost(cur); err != nil {
@@ -70,39 +71,78 @@ func IDBCtx(ctx context.Context, p *model.Problem, delta int) (*Result, error) {
 		}
 		bestCost := -1.0
 		found := false
-		var evalFailure error
-		loopErr := deploy.ForEachComposition(n, step, func(extra []int) bool {
-			if evaluations%ctxCheckStride == 0 {
-				if err := ctx.Err(); err != nil {
-					evalFailure = err
-					return false
+		if step == 1 {
+			// δ=1 fast path (the paper's comparisons all run here): a
+			// one-node composition is just "post i gets the node", and
+			// ForEachComposition(n, 1) enumerates i = n-1 .. 0, so the
+			// inline loop below visits the identical candidate order
+			// without the O(n) composition-successor and extra-move
+			// scans per candidate. Replacing only on
+			// cost < bestCost-costSlack is exactly less(): the
+			// first-seen placement (largest i) is the lexicographically
+			// smallest extra vector, so every tie keeps the incumbent.
+			bestI := -1
+			mv := moves[:1] // reuse the shared move buffer (cap >= delta >= 1)
+			for i := n - 1; i >= 0; i-- {
+				if evaluations%ctxCheckStride == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
+				mv[0] = model.Move{Post: i, Delta: 1}
+				cost, evalErr := ev.CostDelta(mv)
+				evaluations++
+				if evalErr != nil {
+					return nil, evalErr
+				}
+				if evalErr := ev.Revert(); evalErr != nil {
+					return nil, evalErr
+				}
+				if bestI < 0 || cost < bestCost-costSlack {
+					bestI = i
+					bestCost = cost
 				}
 			}
-			cost, evalErr := ev.CostDelta(extraMoves(extra))
-			evaluations++
-			if evalErr != nil {
-				evalFailure = evalErr // impossible once p validated; keep the loop honest
-				return false
+			found = true
+			for i := range bestExtra {
+				bestExtra[i] = 0
 			}
-			if evalErr := ev.Revert(); evalErr != nil {
-				evalFailure = evalErr
-				return false
+			bestExtra[bestI] = 1
+		} else {
+			var evalFailure error
+			loopErr := deploy.ForEachComposition(n, step, func(extra []int) bool {
+				if evaluations%ctxCheckStride == 0 {
+					if err := ctx.Err(); err != nil {
+						evalFailure = err
+						return false
+					}
+				}
+				cost, evalErr := ev.CostDelta(extraMoves(extra))
+				evaluations++
+				if evalErr != nil {
+					evalFailure = evalErr // impossible once p validated; keep the loop honest
+					return false
+				}
+				if evalErr := ev.Revert(); evalErr != nil {
+					evalFailure = evalErr
+					return false
+				}
+				// Order by (cost, lexicographic placement) — the same
+				// comparator the parallel variant merges with, so both
+				// produce identical deployments.
+				if !found || less(cost, extra, bestCost, bestExtra) {
+					found = true
+					bestCost = cost
+					copy(bestExtra, extra)
+				}
+				return true
+			})
+			if loopErr != nil {
+				return nil, loopErr
 			}
-			// Order by (cost, lexicographic placement) — the same
-			// comparator the parallel variant merges with, so both
-			// produce identical deployments.
-			if !found || less(cost, extra, bestCost, bestExtra) {
-				found = true
-				bestCost = cost
-				copy(bestExtra, extra)
+			if evalFailure != nil {
+				return nil, evalFailure
 			}
-			return true
-		})
-		if loopErr != nil {
-			return nil, loopErr
-		}
-		if evalFailure != nil {
-			return nil, evalFailure
 		}
 		if !found {
 			return nil, fmt.Errorf("solver: IDB round evaluated no candidates (delta=%d)", step)

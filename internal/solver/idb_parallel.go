@@ -59,6 +59,7 @@ func IDBWithOptionsCtx(ctx context.Context, p *model.Problem, opts IDBOptions) (
 		if err != nil {
 			return nil, err
 		}
+		ev.AttachSharedMemoFromContext(ctx)
 		evaluators[i] = ev
 	}
 

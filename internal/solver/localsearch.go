@@ -56,6 +56,7 @@ func LocalSearchCtx(ctx context.Context, p *model.Problem, opts LocalSearchOptio
 	if err != nil {
 		return nil, err
 	}
+	ev.AttachSharedMemoFromContext(ctx)
 
 	n := p.N()
 	cur := start.Deploy.Clone()

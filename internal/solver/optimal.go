@@ -61,7 +61,7 @@ func OptimalCtx(ctx context.Context, p *model.Problem, opts OptimalOptions) (*Re
 		return nil, err
 	}
 	n := p.N()
-	ev, err := newDeltaEvaluator(p)
+	ev, err := newDeltaEvaluator(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -196,7 +196,7 @@ func NaiveExact(p *model.Problem) (*Result, error) {
 		return nil, err
 	}
 	n := p.N()
-	ev, err := newDeltaEvaluator(p)
+	ev, err := newDeltaEvaluator(context.Background(), p)
 	if err != nil {
 		return nil, err
 	}

@@ -13,6 +13,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 
 	"wrsn/internal/model"
@@ -57,11 +58,12 @@ type deltaEvaluator struct {
 	have  bool
 }
 
-func newDeltaEvaluator(p *model.Problem) (*deltaEvaluator, error) {
+func newDeltaEvaluator(ctx context.Context, p *model.Problem) (*deltaEvaluator, error) {
 	ev, err := model.NewIncrementalEvaluator(p)
 	if err != nil {
 		return nil, err
 	}
+	ev.AttachSharedMemoFromContext(ctx)
 	return &deltaEvaluator{ev: ev, prev: make([]int, p.N())}, nil
 }
 
