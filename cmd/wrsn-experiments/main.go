@@ -166,20 +166,21 @@ type benchArtifact struct {
 func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("wrsn-experiments", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", "figure(s) to regenerate (comma-separated ids, all, or ext)")
-		seeds    = fs.Int("seeds", 0, "random post distributions to average (0 = paper default)")
-		seed     = fs.Int64("seed", 1, "base random seed")
-		quick    = fs.Bool("quick", false, "scaled-down run (fewer seeds/points, same trends)")
-		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
-		chart    = fs.Bool("chart", false, "additionally draw each figure as an ASCII chart")
-		jsonP    = fs.String("json", "", "additionally write the structured figures as JSON to this file")
-		workers  = fs.Int("workers", 0, "engine worker-pool size shared across figures (0 = GOMAXPROCS; results identical at any value)")
-		timeout  = fs.Duration("timeout", 0, "per-cell timeout, e.g. 30s (0 = unbounded)")
-		memo     = fs.Int("memo-entries", 0, "per-instance shared deployment-cost memo size (0 = disabled, the default; try 16384 — results identical either way)")
-		progress = fs.Bool("progress", false, "render a live cell-progress line on stderr")
-		bench    = fs.String("bench", "", "write a machine-readable perf artifact (per-figure wall time, cells/sec, evaluations) to this file")
-		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memProf  = fs.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
+		fig         = fs.String("fig", "all", "figure(s) to regenerate (comma-separated ids, all, or ext)")
+		listSolvers = fs.Bool("list-solvers", false, "print the solver registry (name, accepted problem kinds) and exit")
+		seeds       = fs.Int("seeds", 0, "random post distributions to average (0 = paper default)")
+		seed        = fs.Int64("seed", 1, "base random seed")
+		quick       = fs.Bool("quick", false, "scaled-down run (fewer seeds/points, same trends)")
+		csv         = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		chart       = fs.Bool("chart", false, "additionally draw each figure as an ASCII chart")
+		jsonP       = fs.String("json", "", "additionally write the structured figures as JSON to this file")
+		workers     = fs.Int("workers", 0, "engine worker-pool size shared across figures (0 = GOMAXPROCS; results identical at any value)")
+		timeout     = fs.Duration("timeout", 0, "per-cell timeout, e.g. 30s (0 = unbounded)")
+		memo        = fs.Int("memo-entries", 0, "per-instance shared deployment-cost memo size (0 = disabled, the default; try 16384 — results identical either way)")
+		progress    = fs.Bool("progress", false, "render a live cell-progress line on stderr")
+		bench       = fs.String("bench", "", "write a machine-readable perf artifact (per-figure wall time, cells/sec, evaluations) to this file")
+		cpuProf     = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf     = fs.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 
 		checkpoint = fs.String("checkpoint", "", "journal each completed cell to a crash-safe file per figure under this directory")
 		resume     = fs.Bool("resume", false, "replay existing -checkpoint journals and skip already-completed cells (output stays byte-identical)")
@@ -215,6 +216,16 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	}
 	if *resume && *checkpoint == "" {
 		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	if *listSolvers {
+		// Printed straight from the live registry, so this listing can
+		// never drift from what -fig runs actually dispatch to (the
+		// stale-figure-list class of bug, fixed once for figure ids).
+		fmt.Fprintf(stdout, "%-18s %s\n", "SOLVER", "PROBLEM KINDS")
+		for _, info := range engine.Infos() {
+			fmt.Fprintf(stdout, "%-18s %s\n", info.Name, strings.Join(info.Kinds, ", "))
+		}
+		return nil
 	}
 	explicit := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
@@ -454,6 +465,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 		{"ext-validation", comparison(experiments.ExtSimValidation)},
 		{"ext-fault", comparison(experiments.ExtFaultTolerance)},
 		{"ext-repair", comparison(experiments.ExtRepair)},
+		{"ext-placement", comparison(experiments.ExtPlacement)},
 		{"portfolio", func(opts experiments.Options) ([]*texttable.Table, []*experiments.Figure, error) {
 			entries, err := experiments.ExtPortfolio(opts)
 			if err != nil {

@@ -65,10 +65,22 @@ import (
 	"wrsn/internal/stats"
 )
 
-// Generator builds one problem instance from a deterministically seeded
-// RNG. It must consume randomness only from rng so that instances depend
-// solely on the cell's seed.
-type Generator func(rng *rand.Rand) (*model.Problem, error)
+// Generator builds one problem instance — any model.Instance kind, not
+// just the deployment problem — from a deterministically seeded RNG. It
+// must consume randomness only from rng so that instances depend solely
+// on the cell's seed.
+type Generator func(rng *rand.Rand) (model.Instance, error)
+
+// ProblemGen adapts a deployment-problem generator to the
+// instance-typed Generator shape: the closure shape every paper figure
+// uses (Go's function types are invariant, so a func returning
+// *model.Problem is not itself a Generator even though *model.Problem
+// implements model.Instance).
+func ProblemGen(fn func(rng *rand.Rand) (*model.Problem, error)) Generator {
+	return func(rng *rand.Rand) (model.Instance, error) {
+		return fn(rng)
+	}
+}
 
 // Point is one x-axis position of a sweep: the plotted X value and the
 // generator producing its problem instances.
@@ -104,7 +116,9 @@ type SeriesSpec struct {
 // the cell coordinates an algorithm may need for derived seeding (e.g.
 // simulator seeds).
 type Instance struct {
-	Problem *model.Problem
+	// Inst is the generated problem instance of whatever kind the
+	// point's Generator produces.
+	Inst model.Instance
 	// Point and Seed are the cell's grid coordinates.
 	Point, Seed int
 	// X is the point's plotted value.
@@ -113,6 +127,15 @@ type Instance struct {
 	// this instance was generated from (BaseSeed + SeedStride*Point +
 	// Seed).
 	BaseSeed, InstanceSeed int64
+}
+
+// Problem returns the instance as the deployment problem, or nil when
+// the sweep generates another problem family — the accessor
+// deployment-specific algorithm cells (simulators, repair studies)
+// unwrap their instances through.
+func (in *Instance) Problem() *model.Problem {
+	p, _ := in.Inst.(*model.Problem)
+	return p
 }
 
 // CellResult is what an algorithm returns for one cell.
@@ -618,7 +641,7 @@ func (r *runner) instance(pi, si int) (*Instance, error) {
 			return
 		}
 		slot.inst = &Instance{
-			Problem:      p,
+			Inst:         p,
 			Point:        pi,
 			Seed:         si,
 			X:            r.sw.Points[pi].X,

@@ -53,9 +53,9 @@ func testSweep() *Sweep {
 		sw.Points = append(sw.Points, Point{
 			X:     float64(nodes),
 			Label: fmt.Sprintf("%d nodes", nodes),
-			Gen: func(rng *rand.Rand) (*model.Problem, error) {
+			Gen: ProblemGen(func(rng *rand.Rand) (*model.Problem, error) {
 				return testProblem(rng, 5, nodes)
-			},
+			}),
 		})
 	}
 	for _, name := range []string{"rfh", "idb"} {
@@ -65,7 +65,7 @@ func testSweep() *Sweep {
 			Label:   label,
 			Outputs: []SeriesSpec{{Label: label, CI: true}},
 			Run: func(ctx context.Context, inst *Instance) (CellResult, error) {
-				res, err := solve(ctx, inst.Problem)
+				res, err := solve(ctx, inst.Problem())
 				if err != nil {
 					return CellResult{}, err
 				}
@@ -322,7 +322,7 @@ func TestRunValidation(t *testing.T) {
 	bad := []*Sweep{
 		{}, // no ID
 		{ID: "x"},
-		{ID: "x", Points: []Point{{Gen: func(*rand.Rand) (*model.Problem, error) { return nil, nil }}}},
+		{ID: "x", Points: []Point{{Gen: ProblemGen(func(*rand.Rand) (*model.Problem, error) { return nil, nil })}}},
 	}
 	for i, sw := range bad {
 		if _, err := Run(context.Background(), sw, RunConfig{}); err == nil {
@@ -366,8 +366,8 @@ func TestRegistry(t *testing.T) {
 		}()
 		f()
 	}
-	mustPanic("duplicate Register", func() { Register("rfh", MustSolver("rfh")) })
-	mustPanic("empty Register", func() { Register("", nil) })
+	mustPanic("duplicate Register", func() { Register("rfh", []string{model.KindDeployment}, MustSolver("rfh")) })
+	mustPanic("empty Register", func() { Register("", nil, nil) })
 	mustPanic("unknown MustSolver", func() { MustSolver("definitely-not-registered") })
 }
 

@@ -11,37 +11,60 @@ import (
 )
 
 // SolveFunc is the registry's solver shape: a context-aware map from a
-// problem instance to a solved result. Cancelling the context aborts the
+// problem instance — any model.Instance, not just the deployment
+// problem — to a solved result. Cancelling the context aborts the
 // solver at its next cancellation point (round boundaries for RFH/IDB,
-// evaluation batches for the exact search).
-type SolveFunc func(ctx context.Context, p *model.Problem) (*solver.Result, error)
+// evaluation batches for the exact search). A solver handed an instance
+// kind it cannot solve returns an error unwrapping
+// solver.ErrUnsupportedInstance instead of a result.
+type SolveFunc func(ctx context.Context, inst model.Instance) (*solver.Result, error)
+
+// SolverInfo describes one registry entry for listings (the
+// cmd/wrsn-experiments -list-solvers mode): the registered name and the
+// instance kinds the solver accepts.
+type SolverInfo struct {
+	Name  string
+	Kinds []string
+}
+
+type registryEntry struct {
+	fn    SolveFunc
+	kinds []string
+}
 
 var registry = struct {
 	sync.RWMutex
-	m map[string]SolveFunc
-}{m: map[string]SolveFunc{}}
+	m map[string]registryEntry
+}{m: map[string]registryEntry{}}
 
-// Register adds a named solver to the registry. Registering an empty
-// name, a nil function or a duplicate name panics: the registry is
-// assembled at init time, so a bad registration is a programming error.
-func Register(name string, fn SolveFunc) {
+// Register adds a named solver to the registry, declaring the instance
+// kinds it accepts (kinds it is not registered for must still be
+// rejected by the SolveFunc itself, with a typed
+// solver.UnsupportedError — the declaration drives listings, not
+// dispatch). Registering an empty name, a nil function, no kinds or a
+// duplicate name panics: the registry is assembled at init time, so a
+// bad registration is a programming error.
+func Register(name string, kinds []string, fn SolveFunc) {
 	if name == "" || fn == nil {
 		panic("engine: Register needs a non-empty name and a non-nil solver")
+	}
+	if len(kinds) == 0 {
+		panic(fmt.Sprintf("engine: solver %q registered with no instance kinds", name))
 	}
 	registry.Lock()
 	defer registry.Unlock()
 	if _, dup := registry.m[name]; dup {
 		panic(fmt.Sprintf("engine: solver %q registered twice", name))
 	}
-	registry.m[name] = fn
+	registry.m[name] = registryEntry{fn: fn, kinds: append([]string(nil), kinds...)}
 }
 
 // Solver returns the registered solver with the given name.
 func Solver(name string) (SolveFunc, bool) {
 	registry.RLock()
 	defer registry.RUnlock()
-	fn, ok := registry.m[name]
-	return fn, ok
+	e, ok := registry.m[name]
+	return e.fn, ok
 }
 
 // MustSolver returns the registered solver or panics — for spec tables
@@ -66,44 +89,72 @@ func Solvers() []string {
 	return names
 }
 
+// Infos returns every registry entry, sorted by name, with the instance
+// kinds each solver accepts.
+func Infos() []SolverInfo {
+	registry.RLock()
+	defer registry.RUnlock()
+	infos := make([]SolverInfo, 0, len(registry.m))
+	for name, e := range registry.m {
+		infos = append(infos, SolverInfo{Name: name, Kinds: append([]string(nil), e.kinds...)})
+	}
+	sort.Slice(infos, func(a, b int) bool { return infos[a].Name < infos[b].Name })
+	return infos
+}
+
 // IDBSolver returns a SolveFunc running IDB with the given per-round
 // increment δ (sequential evaluation, the paper's reference variant).
 func IDBSolver(delta int) SolveFunc {
-	return func(ctx context.Context, p *model.Problem) (*solver.Result, error) {
-		return solver.IDBCtx(ctx, p, delta)
+	return func(ctx context.Context, inst model.Instance) (*solver.Result, error) {
+		return solver.IDBInstance(ctx, inst, delta)
 	}
 }
 
+// Kind sets the built-in registrations declare.
+var (
+	deploymentOnly = []string{model.KindDeployment}
+	placementOnly  = []string{model.KindPlacement}
+	allKinds       = []string{model.KindDeployment, model.KindPlacement}
+)
+
 // The built-in portfolio: every solver the repo implements, under the
-// names the experiment specs and CLIs use.
+// names the experiment specs and CLIs use. The generic search loops
+// (IDB, local search, annealing, auto) solve both problem families
+// through the instance seam; RFH is the deployment-specific structural
+// exception, the exact solver's bound is only admissible for
+// deployment, and "greedy" is each instance's own construction
+// heuristic (only placement provides one).
 func init() {
-	Register("rfh", func(ctx context.Context, p *model.Problem) (*solver.Result, error) {
-		return solver.RFHCtx(ctx, p, solver.RFHOptions{Iterations: 1})
+	Register("rfh", deploymentOnly, func(ctx context.Context, inst model.Instance) (*solver.Result, error) {
+		return solver.RFHInstance(ctx, inst, solver.RFHOptions{Iterations: 1})
 	})
-	Register("rfh-iterative", func(ctx context.Context, p *model.Problem) (*solver.Result, error) {
-		return solver.RFHCtx(ctx, p, solver.RFHOptions{Iterations: solver.DefaultRFHIterations})
+	Register("rfh-iterative", deploymentOnly, func(ctx context.Context, inst model.Instance) (*solver.Result, error) {
+		return solver.RFHInstance(ctx, inst, solver.RFHOptions{Iterations: solver.DefaultRFHIterations})
 	})
-	Register("idb", IDBSolver(1))
-	Register("idb-parallel", func(ctx context.Context, p *model.Problem) (*solver.Result, error) {
-		return solver.IDBWithOptionsCtx(ctx, p, solver.IDBOptions{Delta: 1})
+	Register("idb", allKinds, IDBSolver(1))
+	Register("idb-parallel", allKinds, func(ctx context.Context, inst model.Instance) (*solver.Result, error) {
+		return solver.IDBWithOptionsInstance(ctx, inst, solver.IDBOptions{Delta: 1})
 	})
-	Register("local-search", func(ctx context.Context, p *model.Problem) (*solver.Result, error) {
-		return solver.LocalSearchCtx(ctx, p, solver.LocalSearchOptions{})
+	Register("local-search", allKinds, func(ctx context.Context, inst model.Instance) (*solver.Result, error) {
+		return solver.LocalSearchInstance(ctx, inst, solver.LocalSearchOptions{})
 	})
-	Register("idb-local-search", func(ctx context.Context, p *model.Problem) (*solver.Result, error) {
-		seed, err := solver.IDBCtx(ctx, p, 1)
+	Register("idb-local-search", allKinds, func(ctx context.Context, inst model.Instance) (*solver.Result, error) {
+		seed, err := solver.IDBInstance(ctx, inst, 1)
 		if err != nil {
 			return nil, err
 		}
-		return solver.LocalSearchCtx(ctx, p, solver.LocalSearchOptions{Start: seed})
+		return solver.LocalSearchInstance(ctx, inst, solver.LocalSearchOptions{Start: seed})
 	})
-	Register("anneal", func(ctx context.Context, p *model.Problem) (*solver.Result, error) {
-		return solver.AnnealCtx(ctx, p, solver.AnnealOptions{Seed: 1})
+	Register("anneal", allKinds, func(ctx context.Context, inst model.Instance) (*solver.Result, error) {
+		return solver.AnnealInstance(ctx, inst, solver.AnnealOptions{Seed: 1})
 	})
-	Register("auto", func(ctx context.Context, p *model.Problem) (*solver.Result, error) {
-		return solver.AutoCtx(ctx, p)
+	Register("auto", allKinds, func(ctx context.Context, inst model.Instance) (*solver.Result, error) {
+		return solver.AutoInstance(ctx, inst)
 	})
-	Register("optimal", func(ctx context.Context, p *model.Problem) (*solver.Result, error) {
-		return solver.OptimalCtx(ctx, p, solver.OptimalOptions{})
+	Register("optimal", deploymentOnly, func(ctx context.Context, inst model.Instance) (*solver.Result, error) {
+		return solver.OptimalInstance(ctx, inst, solver.OptimalOptions{})
+	})
+	Register("greedy", placementOnly, func(ctx context.Context, inst model.Instance) (*solver.Result, error) {
+		return solver.GreedyInstance(ctx, inst)
 	})
 }

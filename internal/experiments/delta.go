@@ -43,9 +43,9 @@ func ExtDelta(opts Options) (*Figure, error) {
 		sw.Points = append(sw.Points, engine.Point{
 			X:     float64(d),
 			Label: DeltaLabel(d),
-			Gen: func(rng *rand.Rand) (*model.Problem, error) {
+			Gen: engine.ProblemGen(func(rng *rand.Rand) (*model.Problem, error) {
 				return model.GenerateProblem(rng, model.GenSpec{Field: field, Posts: posts, Nodes: nodes, Energy: energy.Default()})
-			},
+			}),
 		})
 	}
 	sw.Algorithms = []engine.Algorithm{{
@@ -58,7 +58,7 @@ func ExtDelta(opts Options) (*Figure, error) {
 		Run: func(ctx context.Context, inst *engine.Instance) (engine.CellResult, error) {
 			delta := deltas[inst.Point]
 			start := time.Now()
-			res, err := solver.IDBCtx(ctx, inst.Problem, delta)
+			res, err := solver.IDBCtx(ctx, inst.Problem(), delta)
 			if err != nil {
 				return engine.CellResult{}, err
 			}

@@ -64,7 +64,7 @@ func ExtGain(opts Options) (*Figure, error) {
 		sw.Points = append(sw.Points, engine.Point{
 			X:     float64(i + 1),
 			Label: g.label,
-			Gen: func(rng *rand.Rand) (*model.Problem, error) {
+			Gen: engine.ProblemGen(func(rng *rand.Rand) (*model.Problem, error) {
 				p, err := randomConnectedProblem(rng, field, posts, nodes, energy.Default())
 				if err != nil {
 					return nil, err
@@ -75,7 +75,7 @@ func ExtGain(opts Options) (*Figure, error) {
 				}
 				p.Charging = cm
 				return p, nil
-			},
+			}),
 		})
 	}
 	sw.Algorithms = []engine.Algorithm{
@@ -114,14 +114,14 @@ func ExtOverhead(opts Options) (*Figure, error) {
 		sw.Points = append(sw.Points, engine.Point{
 			X:     oh,
 			Label: fmt.Sprintf("overhead=%g", oh),
-			Gen: func(rng *rand.Rand) (*model.Problem, error) {
+			Gen: engine.ProblemGen(func(rng *rand.Rand) (*model.Problem, error) {
 				p, err := randomConnectedProblem(rng, field, posts, nodes, energy.Default())
 				if err != nil {
 					return nil, err
 				}
 				p.RoundOverhead = oh
 				return p, nil
-			},
+			}),
 		})
 	}
 	sw.Algorithms = []engine.Algorithm{{
@@ -131,7 +131,7 @@ func ExtOverhead(opts Options) (*Figure, error) {
 			{Label: "max nodes at one post", Unit: "nodes"},
 		},
 		Run: func(ctx context.Context, inst *engine.Instance) (engine.CellResult, error) {
-			res, err := solver.RFHCtx(ctx, inst.Problem, solver.RFHOptions{Iterations: solver.DefaultRFHIterations})
+			res, err := solver.RFHCtx(ctx, inst.Problem(), solver.RFHOptions{Iterations: solver.DefaultRFHIterations})
 			if err != nil {
 				return engine.CellResult{}, err
 			}
@@ -171,9 +171,9 @@ func ExtChargerPolicy(opts Options) (*Figure, error) {
 		sw.Points = append(sw.Points, engine.Point{
 			X:     float64(i + 1),
 			Label: policyLabels[i],
-			Gen: func(rng *rand.Rand) (*model.Problem, error) {
+			Gen: engine.ProblemGen(func(rng *rand.Rand) (*model.Problem, error) {
 				return randomConnectedProblem(rng, field, posts, nodes, energy.Default())
-			},
+			}),
 		})
 	}
 	sw.Algorithms = []engine.Algorithm{{
@@ -183,12 +183,12 @@ func ExtChargerPolicy(opts Options) (*Figure, error) {
 			{Label: "meters per completed charge", Unit: "m"},
 		},
 		Run: func(ctx context.Context, inst *engine.Instance) (engine.CellResult, error) {
-			res, err := solver.RFHCtx(ctx, inst.Problem, solver.RFHOptions{Iterations: solver.DefaultRFHIterations})
+			res, err := solver.RFHCtx(ctx, inst.Problem(), solver.RFHOptions{Iterations: solver.DefaultRFHIterations})
 			if err != nil {
 				return engine.CellResult{}, err
 			}
 			simulator, err := sim.New(sim.Config{
-				Problem:  inst.Problem,
+				Problem:  inst.Problem(),
 				Solution: res.Solution,
 				Charger: &sim.ChargerConfig{
 					PowerPerRound: 2e5, // deliberately tight

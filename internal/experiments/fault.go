@@ -47,9 +47,9 @@ func ExtFaultTolerance(opts Options) (*Figure, error) {
 		sw.Points = append(sw.Points, engine.Point{
 			X:     rate,
 			Label: fmt.Sprintf("p=%g", rate),
-			Gen: func(rng *rand.Rand) (*model.Problem, error) {
+			Gen: engine.ProblemGen(func(rng *rand.Rand) (*model.Problem, error) {
 				return model.GenerateProblem(rng, model.GenSpec{Field: field, Posts: posts, Nodes: nodes, Energy: energy.Default()})
-			},
+			}),
 		})
 	}
 	sw.Algorithms = []engine.Algorithm{{
@@ -60,15 +60,15 @@ func ExtFaultTolerance(opts Options) (*Figure, error) {
 		},
 		Run: func(ctx context.Context, inst *engine.Instance) (engine.CellResult, error) {
 			rate := failureRates[inst.Point]
-			opt, err := solver.IDBCtx(ctx, inst.Problem, 1)
+			opt, err := solver.IDBCtx(ctx, inst.Problem(), 1)
 			if err != nil {
 				return engine.CellResult{}, err
 			}
-			uniDeploy, err := model.UniformDeployment(inst.Problem.N(), inst.Problem.Nodes)
+			uniDeploy, err := model.UniformDeployment(inst.Problem().N(), inst.Problem().Nodes)
 			if err != nil {
 				return engine.CellResult{}, err
 			}
-			uniTree, _, err := model.BestTreeFor(inst.Problem, uniDeploy)
+			uniTree, _, err := model.BestTreeFor(inst.Problem(), uniDeploy)
 			if err != nil {
 				return engine.CellResult{}, err
 			}
@@ -77,7 +77,7 @@ func ExtFaultTolerance(opts Options) (*Figure, error) {
 			simSeed := inst.BaseSeed + int64(1000*inst.Point) + int64(inst.Seed)
 			run := func(sol model.Solution) (float64, error) {
 				simulator, err := sim.New(sim.Config{
-					Problem:  inst.Problem,
+					Problem:  inst.Problem(),
 					Solution: sol,
 					Charger: &sim.ChargerConfig{
 						PowerPerRound: 1e9,

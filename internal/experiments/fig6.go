@@ -51,16 +51,16 @@ func Fig6(opts Options) (*Figure, error) {
 		sw.Points = append(sw.Points, engine.Point{
 			X:     float64(m),
 			Label: fmt.Sprintf("%d nodes", m),
-			Gen: func(rng *rand.Rand) (*model.Problem, error) {
+			Gen: engine.ProblemGen(func(rng *rand.Rand) (*model.Problem, error) {
 				return randomConnectedProblem(rng, field, posts, m, energy.Default())
-			},
+			}),
 		})
 	}
 	sw.Algorithms = []engine.Algorithm{{
 		Label:   "RFH convergence",
 		Outputs: []engine.SeriesSpec{{Vector: true}},
 		Run: func(ctx context.Context, inst *engine.Instance) (engine.CellResult, error) {
-			res, err := solver.RFHCtx(ctx, inst.Problem, solver.RFHOptions{Iterations: Fig6Iterations})
+			res, err := solver.RFHCtx(ctx, inst.Problem(), solver.RFHOptions{Iterations: Fig6Iterations})
 			if err != nil {
 				return engine.CellResult{}, err
 			}

@@ -42,14 +42,14 @@ func ExtLayout(opts Options) (*Figure, error) {
 			X:     float64(i + 1),
 			Label: layoutLabels[i],
 			Seeds: pointSeeds,
-			Gen: func(rng *rand.Rand) (*model.Problem, error) {
+			Gen: engine.ProblemGen(func(rng *rand.Rand) (*model.Problem, error) {
 				return model.GenerateProblem(rng, model.GenSpec{
 					Field:  field,
 					Posts:  posts,
 					Nodes:  nodes,
 					Layout: layout,
 				})
-			},
+			}),
 		})
 	}
 	sw.Algorithms = []engine.Algorithm{

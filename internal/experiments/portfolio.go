@@ -61,9 +61,9 @@ func ExtPortfolio(opts Options) ([]PortfolioEntry, error) {
 		Points: []engine.Point{{
 			X:     1,
 			Label: "portfolio batch",
-			Gen: func(rng *rand.Rand) (*model.Problem, error) {
+			Gen: engine.ProblemGen(func(rng *rand.Rand) (*model.Problem, error) {
 				return randomConnectedProblem(rng, field, posts, nodes, energy.Default())
-			},
+			}),
 		}},
 	}
 	for _, e := range entries {
@@ -72,7 +72,7 @@ func ExtPortfolio(opts Options) ([]PortfolioEntry, error) {
 			Label:   e.name,
 			Outputs: []engine.SeriesSpec{{Label: e.name, Unit: "nJ"}},
 			Run: func(ctx context.Context, inst *engine.Instance) (engine.CellResult, error) {
-				res, err := solve(ctx, inst.Problem)
+				res, err := solve(ctx, inst.Problem())
 				if err != nil {
 					return engine.CellResult{}, err
 				}

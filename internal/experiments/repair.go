@@ -64,9 +64,9 @@ func ExtRepair(opts Options) (*Figure, error) {
 		sw.Points = append(sw.Points, engine.Point{
 			X:     rate,
 			Label: fmt.Sprintf("p=%g", rate),
-			Gen: func(rng *rand.Rand) (*model.Problem, error) {
+			Gen: engine.ProblemGen(func(rng *rand.Rand) (*model.Problem, error) {
 				return randomConnectedProblem(rng, field, posts, nodes, energy.Default())
-			},
+			}),
 		})
 	}
 	sw.Algorithms = []engine.Algorithm{{
@@ -79,7 +79,7 @@ func ExtRepair(opts Options) (*Figure, error) {
 		},
 		Run: func(ctx context.Context, inst *engine.Instance) (engine.CellResult, error) {
 			rate := failureRates[inst.Point]
-			opt, err := solver.IDBCtx(ctx, inst.Problem, 1)
+			opt, err := solver.IDBCtx(ctx, inst.Problem(), 1)
 			if err != nil {
 				return engine.CellResult{}, err
 			}
@@ -105,11 +105,11 @@ func ExtRepair(opts Options) (*Figure, error) {
 				return simulator.RunCtx(ctx, rounds)
 			}
 
-			mNo, err := run(inst.Problem, opt.Solution, nil)
+			mNo, err := run(inst.Problem(), opt.Solution, nil)
 			if err != nil {
 				return engine.CellResult{}, err
 			}
-			mRep, err := run(inst.Problem, opt.Solution, &sim.RepairConfig{LatencyRounds: repairLatency})
+			mRep, err := run(inst.Problem(), opt.Solution, &sim.RepairConfig{LatencyRounds: repairLatency})
 			if err != nil {
 				return engine.CellResult{}, err
 			}
@@ -122,7 +122,7 @@ func ExtRepair(opts Options) (*Figure, error) {
 			if err != nil {
 				return engine.CellResult{}, err
 			}
-			pSpares := *inst.Problem
+			pSpares := *inst.Problem()
 			pSpares.Nodes = total
 			sparesTree, _, err := model.BestTreeFor(&pSpares, inflated)
 			if err != nil {

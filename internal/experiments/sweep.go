@@ -21,7 +21,7 @@ func costAlgorithm(label string, solve engine.SolveFunc) engine.Algorithm {
 		Label:   label,
 		Outputs: []engine.SeriesSpec{{Label: label, CI: true}},
 		Run: func(ctx context.Context, inst *engine.Instance) (engine.CellResult, error) {
-			res, err := solve(ctx, inst.Problem)
+			res, err := solve(ctx, inst.Inst)
 			if err != nil {
 				return engine.CellResult{}, err
 			}
@@ -70,9 +70,9 @@ func comparisonSweep(opts Options, side float64, points []sweepPoint, algos []en
 		sw.Points = append(sw.Points, engine.Point{
 			X:     pt.X,
 			Label: fmt.Sprintf("x=%v", pt.X),
-			Gen: func(rng *rand.Rand) (*model.Problem, error) {
+			Gen: engine.ProblemGen(func(rng *rand.Rand) (*model.Problem, error) {
 				return randomConnectedProblem(rng, field, pt.Posts, pt.Nodes, pt.Energy)
-			},
+			}),
 		})
 	}
 	sw.Seeds = seeds

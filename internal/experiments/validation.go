@@ -50,9 +50,9 @@ func ExtSimValidation(opts Options) (*Figure, error) {
 		sw.Points = append(sw.Points, engine.Point{
 			X:     float64(s + 1),
 			Label: fmt.Sprintf("instance %d", s+1),
-			Gen: func(rng *rand.Rand) (*model.Problem, error) {
+			Gen: engine.ProblemGen(func(rng *rand.Rand) (*model.Problem, error) {
 				return model.GenerateProblem(rng, model.GenSpec{Field: field, Posts: posts, Nodes: nodes, Energy: energy.Default()})
-			},
+			}),
 		})
 	}
 	sw.Algorithms = []engine.Algorithm{{
@@ -63,12 +63,12 @@ func ExtSimValidation(opts Options) (*Figure, error) {
 			{Label: "deviation", Unit: "%"},
 		},
 		Run: func(ctx context.Context, inst *engine.Instance) (engine.CellResult, error) {
-			res, err := solver.RFHCtx(ctx, inst.Problem, solver.RFHOptions{Iterations: solver.DefaultRFHIterations})
+			res, err := solver.RFHCtx(ctx, inst.Problem(), solver.RFHOptions{Iterations: solver.DefaultRFHIterations})
 			if err != nil {
 				return engine.CellResult{}, err
 			}
 			simulator, err := sim.New(sim.Config{
-				Problem:  inst.Problem,
+				Problem:  inst.Problem(),
 				Solution: res.Solution,
 				Charger: &sim.ChargerConfig{
 					PowerPerRound: 1e9,

@@ -1,0 +1,74 @@
+package placement
+
+import (
+	"context"
+
+	"wrsn/internal/model"
+)
+
+// greedySlack mirrors the solvers' cost tolerance: improvements smaller
+// than this are floating-point noise, not progress.
+const greedySlack = 1e-9
+
+// SeedSolution implements model.SeedHeuristic: the placement family's
+// native construction heuristic, playing the role RFH plays for
+// deployment. Starting from the empty placement it repeatedly installs
+// the single charger with the best cost decrease (ties to the
+// lowest-indexed site, so the seed is deterministic) and stops when no
+// charger pays for itself — a natural fit because the shortfall penalty
+// is submodular-ish in practice: early chargers retire big shortfalls,
+// later ones fight for scraps.
+//
+// The returned vector seeds the generic refinement solvers (local
+// search, annealing) and is itself the registry's "greedy" solver.
+func (inst *Instance) SeedSolution(ctx context.Context) ([]int, int64, error) {
+	ev, err := NewIncrementalEvaluator(inst)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := inst.Dims()
+	cur := make([]int, n) // all zeros: the empty placement
+	curCost, err := ev.Cost(cur)
+	if err != nil {
+		return nil, 0, err
+	}
+	evaluations := int64(1)
+	probe := []model.Move{{Delta: 1}}
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		best, bestCost := -1, 0.0
+		for j := 0; j < n; j++ {
+			if cur[j]+1 > inst.UpperBound(j) {
+				continue
+			}
+			probe[0].Post = j
+			cost, err := ev.CostDelta(probe)
+			evaluations++
+			if err != nil {
+				return nil, 0, err
+			}
+			if err := ev.Revert(); err != nil {
+				return nil, 0, err
+			}
+			if best < 0 || cost < bestCost-greedySlack {
+				best, bestCost = j, cost
+			}
+		}
+		if best < 0 || bestCost >= curCost-greedySlack {
+			return cur, evaluations, nil
+		}
+		probe[0].Post = best
+		cost, err := ev.CostDelta(probe)
+		evaluations++
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := ev.Commit(); err != nil {
+			return nil, 0, err
+		}
+		cur[best]++
+		curCost = cost
+	}
+}

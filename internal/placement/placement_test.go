@@ -1,0 +1,515 @@
+package placement
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"wrsn/internal/charging"
+	"wrsn/internal/energy"
+	"wrsn/internal/geom"
+	"wrsn/internal/model"
+)
+
+// testInstance draws a random placement instance with per-site parameter
+// spread, so probes cross coverage boundaries (zero-contribution terms)
+// as well as dense overlap regions.
+func testInstance(t testing.TB, seed int64, posts, grid int) *Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	field := geom.Field{Width: 400, Height: 400}
+	sites := GridSites(geom.Point{}, geom.Point{X: field.Width, Y: field.Height}, SiteSpec{
+		Grid: grid, Cost: 1, Power: 3, Radius: 150,
+	})
+	for j := range sites {
+		sites[j].Cost = 0.5 + rng.Float64()
+		sites[j].Power = 2 + 2*rng.Float64()
+		sites[j].Radius = 80 + 140*rng.Float64()
+	}
+	demand := make([]float64, posts)
+	for i := range demand {
+		demand[i] = 0.5 + rng.Float64()
+	}
+	inst := &Instance{
+		Posts:      field.RandomPoints(rng, posts),
+		Sites:      sites,
+		Demand:     demand,
+		Penalty:    50,
+		Decay:      0.01,
+		MaxPerSite: 6,
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatalf("test instance invalid: %v", err)
+	}
+	return inst
+}
+
+// checkAgainstOracle asserts the incremental evaluator's committed view
+// prices exactly like a from-scratch evaluation — bit-exact, the same
+// contract the deployment evaluator pins.
+func checkAgainstOracle(t *testing.T, c *costModel, cur []int, got float64, step int) {
+	t.Helper()
+	supply := make([]float64, len(c.inst.Posts))
+	want, err := c.fullPrice(cur, supply)
+	if err != nil {
+		t.Fatalf("step %d: oracle: %v", step, err)
+	}
+	if got != want {
+		t.Fatalf("step %d: incremental cost %.17g, oracle %.17g (diff %g)", step, got, want, got-want)
+	}
+}
+
+func TestIncrementalEvaluatorDifferential(t *testing.T) {
+	for _, seed := range []int64{7, 19, 23} {
+		inst := testInstance(t, seed, 40, 5)
+		inc, err := NewIncrementalEvaluator(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := NewReferenceEvaluator(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		n := inst.Dims()
+		rng := rand.New(rand.NewSource(seed * 31))
+		cur := make([]int, n)
+		for j := range cur {
+			cur[j] = rng.Intn(3)
+		}
+		got, err := inc.Cost(cur)
+		if err != nil {
+			t.Fatalf("Cost: %v", err)
+		}
+		if _, err := ref.Cost(cur); err != nil {
+			t.Fatalf("reference Cost: %v", err)
+		}
+		checkAgainstOracle(t, inc.c, cur, got, -1)
+
+		moves := make([]model.Move, 0, 4)
+		for step := 0; step < 500; step++ {
+			switch rng.Intn(10) {
+			case 0: // occasional full rebase
+				for j := range cur {
+					cur[j] = rng.Intn(inst.MaxPerSite + 1)
+				}
+				got, err = inc.Cost(cur)
+				if err != nil {
+					t.Fatalf("step %d: Cost: %v", step, err)
+				}
+				if _, err := ref.Cost(cur); err != nil {
+					t.Fatalf("step %d: reference Cost: %v", step, err)
+				}
+			default:
+				moves = moves[:0]
+				for k := rng.Intn(3) + 1; k > 0; k-- {
+					site := rng.Intn(n)
+					delta := 0
+					if cur[site] < inst.MaxPerSite {
+						delta = 1
+					}
+					if rng.Intn(2) == 0 && cur[site] > 0 {
+						delta = -1
+					}
+					moves = append(moves, model.Move{Post: site, Delta: delta})
+					cur[site] += delta
+				}
+				got, err = inc.CostDelta(moves)
+				if err != nil {
+					t.Fatalf("step %d: CostDelta(%v): %v", step, moves, err)
+				}
+				want, err := ref.CostDelta(moves)
+				if err != nil {
+					t.Fatalf("step %d: reference CostDelta: %v", step, err)
+				}
+				if got != want {
+					t.Fatalf("step %d: incremental probe %.17g, reference %.17g", step, got, want)
+				}
+				if rng.Intn(3) == 0 { // reject the probe
+					if err := inc.Revert(); err != nil {
+						t.Fatalf("step %d: Revert: %v", step, err)
+					}
+					if err := ref.Revert(); err != nil {
+						t.Fatalf("step %d: reference Revert: %v", step, err)
+					}
+					for _, mv := range moves {
+						cur[mv.Post] -= mv.Delta
+					}
+					// Re-probe the committed point to check the revert
+					// restored a consistent state.
+					got, err = inc.CostDelta(moves[:0])
+					if err != nil {
+						t.Fatalf("step %d: noop probe: %v", step, err)
+					}
+					if _, err := ref.CostDelta(moves[:0]); err != nil {
+						t.Fatalf("step %d: reference noop probe: %v", step, err)
+					}
+				}
+				if err := inc.Commit(); err != nil {
+					t.Fatalf("step %d: Commit: %v", step, err)
+				}
+				if err := ref.Commit(); err != nil {
+					t.Fatalf("step %d: reference Commit: %v", step, err)
+				}
+			}
+			checkAgainstOracle(t, inc.c, cur, got, step)
+		}
+		if inc.Probes() == 0 {
+			t.Error("differential walk exercised no incremental probes")
+		}
+	}
+}
+
+func TestIncrementalEvaluatorProtocol(t *testing.T) {
+	inst := testInstance(t, 3, 15, 3)
+	inc, err := NewIncrementalEvaluator(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := inc.CostDelta([]model.Move{{Post: 0, Delta: 1}}); err == nil {
+		t.Error("CostDelta before Cost accepted")
+	}
+	if err := inc.Commit(); err == nil {
+		t.Error("Commit without probe accepted")
+	}
+	if err := inc.Revert(); err == nil {
+		t.Error("Revert without probe accepted")
+	}
+
+	cur := make([]int, inst.Dims())
+	for j := range cur {
+		cur[j] = 2
+	}
+	base, err := inc.Cost(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Illegal probes must leave the committed state untouched.
+	if _, err := inc.CostDelta([]model.Move{{Post: 99, Delta: 1}}); err == nil {
+		t.Error("out-of-range move accepted")
+	}
+	if _, err := inc.CostDelta([]model.Move{{Post: 0, Delta: -3}}); err == nil {
+		t.Error("move below zero chargers accepted")
+	}
+	if _, err := inc.CostDelta([]model.Move{{Post: 0, Delta: inst.MaxPerSite}}); err == nil {
+		t.Error("move above MaxPerSite accepted")
+	}
+	if got, err := inc.CostDelta(nil); err != nil || got != base {
+		t.Errorf("noop probe after illegal moves = %v, %v; want committed cost %v", got, err, base)
+	}
+	if _, err := inc.CostDelta(nil); err == nil {
+		t.Error("second probe while pending accepted")
+	}
+	if _, err := inc.Cost(cur); err == nil {
+		t.Error("Cost while probe pending accepted")
+	}
+	if err := inc.Revert(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A net-zero move set (+1 then -1 on one site) prices the base.
+	got, err := inc.CostDelta([]model.Move{{Post: 1, Delta: 1}, {Post: 1, Delta: -1}})
+	if err != nil || got != base {
+		t.Errorf("net-zero probe = %v, %v; want %v", got, err, base)
+	}
+	if err := inc.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstanceContract(t *testing.T) {
+	inst := testInstance(t, 5, 10, 3)
+	var _ model.Instance = inst
+	var _ model.SeedHeuristic = inst
+	if inst.Kind() != model.KindPlacement {
+		t.Errorf("Kind = %q, want %q", inst.Kind(), model.KindPlacement)
+	}
+	if total, fixed := inst.FixedTotal(); fixed || total != 0 {
+		t.Errorf("FixedTotal = (%d, %v), want free total", total, fixed)
+	}
+	if err := model.CheckInstanceBounds(inst); err != nil {
+		t.Errorf("CheckInstanceBounds: %v", err)
+	}
+	if err := inst.ValidateSolution(make([]int, inst.Dims())); err != nil {
+		t.Errorf("zero vector rejected: %v", err)
+	}
+	if err := inst.ValidateSolution(make([]int, inst.Dims()+1)); err == nil {
+		t.Error("wrong-length vector accepted")
+	}
+	if got := inst.EncodeSolution([]int{1, 0, 2}); got != "1,0,2" {
+		t.Errorf("EncodeSolution = %q", got)
+	}
+}
+
+func TestGreedySeed(t *testing.T) {
+	inst := testInstance(t, 11, 30, 4)
+	vec, evals, err := inst.SeedSolution(context.Background())
+	if err != nil {
+		t.Fatalf("SeedSolution: %v", err)
+	}
+	if err := inst.ValidateSolution(vec); err != nil {
+		t.Fatalf("greedy seed invalid: %v", err)
+	}
+	if evals < int64(inst.Dims()) {
+		t.Errorf("greedy reported only %d evaluations for %d sites", evals, inst.Dims())
+	}
+	ref, err := NewReferenceEvaluator(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := ref.Cost(make([]int, inst.Dims()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded, err := ref.Cost(vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded >= empty {
+		t.Errorf("greedy seed cost %g does not improve on empty placement %g", seeded, empty)
+	}
+	// Determinism: a second run reproduces the vector exactly.
+	again, _, err := inst.SeedSolution(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range vec {
+		if vec[j] != again[j] {
+			t.Fatalf("greedy seed not deterministic: run1[%d]=%d run2[%d]=%d", j, vec[j], j, again[j])
+		}
+	}
+}
+
+func TestFromProblem(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p, err := model.GenerateProblem(rng, model.GenSpec{
+		Field:    geom.Field{Width: 300, Height: 300},
+		Posts:    20,
+		Nodes:    60,
+		Charging: charging.Model{EtaSingle: 1, Gain: charging.Linear()},
+		Energy:   energy.Default(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := make([]float64, p.N())
+	for i := range rates {
+		rates[i] = float64(i % 3) // include relay-only posts
+	}
+	p.ReportRates = rates
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	inst, err := FromProblem(p, 0.8, DefaultSiteSpec())
+	if err != nil {
+		t.Fatalf("FromProblem: %v", err)
+	}
+	spec := DefaultSiteSpec()
+	if got, want := len(inst.Sites), spec.Grid*spec.Grid; got != want {
+		t.Errorf("FromProblem built %d sites, want %d", got, want)
+	}
+	if len(inst.Demand) != p.N() {
+		t.Fatalf("FromProblem built %d demands for %d posts", len(inst.Demand), p.N())
+	}
+	for i, d := range inst.Demand {
+		want := 0.8 * p.Rate(i)
+		if floor := 0.8 / 10; want < floor {
+			want = floor
+		}
+		if d != want {
+			t.Errorf("demand[%d] = %g, want %g (rate %g)", i, d, want, p.Rate(i))
+		}
+	}
+
+	if _, err := FromProblem(p, 0.8, SiteSpec{Grid: 1}); err == nil {
+		t.Error("degenerate 1x1 site grid accepted")
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	gs := GenSpec{
+		Field:        geom.Field{Width: 500, Height: 500},
+		Posts:        25,
+		Sites:        DefaultSiteSpec(),
+		DemandMean:   1.0,
+		DemandJitter: 0.4,
+	}
+	a, err := Generate(rand.New(rand.NewSource(99)), gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(rand.New(rand.NewSource(99)), gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Posts {
+		if a.Posts[i] != b.Posts[i] || a.Demand[i] != b.Demand[i] {
+			t.Fatalf("post %d differs across identical seeds", i)
+		}
+	}
+	ra, err := NewReferenceEvaluator(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := NewReferenceEvaluator(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := make([]int, a.Dims())
+	for j := range m {
+		m[j] = j % 3
+	}
+	ca, err := ra.Cost(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := rb.Cost(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca != cb {
+		t.Fatalf("identical seeds price differently: %.17g vs %.17g", ca, cb)
+	}
+}
+
+// FuzzIncrementalEvaluator drives fuzzer-chosen probe/commit/revert
+// sequences and cross-checks every committed state against a from-scratch
+// evaluation — the placement mirror of the deployment evaluator's fuzz
+// suite, with illegal probes (bounds violations) interleaved to check
+// state restoration.
+func FuzzIncrementalEvaluator(f *testing.F) {
+	f.Add(int64(1), []byte{0x01, 0x82, 0x13, 0xff, 0x40, 0x07})
+	f.Add(int64(9), []byte{0xaa, 0x55, 0x00, 0x10, 0x20, 0x30, 0x40, 0x50, 0x60})
+	f.Add(int64(3), []byte{})
+	f.Fuzz(func(t *testing.T, seed int64, ops []byte) {
+		inst := testInstance(t, 5, 18, 4)
+		inc, err := NewIncrementalEvaluator(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := inst.Dims()
+
+		rng := rand.New(rand.NewSource(seed))
+		cur := make([]int, n)
+		for j := range cur {
+			cur[j] = rng.Intn(3)
+		}
+		if _, err := inc.Cost(cur); err != nil {
+			t.Fatal(err)
+		}
+		supply := make([]float64, len(inst.Posts))
+
+		var moves []model.Move
+		for i := 0; i+1 < len(ops); i += 2 {
+			op, arg := ops[i], ops[i+1]
+			switch op % 4 {
+			case 0, 1: // probe, then commit (0) or revert (1)
+				moves = moves[:0]
+				for k := int(arg%3) + 1; k > 0; k-- {
+					site := rng.Intn(n)
+					delta := 0
+					if cur[site] < inst.MaxPerSite {
+						delta = 1
+					}
+					if arg&0x10 != 0 && cur[site] > 0 {
+						delta = -1
+					}
+					moves = append(moves, model.Move{Post: site, Delta: delta})
+					cur[site] += delta
+				}
+				if _, err := inc.CostDelta(moves); err != nil {
+					t.Fatalf("CostDelta(%v): %v", moves, err)
+				}
+				if op%4 == 1 {
+					if err := inc.Revert(); err != nil {
+						t.Fatal(err)
+					}
+					for _, mv := range moves {
+						cur[mv.Post] -= mv.Delta
+					}
+				} else if err := inc.Commit(); err != nil {
+					t.Fatal(err)
+				}
+			case 2: // rebase
+				for j := range cur {
+					cur[j] = int(arg+byte(j)) % (inst.MaxPerSite + 1)
+				}
+				if _, err := inc.Cost(cur); err != nil {
+					t.Fatal(err)
+				}
+			case 3: // illegal probe must not corrupt state
+				if _, err := inc.CostDelta([]model.Move{{Post: int(arg % byte(n)), Delta: -1000}}); err == nil {
+					t.Fatal("illegal probe accepted")
+				}
+			}
+
+			got, err := inc.CostDelta(nil)
+			if err != nil {
+				t.Fatalf("audit probe: %v", err)
+			}
+			if err := inc.Revert(); err != nil {
+				t.Fatal(err)
+			}
+			want, err := inc.c.fullPrice(cur, supply)
+			if err != nil {
+				t.Fatalf("oracle: %v", err)
+			}
+			if got != want {
+				t.Fatalf("committed cost %.17g, oracle %.17g (cur=%v)", got, want, cur)
+			}
+		}
+	})
+}
+
+func BenchmarkCostDelta(b *testing.B) {
+	inst := testInstance(b, 13, 200, 8)
+	inc, err := NewIncrementalEvaluator(inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cur := make([]int, inst.Dims())
+	for j := range cur {
+		cur[j] = 1
+	}
+	if _, err := inc.Cost(cur); err != nil {
+		b.Fatal(err)
+	}
+	moves := []model.Move{{Post: 17, Delta: 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inc.CostDelta(moves); err != nil {
+			b.Fatal(err)
+		}
+		if err := inc.Revert(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReferenceCostDelta(b *testing.B) {
+	inst := testInstance(b, 13, 200, 8)
+	ref, err := NewReferenceEvaluator(inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cur := make([]int, inst.Dims())
+	for j := range cur {
+		cur[j] = 1
+	}
+	if _, err := ref.Cost(cur); err != nil {
+		b.Fatal(err)
+	}
+	moves := []model.Move{{Post: 17, Delta: 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ref.CostDelta(moves); err != nil {
+			b.Fatal(err)
+		}
+		if err := ref.Revert(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

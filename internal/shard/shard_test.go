@@ -36,7 +36,7 @@ func testSweep() *engine.Sweep {
 		sw.Points = append(sw.Points, engine.Point{
 			X:     float64(nodes),
 			Label: fmt.Sprintf("%d nodes", nodes),
-			Gen: func(rng *rand.Rand) (*model.Problem, error) {
+			Gen: engine.ProblemGen(func(rng *rand.Rand) (*model.Problem, error) {
 				field := geom.Square(120)
 				for attempt := 0; attempt < 1000; attempt++ {
 					p := &model.Problem{
@@ -51,7 +51,7 @@ func testSweep() *engine.Sweep {
 					}
 				}
 				return nil, errors.New("no connected test instance")
-			},
+			}),
 		})
 	}
 	for _, name := range []string{"rfh", "idb"} {
@@ -61,7 +61,7 @@ func testSweep() *engine.Sweep {
 			Label:   label,
 			Outputs: []engine.SeriesSpec{{Label: label, CI: true}},
 			Run: func(ctx context.Context, inst *engine.Instance) (engine.CellResult, error) {
-				res, err := solve(ctx, inst.Problem)
+				res, err := solve(ctx, inst.Problem())
 				if err != nil {
 					return engine.CellResult{}, err
 				}

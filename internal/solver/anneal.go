@@ -58,7 +58,58 @@ func AnnealCtx(ctx context.Context, p *model.Problem, opts AnnealOptions) (*Resu
 	if err := start.Deploy.Validate(p); err != nil {
 		return nil, fmt.Errorf("solver: invalid anneal seed: %w", err)
 	}
-	n := p.N()
+	ev, err := newAttachedEvaluator(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	best, evaluations, err := annealWalk(ctx, p, ev, []int(start.Deploy.Clone()), opts)
+	if err != nil {
+		return nil, err
+	}
+	return finishDeployment(p, ev, best, evaluations)
+}
+
+// AnnealInstance runs the annealing walk over any problem instance.
+// Deployment instances take the exact deployment path (RFH seeding,
+// single-node transfer proposals, routing tree); other kinds seed from
+// the instance's own heuristic when it provides one and walk a proposal
+// mix of unit transfers plus — when the instance has no fixed solution
+// total — unit additions and removals.
+func AnnealInstance(ctx context.Context, inst model.Instance, opts AnnealOptions) (*Result, error) {
+	if p, ok := inst.(*model.Problem); ok {
+		return AnnealCtx(ctx, p, opts)
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	ev, err := newAttachedEvaluator(ctx, inst)
+	if err != nil {
+		return nil, err
+	}
+	cur, seedEvals, err := instanceSeed(ctx, inst, opts.Start)
+	if err != nil {
+		return nil, err
+	}
+	best, evaluations, err := annealWalk(ctx, inst, ev, cur, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := finishInstance(inst, best, evaluations+seedEvals)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// annealWalk is the simulated-annealing hot loop over the
+// instance/evaluator seam: geometric cooling from the seed cost, one
+// proposal per iteration, acceptance by the Metropolis criterion. It
+// returns the best vector ever visited and the proposal evaluation
+// count. The deployment proposal branch (fixed total: a single-unit
+// transfer) reproduces the historical draw sequence exactly, so seeded
+// deployment runs are unchanged by the generalisation.
+func annealWalk(ctx context.Context, inst model.Instance, ev model.Evaluator, cur []int, opts AnnealOptions) ([]int, int64, error) {
+	n := inst.Dims()
 	iterations := opts.Iterations
 	if iterations <= 0 {
 		iterations = 200 * n
@@ -72,83 +123,118 @@ func AnnealCtx(ctx context.Context, p *model.Problem, opts AnnealOptions) (*Resu
 		finalFrac = 1e-5
 	}
 	if finalFrac >= initFrac {
-		return nil, fmt.Errorf("solver: anneal needs final temperature (%g) below initial (%g)", finalFrac, initFrac)
+		return nil, 0, fmt.Errorf("solver: anneal needs final temperature (%g) below initial (%g)", finalFrac, initFrac)
 	}
 
-	ev, err := model.NewIncrementalEvaluator(p)
-	if err != nil {
-		return nil, err
-	}
-	ev.AttachSharedMemoFromContext(ctx)
 	// The walk revisits states whenever a proposal is rejected and later
 	// re-proposed; a small memo answers those probes without repairing.
-	ev.EnableMemo(1 << 12)
+	model.EnableEvaluatorMemo(ev, 1<<12)
 	rng := rand.New(rand.NewSource(opts.Seed))
+	ub := upperBounds(inst)
+	lb := make([]int, n)
+	for i := range lb {
+		lb[i] = inst.LowerBound(i)
+	}
+	_, fixedTotal := inst.FixedTotal()
 
-	cur := start.Deploy.Clone()
 	curCost, err := ev.Cost(cur)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	best := cur.Clone()
+	best := append([]int(nil), cur...)
 	bestCost := curCost
 
 	temp := initFrac * curCost
 	cooling := math.Pow(finalFrac/initFrac, 1/float64(iterations))
 	var evaluations int64
-	moves := make([]model.Move, 2)
+	moves := make([]model.Move, 0, 2)
 	for it := 0; it < iterations; it++ {
 		if it%ctxCheckStride == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 		}
-		from := rng.Intn(n)
-		if cur[from] <= 1 {
-			temp *= cooling
-			continue
+		moves = moves[:0]
+		if fixedTotal {
+			// The historical deployment proposal: move one unit between
+			// two dimensions, drawn exactly as before the generalisation.
+			from := rng.Intn(n)
+			if cur[from] <= lb[from] {
+				temp *= cooling
+				continue
+			}
+			to := rng.Intn(n - 1)
+			if to >= from {
+				to++
+			}
+			if cur[to]+1 > ub[to] {
+				// Unreachable for deployment (a dimension at its cap
+				// forces every other to its floor); kept for generic
+				// fixed-total instances. No extra rng draw happens
+				// before this guard, so the deployment sequence holds.
+				temp *= cooling
+				continue
+			}
+			moves = append(moves,
+				model.Move{Post: from, Delta: -1},
+				model.Move{Post: to, Delta: 1})
+		} else {
+			// Free-total proposal mix: transfer a unit, add one, or
+			// remove one, uniformly; infeasible draws just cool.
+			i := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0: // add
+				if cur[i]+1 > ub[i] {
+					temp *= cooling
+					continue
+				}
+				moves = append(moves, model.Move{Post: i, Delta: 1})
+			case 1: // remove
+				if cur[i]-1 < lb[i] {
+					temp *= cooling
+					continue
+				}
+				moves = append(moves, model.Move{Post: i, Delta: -1})
+			default: // transfer
+				if n < 2 || cur[i] <= lb[i] {
+					temp *= cooling
+					continue
+				}
+				to := rng.Intn(n - 1)
+				if to >= i {
+					to++
+				}
+				if cur[to]+1 > ub[to] {
+					temp *= cooling
+					continue
+				}
+				moves = append(moves,
+					model.Move{Post: i, Delta: -1},
+					model.Move{Post: to, Delta: 1})
+			}
 		}
-		to := rng.Intn(n - 1)
-		if to >= from {
-			to++
-		}
-		moves[0] = model.Move{Post: from, Delta: -1}
-		moves[1] = model.Move{Post: to, Delta: 1}
 		cost, evalErr := ev.CostDelta(moves)
 		evaluations++
 		if evalErr != nil {
-			return nil, evalErr
+			return nil, 0, evalErr
 		}
 		delta := cost - curCost
 		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
 			if err := ev.Commit(); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
-			cur[from]--
-			cur[to]++
+			for _, m := range moves {
+				cur[m.Post] += m.Delta
+			}
 			curCost = cost
 			if cost < bestCost {
 				bestCost = cost
 				copy(best, cur)
 			}
 		} else if err := ev.Revert(); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		temp *= cooling
 	}
-
-	parents, _, err := ev.BestParents(best)
-	if err != nil {
-		return nil, err
-	}
-	tree, err := model.NewTreeFromParents(p, parents)
-	if err != nil {
-		return nil, err
-	}
-	res, err := finalize(p, best, tree)
-	if err != nil {
-		return nil, err
-	}
-	res.Evaluations = evaluations
-	return res, nil
+	return best, evaluations, nil
 }

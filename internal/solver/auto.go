@@ -36,6 +36,27 @@ func Auto(p *model.Problem) (*Result, error) {
 	return AutoCtx(context.Background(), p)
 }
 
+// AutoInstance solves any problem instance with the strongest fitting
+// strategy. Deployment instances get the size-tiered deployment pipeline
+// below; other kinds get IDB's incremental growth polished by a local
+// search seeded with its result (the hill climb only ever improves, so
+// the polish is free insurance).
+func AutoInstance(ctx context.Context, inst model.Instance) (*Result, error) {
+	if p, ok := inst.(*model.Problem); ok {
+		return AutoCtx(ctx, p)
+	}
+	seed, err := IDBInstance(ctx, inst, 1)
+	if err != nil {
+		return nil, err
+	}
+	polished, err := LocalSearchInstance(ctx, inst, LocalSearchOptions{Start: seed})
+	if err != nil {
+		return nil, err
+	}
+	polished.Evaluations += seed.Evaluations
+	return polished, nil
+}
+
 // AutoCtx is Auto with cancellation: the context flows into whichever
 // solver the size tiering picks, inheriting its cancellation cadence.
 func AutoCtx(ctx context.Context, p *model.Problem) (*Result, error) {

@@ -38,20 +38,82 @@ func IDBCtx(ctx context.Context, p *model.Problem, delta int) (*Result, error) {
 	if delta < 1 {
 		return nil, fmt.Errorf("solver: IDB delta must be >= 1, got %d", delta)
 	}
-	n := p.N()
-	ev, err := model.NewIncrementalEvaluator(p)
+	ev, err := newAttachedEvaluator(ctx, p)
 	if err != nil {
 		return nil, err
 	}
-	ev.AttachSharedMemoFromContext(ctx)
-
-	cur := model.Ones(n)
-	if _, err := ev.Cost(cur); err != nil {
+	cur, _, evaluations, err := idbSearch(ctx, p, ev, delta)
+	if err != nil {
 		return nil, err
 	}
+	return finishDeployment(p, ev, cur, evaluations)
+}
+
+// IDBInstance runs the IDB search loop over any problem instance.
+// Deployment instances take the exact deployment path (routing tree and
+// all); other kinds run the same incremental growth generically: with a
+// fixed solution total the rounds spread it as for deployment, without
+// one the search greedily adds the single best unit per round while that
+// strictly improves the cost.
+func IDBInstance(ctx context.Context, inst model.Instance, delta int) (*Result, error) {
+	if p, ok := inst.(*model.Problem); ok {
+		return IDBCtx(ctx, p, delta)
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if delta < 1 {
+		return nil, fmt.Errorf("solver: IDB delta must be >= 1, got %d", delta)
+	}
+	ev, err := newAttachedEvaluator(ctx, inst)
+	if err != nil {
+		return nil, err
+	}
+	cur, _, evaluations, err := idbSearch(ctx, inst, ev, delta)
+	if err != nil {
+		return nil, err
+	}
+	return finishInstance(inst, cur, evaluations)
+}
+
+// upperBounds materialises inst's per-dimension upper bounds so the hot
+// loops test them as array loads instead of interface calls.
+func upperBounds(inst model.Instance) []int {
+	ub := make([]int, inst.Dims())
+	for i := range ub {
+		ub[i] = inst.UpperBound(i)
+	}
+	return ub
+}
+
+// idbSearch is the IDB hot loop over the instance/evaluator seam: it
+// grows the solution from the instance's lower bounds and returns the
+// final vector, its cost under ev's committed state, and the candidate
+// evaluation count. It touches no deployment state; the wrappers own
+// validation and result assembly.
+func idbSearch(ctx context.Context, inst model.Instance, ev model.Evaluator, delta int) ([]int, float64, int64, error) {
+	if delta < 1 {
+		return nil, 0, 0, fmt.Errorf("solver: IDB delta must be >= 1, got %d", delta)
+	}
+	n := inst.Dims()
+	cur := model.LowerBoundVector(inst)
+	curCost, err := ev.Cost(cur)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	ub := upperBounds(inst)
 	var evaluations int64
-	bestExtra := make([]int, n)
 	moves := make([]model.Move, 0, delta)
+	total, fixedTotal := inst.FixedTotal()
+	if !fixedTotal {
+		cost, err := idbGrow(ctx, inst, ev, cur, curCost, ub, &evaluations)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return cur, cost, evaluations, nil
+	}
+
+	bestExtra := make([]int, n)
 	extraMoves := func(extra []int) []model.Move {
 		moves = moves[:0]
 		for i, e := range extra {
@@ -61,9 +123,13 @@ func IDBCtx(ctx context.Context, p *model.Problem, delta int) (*Result, error) {
 		}
 		return moves
 	}
-	for remaining := p.Nodes - n; remaining > 0; {
+	remaining := total
+	for _, c := range cur {
+		remaining -= c
+	}
+	for remaining > 0 {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, 0, 0, err
 		}
 		step := delta
 		if step > remaining {
@@ -81,36 +147,49 @@ func IDBCtx(ctx context.Context, p *model.Problem, delta int) (*Result, error) {
 			// cost < bestCost-costSlack is exactly less(): the
 			// first-seen placement (largest i) is the lexicographically
 			// smallest extra vector, so every tie keeps the incumbent.
+			// The upper-bound guard never fires for deployment (one
+			// post at its cap forces all others to their floor, leaving
+			// nothing to place), so the deployment path is unchanged.
 			bestI := -1
 			mv := moves[:1] // reuse the shared move buffer (cap >= delta >= 1)
 			for i := n - 1; i >= 0; i-- {
+				if cur[i]+1 > ub[i] {
+					continue
+				}
 				if evaluations%ctxCheckStride == 0 {
 					if err := ctx.Err(); err != nil {
-						return nil, err
+						return nil, 0, 0, err
 					}
 				}
 				mv[0] = model.Move{Post: i, Delta: 1}
 				cost, evalErr := ev.CostDelta(mv)
 				evaluations++
 				if evalErr != nil {
-					return nil, evalErr
+					return nil, 0, 0, evalErr
 				}
 				if evalErr := ev.Revert(); evalErr != nil {
-					return nil, evalErr
+					return nil, 0, 0, evalErr
 				}
 				if bestI < 0 || cost < bestCost-costSlack {
 					bestI = i
 					bestCost = cost
 				}
 			}
-			found = true
-			for i := range bestExtra {
-				bestExtra[i] = 0
+			if bestI >= 0 {
+				found = true
+				for i := range bestExtra {
+					bestExtra[i] = 0
+				}
+				bestExtra[bestI] = 1
 			}
-			bestExtra[bestI] = 1
 		} else {
 			var evalFailure error
 			loopErr := deploy.ForEachComposition(n, step, func(extra []int) bool {
+				for i, e := range extra {
+					if e != 0 && cur[i]+e > ub[i] {
+						return true // infeasible candidate (never for deployment)
+					}
+				}
 				if evaluations%ctxCheckStride == 0 {
 					if err := ctx.Err(); err != nil {
 						evalFailure = err
@@ -120,7 +199,7 @@ func IDBCtx(ctx context.Context, p *model.Problem, delta int) (*Result, error) {
 				cost, evalErr := ev.CostDelta(extraMoves(extra))
 				evaluations++
 				if evalErr != nil {
-					evalFailure = evalErr // impossible once p validated; keep the loop honest
+					evalFailure = evalErr // impossible once the instance validated; keep the loop honest
 					return false
 				}
 				if evalErr := ev.Revert(); evalErr != nil {
@@ -138,41 +217,82 @@ func IDBCtx(ctx context.Context, p *model.Problem, delta int) (*Result, error) {
 				return true
 			})
 			if loopErr != nil {
-				return nil, loopErr
+				return nil, 0, 0, loopErr
 			}
 			if evalFailure != nil {
-				return nil, evalFailure
+				return nil, 0, 0, evalFailure
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("solver: IDB round evaluated no candidates (delta=%d)", step)
+			return nil, 0, 0, fmt.Errorf("solver: IDB round evaluated no candidates (delta=%d)", step)
 		}
 		// Commit the round winner: re-probe its moves (not counted as a
 		// candidate evaluation) and accept, making it the next round's base.
-		if _, err := ev.CostDelta(extraMoves(bestExtra)); err != nil {
-			return nil, err
+		cost, err := ev.CostDelta(extraMoves(bestExtra))
+		if err != nil {
+			return nil, 0, 0, err
 		}
 		if err := ev.Commit(); err != nil {
-			return nil, err
+			return nil, 0, 0, err
 		}
+		curCost = cost
 		for i, e := range bestExtra {
 			cur[i] += e
 		}
 		remaining -= step
 	}
+	return cur, curCost, evaluations, nil
+}
 
-	parents, _, err := ev.BestParents(cur)
-	if err != nil {
-		return nil, err
+// idbGrow is IDB's free-total variant: with no fixed solution sum there
+// is no node budget to spread, so each round probes adding one unit to
+// every dimension with headroom and commits the cheapest while it
+// strictly improves on the committed cost. The unit-wise growth mirrors
+// the δ=1 path's candidate order and tie-breaking.
+func idbGrow(ctx context.Context, inst model.Instance, ev model.Evaluator, cur []int, curCost float64, ub []int, evaluations *int64) (float64, error) {
+	n := inst.Dims()
+	mv := make([]model.Move, 1)
+	for {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		bestI := -1
+		bestCost := -1.0
+		for i := n - 1; i >= 0; i-- {
+			if cur[i]+1 > ub[i] {
+				continue
+			}
+			if *evaluations%ctxCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
+			}
+			mv[0] = model.Move{Post: i, Delta: 1}
+			cost, err := ev.CostDelta(mv)
+			*evaluations++
+			if err != nil {
+				return 0, err
+			}
+			if err := ev.Revert(); err != nil {
+				return 0, err
+			}
+			if bestI < 0 || cost < bestCost-costSlack {
+				bestI = i
+				bestCost = cost
+			}
+		}
+		if bestI < 0 || bestCost >= curCost-costSlack {
+			return curCost, nil
+		}
+		mv[0] = model.Move{Post: bestI, Delta: 1}
+		cost, err := ev.CostDelta(mv)
+		if err != nil {
+			return 0, err
+		}
+		if err := ev.Commit(); err != nil {
+			return 0, err
+		}
+		cur[bestI]++
+		curCost = cost
 	}
-	tree, err := model.NewTreeFromParents(p, parents)
-	if err != nil {
-		return nil, err
-	}
-	res, err := finalize(p, cur, tree)
-	if err != nil {
-		return nil, err
-	}
-	res.Evaluations = evaluations
-	return res, nil
 }

@@ -16,7 +16,7 @@ type IDBOptions struct {
 	Delta int
 	// Workers is the number of goroutines evaluating candidate
 	// placements concurrently; 0 means GOMAXPROCS, 1 runs sequentially.
-	// Each worker carries its own IncrementalEvaluator (the protocol is
+	// Each worker carries its own evaluator (the protocol is
 	// not concurrency-safe), so memory scales with
 	// workers while results remain bit-identical to the sequential run
 	// (the winning candidate is the cost-minimal one, ties broken by
@@ -51,25 +51,88 @@ func IDBWithOptionsCtx(ctx context.Context, p *model.Problem, opts IDBOptions) (
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	evaluators, err := newAttachedEvaluators(ctx, p, workers)
+	if err != nil {
+		return nil, err
+	}
+	cur, evaluations, err := idbParallelSearch(ctx, p, evaluators, opts.Delta)
+	if err != nil {
+		return nil, err
+	}
+	return finishDeployment(p, evaluators[0], cur, evaluations)
+}
 
-	n := p.N()
-	evaluators := make([]*model.IncrementalEvaluator, workers)
+// IDBWithOptionsInstance runs the parallel IDB search over any problem
+// instance. Deployment instances take the exact deployment path; other
+// fixed-total kinds run the same parallel round structure generically.
+// Free-total instances fall back to the sequential search: their rounds
+// probe only one unit-add per dimension, too little work to farm out.
+func IDBWithOptionsInstance(ctx context.Context, inst model.Instance, opts IDBOptions) (*Result, error) {
+	if p, ok := inst.(*model.Problem); ok {
+		return IDBWithOptionsCtx(ctx, p, opts)
+	}
+	if _, fixed := inst.FixedTotal(); !fixed {
+		return IDBInstance(ctx, inst, opts.Delta)
+	}
+	if opts.Delta < 1 {
+		return nil, fmt.Errorf("solver: IDB delta must be >= 1, got %d", opts.Delta)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return IDBInstance(ctx, inst, opts.Delta)
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	evaluators, err := newAttachedEvaluators(ctx, inst, workers)
+	if err != nil {
+		return nil, err
+	}
+	cur, evaluations, err := idbParallelSearch(ctx, inst, evaluators, opts.Delta)
+	if err != nil {
+		return nil, err
+	}
+	return finishInstance(inst, cur, evaluations)
+}
+
+// newAttachedEvaluators builds one production evaluator per worker, each
+// with the context's shared memo attached.
+func newAttachedEvaluators(ctx context.Context, inst model.Instance, workers int) ([]model.Evaluator, error) {
+	evaluators := make([]model.Evaluator, workers)
 	for i := range evaluators {
-		ev, err := model.NewIncrementalEvaluator(p)
+		ev, err := newAttachedEvaluator(ctx, inst)
 		if err != nil {
 			return nil, err
 		}
-		ev.AttachSharedMemoFromContext(ctx)
 		evaluators[i] = ev
 	}
+	return evaluators, nil
+}
 
-	cur := model.Ones(n)
+// idbParallelSearch is the parallel IDB hot loop over the
+// instance/evaluator seam: fixed-total rounds fan candidate compositions
+// out to the worker evaluators and merge with the sequential loop's
+// comparator, so the result is bit-identical to idbSearch at any worker
+// count.
+func idbParallelSearch(ctx context.Context, inst model.Instance, evaluators []model.Evaluator, delta int) ([]int, int64, error) {
+	n := inst.Dims()
+	workers := len(evaluators)
+	cur := model.LowerBoundVector(inst)
+	ub := upperBounds(inst)
+	total, _ := inst.FixedTotal()
+	remaining := total
+	for _, c := range cur {
+		remaining -= c
+	}
 	var evaluations int64
-	for remaining := p.Nodes - n; remaining > 0; {
+	for remaining > 0 {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		step := opts.Delta
+		step := delta
 		if step > remaining {
 			step = remaining
 		}
@@ -132,6 +195,11 @@ func IDBWithOptionsCtx(ctx context.Context, p *model.Problem, opts IDBOptions) (
 		}
 		var ctxErr error
 		loopErr := deploy.ForEachComposition(n, step, func(extra []int) bool {
+			for i, e := range extra {
+				if e != 0 && cur[i]+e > ub[i] {
+					return true // infeasible candidate (never for deployment)
+				}
+			}
 			if err := ctx.Err(); err != nil {
 				ctxErr = err // stop feeding; a partial round must not commit
 				return false
@@ -142,10 +210,10 @@ func IDBWithOptionsCtx(ctx context.Context, p *model.Problem, opts IDBOptions) (
 		close(candidates)
 		wg.Wait()
 		if loopErr != nil {
-			return nil, loopErr
+			return nil, 0, loopErr
 		}
 		if ctxErr != nil {
-			return nil, ctxErr
+			return nil, 0, ctxErr
 		}
 
 		merged := roundBest{}
@@ -153,35 +221,21 @@ func IDBWithOptionsCtx(ctx context.Context, p *model.Problem, opts IDBOptions) (
 			r := &results[w]
 			evaluations += r.count
 			if r.err != nil {
-				return nil, r.err
+				return nil, 0, r.err
 			}
 			if r.found && (!merged.found || less(r.cost, r.extra, merged.cost, merged.extra)) {
 				merged = *r
 			}
 		}
 		if !merged.found {
-			return nil, fmt.Errorf("solver: IDB round evaluated no candidates (delta=%d)", step)
+			return nil, 0, fmt.Errorf("solver: IDB round evaluated no candidates (delta=%d)", step)
 		}
 		for i, e := range merged.extra {
 			cur[i] += e
 		}
 		remaining -= step
 	}
-
-	parents, _, err := evaluators[0].BestParents(cur)
-	if err != nil {
-		return nil, err
-	}
-	tree, err := model.NewTreeFromParents(p, parents)
-	if err != nil {
-		return nil, err
-	}
-	res, err := finalize(p, cur, tree)
-	if err != nil {
-		return nil, err
-	}
-	res.Evaluations = evaluations
-	return res, nil
+	return cur, evaluations, nil
 }
 
 // less orders candidates by (cost, lexicographic placement): exactly the

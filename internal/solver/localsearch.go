@@ -52,77 +52,174 @@ func LocalSearchCtx(ctx context.Context, p *model.Problem, opts LocalSearchOptio
 	if err := start.Deploy.Validate(p); err != nil {
 		return nil, fmt.Errorf("solver: invalid local-search seed: %w", err)
 	}
-	ev, err := model.NewIncrementalEvaluator(p)
+	ev, err := newAttachedEvaluator(ctx, p)
 	if err != nil {
 		return nil, err
 	}
-	ev.AttachSharedMemoFromContext(ctx)
-
-	n := p.N()
-	cur := start.Deploy.Clone()
-	curCost, err := ev.Cost(cur)
+	cur := []int(start.Deploy.Clone())
+	evaluations, err := climb(ctx, p, ev, cur, opts.MaxPasses)
 	if err != nil {
 		return nil, err
+	}
+	return finishDeployment(p, ev, cur, evaluations)
+}
+
+// LocalSearchInstance runs the hill climb over any problem instance.
+// Deployment instances take the exact deployment path (RFH seeding,
+// routing tree); other kinds seed from the instance's own heuristic when
+// it provides one (falling back to the lower-bound vector) and climb the
+// same move neighbourhood, widened by single-unit adds and removals when
+// the instance has no fixed solution total.
+func LocalSearchInstance(ctx context.Context, inst model.Instance, opts LocalSearchOptions) (*Result, error) {
+	if p, ok := inst.(*model.Problem); ok {
+		return LocalSearchCtx(ctx, p, opts)
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	ev, err := newAttachedEvaluator(ctx, inst)
+	if err != nil {
+		return nil, err
+	}
+	cur, seedEvals, err := instanceSeed(ctx, inst, opts.Start)
+	if err != nil {
+		return nil, err
+	}
+	evaluations, err := climb(ctx, inst, ev, cur, opts.MaxPasses)
+	if err != nil {
+		return nil, err
+	}
+	res, err := finishInstance(inst, cur, evaluations+seedEvals)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// instanceSeed picks the refinement solvers' starting vector for a
+// non-deployment instance: the caller's start when given, the instance's
+// own construction heuristic when it implements SeedHeuristic, the
+// lower-bound vector otherwise.
+func instanceSeed(ctx context.Context, inst model.Instance, start *Result) ([]int, int64, error) {
+	if start != nil {
+		if start.Vector == nil {
+			return nil, 0, fmt.Errorf("solver: seed result for %q instance carries no vector", inst.Kind())
+		}
+		if err := inst.ValidateSolution(start.Vector); err != nil {
+			return nil, 0, fmt.Errorf("solver: invalid seed: %w", err)
+		}
+		return append([]int(nil), start.Vector...), 0, nil
+	}
+	if sh, ok := inst.(model.SeedHeuristic); ok {
+		vec, evals, err := sh.SeedSolution(ctx)
+		if err != nil {
+			return nil, 0, fmt.Errorf("solver: could not build a seed: %w", err)
+		}
+		if err := inst.ValidateSolution(vec); err != nil {
+			return nil, 0, fmt.Errorf("solver: instance heuristic built an invalid seed: %w", err)
+		}
+		return vec, evals, nil
+	}
+	return model.LowerBoundVector(inst), 0, nil
+}
+
+// climb is the hill-climbing hot loop over the instance/evaluator seam:
+// first-improvement sweeps over the move neighbourhood, re-scanning from
+// the new state after every accepted move, until a pass finds nothing
+// (or maxPasses is hit). The neighbourhood is all single-unit transfers
+// between dimensions; instances without a fixed solution total
+// additionally climb single-unit removals and additions. cur is mutated
+// in place; the evaluator ends committed on it.
+func climb(ctx context.Context, inst model.Instance, ev model.Evaluator, cur []int, maxPasses int) (int64, error) {
+	n := inst.Dims()
+	ub := upperBounds(inst)
+	lb := make([]int, n)
+	for i := range lb {
+		lb[i] = inst.LowerBound(i)
+	}
+	_, fixedTotal := inst.FixedTotal()
+	curCost, err := ev.Cost(cur)
+	if err != nil {
+		return 0, err
 	}
 	var evaluations int64
 	moves := make([]model.Move, 2)
-	for pass := 0; opts.MaxPasses == 0 || pass < opts.MaxPasses; pass++ {
+	// probe prices mv; on strict improvement it commits, applies the
+	// move to cur, and reports acceptance.
+	probe := func(mv []model.Move) (bool, error) {
+		if evaluations%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
+		}
+		cost, evalErr := ev.CostDelta(mv)
+		evaluations++
+		if evalErr != nil {
+			return false, evalErr
+		}
+		if cost < curCost-costSlack {
+			if err := ev.Commit(); err != nil {
+				return false, err
+			}
+			for _, m := range mv {
+				cur[m.Post] += m.Delta
+			}
+			curCost = cost
+			return true, nil
+		}
+		if err := ev.Revert(); err != nil {
+			return false, err
+		}
+		return false, nil
+	}
+	for pass := 0; maxPasses == 0 || pass < maxPasses; pass++ {
 		improved := false
-		for from := 0; from < n; from++ {
-			if cur[from] <= 1 {
-				continue // every post keeps at least one node
+		// Free-total neighbourhood first: dropping a redundant unit (or
+		// adding a missing one) is the cheap move, so try it before the
+		// quadratic transfer scan. Never reached with a fixed total.
+		if !fixedTotal {
+			for i := 0; i < n && !improved; i++ {
+				if cur[i]-1 >= lb[i] {
+					ok, err := probe([]model.Move{{Post: i, Delta: -1}})
+					if err != nil {
+						return 0, err
+					}
+					improved = ok
+				}
+			}
+			for i := 0; i < n && !improved; i++ {
+				if cur[i]+1 <= ub[i] {
+					ok, err := probe([]model.Move{{Post: i, Delta: 1}})
+					if err != nil {
+						return 0, err
+					}
+					improved = ok
+				}
+			}
+		}
+		for from := 0; from < n && !improved; from++ {
+			if cur[from] <= lb[from] {
+				continue // every dimension keeps its floor
 			}
 			for to := 0; to < n; to++ {
-				if to == from {
+				if to == from || cur[to]+1 > ub[to] {
 					continue
-				}
-				if evaluations%ctxCheckStride == 0 {
-					if err := ctx.Err(); err != nil {
-						return nil, err
-					}
 				}
 				moves[0] = model.Move{Post: from, Delta: -1}
 				moves[1] = model.Move{Post: to, Delta: 1}
-				cost, evalErr := ev.CostDelta(moves)
-				evaluations++
-				if evalErr != nil {
-					return nil, evalErr
+				ok, err := probe(moves)
+				if err != nil {
+					return 0, err
 				}
-				if cost < curCost-costSlack {
-					if err := ev.Commit(); err != nil {
-						return nil, err
-					}
-					cur[from]--
-					cur[to]++
-					curCost = cost
+				if ok {
 					improved = true
 					break // first improvement: re-scan from the new state
 				}
-				if err := ev.Revert(); err != nil {
-					return nil, err
-				}
-			}
-			if improved {
-				break
 			}
 		}
 		if !improved {
 			break
 		}
 	}
-
-	parents, _, err := ev.BestParents(cur)
-	if err != nil {
-		return nil, err
-	}
-	tree, err := model.NewTreeFromParents(p, parents)
-	if err != nil {
-		return nil, err
-	}
-	res, err := finalize(p, cur, tree)
-	if err != nil {
-		return nil, err
-	}
-	res.Evaluations = evaluations
-	return res, nil
+	return evaluations, nil
 }

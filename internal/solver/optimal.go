@@ -51,6 +51,21 @@ func Optimal(p *model.Problem, opts OptimalOptions) (*Result, error) {
 	return OptimalCtx(context.Background(), p, opts)
 }
 
+// OptimalInstance runs the exact search when the instance is the
+// deployment problem and rejects every other kind with an
+// UnsupportedError: the branch-and-bound's admissible bound assumes the
+// cost is monotone non-increasing in every dimension, which is a
+// theorem for deployment (more nodes never worsen the optimal routing)
+// and false in general — charger placement's site costs grow with every
+// added unit.
+func OptimalInstance(ctx context.Context, inst model.Instance, opts OptimalOptions) (*Result, error) {
+	p, ok := inst.(*model.Problem)
+	if !ok {
+		return nil, unsupported("optimal", inst)
+	}
+	return OptimalCtx(ctx, p, opts)
+}
+
 // OptimalCtx is Optimal with cancellation: the context is checked on a
 // ctxCheckStride cadence inside the branch-and-bound's evaluation
 // closure — the single funnel every search node passes through — so a
@@ -195,7 +210,7 @@ func NaiveExact(p *model.Problem) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	n := p.N()
+	n := p.Dims()
 	ev, err := newDeltaEvaluator(context.Background(), p)
 	if err != nil {
 		return nil, err

@@ -62,6 +62,19 @@ func RFH(p *model.Problem, opts RFHOptions) (*Result, error) {
 	return RFHCtx(context.Background(), p, opts)
 }
 
+// RFHInstance runs RFH when the instance is the deployment problem and
+// rejects every other kind with an UnsupportedError: RFH is the
+// documented structural exception to the generic instance/evaluator
+// seam — its four phases reason about routing trees, path weights and
+// node allocation directly, none of which exist for other families.
+func RFHInstance(ctx context.Context, inst model.Instance, opts RFHOptions) (*Result, error) {
+	p, ok := inst.(*model.Problem)
+	if !ok {
+		return nil, unsupported("rfh", inst)
+	}
+	return RFHCtx(ctx, p, opts)
+}
+
 // RFHCtx is RFH with cancellation: the context is checked at every round
 // boundary, so a cancelled run returns ctx.Err() within one round.
 func RFHCtx(ctx context.Context, p *model.Problem, opts RFHOptions) (*Result, error) {

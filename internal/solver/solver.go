@@ -1,19 +1,35 @@
-// Package solver implements the paper's algorithms for the joint
-// deployment-and-routing problem:
+// Package solver implements move-based optimization over any
+// model.Instance, plus the paper's deployment-specific algorithms. The
+// search loops — IDB's incremental growth, local-search hill climbing,
+// simulated annealing, and the exact branch-and-bound/exhaustive
+// searches — run against the model.Instance/model.Evaluator seam and
+// never touch deployment state, so they solve every registered problem
+// family (the paper's joint deployment-and-routing problem, static RF
+// charger placement) through the same hot loops.
+//
+// For the deployment problem the package exposes the paper's algorithms:
 //
 //   - RFH, the Routing-First Heuristic (Section V-A), in its basic
-//     (single-pass) and iterative forms.
+//     (single-pass) and iterative forms — a documented structural
+//     exception that reasons about routing trees directly and therefore
+//     only solves *model.Problem (as is Heal, the repair pass).
 //   - IDB, the Incremental Deployment-Based heuristic (Section V-B).
 //   - Optimal, a branch-and-bound exact solver for small instances, and
 //     NaiveExact, the paper's C(M-1, N-1) exhaustive search, kept as a
-//     test oracle.
+//     test oracle. Their admissible bound assumes cost is monotone
+//     non-increasing in every dimension — true for deployment, false in
+//     general — so their instance entry points reject other kinds with
+//     an UnsupportedError.
 //
-// All solvers return a Result whose Solution carries a validated
-// deployment, routing tree and evaluated total recharging cost.
+// Deployment solvers return a Result whose Solution carries a validated
+// deployment, routing tree and evaluated total recharging cost; generic
+// instance solvers return the solution vector and its cost re-priced by
+// the instance's reference evaluator.
 package solver
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"wrsn/internal/model"
@@ -22,6 +38,9 @@ import (
 // Result is the outcome of one solver run.
 type Result struct {
 	model.Solution
+	// Vector is the solution vector for non-deployment instances (nil
+	// for deployment runs, whose vector is Solution.Deploy).
+	Vector []int `json:"vector,omitempty"`
 	// IterationCosts records the total recharging cost after each
 	// iteration for iterative solvers (iterative RFH: one entry per
 	// iteration; Fig. 6 plots exactly this series). Single-pass solvers
@@ -35,6 +54,32 @@ type Result struct {
 	Evaluations int64
 }
 
+// ErrUnsupportedInstance is the sentinel every UnsupportedError unwraps
+// to: the solver structurally cannot solve the instance's problem
+// family (not a transient failure).
+var ErrUnsupportedInstance = errors.New("solver: instance kind not supported")
+
+// UnsupportedError reports that a solver rejected an instance because of
+// its problem family. It unwraps to ErrUnsupportedInstance so callers
+// can detect clean rejection with errors.Is.
+type UnsupportedError struct {
+	// Solver is the rejecting algorithm's name.
+	Solver string
+	// Kind is the rejected instance's Kind().
+	Kind string
+}
+
+func (e *UnsupportedError) Error() string {
+	return fmt.Sprintf("solver: %s does not support %q instances", e.Solver, e.Kind)
+}
+
+func (e *UnsupportedError) Unwrap() error { return ErrUnsupportedInstance }
+
+// unsupported builds the typed rejection for solver name over inst.
+func unsupported(name string, inst model.Instance) error {
+	return &UnsupportedError{Solver: name, Kind: inst.Kind()}
+}
+
 // finalize validates sol against p, stamps its cost, and wraps it in a
 // Result.
 func finalize(p *model.Problem, deploy model.Deployment, tree model.Tree) (*Result, error) {
@@ -45,6 +90,74 @@ func finalize(p *model.Problem, deploy model.Deployment, tree model.Tree) (*Resu
 	return &Result{Solution: model.Solution{Deploy: deploy, Tree: tree, Cost: cost}}, nil
 }
 
+// parentsProvider is the evaluator capability the deployment wrappers
+// use to extract the repaired shortest-path tree without a final
+// from-scratch solve (model.IncrementalEvaluator implements it).
+type parentsProvider interface {
+	BestParents(m []int) ([]int, float64, error)
+}
+
+// finishDeployment turns a search loop's final vector into a validated
+// deployment Result: the routing tree is read off ev's repaired
+// shortest-path state, then the solution is re-evaluated from scratch.
+// This is the deployment-specific tail shared by every generic search —
+// the one place the solvers' deployment wrappers touch routing state.
+func finishDeployment(p *model.Problem, ev model.Evaluator, cur []int, evaluations int64) (*Result, error) {
+	bp, ok := ev.(parentsProvider)
+	if !ok {
+		return nil, fmt.Errorf("solver: deployment evaluator %T cannot report parents", ev)
+	}
+	parents, _, err := bp.BestParents(cur)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := model.NewTreeFromParents(p, parents)
+	if err != nil {
+		return nil, err
+	}
+	res, err := finalize(p, model.Deployment(cur), tree)
+	if err != nil {
+		return nil, err
+	}
+	res.Evaluations = evaluations
+	return res, nil
+}
+
+// finishInstance turns a search loop's final vector into a generic
+// Result: the vector is validated against the instance and re-priced by
+// a fresh reference evaluator, so a buggy incremental evaluator cannot
+// silently misprice the returned solution.
+func finishInstance(inst model.Instance, cur []int, evaluations int64) (*Result, error) {
+	if err := inst.ValidateSolution(cur); err != nil {
+		return nil, fmt.Errorf("solver: produced invalid solution: %w", err)
+	}
+	ref, err := inst.NewReferenceEvaluator()
+	if err != nil {
+		return nil, err
+	}
+	cost, err := ref.Cost(cur)
+	if err != nil {
+		return nil, err
+	}
+	vec := append([]int(nil), cur...)
+	return &Result{
+		Solution:    model.Solution{Cost: cost},
+		Vector:      vec,
+		Evaluations: evaluations,
+	}, nil
+}
+
+// newAttachedEvaluator builds inst's production evaluator with the
+// context's shared memo (when any) attached.
+func newAttachedEvaluator(ctx context.Context, inst model.Instance) (model.Evaluator, error) {
+	ev, err := inst.NewEvaluator()
+	if err != nil {
+		return nil, err
+	}
+	model.AttachEvaluatorSharedMemo(ctx, ev)
+	return ev, nil
+}
+
 // deltaEvaluator adapts the move-based model.Evaluator protocol to
 // solvers that probe whole vectors (branch-and-bound bounds, exhaustive
 // enumeration): each query is diffed against the previously evaluated
@@ -52,19 +165,18 @@ func finalize(p *model.Problem, deploy model.Deployment, tree model.Tree) (*Resu
 // that share most of their entries — sibling search nodes, adjacent
 // compositions — pay only for what changed.
 type deltaEvaluator struct {
-	ev    *model.IncrementalEvaluator
+	ev    model.Evaluator
 	prev  []int
 	moves []model.Move
 	have  bool
 }
 
-func newDeltaEvaluator(ctx context.Context, p *model.Problem) (*deltaEvaluator, error) {
-	ev, err := model.NewIncrementalEvaluator(p)
+func newDeltaEvaluator(ctx context.Context, inst model.Instance) (*deltaEvaluator, error) {
+	ev, err := newAttachedEvaluator(ctx, inst)
 	if err != nil {
 		return nil, err
 	}
-	ev.AttachSharedMemoFromContext(ctx)
-	return &deltaEvaluator{ev: ev, prev: make([]int, p.N())}, nil
+	return &deltaEvaluator{ev: ev, prev: make([]int, inst.Dims())}, nil
 }
 
 // eval prices m, committing it as the base for the next diff.
@@ -96,5 +208,9 @@ func (d *deltaEvaluator) eval(m []int) (float64, error) {
 }
 
 func (d *deltaEvaluator) bestParents(m []int) ([]int, float64, error) {
-	return d.ev.BestParents(m)
+	bp, ok := d.ev.(parentsProvider)
+	if !ok {
+		return nil, 0, fmt.Errorf("solver: evaluator %T cannot report parents", d.ev)
+	}
+	return bp.BestParents(m)
 }

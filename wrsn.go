@@ -23,6 +23,16 @@
 //   - an experiment harness regenerating every figure of the paper's
 //     evaluation (see EXPERIMENTS.md).
 //
+// Beyond the paper, the optimization core is problem-agnostic: solvers
+// are written against the Instance seam (an integer solution vector,
+// per-dimension bounds, and a move-based Evaluator), and the repo ships
+// a second problem family behind it — static RF charger placement
+// (PlacementInstance), where candidate sites with coverage radii must
+// meet per-post duty-cycle power demands at minimum installed cost. The
+// same IDB, local-search and annealing loops that produce the paper's
+// figures solve it unchanged; RFH and the exact solver are the
+// documented deployment-only exceptions.
+//
 // # Quick start
 //
 //	field := wrsn.Square(500)
@@ -44,6 +54,7 @@
 package wrsn
 
 import (
+	"context"
 	"math/rand"
 
 	"wrsn/internal/charging"
@@ -52,6 +63,7 @@ import (
 	"wrsn/internal/experiments"
 	"wrsn/internal/geom"
 	"wrsn/internal/model"
+	"wrsn/internal/placement"
 	"wrsn/internal/solver"
 )
 
@@ -103,6 +115,22 @@ type (
 	// committed deployment's shortest-path solution instead of
 	// recomputing it — the production Evaluator implementation.
 	IncrementalEvaluator = model.IncrementalEvaluator
+
+	// Instance is the problem-agnostic seam the solver hot loops are
+	// written against: an integer solution vector with per-dimension
+	// bounds and a move-based Evaluator. *Problem implements it for the
+	// paper's deployment problem; *PlacementInstance for RF charger
+	// placement.
+	Instance = model.Instance
+	// PlacementInstance is the static RF charger-placement problem:
+	// candidate sites with coverage radii meeting per-post duty-cycle
+	// power demands at minimum installed cost plus shortfall penalty.
+	PlacementInstance = placement.Instance
+	// PlacementSite is one candidate charger site (position, per-charger
+	// cost, received power, coverage radius).
+	PlacementSite = placement.Site
+	// PlacementSiteSpec templates PlacementFromProblem's candidate grid.
+	PlacementSiteSpec = placement.SiteSpec
 )
 
 // Square returns a side x side deployment field with the base station
@@ -239,4 +267,28 @@ func ProvisionSpares(planned Deployment, survive, confidence float64) (Deploymen
 // beyond the paper that typically closes the RFH-to-optimal gap.
 func SolveLocalSearch(p *Problem, opts LocalSearchOptions) (*Result, error) {
 	return solver.LocalSearch(p, opts)
+}
+
+// SolveInstance runs the strongest generic solver pipeline (IDB seeding
+// local search) on any problem instance — the entry point for problem
+// families beyond deployment. For deployment instances it matches Solve;
+// for placement instances the result's Vector holds chargers per site.
+func SolveInstance(inst Instance) (*Result, error) {
+	return solver.AutoInstance(context.Background(), inst)
+}
+
+// SolveGreedyPlacement runs the placement family's native construction
+// heuristic: install the best-paying charger until none pays for itself.
+// Fast and deterministic; SolveInstance typically improves on it.
+func SolveGreedyPlacement(inst *PlacementInstance) (*Result, error) {
+	return solver.GreedyInstance(context.Background(), inst)
+}
+
+// PlacementFromProblem derives a charger-placement instance from a
+// deployment problem: candidate sites on a spec.Grid-square lattice over
+// the posts' bounding box, per-post power demands of perRate mW per unit
+// report rate — the bridge tying the two problem families to the same
+// traffic profile.
+func PlacementFromProblem(p *Problem, perRate float64, spec PlacementSiteSpec) (*PlacementInstance, error) {
+	return placement.FromProblem(p, perRate, spec)
 }
