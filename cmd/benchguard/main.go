@@ -5,12 +5,18 @@
 //
 //	benchguard -baseline ci/fig6-baseline.json -current fig6.json -figure 6
 //	benchguard -baseline ci/suite-baseline.json -current suite.json -total
+//	benchguard -baseline ci/suite-baseline.json -current suite.json -each
 //
 // Both files are cmd/wrsn-experiments -bench artifacts. The guard
 // compares the named figure's wall_seconds — or, with -total, the whole
-// suite's total_wall_seconds — and fails when
+// suite's total_wall_seconds, or with -each, every baseline figure's
+// wall_seconds individually — and fails when
 //
 //	current > baseline*(1+tolerance) + slack
+//
+// -each catches a single figure regressing badly inside an otherwise
+// healthy total (a 10x blowup on a 2-second figure moves a 70-second
+// suite total by well under the noise floor).
 //
 // -total additionally requires the current artifact to cover exactly
 // the baseline's figure set: a run of a figure subset (or an
@@ -78,10 +84,10 @@ func check(base, cur engine.Timing, tolerance, slack float64) (string, bool) {
 	return msg, cur.WallSeconds <= budget
 }
 
-// checkTotal compares two artifacts' suite totals under the same
-// budget formula, after verifying the current run covers exactly the
-// baseline's figures.
-func checkTotal(baseArt, curArt *artifact, tolerance, slack float64) (string, bool, error) {
+// coverageMatch verifies the current run covers exactly the baseline's
+// figure set — a subset run (or a hand-stripped partial) would otherwise
+// trivially pass any aggregate or per-figure sweep.
+func coverageMatch(baseArt, curArt *artifact) error {
 	baseSet := make(map[string]bool, len(baseArt.Figures))
 	for _, tm := range baseArt.Figures {
 		baseSet[tm.Figure] = true
@@ -92,18 +98,55 @@ func checkTotal(baseArt, curArt *artifact, tolerance, slack float64) (string, bo
 	}
 	for fig := range baseSet {
 		if !curSet[fig] {
-			return "", false, fmt.Errorf("current artifact is missing figure %q from the baseline suite; totals are not comparable", fig)
+			return fmt.Errorf("current artifact is missing figure %q from the baseline suite; runs are not comparable", fig)
 		}
 	}
 	for fig := range curSet {
 		if !baseSet[fig] {
-			return "", false, fmt.Errorf("current artifact has figure %q absent from the baseline suite; totals are not comparable", fig)
+			return fmt.Errorf("current artifact has figure %q absent from the baseline suite; runs are not comparable", fig)
 		}
+	}
+	return nil
+}
+
+// checkTotal compares two artifacts' suite totals under the same
+// budget formula, after verifying the current run covers exactly the
+// baseline's figures.
+func checkTotal(baseArt, curArt *artifact, tolerance, slack float64) (string, bool, error) {
+	if err := coverageMatch(baseArt, curArt); err != nil {
+		return "", false, err
 	}
 	budget := baseArt.TotalWallSeconds*(1+tolerance) + slack
 	msg := fmt.Sprintf("suite total: baseline %.3fs, current %.3fs, budget %.3fs (+%.0f%% +%.1fs, %d figures)",
 		baseArt.TotalWallSeconds, curArt.TotalWallSeconds, budget, 100*tolerance, slack, len(baseArt.Figures))
 	return msg, curArt.TotalWallSeconds <= budget, nil
+}
+
+// checkEach applies the per-figure budget to every figure in the
+// baseline, reporting all verdicts and failing if any figure blew its
+// budget. Coverage must match exactly, as for -total.
+func checkEach(baseArt, curArt *artifact, tolerance, slack float64, out *os.File) error {
+	if err := coverageMatch(baseArt, curArt); err != nil {
+		return err
+	}
+	var failed []string
+	for _, base := range baseArt.Figures {
+		cur, err := curArt.figure("current", base.Figure)
+		if err != nil {
+			return err
+		}
+		msg, ok := check(base, cur, tolerance, slack)
+		if !ok {
+			failed = append(failed, msg)
+			fmt.Fprintln(out, "benchguard: FAIL", msg)
+			continue
+		}
+		fmt.Fprintln(out, "benchguard: ok  ", msg)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("wall-time regression on %d of %d figures: %s", len(failed), len(baseArt.Figures), failed[0])
+	}
+	return nil
 }
 
 func run(args []string, out, errOut *os.File) error {
@@ -113,6 +156,7 @@ func run(args []string, out, errOut *os.File) error {
 		current   = fs.String("current", "", "freshly measured bench artifact")
 		figure    = fs.String("figure", "6", "figure id to guard")
 		total     = fs.Bool("total", false, "guard the suite's total_wall_seconds instead of one figure (requires matching figure coverage)")
+		each      = fs.Bool("each", false, "guard every baseline figure's wall_seconds individually (requires matching figure coverage)")
 		tolerance = fs.Float64("tolerance", 0.20, "allowed relative wall-time regression")
 		slack     = fs.Float64("slack", 2.0, "allowed absolute wall-time regression in seconds (runner noise floor)")
 	)
@@ -140,6 +184,9 @@ func run(args []string, out, errOut *os.File) error {
 	if curArt.Partial {
 		fmt.Fprintf(out, "benchguard: %s is partial (interrupted run); skipping wall-time comparison\n", *current)
 		return nil
+	}
+	if *each {
+		return checkEach(baseArt, curArt, *tolerance, *slack, out)
 	}
 	if *total {
 		msg, ok, err := checkTotal(baseArt, curArt, *tolerance, *slack)

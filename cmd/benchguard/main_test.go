@@ -126,6 +126,43 @@ func TestTotalMode(t *testing.T) {
 	}
 }
 
+// TestEachMode: -each guards every baseline figure individually — a
+// single blown figure fails the run even when the suite total is fine,
+// and coverage mismatches are hard errors as in -total.
+func TestEachMode(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, payload string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(payload), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json",
+		`{"total_wall_seconds":102.0,"figures":[{"figure":"6","wall_seconds":100.0},{"figure":"7a","wall_seconds":2.0}]}`)
+	good := write("good.json",
+		`{"total_wall_seconds":105.0,"figures":[{"figure":"6","wall_seconds":102.0},{"figure":"7a","wall_seconds":3.0}]}`)
+	// Figure 7a blows up 10x but the total stays inside its budget:
+	// -total passes, -each must fail.
+	hidden := write("hidden.json",
+		`{"total_wall_seconds":121.0,"figures":[{"figure":"6","wall_seconds":101.0},{"figure":"7a","wall_seconds":20.0}]}`)
+	subset := write("subset.json",
+		`{"total_wall_seconds":100.0,"figures":[{"figure":"6","wall_seconds":100.0}]}`)
+
+	if err := run([]string{"-baseline", base, "-current", good, "-each"}, os.Stdout, os.Stderr); err != nil {
+		t.Errorf("within-budget per-figure run failed: %v", err)
+	}
+	if err := run([]string{"-baseline", base, "-current", hidden, "-total"}, os.Stdout, os.Stderr); err != nil {
+		t.Errorf("setup check: hidden regression should pass -total: %v", err)
+	}
+	if err := run([]string{"-baseline", base, "-current", hidden, "-each"}, os.Stdout, os.Stderr); err == nil {
+		t.Error("per-figure regression hidden inside a healthy total not flagged by -each")
+	}
+	if err := run([]string{"-baseline", base, "-current", subset, "-each"}, os.Stdout, os.Stderr); err == nil {
+		t.Error("subset run accepted by -each")
+	}
+}
+
 // TestPartialArtifacts: an interrupted run's artifact carries
 // "partial": true — tolerated (flagged and skipped) as -current, but a
 // hard error as -baseline.

@@ -65,6 +65,7 @@ import (
 
 	"wrsn/internal/engine"
 	"wrsn/internal/experiments"
+	"wrsn/internal/model"
 	"wrsn/internal/render"
 	"wrsn/internal/shard"
 	"wrsn/internal/texttable"
@@ -150,12 +151,18 @@ func (pr *progressRenderer) finish() {
 // benchArtifact is the machine-readable perf record written by -bench:
 // the trajectory future optimisation PRs measure themselves against.
 type benchArtifact struct {
-	Command            string  `json:"command"`
-	Workers            int     `json:"workers"`
-	TotalWallSeconds   float64 `json:"total_wall_seconds"`
-	TotalActiveSeconds float64 `json:"total_active_seconds"`
-	TotalCells         int     `json:"total_cells"`
-	TotalEvaluations   int64   `json:"total_solver_evaluations"`
+	Command string `json:"command"`
+	Workers int    `json:"workers"`
+	// Self-description: the machine and build configuration the numbers
+	// were measured under, so artifacts are comparable without consulting
+	// the commit they shipped with.
+	GOMAXPROCS         int             `json:"gomaxprocs"`
+	MemoEntries        int             `json:"memo_entries"`
+	Features           map[string]bool `json:"features"`
+	TotalWallSeconds   float64         `json:"total_wall_seconds"`
+	TotalActiveSeconds float64         `json:"total_active_seconds"`
+	TotalCells         int             `json:"total_cells"`
+	TotalEvaluations   int64           `json:"total_solver_evaluations"`
 	// Partial marks an artifact from an interrupted run: its numbers
 	// cover only the cells that completed and are not comparable to a
 	// full run's (cmd/benchguard flags and skips such artifacts).
@@ -538,18 +545,34 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 		wg.Add(1)
 		go func(i int, r runner) {
 			defer wg.Done()
-			var cells int
+			var cells, inflight, peak int
 			var evaluations int64
 			var active time.Duration
+			var firstStart, lastFinish time.Time
 			opts := baseOpts
 			opts.Progress = func(ev engine.Event) {
-				if ev.Kind == engine.CellFinished && ev.Err == nil {
-					cells++
-					evaluations += ev.Evaluations
-					// Summed cell runtimes, not elapsed time: under the
-					// shared limiter a figure's wall clock also counts time
-					// spent waiting on other figures' cells.
-					active += ev.Duration
+				switch ev.Kind {
+				case engine.CellStarted:
+					if firstStart.IsZero() {
+						firstStart = time.Now()
+					}
+					inflight++
+					if inflight > peak {
+						peak = inflight
+					}
+				case engine.CellFinished:
+					if inflight > 0 {
+						inflight--
+					}
+					lastFinish = time.Now()
+					if ev.Err == nil {
+						cells++
+						evaluations += ev.Evaluations
+						// Summed cell runtimes, not elapsed time: under the
+						// shared limiter a figure's wall clock also counts time
+						// spent waiting on other figures' cells.
+						active += ev.Duration
+					}
 				}
 				if renderer != nil {
 					renderer.observe(ev)
@@ -558,10 +581,18 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 			start := time.Now()
 			tables, figures, err := r.fn(opts)
 			wall := time.Since(start)
+			timing := engine.NewTiming(r.id, wall, active, cells, evaluations, poolSize)
+			// Attribute honestly under the shared limiter: the window this
+			// figure actually had cells in flight, and the most cells it
+			// ever ran at once (not the whole pool).
+			if !firstStart.IsZero() && !lastFinish.IsZero() {
+				timing.SpanSeconds = lastFinish.Sub(firstStart).Seconds()
+			}
+			timing.PeakWorkers = peak
 			outputs[i] = figOutput{
 				tables:  tables,
 				figures: figures,
-				timing:  engine.NewTiming(r.id, wall, active, cells, evaluations, poolSize),
+				timing:  timing,
 				err:     err,
 			}
 		}(i, r)
@@ -633,10 +664,13 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	}
 	if *bench != "" {
 		artifact := benchArtifact{
-			Command: "wrsn-experiments -fig " + *fig,
-			Workers: poolSize,
-			Partial: ctx.Err() != nil,
-			Figures: timings,
+			Command:     "wrsn-experiments -fig " + *fig,
+			Workers:     poolSize,
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			MemoEntries: *memo,
+			Features:    model.EvaluatorFeatures(),
+			Partial:     ctx.Err() != nil,
+			Figures:     timings,
 		}
 		artifact.TotalWallSeconds = totalWall.Seconds()
 		for _, tm := range timings {

@@ -71,7 +71,17 @@ type Timing struct {
 	Cells         int     `json:"cells"`
 	CellsPerSec   float64 `json:"cells_per_sec"`
 	Evaluations   int64   `json:"solver_evaluations"`
-	Workers       int     `json:"workers"`
+	// Workers is the size of the shared cell pool the figure drew from —
+	// an upper bound, not a per-figure allocation.
+	Workers int `json:"workers"`
+	// SpanSeconds is first-cell-start to last-cell-finish: the window the
+	// figure actually had cells in flight. A small figure co-scheduled
+	// with heavy ones (fig6 under -fig all) shows a wall clock spanning
+	// the whole run but a span close to its active time.
+	SpanSeconds float64 `json:"span_seconds,omitempty"`
+	// PeakWorkers is the most cells this figure had executing at once —
+	// the honest per-figure concurrency under the shared Limiter.
+	PeakWorkers int `json:"peak_workers,omitempty"`
 }
 
 // NewTiming assembles a Timing record from a measured run — used by the

@@ -38,6 +38,59 @@ type Evaluator interface {
 	Revert() error
 }
 
+// BoundedProber is an optional Evaluator capability: CostDelta with a
+// caller-supplied cost limit. A pruned=true return guarantees the
+// probe's exact cost would have been >= limit and leaves the evaluator
+// idle on its committed state (no Commit/Revert is due); pruned=false
+// behaves exactly like CostDelta, including the pending-probe state.
+// Implementations may price exactly and never prune — the capability
+// licenses the early exit, it does not require it. Branch-and-bound
+// passes its incumbent-derived prune threshold here so doomed probes
+// stop settling as soon as a partial lower bound crosses it.
+type BoundedProber interface {
+	CostDeltaBounded(moves []Move, limit float64) (cost float64, pruned bool, err error)
+}
+
+// ProbeCache is an optional Evaluator capability for solvers that
+// re-scan a fixed candidate set between commits (IDB rounds,
+// local-search sweeps): each candidate's pending probe can be
+// snapshotted under a stable slot id, re-priced bit-exactly while no
+// committed move touched anything it read, and promoted straight to
+// the committed state when it wins a round. Slots invalidate
+// automatically on intersecting Commits and on every full Cost; a
+// CachedCost/CommitCached miss (ok=false) means the candidate must be
+// re-probed through the ordinary protocol. Implementations may decline
+// to cache (every lookup misses) — the capability licenses reuse, it
+// never changes results: cached answers are bit-identical to
+// re-probing, which the differential suites pin.
+type ProbeCache interface {
+	EnableProbeCache(slots int)
+	CacheProbe(id int)
+	CachedCost(id int) (cost float64, ok bool)
+	CommitCached(id int) (cost float64, ok bool)
+}
+
+// EvaluatorFeatures names the evaluator-level optimisations this build
+// enables, keyed for perf artifacts (BENCH_*.json) so benchmark records
+// are self-describing: a future change that flips one of these shows up
+// in the artifact, not just in the git history next to it.
+func EvaluatorFeatures() map[string]bool {
+	return map[string]bool{
+		// Dirty-candidate pruning + probe-promoting Commit (ProbeCache).
+		"probe_cache":     true,
+		"probe_promotion": true,
+		// Limit-aware probes for branch-and-bound (BoundedProber).
+		"bounded_probes": true,
+		// Memo defaults: the private memo stays anneal-only and the
+		// shared memo stays opt-in (-memo-entries). Re-measured after the
+		// probe cache landed: IDB/local-search round bases almost never
+		// repeat an exact deployment, so memo lookups stay cold there
+		// while costing a hash per probe.
+		"private_memo_default": false,
+		"shared_memo_default":  false,
+	}
+}
+
 // ReferenceEvaluator adapts the stateless CostEvaluator to the Evaluator
 // protocol by materialising every probe into a full vector and pricing it
 // from scratch. It is the trivially correct oracle the incremental

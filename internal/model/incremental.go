@@ -91,7 +91,10 @@ type IncrementalEvaluator struct {
 	childPrev []int32
 
 	rates []float64
-	q     *graph.BucketQueue
+	// rateTotal = sum of rates, maintained for CostDeltaBounded's
+	// partial-settle lower bound.
+	rateTotal float64
+	q         *graph.BucketQueue
 
 	// Efficiency extremes ever observed, for the queue's weight-band
 	// configuration (conservative: monotone over the evaluator's life).
@@ -129,6 +132,12 @@ type IncrementalEvaluator struct {
 	shared     *SharedMemo
 	sharedSalt uint64
 
+	// Probe cache (nil until EnableProbeCache; see probecache.go).
+	slots      []probeSlot
+	slotWords  int
+	dirtyMask  []uint64
+	patchSaved []float64
+
 	stats EvalStats
 }
 
@@ -146,6 +155,7 @@ type distSave struct {
 type effSave struct {
 	post   int
 	oldM   int
+	newM   int
 	oldEff float64
 	newEff float64
 }
@@ -155,6 +165,27 @@ const (
 	stateProbed
 	stateMemoProbed
 )
+
+// tinyVerts is the vertex count at or below which every probe runs a
+// full scan-min Dijkstra instead of the journaled local repair. On
+// graphs this small the repair's machinery — queue resets, boundary
+// reseeding, dirty-subtree walks, per-vertex journaling — costs more
+// than re-settling all vertices with a linear extract-min, which also
+// needs no priority queue at all. Repaired and from-scratch distances
+// are bit-identical by construction (same relaxation arithmetic, and a
+// vertex's distance is the minimum over the same per-path float sums
+// regardless of settle order), so the switch can never change a cost.
+const tinyVerts = 16
+
+// boundedSlack is the safety margin CostDeltaBounded adds on top of the
+// caller's limit before abandoning a probe. The partial-settle estimate
+// and totalCost accumulate the same per-post terms in different float
+// orders, whose divergence is bounded by ~n*eps of the cost magnitude
+// (~1e-10 nJ at this suite's scale); 1e-6 dwarfs that, so a pruned
+// probe's exactly-summed cost is guaranteed to be >= limit. The margin
+// only makes pruning more conservative — probes within boundedSlack of
+// the limit complete and return their exact cost.
+const boundedSlack = 1e-6
 
 // EvalStats counts how an IncrementalEvaluator answered its queries;
 // probes not covered by Repairs/Fallbacks/MemoHits/SharedHits changed no
@@ -174,6 +205,16 @@ type EvalStats struct {
 	MemoHits int64
 	// SharedHits counts probes answered from the cross-cell shared memo.
 	SharedHits int64
+	// BoundedPrunes counts CostDeltaBounded probes abandoned early
+	// because a partial-settle lower bound already reached the caller's
+	// limit.
+	BoundedPrunes int64
+	// CacheHits counts candidates re-priced from the probe cache
+	// without a repair (CachedCost).
+	CacheHits int64
+	// CachePromotes counts commits replayed from a cached probe's patch
+	// instead of a second repair (CommitCached).
+	CachePromotes int64
 }
 
 // NewIncrementalEvaluator precomputes the communication topology of p.
@@ -185,6 +226,11 @@ func NewIncrementalEvaluator(p *Problem) (*IncrementalEvaluator, error) {
 		return nil, err
 	}
 	m := c.numEdges()
+	rates := buildRates(p, n)
+	var rateTotal float64
+	for _, r := range rates {
+		rateTotal += r
+	}
 	return &IncrementalEvaluator{
 		p:         p,
 		n:         n,
@@ -200,7 +246,8 @@ func NewIncrementalEvaluator(p *Problem) (*IncrementalEvaluator, error) {
 		childHead: make([]int32, n+1),
 		childNext: make([]int32, n),
 		childPrev: make([]int32, n),
-		rates:     buildRates(p, n),
+		rates:     rates,
+		rateTotal: rateTotal,
 		q:         graph.NewBucketQueue(n + 1),
 		effLo:     inf,
 		effHi:     0,
@@ -356,6 +403,17 @@ func (ev *IncrementalEvaluator) setPar(u, np int) {
 	}
 }
 
+// syncChildren rebuilds the child lists after a bulk par rewrite — a
+// no-op in the tiny regime, where every probe recomputes fully and the
+// lists (which exist only for repairDist's dirty-subtree collection)
+// are never read.
+func (ev *IncrementalEvaluator) syncChildren() {
+	if ev.n+1 <= tinyVerts {
+		return
+	}
+	ev.rebuildChildren()
+}
+
 // rebuildChildren derives the child lists from par after a bulk rewrite
 // (full Dijkstra, snapshot restore).
 func (ev *IncrementalEvaluator) rebuildChildren() {
@@ -412,6 +470,7 @@ func (ev *IncrementalEvaluator) Cost(m []int) (float64, error) {
 	ev.full = false
 	ev.stats.FullEvals++
 	ev.memoStore(key, cost)
+	ev.invalidateAllSlots() // the cached patches' base is gone
 	return cost, nil
 }
 
@@ -419,11 +478,31 @@ func (ev *IncrementalEvaluator) Cost(m []int) (float64, error) {
 // the evaluator pending until Commit or Revert. Moves may repeat posts;
 // deltas accumulate. Every resulting count must stay >= 1.
 func (ev *IncrementalEvaluator) CostDelta(moves []Move) (float64, error) {
+	cost, _, err := ev.costDeltaLimited(moves, inf)
+	return cost, err
+}
+
+// CostDeltaBounded is CostDelta with an early abort: while re-settling
+// the shortest-path solution it maintains a monotone lower bound on the
+// final cost — settled posts' terms exactly, unsettled posts priced at
+// the current frontier distance — and once that bound reaches
+// limit+boundedSlack the probe is abandoned. An abandoned probe leaves
+// the evaluator idle on the committed deployment (no Commit/Revert due)
+// and reports pruned=true, which guarantees the probe's exact cost
+// would have been >= limit; a completed probe behaves exactly like
+// CostDelta. The early exit engages in the scan-min regime (n+1 <=
+// tinyVerts, where the exact searches operate); larger instances and
+// memo-answered probes price exactly and never prune.
+func (ev *IncrementalEvaluator) CostDeltaBounded(moves []Move, limit float64) (float64, bool, error) {
+	return ev.costDeltaLimited(moves, limit)
+}
+
+func (ev *IncrementalEvaluator) costDeltaLimited(moves []Move, limit float64) (float64, bool, error) {
 	if !ev.have {
-		return 0, errNoBase
+		return 0, false, errNoBase
 	}
 	if ev.state != stateIdle {
-		return 0, errPendingProbe
+		return 0, false, errPendingProbe
 	}
 	ev.stats.Probes++
 
@@ -434,7 +513,7 @@ func (ev *IncrementalEvaluator) CostDelta(moves []Move) (float64, error) {
 	for _, mv := range moves {
 		if mv.Post < 0 || mv.Post >= ev.n {
 			ev.rollbackMoves()
-			return 0, fmt.Errorf("model: move targets post %d of %d", mv.Post, ev.n)
+			return 0, false, fmt.Errorf("model: move targets post %d of %d", mv.Post, ev.n)
 		}
 		if ev.mark[mv.Post] != e0 {
 			ev.mark[mv.Post] = e0
@@ -446,6 +525,7 @@ func (ev *IncrementalEvaluator) CostDelta(moves []Move) (float64, error) {
 	for i := range ev.effLog {
 		rec := &ev.effLog[i]
 		newM := ev.m[rec.post]
+		rec.newM = newM
 		if newM == rec.oldM {
 			rec.newEff = rec.oldEff
 			continue
@@ -453,7 +533,7 @@ func (ev *IncrementalEvaluator) CostDelta(moves []Move) (float64, error) {
 		e, err := ev.netEff(newM)
 		if err != nil {
 			ev.rollbackMoves()
-			return 0, fmt.Errorf("model: post %d: %w", rec.post, err)
+			return 0, false, fmt.Errorf("model: post %d: %w", rec.post, err)
 		}
 		rec.newEff = e
 		key ^= zkey(rec.post, rec.oldM) ^ zkey(rec.post, newM)
@@ -467,7 +547,7 @@ func (ev *IncrementalEvaluator) CostDelta(moves []Move) (float64, error) {
 			ev.stats.MemoHits++
 			ev.state = stateMemoProbed
 			ev.pendingCost = ev.memoCosts[idx]
-			return ev.pendingCost, nil
+			return ev.pendingCost, false, nil
 		}
 	}
 	if ev.shared != nil && key != 0 {
@@ -475,8 +555,12 @@ func (ev *IncrementalEvaluator) CostDelta(moves []Move) (float64, error) {
 			ev.stats.SharedHits++
 			ev.state = stateMemoProbed
 			ev.pendingCost = cost
-			return cost, nil
+			return cost, false, nil
 		}
+	}
+
+	if limit < inf && ev.n+1 <= tinyVerts {
+		return ev.boundedRepairAndPrice(limit)
 	}
 
 	cost, err := ev.repairAndPrice()
@@ -485,12 +569,68 @@ func (ev *IncrementalEvaluator) CostDelta(moves []Move) (float64, error) {
 		// set is range-based and fixed), so only defensive paths land
 		// here; leave the evaluator needing a fresh Cost.
 		ev.have = false
-		return 0, err
+		return 0, false, err
 	}
 	ev.state = stateProbed
 	ev.pendingCost = cost
 	ev.memoStore(key, cost)
-	return cost, nil
+	return cost, false, nil
+}
+
+// boundedRepairAndPrice is repairAndPrice's limit-aware tiny-graph
+// variant: it applies the probe's efficiency changes, snapshots the
+// committed solution, and re-settles by the bounded scan-min walk. On
+// prune it rolls the evaluator all the way back to idle; on completion
+// it leaves the probe pending exactly as CostDelta would.
+func (ev *IncrementalEvaluator) boundedRepairAndPrice(limit float64) (float64, bool, error) {
+	changed := false
+	for i := range ev.effLog {
+		rec := &ev.effLog[i]
+		if rec.newEff == rec.oldEff {
+			continue
+		}
+		ev.eff[rec.post] = rec.newEff
+		ev.reweightPost(rec.post)
+		changed = true
+	}
+	var pruned bool
+	if changed {
+		copy(ev.distSnap, ev.dist)
+		copy(ev.parSnap, ev.par)
+		ev.full = true
+		pruned = ev.tinyDijkstra(limit)
+	}
+	// else: no edge weight changed (e.g. a move past a saturating gain's
+	// cap) — the standing solution already prices this deployment.
+	if pruned {
+		// Put the committed solution back; the probe never happened.
+		copy(ev.dist, ev.distSnap)
+		copy(ev.par, ev.parSnap)
+		for i := len(ev.effLog) - 1; i >= 0; i-- {
+			rec := ev.effLog[i]
+			ev.m[rec.post] = rec.oldM
+			if rec.newEff != rec.oldEff {
+				ev.eff[rec.post] = rec.oldEff
+				ev.reweightPost(rec.post)
+			}
+		}
+		ev.effLog = ev.effLog[:0]
+		ev.full = false
+		ev.stats.BoundedPrunes++
+		return 0, true, nil
+	}
+	if changed {
+		ev.stats.Fallbacks++ // parity with repairAndPrice's tiny path
+	}
+	cost, err := totalCost(ev.p, ev.n, ev.dist, ev.eff, ev.rates)
+	if err != nil {
+		ev.have = false
+		return 0, false, err
+	}
+	ev.state = stateProbed
+	ev.pendingCost = cost
+	ev.memoStore(ev.pendingKey, cost)
+	return cost, false, nil
 }
 
 // Commit accepts the last probe as the committed deployment.
@@ -509,6 +649,7 @@ func (ev *IncrementalEvaluator) Commit() error {
 	default:
 		return errNoProbe
 	}
+	ev.invalidateForCommit()
 	ev.state = stateIdle
 	ev.cost = ev.pendingCost
 	ev.key = ev.pendingKey
@@ -526,7 +667,7 @@ func (ev *IncrementalEvaluator) Revert() error {
 		if ev.full {
 			copy(ev.dist, ev.distSnap)
 			copy(ev.par, ev.parSnap)
-			ev.rebuildChildren()
+			ev.syncChildren()
 			ev.full = false
 		} else {
 			ev.restoreJournal()
@@ -658,7 +799,11 @@ func (ev *IncrementalEvaluator) repairAndPrice() (float64, error) {
 		// cap): the standing solution already prices this deployment.
 		return totalCost(ev.p, ev.n, ev.dist, ev.eff, ev.rates)
 	}
-	if !ev.repairDist() {
+	if ev.n+1 <= tinyVerts {
+		// Tiny graph: a full scan-min re-settle beats the local repair
+		// (see tinyVerts); Revert restores from the snapshot.
+		ev.fullRecompute()
+	} else if !ev.repairDist() {
 		ev.fullRecompute()
 	}
 	return totalCost(ev.p, ev.n, ev.dist, ev.eff, ev.rates)
@@ -845,6 +990,10 @@ func (ev *IncrementalEvaluator) fullRecompute() {
 // CostEvaluator.dijkstra (the maintained weight components are combined
 // by edgeWeight's own operation tree), plus tight-parent tracking.
 func (ev *IncrementalEvaluator) fullDijkstra() {
+	if ev.n+1 <= tinyVerts {
+		ev.tinyDijkstra(inf)
+		return
+	}
 	c := ev.c
 	for i := range ev.dist {
 		ev.dist[i] = inf
@@ -893,4 +1042,74 @@ func (ev *IncrementalEvaluator) fullDijkstra() {
 		}
 	}
 	ev.rebuildChildren()
+}
+
+// tinyDijkstra re-settles every vertex under the current efficiencies
+// by scan-min extraction: the unsettled minimum is found by a linear
+// scan over a settled bitmask (see tinyVerts). Settle order matches the
+// queue modes on ties (lowest vertex index first), and the relaxation
+// is the same expression, so distances are bit-identical to the queue
+// paths.
+//
+// A finite limit arms the bounded-probe early exit: the walk maintains
+// settledSum — the deployment's overhead plus the exact cost terms of
+// settled posts — and rateLeft, the total report rate of unsettled
+// posts. Settled distances are final and unsettled ones can only end at
+// or above the frontier minimum dv, so settledSum + rateLeft*dv is a
+// true lower bound on the final cost; once it reaches
+// limit+boundedSlack the walk aborts and reports true, leaving dist/par
+// partially rewritten (callers restore from the snapshot). limit=inf
+// never prunes and prices exactly.
+//
+// The intrusive child lists are deliberately left stale: they exist
+// only for repairDist's dirty-subtree collection, and in the tiny
+// regime every probe recomputes fully, so nothing ever reads them.
+func (ev *IncrementalEvaluator) tinyDijkstra(limit float64) bool {
+	c := ev.c
+	nv := ev.n + 1
+	for i := 0; i < nv; i++ {
+		ev.dist[i] = inf
+	}
+	for i := 0; i < ev.n; i++ {
+		ev.par[i] = -1
+	}
+	ev.dist[ev.bs] = 0
+	bounded := limit < inf
+	var settledSum, rateLeft float64
+	if bounded {
+		settledSum = overheadCost(ev.p, ev.n, ev.eff)
+		rateLeft = ev.rateTotal
+	}
+	var settled uint64
+	for {
+		v, dv := -1, inf
+		for u := 0; u < nv; u++ {
+			if settled&(1<<uint(u)) == 0 && ev.dist[u] < dv {
+				v, dv = u, ev.dist[u]
+			}
+		}
+		if v < 0 {
+			break
+		}
+		if bounded {
+			if settledSum+rateLeft*dv >= limit+boundedSlack {
+				return true
+			}
+			if v < ev.n {
+				r := ev.rates[v]
+				settledSum += r * dv
+				rateLeft -= r
+			}
+		}
+		settled |= 1 << uint(v)
+		rv := ev.rxw[v]
+		for s := c.inOff[v]; s < c.inOff[v+1]; s++ {
+			u := int(c.inFrom[s])
+			if nd := dv + (ev.inTxw[s] + rv); nd < ev.dist[u] {
+				ev.dist[u] = nd
+				ev.par[u] = v
+			}
+		}
+	}
+	return false
 }

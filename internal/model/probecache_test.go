@@ -1,0 +1,339 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wrsn/internal/charging"
+)
+
+// TestProbeCacheDifferential drives IDB-shaped rounds — probe every
+// single-add candidate, cache it, commit a winner — and pins every
+// cached re-pricing and every promoted commit bit-identical
+// (math.Float64bits) to a from-scratch oracle evaluation. The weighted
+// variant prices a deployment-wide overhead term, which disables the
+// cache; it asserts the gate holds (every lookup misses) while results
+// stay exact.
+func TestProbeCacheDifferential(t *testing.T) {
+	for _, variant := range []string{"plain", "overhead"} {
+		for _, seed := range []int64{3, 11, 27} {
+			t.Run(variant, func(t *testing.T) {
+				const n, nodes = 30, 90
+				p := diffProblem(t, seed, n, nodes, charging.Model{EtaSingle: 0.8, Gain: charging.Sublinear(0.9)})
+				if variant == "overhead" {
+					over := make([]float64, n)
+					rng := rand.New(rand.NewSource(seed + 1))
+					for i := range over {
+						over[i] = 40 * rng.Float64()
+					}
+					p.RoundOverhead = 25
+					p.PostOverheads = over
+					if err := p.Validate(); err != nil {
+						t.Fatalf("overhead variant invalid: %v", err)
+					}
+				}
+				oracle, err := NewCostEvaluator(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				inc, err := NewIncrementalEvaluator(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				inc.EnableProbeCache(n)
+
+				rng := rand.New(rand.NewSource(seed * 17))
+				cur := make([]int, n)
+				for i := range cur {
+					cur[i] = 1
+				}
+				if _, err := inc.Cost(cur); err != nil {
+					t.Fatal(err)
+				}
+				probe := make([]int, n)
+				for round := 0; round < 25; round++ {
+					for i := 0; i < n; i++ {
+						copy(probe, cur)
+						probe[i]++
+						want, err := oracle.MinCost(probe)
+						if err != nil {
+							t.Fatalf("round %d cand %d: oracle: %v", round, i, err)
+						}
+						if got, ok := inc.CachedCost(i); ok {
+							if math.Float64bits(got) != math.Float64bits(want) {
+								t.Fatalf("round %d cand %d: cached %.17g, oracle %.17g", round, i, got, want)
+							}
+							continue
+						}
+						got, err := inc.CostDelta([]Move{{Post: i, Delta: 1}})
+						if err != nil {
+							t.Fatalf("round %d cand %d: CostDelta: %v", round, i, err)
+						}
+						if math.Float64bits(got) != math.Float64bits(want) {
+							t.Fatalf("round %d cand %d: probed %.17g, oracle %.17g", round, i, got, want)
+						}
+						inc.CacheProbe(i)
+						if err := inc.Revert(); err != nil {
+							t.Fatal(err)
+						}
+					}
+					// Commit a round winner, alternating between the
+					// probe-promoting path and the ordinary re-probe path so
+					// both invalidation routines run.
+					w := rng.Intn(n)
+					copy(probe, cur)
+					probe[w]++
+					want, err := oracle.MinCost(probe)
+					if err != nil {
+						t.Fatal(err)
+					}
+					promoted := false
+					if round%2 == 0 {
+						if got, ok := inc.CommitCached(w); ok {
+							if math.Float64bits(got) != math.Float64bits(want) {
+								t.Fatalf("round %d: promoted commit %.17g, oracle %.17g", round, got, want)
+							}
+							promoted = true
+						}
+					}
+					if !promoted {
+						got, err := inc.CostDelta([]Move{{Post: w, Delta: 1}})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if math.Float64bits(got) != math.Float64bits(want) {
+							t.Fatalf("round %d: fresh commit %.17g, oracle %.17g", round, got, want)
+						}
+						if err := inc.Commit(); err != nil {
+							t.Fatal(err)
+						}
+					}
+					cur[w]++
+					// Audit the committed state.
+					audit, err := inc.CostDelta(nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if math.Float64bits(audit) != math.Float64bits(want) {
+						t.Fatalf("round %d: committed state %.17g, oracle %.17g", round, audit, want)
+					}
+					if err := inc.Revert(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				st := inc.Stats()
+				if variant == "overhead" {
+					if st.CacheHits != 0 || st.CachePromotes != 0 {
+						t.Fatalf("overhead pricing must disable the cache, got %+v", st)
+					}
+				} else {
+					if st.CacheHits == 0 {
+						t.Errorf("cache enabled but never hit: %+v", st)
+					}
+					if st.CachePromotes == 0 {
+						t.Errorf("no probe-promoting commit ran: %+v", st)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCostDeltaBoundedDifferential pins CostDeltaBounded against exact
+// probing: an infinite limit is bit-identical to CostDelta, a pruned
+// return guarantees the exact cost is at or above the limit (and leaves
+// the evaluator idle), and an unpruned return is bit-identical to the
+// exact cost. Both the tiny scan-min regime (which prunes) and the
+// journaled-repair regime (which never does) are covered.
+func TestCostDeltaBoundedDifferential(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		n, nodes int
+	}{
+		{"tiny", 12, 36},
+		{"large", 30, 90},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := diffProblem(t, 5, tc.n, tc.nodes, charging.Model{EtaSingle: 0.8, Gain: charging.Sublinear(0.9)})
+			bounded, err := NewIncrementalEvaluator(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact, err := NewIncrementalEvaluator(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(9))
+			cur := make([]int, tc.n)
+			for i := range cur {
+				cur[i] = 1 + rng.Intn(3)
+			}
+			if _, err := bounded.Cost(cur); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := exact.Cost(cur); err != nil {
+				t.Fatal(err)
+			}
+			inf := math.Inf(1)
+			pruned := 0
+			for step := 0; step < 300; step++ {
+				mv := []Move{{Post: rng.Intn(tc.n), Delta: 1}}
+				if rng.Intn(2) == 0 && cur[mv[0].Post] > 1 {
+					mv[0].Delta = -1
+				}
+				want, err := exact.CostDelta(mv)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := exact.Revert(); err != nil {
+					t.Fatal(err)
+				}
+				limit := inf
+				switch step % 3 {
+				case 1:
+					limit = want * (0.9 + 0.2*rng.Float64())
+				case 2:
+					limit = want
+				}
+				got, wasPruned, err := bounded.CostDeltaBounded(mv, limit)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wasPruned {
+					pruned++
+					if want < limit {
+						t.Fatalf("step %d: pruned at limit %.17g but exact cost %.17g is below it", step, limit, want)
+					}
+					// The evaluator must be idle: a fresh probe needs no Revert.
+					continue
+				}
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("step %d: bounded %.17g, exact %.17g (limit %.17g)", step, got, want, limit)
+				}
+				if err := bounded.Revert(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if tc.n+1 <= tinyVerts && pruned == 0 {
+				t.Error("tiny regime never pruned a bounded probe")
+			}
+			if tc.n+1 > tinyVerts && pruned != 0 {
+				t.Errorf("journaled regime pruned %d probes (must price exactly)", pruned)
+			}
+		})
+	}
+}
+
+// FuzzProbeCacheInvalidation fuzzes the probe-promotion invalidation
+// contract: cache a candidate's probe, commit fuzzer-chosen *different*
+// moves, and require that the slot either misses or re-prices
+// bit-identically to a from-scratch evaluation. Committing a move on
+// the cached candidate's own post must always invalidate it (the cached
+// probe priced a different count transition).
+func FuzzProbeCacheInvalidation(f *testing.F) {
+	f.Add(int64(1), []byte{0x03, 0x11, 0x22})
+	f.Add(int64(4), []byte{0xff, 0x00, 0x81, 0x10})
+	f.Add(int64(8), []byte{})
+	f.Fuzz(func(t *testing.T, seed int64, ops []byte) {
+		const n, nodes = 18, 54
+		p := diffProblem(t, 2, n, nodes, charging.Model{EtaSingle: 0.8, Gain: charging.Sublinear(0.9)})
+		oracle, err := NewCostEvaluator(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc, err := NewIncrementalEvaluator(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc.EnableProbeCache(n)
+		rng := rand.New(rand.NewSource(seed))
+		cur := make([]int, n)
+		for i := range cur {
+			cur[i] = 1 + rng.Intn(3)
+		}
+		if _, err := inc.Cost(cur); err != nil {
+			t.Fatal(err)
+		}
+		probe := make([]int, n)
+		cached := -1 // candidate whose +1 probe the cache holds, if any
+		for i := 0; i+1 < len(ops); i += 2 {
+			cand, arg := int(ops[i])%n, ops[i+1]
+			switch arg % 3 {
+			case 0: // probe cand and cache it
+				if _, err := inc.CostDelta([]Move{{Post: cand, Delta: 1}}); err != nil {
+					t.Fatal(err)
+				}
+				inc.CacheProbe(cand)
+				if err := inc.Revert(); err != nil {
+					t.Fatal(err)
+				}
+				cached = cand
+			case 1: // commit different moves (possibly touching cand's post)
+				mv := Move{Post: int(arg) % n, Delta: 1}
+				if arg&0x40 != 0 && cur[mv.Post] > 1 {
+					mv.Delta = -1
+				}
+				if _, err := inc.CostDelta([]Move{mv}); err != nil {
+					t.Fatal(err)
+				}
+				if err := inc.Commit(); err != nil {
+					t.Fatal(err)
+				}
+				cur[mv.Post] += mv.Delta
+				if cached == mv.Post {
+					if _, ok := inc.CachedCost(cached); ok {
+						t.Fatalf("slot %d survived a commit moving its own post", cached)
+					}
+					cached = -1
+				}
+			case 2: // promote the cached candidate when still held
+				if cached < 0 {
+					continue
+				}
+				copy(probe, cur)
+				probe[cached]++
+				want, err := oracle.MinCost(probe)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, ok := inc.CommitCached(cached); ok {
+					if math.Float64bits(got) != math.Float64bits(want) {
+						t.Fatalf("promoted commit %.17g, oracle %.17g", got, want)
+					}
+					copy(cur, probe)
+				}
+				cached = -1
+			}
+			// Every cached lookup that answers must match the oracle.
+			if cached >= 0 {
+				copy(probe, cur)
+				probe[cached]++
+				if got, ok := inc.CachedCost(cached); ok {
+					want, err := oracle.MinCost(probe)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if math.Float64bits(got) != math.Float64bits(want) {
+						t.Fatalf("cached %.17g, oracle %.17g (cand %d, cur %v)", got, want, cached, cur)
+					}
+				}
+			}
+			// And the committed state itself must stay exact.
+			got, err := inc.CostDelta(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := inc.Revert(); err != nil {
+				t.Fatal(err)
+			}
+			want, err := oracle.MinCost(cur)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("committed cost %.17g, oracle %.17g (cur %v)", got, want, cur)
+			}
+		}
+	})
+}

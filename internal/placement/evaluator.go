@@ -217,6 +217,13 @@ type IncrementalEvaluator struct {
 	seen       []int
 	stamp      int
 	probes     int64
+	// Probe-cache state (see probecache.go); nil until EnableProbeCache.
+	slots         []probeSlot
+	slotWords     int
+	dirtyMask     []uint64
+	savedSupply   []float64
+	cacheHits     int64
+	cachePromotes int64
 }
 
 // NewIncrementalEvaluator returns the production evaluator for inst.
@@ -244,6 +251,7 @@ func (e *IncrementalEvaluator) Cost(m []int) (float64, error) {
 	}
 	copy(e.cur, m)
 	e.have = true
+	e.invalidateAllSlots()
 	return cost, nil
 }
 
@@ -315,6 +323,7 @@ func (e *IncrementalEvaluator) Commit() error {
 	if !e.probed {
 		return errNoProbe
 	}
+	e.invalidateForCommit()
 	e.undoMoves = e.undoMoves[:0]
 	e.undoSupply = e.undoSupply[:0]
 	e.probed = false

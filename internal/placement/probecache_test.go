@@ -1,0 +1,118 @@
+package placement
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wrsn/internal/model"
+)
+
+// TestProbeCacheDifferential drives greedy-growth-shaped rounds over
+// the placement evaluator's probe cache — probe every single-add
+// candidate, cache it, commit a winner — and pins every cached
+// re-pricing and every promoted commit bit-identical
+// (math.Float64bits) to a from-scratch evaluation.
+func TestProbeCacheDifferential(t *testing.T) {
+	for _, seed := range []int64{5, 13} {
+		inst := testInstance(t, seed, 40, 5)
+		c, err := newCostModel(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc, err := NewIncrementalEvaluator(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := inst.Dims()
+		inc.EnableProbeCache(n)
+		rng := rand.New(rand.NewSource(seed * 7))
+		cur := make([]int, n)
+		if _, err := inc.Cost(cur); err != nil {
+			t.Fatal(err)
+		}
+		supply := make([]float64, len(inst.Posts))
+		probe := make([]int, n)
+		oracle := func(m []int) float64 {
+			cost, err := c.fullPrice(m, supply)
+			if err != nil {
+				t.Fatalf("oracle: %v", err)
+			}
+			return cost
+		}
+		for round := 0; round < 20; round++ {
+			for j := 0; j < n; j++ {
+				if cur[j]+1 > inst.MaxPerSite {
+					continue
+				}
+				copy(probe, cur)
+				probe[j]++
+				want := oracle(probe)
+				if got, ok := inc.CachedCost(j); ok {
+					if math.Float64bits(got) != math.Float64bits(want) {
+						t.Fatalf("round %d site %d: cached %.17g, oracle %.17g", round, j, got, want)
+					}
+					continue
+				}
+				got, err := inc.CostDelta([]model.Move{{Post: j, Delta: 1}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("round %d site %d: probed %.17g, oracle %.17g", round, j, got, want)
+				}
+				inc.CacheProbe(j)
+				if err := inc.Revert(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Commit a winner: promoted on even rounds, re-probed on odd.
+			w := rng.Intn(n)
+			if cur[w]+1 > inst.MaxPerSite {
+				continue
+			}
+			copy(probe, cur)
+			probe[w]++
+			want := oracle(probe)
+			promoted := false
+			if round%2 == 0 {
+				if got, ok := inc.CommitCached(w); ok {
+					if math.Float64bits(got) != math.Float64bits(want) {
+						t.Fatalf("round %d: promoted commit %.17g, oracle %.17g", round, got, want)
+					}
+					promoted = true
+				}
+			}
+			if !promoted {
+				if _, err := inc.CostDelta([]model.Move{{Post: w, Delta: 1}}); err != nil {
+					t.Fatal(err)
+				}
+				if err := inc.Commit(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			cur[w]++
+			// A commit moving site w must invalidate w's own slot.
+			if _, ok := inc.CachedCost(w); ok {
+				t.Fatalf("round %d: slot %d survived a commit moving its own site", round, w)
+			}
+			// Audit the committed state.
+			got, err := inc.CostDelta(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("round %d: committed %.17g, oracle %.17g", round, got, want)
+			}
+			if err := inc.Revert(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if inc.CacheHits() == 0 {
+			t.Errorf("seed %d: cache enabled but never hit", seed)
+		}
+		if inc.CachePromotes() == 0 {
+			t.Errorf("seed %d: no probe-promoting commit ran", seed)
+		}
+	}
+}

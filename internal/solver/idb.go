@@ -104,9 +104,18 @@ func idbSearch(ctx context.Context, inst model.Instance, ev model.Evaluator, del
 	ub := upperBounds(inst)
 	var evaluations int64
 	moves := make([]model.Move, 0, delta)
+	// Dirty-candidate pruning: with a probe cache, each single-unit
+	// candidate's repair is snapshotted under its post id; rounds after
+	// a commit re-probe only the candidates the commit's dirty region
+	// could have changed and re-price the rest bit-exactly from their
+	// cached patch (not counted as evaluations — no repair ran).
+	pc, _ := ev.(model.ProbeCache)
+	if pc != nil {
+		pc.EnableProbeCache(n)
+	}
 	total, fixedTotal := inst.FixedTotal()
 	if !fixedTotal {
-		cost, err := idbGrow(ctx, inst, ev, cur, curCost, ub, &evaluations)
+		cost, err := idbGrow(ctx, inst, ev, pc, cur, curCost, ub, &evaluations)
 		if err != nil {
 			return nil, 0, 0, err
 		}
@@ -156,6 +165,19 @@ func idbSearch(ctx context.Context, inst model.Instance, ev model.Evaluator, del
 				if cur[i]+1 > ub[i] {
 					continue
 				}
+				if pc != nil {
+					if cost, ok := pc.CachedCost(i); ok {
+						// Bit-identical to re-probing (the cache proves
+						// nothing this candidate read has changed), so
+						// selection is unchanged; no repair ran, so it
+						// does not count as an evaluation.
+						if bestI < 0 || cost < bestCost-costSlack {
+							bestI = i
+							bestCost = cost
+						}
+						continue
+					}
+				}
 				if evaluations%ctxCheckStride == 0 {
 					if err := ctx.Err(); err != nil {
 						return nil, 0, 0, err
@@ -166,6 +188,9 @@ func idbSearch(ctx context.Context, inst model.Instance, ev model.Evaluator, del
 				evaluations++
 				if evalErr != nil {
 					return nil, 0, 0, evalErr
+				}
+				if pc != nil {
+					pc.CacheProbe(i)
 				}
 				if evalErr := ev.Revert(); evalErr != nil {
 					return nil, 0, 0, evalErr
@@ -226,16 +251,28 @@ func idbSearch(ctx context.Context, inst model.Instance, ev model.Evaluator, del
 		if !found {
 			return nil, 0, 0, fmt.Errorf("solver: IDB round evaluated no candidates (delta=%d)", step)
 		}
-		// Commit the round winner: re-probe its moves (not counted as a
-		// candidate evaluation) and accept, making it the next round's base.
-		cost, err := ev.CostDelta(extraMoves(bestExtra))
-		if err != nil {
-			return nil, 0, 0, err
+		// Commit the round winner: promote its cached probe when the
+		// cache still holds it (the probe-promoting commit — no second
+		// repair), otherwise re-probe its moves (not counted as a
+		// candidate evaluation) and accept, making it the next round's
+		// base.
+		committed := false
+		if pc != nil && step == 1 {
+			if cost, ok := pc.CommitCached(winnerPost(bestExtra)); ok {
+				curCost = cost
+				committed = true
+			}
 		}
-		if err := ev.Commit(); err != nil {
-			return nil, 0, 0, err
+		if !committed {
+			cost, err := ev.CostDelta(extraMoves(bestExtra))
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			if err := ev.Commit(); err != nil {
+				return nil, 0, 0, err
+			}
+			curCost = cost
 		}
-		curCost = cost
 		for i, e := range bestExtra {
 			cur[i] += e
 		}
@@ -244,12 +281,23 @@ func idbSearch(ctx context.Context, inst model.Instance, ev model.Evaluator, del
 	return cur, curCost, evaluations, nil
 }
 
+// winnerPost returns the single incremented post of a δ=1 round's extra
+// vector (-1 if none).
+func winnerPost(extra []int) int {
+	for i, e := range extra {
+		if e != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
 // idbGrow is IDB's free-total variant: with no fixed solution sum there
 // is no node budget to spread, so each round probes adding one unit to
 // every dimension with headroom and commits the cheapest while it
 // strictly improves on the committed cost. The unit-wise growth mirrors
 // the δ=1 path's candidate order and tie-breaking.
-func idbGrow(ctx context.Context, inst model.Instance, ev model.Evaluator, cur []int, curCost float64, ub []int, evaluations *int64) (float64, error) {
+func idbGrow(ctx context.Context, inst model.Instance, ev model.Evaluator, pc model.ProbeCache, cur []int, curCost float64, ub []int, evaluations *int64) (float64, error) {
 	n := inst.Dims()
 	mv := make([]model.Move, 1)
 	for {
@@ -262,6 +310,15 @@ func idbGrow(ctx context.Context, inst model.Instance, ev model.Evaluator, cur [
 			if cur[i]+1 > ub[i] {
 				continue
 			}
+			if pc != nil {
+				if cost, ok := pc.CachedCost(i); ok {
+					if bestI < 0 || cost < bestCost-costSlack {
+						bestI = i
+						bestCost = cost
+					}
+					continue
+				}
+			}
 			if *evaluations%ctxCheckStride == 0 {
 				if err := ctx.Err(); err != nil {
 					return 0, err
@@ -273,6 +330,9 @@ func idbGrow(ctx context.Context, inst model.Instance, ev model.Evaluator, cur [
 			if err != nil {
 				return 0, err
 			}
+			if pc != nil {
+				pc.CacheProbe(i)
+			}
 			if err := ev.Revert(); err != nil {
 				return 0, err
 			}
@@ -283,6 +343,13 @@ func idbGrow(ctx context.Context, inst model.Instance, ev model.Evaluator, cur [
 		}
 		if bestI < 0 || bestCost >= curCost-costSlack {
 			return curCost, nil
+		}
+		if pc != nil {
+			if cost, ok := pc.CommitCached(bestI); ok {
+				cur[bestI]++
+				curCost = cost
+				continue
+			}
 		}
 		mv[0] = model.Move{Post: bestI, Delta: 1}
 		cost, err := ev.CostDelta(mv)

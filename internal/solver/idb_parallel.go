@@ -127,6 +127,9 @@ func idbParallelSearch(ctx context.Context, inst model.Instance, evaluators []mo
 	for _, c := range cur {
 		remaining -= c
 	}
+	if delta == 1 {
+		return idbParallelUnit(ctx, inst, evaluators, cur, ub, remaining)
+	}
 	var evaluations int64
 	for remaining > 0 {
 		if err := ctx.Err(); err != nil {
@@ -234,6 +237,132 @@ func idbParallelSearch(ctx context.Context, inst model.Instance, evaluators []mo
 			cur[i] += e
 		}
 		remaining -= step
+	}
+	return cur, evaluations, nil
+}
+
+// idbParallelUnit is the δ=1 parallel round loop with striped candidate
+// ownership: worker w permanently owns candidates i ≡ w (mod workers)
+// and keeps their probes in its own evaluator's probe cache, so a
+// candidate's cached-vs-fresh decision depends only on the committed
+// move sequence — identical to the sequential evaluator's — and both
+// per-figure costs AND evaluation counts are bit-identical to idbSearch
+// at any worker count. Workers publish every candidate's cost into a
+// shared per-round array (disjoint stripes, no locking) and the main
+// goroutine replays the sequential selection scan over it, so even
+// slack-boundary tie chains resolve exactly as idbSearch would. After
+// the merge, every worker applies the winner as a delta commit —
+// promoted straight from its cache when it owns the winner — replacing
+// the old full-Dijkstra rebase per round.
+func idbParallelUnit(ctx context.Context, inst model.Instance, evaluators []model.Evaluator, cur, ub []int, remaining int) ([]int, int64, error) {
+	n := inst.Dims()
+	workers := len(evaluators)
+	caches := make([]model.ProbeCache, workers)
+	for w, ev := range evaluators {
+		if _, err := ev.Cost(cur); err != nil {
+			return nil, 0, err
+		}
+		if pc, ok := ev.(model.ProbeCache); ok {
+			pc.EnableProbeCache(n)
+			caches[w] = pc
+		}
+	}
+	var evaluations int64
+	costs := make([]float64, n)
+	counts := make([]int64, workers)
+	errs := make([]error, workers)
+	for remaining > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				if w >= n {
+					return // more workers than candidates: empty stripe
+				}
+				ev, pc := evaluators[w], caches[w]
+				var mv [1]model.Move
+				var seen int64
+				for i := w + ((n - 1 - w) / workers * workers); i >= 0; i -= workers {
+					if cur[i]+1 > ub[i] {
+						continue
+					}
+					seen++
+					if seen%ctxCheckStride == 0 {
+						if err := ctx.Err(); err != nil {
+							errs[w] = err
+							return
+						}
+					}
+					if pc != nil {
+						if cost, ok := pc.CachedCost(i); ok {
+							costs[i] = cost
+							continue
+						}
+					}
+					mv[0] = model.Move{Post: i, Delta: 1}
+					cost, err := ev.CostDelta(mv[:])
+					counts[w]++
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					if pc != nil {
+						pc.CacheProbe(i)
+					}
+					if err := ev.Revert(); err != nil {
+						errs[w] = err
+						return
+					}
+					costs[i] = cost
+				}
+			}(w)
+		}
+		wg.Wait()
+		for w := 0; w < workers; w++ {
+			evaluations += counts[w]
+			counts[w] = 0
+			if errs[w] != nil {
+				return nil, 0, errs[w]
+			}
+		}
+		// Replay the sequential winner scan over the published costs.
+		bestI := -1
+		bestCost := 0.0
+		for i := n - 1; i >= 0; i-- {
+			if cur[i]+1 > ub[i] {
+				continue
+			}
+			if bestI < 0 || costs[i] < bestCost-costSlack {
+				bestI = i
+				bestCost = costs[i]
+			}
+		}
+		if bestI < 0 {
+			return nil, 0, fmt.Errorf("solver: IDB round evaluated no candidates (delta=1)")
+		}
+		// Commit the winner into every worker's evaluator so the caches
+		// stay coherent with the shared base.
+		for w, ev := range evaluators {
+			if caches[w] != nil {
+				if _, ok := caches[w].CommitCached(bestI); ok {
+					continue
+				}
+			}
+			var mv [1]model.Move
+			mv[0] = model.Move{Post: bestI, Delta: 1}
+			if _, err := ev.CostDelta(mv[:]); err != nil {
+				return nil, 0, err
+			}
+			if err := ev.Commit(); err != nil {
+				return nil, 0, err
+			}
+		}
+		cur[bestI]++
+		remaining--
 	}
 	return cur, evaluations, nil
 }

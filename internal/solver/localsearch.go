@@ -142,20 +142,54 @@ func climb(ctx context.Context, inst model.Instance, ev model.Evaluator, cur []i
 	if err != nil {
 		return 0, err
 	}
-	var evaluations int64
+	// Dirty-candidate pruning: first-improvement sweeps restart from the
+	// top of the neighbourhood after every accepted move, so the same
+	// early candidates are probed again and again. With a probe cache
+	// each candidate's repair is snapshotted under a stable slot id —
+	// removal i at i, addition i at n+i, transfer (from,to) at
+	// 2n+from*n+to — and re-priced bit-exactly unless the accepted move
+	// dirtied something it read; accepted cached candidates promote
+	// straight to the committed state. Cache hits run no repair and are
+	// not counted as evaluations.
+	pc, _ := ev.(model.ProbeCache)
+	if pc != nil {
+		pc.EnableProbeCache(2*n + n*n)
+	}
+	var evaluations, probes int64
 	moves := make([]model.Move, 2)
-	// probe prices mv; on strict improvement it commits, applies the
-	// move to cur, and reports acceptance.
-	probe := func(mv []model.Move) (bool, error) {
-		if evaluations%ctxCheckStride == 0 {
+	// probe prices mv (cached under slot id when possible); on strict
+	// improvement it commits, applies the move to cur, and reports
+	// acceptance.
+	probe := func(id int, mv []model.Move) (bool, error) {
+		if probes%ctxCheckStride == 0 {
 			if err := ctx.Err(); err != nil {
 				return false, err
+			}
+		}
+		probes++
+		if pc != nil {
+			if cost, ok := pc.CachedCost(id); ok {
+				if cost >= curCost-costSlack {
+					return false, nil
+				}
+				if promoted, ok := pc.CommitCached(id); ok {
+					for _, m := range mv {
+						cur[m.Post] += m.Delta
+					}
+					curCost = promoted
+					return true, nil
+				}
+				// Promotion declined (never expected after a hit):
+				// fall through to a fresh probe.
 			}
 		}
 		cost, evalErr := ev.CostDelta(mv)
 		evaluations++
 		if evalErr != nil {
 			return false, evalErr
+		}
+		if pc != nil {
+			pc.CacheProbe(id)
 		}
 		if cost < curCost-costSlack {
 			if err := ev.Commit(); err != nil {
@@ -180,7 +214,7 @@ func climb(ctx context.Context, inst model.Instance, ev model.Evaluator, cur []i
 		if !fixedTotal {
 			for i := 0; i < n && !improved; i++ {
 				if cur[i]-1 >= lb[i] {
-					ok, err := probe([]model.Move{{Post: i, Delta: -1}})
+					ok, err := probe(i, []model.Move{{Post: i, Delta: -1}})
 					if err != nil {
 						return 0, err
 					}
@@ -189,7 +223,7 @@ func climb(ctx context.Context, inst model.Instance, ev model.Evaluator, cur []i
 			}
 			for i := 0; i < n && !improved; i++ {
 				if cur[i]+1 <= ub[i] {
-					ok, err := probe([]model.Move{{Post: i, Delta: 1}})
+					ok, err := probe(n+i, []model.Move{{Post: i, Delta: 1}})
 					if err != nil {
 						return 0, err
 					}
@@ -207,7 +241,7 @@ func climb(ctx context.Context, inst model.Instance, ev model.Evaluator, cur []i
 				}
 				moves[0] = model.Move{Post: from, Delta: -1}
 				moves[1] = model.Move{Post: to, Delta: 1}
-				ok, err := probe(moves)
+				ok, err := probe(2*n+from*n+to, moves)
 				if err != nil {
 					return 0, err
 				}

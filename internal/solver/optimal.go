@@ -12,9 +12,12 @@ import (
 
 // OptimalOptions configures the exact branch-and-bound solver.
 type OptimalOptions struct {
-	// MaxEvaluations aborts the search after this many deployment
-	// evaluations (bound probes + leaves); 0 means unlimited. When the
-	// search aborts, ErrSearchBudget is returned.
+	// MaxEvaluations aborts the search after this many *completed*
+	// deployment evaluations (bound probes + leaves; probes the bounded
+	// evaluator abandons mid-settle never produce a cost and do not
+	// count — the same semantics as the Result.Evaluations counter);
+	// 0 means unlimited. When the search aborts, ErrSearchBudget is
+	// returned.
 	MaxEvaluations int64
 	// Incumbent optionally seeds the search with a known-feasible
 	// solution (e.g. from IDB); nil lets Optimal run IDB(1) itself.
@@ -106,23 +109,38 @@ func OptimalCtx(ctx context.Context, p *model.Problem, opts OptimalOptions) (*Re
 
 	var (
 		evaluations int64
+		probes      int64
 		budgetErr   error
 		counts      = make([]int, n) // counts in *post* index space
 		boundBuf    = make([]int, n)
 	)
-	evaluate := func(m []int) (float64, error) {
-		evaluations++
-		if opts.MaxEvaluations > 0 && evaluations > opts.MaxEvaluations {
-			return 0, ErrSearchBudget
+	// evaluate prices m against the prune threshold bestCost-costSlack.
+	// A pruned probe proves its cost would not beat the incumbent and is
+	// abandoned mid-settle (model.BoundedProber), so it never produces a
+	// float and is not counted in Evaluations — MaxEvaluations therefore
+	// budgets *completed* evaluations, matching the reported counter.
+	// Cancellation and the budget are checked on the probe cadence so
+	// long pruned streaks cannot stall either.
+	evaluate := func(m []int) (float64, bool, error) {
+		probes++
+		if opts.MaxEvaluations > 0 && evaluations >= opts.MaxEvaluations {
+			return 0, false, ErrSearchBudget
 		}
-		if evaluations%ctxCheckStride == 0 {
+		if probes%ctxCheckStride == 0 {
 			if err := ctx.Err(); err != nil {
-				return 0, err
+				return 0, false, err
 			}
 		}
 		// Sibling search nodes share most of their vector, so the delta
 		// funnel reprices only the posts the branch actually changed.
-		return ev.eval(m)
+		cost, pruned, err := ev.evalBounded(m, bestCost-costSlack)
+		if err != nil {
+			return 0, false, err
+		}
+		if !pruned {
+			evaluations++
+		}
+		return cost, pruned, nil
 	}
 
 	// dfs assigns order[depth..]; budget nodes remain for them.
@@ -130,11 +148,11 @@ func OptimalCtx(ctx context.Context, p *model.Problem, opts OptimalOptions) (*Re
 	dfs = func(depth, budget int) error {
 		remaining := n - depth
 		if remaining == 0 {
-			cost, err := evaluate(counts)
+			cost, pruned, err := evaluate(counts)
 			if err != nil {
 				return err
 			}
-			if cost < bestCost-costSlack {
+			if !pruned && cost < bestCost-costSlack {
 				bestCost = cost
 				copy(bestDeploy, counts)
 			}
@@ -148,16 +166,35 @@ func OptimalCtx(ctx context.Context, p *model.Problem, opts OptimalOptions) (*Re
 			for _, i := range order[depth:] {
 				boundBuf[i] = maxEach
 			}
-			lb, err := evaluate(boundBuf)
+			lb, pruned, err := evaluate(boundBuf)
 			if err != nil {
 				return err
 			}
-			if lb >= bestCost-costSlack {
+			if pruned || lb >= bestCost-costSlack {
+				return nil
+			}
+			if maxEach == 1 || remaining == 1 {
+				// The bound vector IS this subtree's only completion
+				// (budget == remaining forces every undecided post to 1;
+				// one undecided post takes the whole budget), so the
+				// non-pruned subtree holds exactly one leaf whose cost is
+				// the float just computed. Descending would re-evaluate
+				// that same vector at every chain node and at the leaf —
+				// all empty-diff probes returning bit-identical floats,
+				// with the incumbent unchanged in between (only leaves
+				// update it) — before accepting it through the improve
+				// test, which is the exact complement of the prune test
+				// above on the same float. Fold the chain into the bound
+				// evaluation and accept directly.
+				bestCost = lb
+				copy(bestDeploy, boundBuf)
 				return nil
 			}
 		}
 		post := order[depth]
 		if remaining == 1 {
+			// Only reachable at depth == 0 (n == 1): no bound was
+			// evaluated, so the single leaf still needs pricing.
 			counts[post] = budget
 			err := dfs(depth+1, 0)
 			counts[post] = 0

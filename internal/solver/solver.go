@@ -207,6 +207,35 @@ func (d *deltaEvaluator) eval(m []int) (float64, error) {
 	return cost, nil
 }
 
+// evalBounded is eval with a prune threshold: when the underlying
+// evaluator can bound probes (model.BoundedProber) and a probe proves
+// its cost >= limit, it is abandoned — pruned=true returns with the
+// previous vector still committed, so the next diff is unaffected.
+// Without the capability (or on the first, full evaluation) it degrades
+// to the exact eval and never prunes.
+func (d *deltaEvaluator) evalBounded(m []int, limit float64) (cost float64, pruned bool, err error) {
+	bp, ok := d.ev.(model.BoundedProber)
+	if !ok || !d.have {
+		cost, err = d.eval(m)
+		return cost, false, err
+	}
+	d.moves = d.moves[:0]
+	for i, mi := range m {
+		if mi != d.prev[i] {
+			d.moves = append(d.moves, model.Move{Post: i, Delta: mi - d.prev[i]})
+		}
+	}
+	cost, pruned, err = bp.CostDeltaBounded(d.moves, limit)
+	if err != nil || pruned {
+		return 0, pruned, err
+	}
+	if err := d.ev.Commit(); err != nil {
+		return 0, false, err
+	}
+	copy(d.prev, m)
+	return cost, false, nil
+}
+
 func (d *deltaEvaluator) bestParents(m []int) ([]int, float64, error) {
 	bp, ok := d.ev.(parentsProvider)
 	if !ok {
