@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Daemon smoke: boot wrsnd with deterministic chaos injection, fire a
+# loadgen burst that mixes real plan requests with malformed bodies,
+# unknown solvers, oversized payloads, and slow-loris connections, and
+# require the daemon to (a) stay healthy through the burst, (b) drain
+# cleanly on SIGTERM (exit 0), and (c) warm-restart from its flushed
+# plan journal. The loadgen latency artifact is left at
+# LOAD_daemon_smoke.json for CI to upload.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d)
+WRSND_PID=""
+cleanup() {
+    [ -n "$WRSND_PID" ] && kill "$WRSND_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/wrsnd" ./cmd/wrsnd
+go build -o "$WORK/wrsn-loadgen" ./cmd/wrsn-loadgen
+
+# wait_addr OUTFILE: scrape the "listening on <addr>" line wrsnd prints
+# once its :0 listener is bound.
+wait_addr() {
+    local addr=""
+    for _ in $(seq 1 200); do
+        addr=$(sed -n 's/^listening on //p' "$1" 2>/dev/null || true)
+        if [ -n "$addr" ]; then
+            echo "$addr"
+            return 0
+        fi
+        sleep 0.05
+    done
+    echo "daemon-smoke: wrsnd never reported its address" >&2
+    return 1
+}
+
+JOURNAL=$WORK/plans.wal
+
+# First life: chaos-seeded panics and injected solver errors, with a
+# retry budget sized to absorb most (not all) of them.
+"$WORK/wrsnd" -addr 127.0.0.1:0 -journal "$JOURNAL" \
+    -chaos-seed 42 -chaos-panic 0.2 -chaos-error 0.1 -retries 3 \
+    -max-queue 256 -max-deadline 60s \
+    > "$WORK/wrsnd.out" 2> "$WORK/wrsnd.err" &
+WRSND_PID=$!
+BASE="http://$(wait_addr "$WORK/wrsnd.out")"
+
+curl -fsS "$BASE/healthz" > /dev/null
+
+"$WORK/wrsn-loadgen" -addr "$BASE" \
+    -requests 200 -rate 0 -max-open 16 -seed 9 \
+    -problems 4 -placement-frac 0.2 -deadline-ms 20000 \
+    -malformed-frac 0.10 -bad-solver-frac 0.05 \
+    -oversize-frac 0.05 -slowloris-frac 0.05 -slowloris-hold 50ms \
+    -require-2xx-frac 0.5 \
+    -out LOAD_daemon_smoke.json
+echo "daemon-smoke: burst complete"
+
+# The daemon must still be green after the burst: structured rejections
+# and recovered panics, not a wedged or dead process.
+curl -fsS "$BASE/healthz" > /dev/null
+curl -fsS "$BASE/statz" | grep -q '"panics_recovered":' || {
+    echo "daemon-smoke: /statz missing after burst" >&2
+    exit 1
+}
+echo "daemon-smoke: healthz green after chaos burst"
+
+# Graceful drain: SIGTERM must flush the journal and exit 0.
+kill -TERM "$WRSND_PID"
+wait "$WRSND_PID"
+WRSND_PID=""
+grep -q "drained cleanly" "$WORK/wrsnd.err" || {
+    echo "daemon-smoke: drain message missing" >&2
+    cat "$WORK/wrsnd.err" >&2
+    exit 1
+}
+echo "daemon-smoke: SIGTERM drain exited 0"
+
+# Second life: warm restart must replay the journal, and a repeat of the
+# same request stream (chaos off) must be answered largely from cache.
+"$WORK/wrsnd" -addr 127.0.0.1:0 -journal "$JOURNAL" \
+    > "$WORK/wrsnd2.out" 2> "$WORK/wrsnd2.err" &
+WRSND_PID=$!
+BASE2="http://$(wait_addr "$WORK/wrsnd2.out")"
+
+RESTORED=$(sed -n 's/^wrsnd: warm start: \([0-9]*\) plans restored.*/\1/p' "$WORK/wrsnd2.err")
+if [ -z "$RESTORED" ] || [ "$RESTORED" -lt 1 ]; then
+    echo "daemon-smoke: warm restart restored no plans" >&2
+    cat "$WORK/wrsnd2.err" >&2
+    exit 1
+fi
+echo "daemon-smoke: warm restart restored $RESTORED plans"
+
+"$WORK/wrsn-loadgen" -addr "$BASE2" \
+    -requests 40 -rate 0 -max-open 8 -seed 9 -problems 4 \
+    -placement-frac 0.2 -deadline-ms 20000 -require-2xx-frac 0.99 \
+    -out "$WORK/warm.json"
+grep -q '"cache_hits":0[,}]' "$WORK/warm.json" && {
+    echo "daemon-smoke: warm restart answered nothing from cache" >&2
+    exit 1
+}
+
+kill -TERM "$WRSND_PID"
+wait "$WRSND_PID"
+WRSND_PID=""
+echo "daemon-smoke: OK (artifact at LOAD_daemon_smoke.json)"

@@ -10,6 +10,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -426,5 +427,58 @@ func TestShardWorkerMergeCLI(t *testing.T) {
 	mergedJSON, _ := os.ReadFile(jsonMerged)
 	if !bytes.Equal(plainJSON, mergedJSON) {
 		t.Error("merged JSON artifact differs from plain run")
+	}
+}
+
+func TestListSolversSortedStable(t *testing.T) {
+	// The listing is part of the tool's scriptable surface (and the
+	// daemon's /v1/solvers mirrors the same registry): it must be sorted
+	// by solver name, sort each solver's kinds, and be byte-stable across
+	// invocations — no map-iteration-order leaks.
+	listing := func() string {
+		var out bytes.Buffer
+		if err := run([]string{"-list-solvers"}, &out); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out.String()
+	}
+	first := listing()
+	lines := strings.Split(strings.TrimRight(first, "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("listing too short:\n%s", first)
+	}
+	if !strings.HasPrefix(lines[0], "SOLVER") {
+		t.Fatalf("missing header:\n%s", first)
+	}
+	var names []string
+	for _, line := range lines[1:] {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			t.Fatalf("row %q has no kinds column", line)
+		}
+		names = append(names, fields[0])
+		kinds := strings.Split(strings.TrimSpace(line[len(fields[0]):]), ", ")
+		if !sort.StringsAreSorted(kinds) {
+			t.Errorf("solver %s kinds not sorted: %v", fields[0], kinds)
+		}
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("solver names not sorted: %v", names)
+	}
+	for _, want := range []string{"rfh", "optimal", "greedy", "auto"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("registry listing missing %q:\n%s", want, first)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if again := listing(); again != first {
+			t.Fatalf("listing not byte-stable:\n%s\nvs\n%s", first, again)
+		}
 	}
 }

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"wrsn/internal/daemon"
+	"wrsn/internal/engine"
+)
+
+// startTarget serves an in-process daemon for the generator to shoot at.
+func startTarget(t *testing.T, cfg daemon.Config) string {
+	t.Helper()
+	s, err := daemon.NewServer(cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(l) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return "http://" + l.Addr().String()
+}
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"missing-addr", nil, "-addr is required"},
+		{"bad-addr", []string{"-addr", "not a url"}, "not a URL"},
+		{"zero-requests", []string{"-addr", "http://127.0.0.1:1", "-requests", "0"}, "-requests"},
+		{"positional", []string{"-addr", "http://127.0.0.1:1", "extra"}, "unexpected arguments"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := runCtx(context.Background(), c.args, io.Discard, io.Discard)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestLoadgenChaosRunProducesArtifact(t *testing.T) {
+	base := startTarget(t, daemon.Config{
+		MaxInFlight: 4,
+		Retry:       engine.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond},
+		Chaos:       &engine.ChaosConfig{Seed: 7, PanicFrac: 0.3, ErrorFrac: 0.2},
+	})
+	out := filepath.Join(t.TempDir(), "LOAD.json")
+
+	err := runCtx(context.Background(), []string{
+		"-addr", base,
+		"-requests", "40",
+		"-rate", "0", // closed-loop: as fast as the slots allow
+		"-max-open", "8",
+		"-seed", "3",
+		"-problems", "3",
+		"-deadline-ms", "3000",
+		"-malformed-frac", "0.10",
+		"-oversize-frac", "0.05",
+		"-bad-solver-frac", "0.05",
+		"-slowloris-frac", "0.05",
+		"-slowloris-hold", "50ms",
+		"-placement-frac", "0.15",
+		"-out", out,
+	}, io.Discard, io.Discard)
+	if err != nil {
+		t.Fatalf("loadgen run: %v", err)
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("read artifact: %v", err)
+	}
+	var art Artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatalf("decode artifact: %v", err)
+	}
+	if art.Tool != "wrsn-loadgen" || art.Version != 1 {
+		t.Fatalf("artifact identity: %s v%d", art.Tool, art.Version)
+	}
+	if art.Requests != 40 {
+		t.Fatalf("artifact requests = %d, want 40", art.Requests)
+	}
+	var total int64
+	for _, n := range art.Sent {
+		total += n
+	}
+	if total != 40 {
+		t.Fatalf("sent counts total %d, want 40", total)
+	}
+	if art.Sent[kindPlan] == 0 || art.Sent[kindMalformed] == 0 {
+		t.Fatalf("fault schedule produced no plans or no malformed requests: %+v", art.Sent)
+	}
+	if art.LatencyMS.Count == 0 || art.LatencyMS.P50 <= 0 || art.LatencyMS.Max < art.LatencyMS.P99 {
+		t.Fatalf("implausible latency summary: %+v", art.LatencyMS)
+	}
+	if art.Status["2xx"] == 0 {
+		t.Fatalf("no successful plans under chaos: %+v", art.Status)
+	}
+	if art.Statz == nil || art.Statz.Requests == 0 {
+		t.Fatalf("statz scrape missing: %+v", art.Statz)
+	}
+	if art.Statz.PanicsRecovered == 0 {
+		t.Fatalf("daemon-side chaos panics never fired: %+v", art.Statz)
+	}
+	if art.ShedRate < 0 || art.ShedRate > 1 {
+		t.Fatalf("shed rate %f out of range", art.ShedRate)
+	}
+	// Repeated problems must have produced cache hits.
+	if art.Statz.CacheHits == 0 {
+		t.Fatalf("repeat requests never hit the plan cache: %+v", art.Statz)
+	}
+}
+
+func TestLoadgenDeterministicSchedule(t *testing.T) {
+	// The fault schedule is a pure function of (seed, index): two runs
+	// against fresh daemons send identical kind mixes.
+	run := func() map[string]int64 {
+		base := startTarget(t, daemon.Config{MaxInFlight: 2})
+		out := filepath.Join(t.TempDir(), "LOAD.json")
+		err := runCtx(context.Background(), []string{
+			"-addr", base,
+			"-requests", "30",
+			"-rate", "0",
+			"-seed", "11",
+			"-problems", "2",
+			"-malformed-frac", "0.2",
+			"-bad-solver-frac", "0.1",
+			"-out", out,
+		}, io.Discard, io.Discard)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		var art Artifact
+		if err := json.Unmarshal(data, &art); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		return art.Sent
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("schedules differ: %+v vs %+v", a, b)
+	}
+	for k, n := range a {
+		if b[k] != n {
+			t.Fatalf("schedule not deterministic at %s: %d vs %d", k, n, b[k])
+		}
+	}
+}
+
+func TestRequire2xxGate(t *testing.T) {
+	// Against a daemon whose every solve panics terminally (no retries),
+	// the CI gate must fail the run.
+	base := startTarget(t, daemon.Config{
+		Chaos: &engine.ChaosConfig{Seed: 5, PanicFrac: 1.0},
+	})
+	err := runCtx(context.Background(), []string{
+		"-addr", base,
+		"-requests", "10",
+		"-rate", "0",
+		"-require-2xx-frac", "0.9",
+	}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "success rate") {
+		t.Fatalf("err = %v, want the success-rate gate", err)
+	}
+}

@@ -1,0 +1,168 @@
+// Command wrsnd serves planning as a service: a long-running HTTP/JSON
+// daemon answering POST /v1/plan requests (a deployment problem or a
+// charger-placement instance, a solver name from the registry, and a
+// deadline) with crash tolerance at every layer — admission control with
+// load shedding, a journaled LRU plan cache, per-request panic isolation
+// and retries, per-solver circuit breakers, and graceful drain on
+// SIGTERM.
+//
+// Usage:
+//
+//	wrsnd                                  # serve on 127.0.0.1:8347
+//	wrsnd -addr :9000 -max-inflight 8      # bigger box
+//	wrsnd -journal plans.wal               # warm-restartable plan cache
+//	wrsnd -retries 3 -breaker-threshold 5  # production hardening
+//	wrsnd -chaos-seed 42 -chaos-panic 0.2  # TESTING: seeded fault injection
+//
+// Endpoints: POST /v1/plan, GET /v1/solvers, GET /healthz (liveness),
+// GET /readyz (admission), GET /statz (counters).
+//
+// The first SIGTERM or SIGINT starts a graceful drain: admission stops,
+// in-flight solves get -drain-grace to finish, the plan cache is flushed
+// to -journal (when set), and the process exits 0. A second signal kills
+// it immediately.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"wrsn/internal/daemon"
+	"wrsn/internal/engine"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// After the first signal starts the drain, unregister the handler so
+	// a second signal falls through to the default action and kills the
+	// process immediately.
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	if err := runCtx(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "wrsnd:", err)
+		os.Exit(1)
+	}
+}
+
+// runCtx is the testable entry point: it serves until ctx is cancelled
+// (the signal path) and then drains. The listening address is printed to
+// stdout as "listening on <addr>" so callers binding ":0" can scrape it.
+func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("wrsnd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:8347", "listen address")
+		maxInflight = fs.Int("max-inflight", 0, "concurrent solves (0 = GOMAXPROCS)")
+		maxQueue    = fs.Int("max-queue", 0, "admitted requests that may wait for a solve slot before shedding with 429 (0 = default 64)")
+		maxBody     = fs.Int64("max-body", 0, "request body cap in bytes (0 = default 1 MiB)")
+		defDeadline = fs.Duration("default-deadline", 0, "deadline for requests that name none (0 = default 30s)")
+		maxDeadline = fs.Duration("max-deadline", 0, "largest deadline a request may ask for (0 = default 5m)")
+		retries     = fs.Int("retries", 1, "attempts per solve before a failure is terminal (1 = no retry)")
+		retryBase   = fs.Duration("retry-base", 100*time.Millisecond, "first retry backoff delay (doubles per retry, deterministically jittered)")
+		retryMax    = fs.Duration("retry-max", 5*time.Second, "backoff delay cap")
+		brThreshold = fs.Int("breaker-threshold", 0, "consecutive failures that trip a solver's circuit breaker (0 = breaker disabled)")
+		brCooldown  = fs.Duration("breaker-cooldown", 10*time.Second, "how long a tripped breaker stays open before probing")
+		drainGrace  = fs.Duration("drain-grace", 5*time.Second, "how long in-flight solves may finish after SIGTERM before being abandoned")
+		cacheSize   = fs.Int("cache-entries", 0, "plan cache capacity (0 = default 1024)")
+		journal     = fs.String("journal", "", "plan-cache journal path: flushed at drain, warm-started at boot")
+
+		chaosPanic   = fs.Float64("chaos-panic", 0, "TESTING: fraction of solve attempts that panic (deterministic, seeded)")
+		chaosError   = fs.Float64("chaos-error", 0, "TESTING: fraction of solve attempts that fail with an injected error")
+		chaosLatFrac = fs.Float64("chaos-latency-frac", 0, "TESTING: fraction of solve attempts delayed by -chaos-latency")
+		chaosLatency = fs.Duration("chaos-latency", 10*time.Millisecond, "TESTING: injected latency per affected attempt")
+		chaosSeed    = fs.Int64("chaos-seed", 0, "TESTING: chaos injection seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	chaosRequested := false
+	for name := range explicit {
+		if strings.HasPrefix(name, "chaos-") && name != "chaos-seed" {
+			chaosRequested = true
+		}
+	}
+	if chaosRequested && !explicit["chaos-seed"] {
+		return fmt.Errorf("-chaos-* flags require an explicit -chaos-seed: chaos schedules are deterministic and the seed is part of the test record")
+	}
+
+	cfg := daemon.Config{
+		MaxInFlight:     *maxInflight,
+		MaxQueue:        *maxQueue,
+		MaxBodyBytes:    *maxBody,
+		DefaultDeadline: *defDeadline,
+		MaxDeadline:     *maxDeadline,
+		Retry:           engine.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryBase, MaxDelay: *retryMax},
+		Breaker:         daemon.BreakerConfig{Threshold: *brThreshold, Cooldown: *brCooldown},
+		DrainGrace:      *drainGrace,
+		CacheEntries:    *cacheSize,
+		JournalPath:     *journal,
+	}
+	if *chaosPanic > 0 || *chaosError > 0 || *chaosLatFrac > 0 {
+		cfg.Chaos = &engine.ChaosConfig{
+			Seed:        *chaosSeed,
+			PanicFrac:   *chaosPanic,
+			ErrorFrac:   *chaosError,
+			LatencyFrac: *chaosLatFrac,
+			Latency:     *chaosLatency,
+		}
+		fmt.Fprintf(stderr, "wrsnd: CHAOS INJECTION ACTIVE (seed %d, panic %.2f, error %.2f, latency %.2f/%s)\n",
+			*chaosSeed, *chaosPanic, *chaosError, *chaosLatFrac, *chaosLatency)
+	}
+
+	s, err := daemon.NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if s.Restored > 0 {
+		fmt.Fprintf(stderr, "wrsnd: warm start: %d plans restored from %s\n", s.Restored, *journal)
+	}
+	fmt.Fprintf(stdout, "listening on %s\n", l.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(l) }()
+
+	select {
+	case err := <-serveErr:
+		// Serve failed on its own (bad listener state etc.); nil would
+		// mean an unexpected shutdown, which is equally wrong here.
+		if err != nil {
+			return err
+		}
+		return fmt.Errorf("server stopped unexpectedly")
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(stderr, "wrsnd: draining (grace %s)...\n", *drainGrace)
+	// The drain itself runs under a fresh context: the signal context is
+	// already cancelled, and the grace window is bounded by DrainGrace.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainGrace+30*time.Second)
+	defer cancel()
+	if err := s.Drain(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-serveErr; err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	fmt.Fprintln(stderr, "wrsnd: drained cleanly")
+	return nil
+}

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"wrsn/internal/daemon"
+	"wrsn/internal/geom"
+	"wrsn/internal/model"
+)
+
+// startWrsnd runs runCtx on ":0" in a goroutine and returns the scraped
+// base URL plus a cancel that triggers the drain path (the SIGTERM
+// equivalent) and waits for exit.
+func startWrsnd(t *testing.T, extraArgs ...string) (base string, shutdown func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var stdout lockedBuffer
+	errc := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	go func() { errc <- runCtx(ctx, args, &stdout, io.Discard) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if out := stdout.String(); strings.Contains(out, "listening on ") {
+			addr := strings.TrimSpace(strings.TrimPrefix(out, "listening on "))
+			base = "http://" + addr
+			break
+		}
+		select {
+		case err := <-errc:
+			t.Fatalf("wrsnd exited before listening: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("wrsnd never reported its address; stdout %q", stdout.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return base, func() error {
+		cancel()
+		select {
+		case err := <-errc:
+			return err
+		case <-time.After(30 * time.Second):
+			t.Fatalf("wrsnd did not exit after cancellation")
+			return nil
+		}
+	}
+}
+
+type lockedBuffer struct {
+	mu  chan struct{}
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) lock() func() {
+	if b.mu == nil {
+		b.mu = make(chan struct{}, 1)
+	}
+	b.mu <- struct{}{}
+	return func() { <-b.mu }
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	defer b.lock()()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	defer b.lock()()
+	return b.buf.String()
+}
+
+func testProblemJSON(t *testing.T, seed int64) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	p, err := model.GenerateProblem(rng, model.GenSpec{
+		Field: geom.Field{Width: 200, Height: 200},
+		Posts: 6,
+		Nodes: 10,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	body, err := json.Marshal(map[string]interface{}{"solver": "rfh", "problem": p})
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return body
+}
+
+func TestServeSolveAndGracefulShutdown(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "plans.wal")
+	base, shutdown := startWrsnd(t, "-journal", journal, "-drain-grace", "2s")
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	body := testProblemJSON(t, 1)
+	resp, err = client.Post(base+"/v1/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan: status %d body %s", resp.StatusCode, data)
+	}
+	var first daemon.PlanResponse
+	if err := json.Unmarshal(data, &first); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if first.Cache != "miss" {
+		t.Fatalf("first solve from cache %q", first.Cache)
+	}
+	client.CloseIdleConnections()
+
+	// The signal path: cancellation drains cleanly (exit 0 ≡ nil error)
+	// and flushes the journal.
+	if err := shutdown(); err != nil {
+		t.Fatalf("drain exit: %v", err)
+	}
+
+	// A second life warm-starts from the journal and answers the same
+	// request byte-identically from cache.
+	base2, shutdown2 := startWrsnd(t, "-journal", journal)
+	defer func() {
+		if err := shutdown2(); err != nil {
+			t.Errorf("second drain: %v", err)
+		}
+	}()
+	resp, err = client.Post(base2+"/v1/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("warm plan: %v", err)
+	}
+	data, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var second daemon.PlanResponse
+	if err := json.Unmarshal(data, &second); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if second.Cache != "hit" {
+		t.Fatalf("restarted daemon: cache %q, want hit", second.Cache)
+	}
+	if !bytes.Equal(first.Plan, second.Plan) {
+		t.Fatalf("warm restart not byte-identical:\n%s\n%s", first.Plan, second.Plan)
+	}
+}
+
+func TestChaosFlagsRequireSeed(t *testing.T) {
+	err := runCtx(context.Background(), []string{"-chaos-panic", "0.5"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "chaos-seed") {
+		t.Fatalf("err = %v, want the chaos-seed guard", err)
+	}
+}
+
+func TestRejectsPositionalArguments(t *testing.T) {
+	err := runCtx(context.Background(), []string{"serve"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "unexpected arguments") {
+		t.Fatalf("err = %v, want unexpected-arguments", err)
+	}
+}
+
+func TestListenFailure(t *testing.T) {
+	err := runCtx(context.Background(), []string{"-addr", "256.256.256.256:1"}, io.Discard, io.Discard)
+	if err == nil {
+		t.Fatalf("bad address accepted")
+	}
+	_ = fmt.Sprint(err)
+}

@@ -1,0 +1,125 @@
+package daemon
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerConfig tunes the per-solver circuit breakers. The zero value
+// disables breaking entirely.
+type BreakerConfig struct {
+	// Threshold trips a solver's breaker after this many consecutive
+	// failures (solver errors, panics, timeouts). <= 0 disables the
+	// breaker: every request reaches the solver.
+	Threshold int
+	// Cooldown is how long a tripped breaker stays open before admitting
+	// one half-open probe request (default 10s when Threshold > 0).
+	Cooldown time.Duration
+}
+
+// withDefaults fills the zero cooldown.
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold > 0 && c.Cooldown <= 0 {
+		c.Cooldown = 10 * time.Second
+	}
+	return c
+}
+
+// Breaker states.
+const (
+	breakerClosed   = "closed"
+	breakerOpen     = "open"
+	breakerHalfOpen = "half-open"
+)
+
+// breaker is one solver's circuit breaker: closed (serving normally),
+// open (shedding immediately after Threshold consecutive failures), or
+// half-open (one probe request in flight after the cooldown; its outcome
+// closes or re-opens the circuit). It protects the worker pool from a
+// wedged or persistently panicking solver: requests for a broken solver
+// are rejected in O(1) with Retry-After instead of burning a pool slot,
+// a retry budget and the caller's deadline each.
+type breaker struct {
+	mu       sync.Mutex
+	cfg      BreakerConfig
+	state    string
+	fails    int // consecutive failures while closed
+	openedAt time.Time
+	trips    int64
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	return &breaker{cfg: cfg.withDefaults(), state: breakerClosed}
+}
+
+// allow reports whether a request may proceed now. When it may not,
+// retryAfter is how long until the breaker will half-open.
+func (b *breaker) allow(now time.Time) (ok bool, retryAfter time.Duration) {
+	if b.cfg.Threshold <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if wait := b.cfg.Cooldown - now.Sub(b.openedAt); wait > 0 {
+			return false, wait
+		}
+		// Cooldown elapsed: admit exactly one probe.
+		b.state = breakerHalfOpen
+		return true, 0
+	case breakerHalfOpen:
+		// A probe is already in flight; hold further traffic until it
+		// resolves.
+		return false, b.cfg.Cooldown
+	default:
+		return true, 0
+	}
+}
+
+// success records a completed solve, closing the circuit.
+func (b *breaker) success() {
+	if b.cfg.Threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.state = breakerClosed
+}
+
+// failure records a failed solve (error, panic or timeout), tripping the
+// circuit after Threshold consecutive failures and re-opening it when a
+// half-open probe fails. It returns true when this failure tripped the
+// breaker.
+func (b *breaker) failure(now time.Time) bool {
+	if b.cfg.Threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		// The probe failed: back to open for a fresh cooldown.
+		b.state = breakerOpen
+		b.openedAt = now
+		b.trips++
+		return true
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.Threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+			b.trips++
+			return true
+		}
+	}
+	return false
+}
+
+// snapshot returns the current state name and cumulative trip count.
+func (b *breaker) snapshot() (state string, trips int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.trips
+}

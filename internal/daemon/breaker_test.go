@@ -1,0 +1,83 @@
+package daemon
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(BreakerConfig{})
+	now := time.Unix(0, 0)
+	for i := 0; i < 100; i++ {
+		if ok, _ := b.allow(now); !ok {
+			t.Fatalf("disabled breaker rejected a request")
+		}
+		b.failure(now)
+	}
+	if state, trips := b.snapshot(); state != breakerClosed || trips != 0 {
+		t.Fatalf("disabled breaker moved to %s with %d trips", state, trips)
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	cfg := BreakerConfig{Threshold: 3, Cooldown: 10 * time.Second}
+	b := newBreaker(cfg)
+	now := time.Unix(1000, 0)
+
+	// Failures below the threshold keep the circuit closed; a success
+	// resets the streak.
+	b.failure(now)
+	b.failure(now)
+	b.success()
+	b.failure(now)
+	b.failure(now)
+	if ok, _ := b.allow(now); !ok {
+		t.Fatalf("breaker open below the consecutive-failure threshold")
+	}
+
+	// The third consecutive failure trips it.
+	if !b.failure(now) {
+		t.Fatalf("threshold-reaching failure did not report a trip")
+	}
+	if state, trips := b.snapshot(); state != breakerOpen || trips != 1 {
+		t.Fatalf("after trip: state %s, trips %d", state, trips)
+	}
+	ok, retryAfter := b.allow(now.Add(time.Second))
+	if ok {
+		t.Fatalf("open breaker admitted a request inside the cooldown")
+	}
+	if retryAfter != 9*time.Second {
+		t.Fatalf("retryAfter = %s, want 9s", retryAfter)
+	}
+
+	// After the cooldown exactly one probe is admitted; concurrent
+	// traffic keeps shedding while the probe is in flight.
+	probeAt := now.Add(cfg.Cooldown)
+	if ok, _ := b.allow(probeAt); !ok {
+		t.Fatalf("cooldown elapsed but no probe admitted")
+	}
+	if ok, _ := b.allow(probeAt); ok {
+		t.Fatalf("second request admitted while the probe is in flight")
+	}
+
+	// A failed probe re-opens for a fresh cooldown.
+	if !b.failure(probeAt) {
+		t.Fatalf("failed probe did not report a trip")
+	}
+	if ok, _ := b.allow(probeAt.Add(cfg.Cooldown / 2)); ok {
+		t.Fatalf("re-opened breaker admitted a request mid-cooldown")
+	}
+
+	// A successful probe after the next cooldown closes the circuit.
+	probe2 := probeAt.Add(cfg.Cooldown)
+	if ok, _ := b.allow(probe2); !ok {
+		t.Fatalf("second probe not admitted")
+	}
+	b.success()
+	if state, trips := b.snapshot(); state != breakerClosed || trips != 2 {
+		t.Fatalf("after successful probe: state %s, trips %d", state, trips)
+	}
+	if ok, _ := b.allow(probe2); !ok {
+		t.Fatalf("closed breaker rejected a request")
+	}
+}

@@ -1,0 +1,164 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wrsn/internal/engine"
+	"wrsn/internal/model"
+)
+
+func entry(sig, plan string) (uint64, string, json.RawMessage) {
+	return model.CanonicalKey(sig), sig, json.RawMessage(plan)
+}
+
+func TestPlanCacheLRU(t *testing.T) {
+	c := newPlanCache(2)
+	c.put(entry("a", `{"n":1}`))
+	c.put(entry("b", `{"n":2}`))
+
+	if plan, ok := c.get(model.CanonicalKey("a"), "a"); !ok || string(plan) != `{"n":1}` {
+		t.Fatalf("get a = %q, %v", plan, ok)
+	}
+	// "a" is now most recently used, so inserting "c" evicts "b".
+	c.put(entry("c", `{"n":3}`))
+	if _, ok := c.get(model.CanonicalKey("b"), "b"); ok {
+		t.Fatalf("LRU kept b over the freshly-used a")
+	}
+	if _, ok := c.get(model.CanonicalKey("a"), "a"); !ok {
+		t.Fatalf("LRU evicted the most recently used entry")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+
+	// Refreshing an existing key replaces its plan without growing.
+	c.put(entry("a", `{"n":9}`))
+	if plan, _ := c.get(model.CanonicalKey("a"), "a"); string(plan) != `{"n":9}` {
+		t.Fatalf("refresh kept stale plan %q", plan)
+	}
+	if c.len() != 2 {
+		t.Fatalf("refresh grew the cache to %d", c.len())
+	}
+}
+
+func TestPlanCacheCollisionGuard(t *testing.T) {
+	c := newPlanCache(4)
+	key, sig, plan := entry("real", `{"n":1}`)
+	c.put(key, sig, plan)
+	// A forged lookup with the right key but a different signature — a
+	// 64-bit hash collision — must read as a miss, never as the other
+	// problem's plan.
+	if _, ok := c.get(key, "imposter"); ok {
+		t.Fatalf("hash collision served the wrong plan")
+	}
+	if _, ok := c.get(key, "real"); !ok {
+		t.Fatalf("genuine lookup missed")
+	}
+}
+
+func TestPlanCacheJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.wal")
+
+	c := newPlanCache(8)
+	c.put(entry("s1", `{"n":1}`))
+	c.put(entry("s2", `{"n":2}`))
+	c.put(entry("s3", `{"n":3}`))
+	c.get(model.CanonicalKey("s1"), "s1") // touch: s1 becomes MRU
+	if err := c.save(path); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+
+	d := newPlanCache(8)
+	n, err := d.load(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("restored %d plans, want 3", n)
+	}
+	for _, sig := range []string{"s1", "s2", "s3"} {
+		got, ok := d.get(model.CanonicalKey(sig), sig)
+		want, _ := c.get(model.CanonicalKey(sig), sig)
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("restored %s = %q, want %q", sig, got, want)
+		}
+	}
+
+	// LRU order survives the round trip: with capacity 3, inserting a
+	// fourth entry must evict s2 (the restored cache's oldest), not s1.
+	e := newPlanCache(3)
+	if _, err := e.load(path); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	e.put(entry("s4", `{"n":4}`))
+	if _, ok := e.get(model.CanonicalKey("s2"), "s2"); ok {
+		t.Fatalf("journal lost the LRU order: s2 should be the eviction victim")
+	}
+	if _, ok := e.get(model.CanonicalKey("s1"), "s1"); !ok {
+		t.Fatalf("journal lost the LRU order: the touched s1 was evicted")
+	}
+}
+
+func TestPlanCacheJournalColdStartAndRejects(t *testing.T) {
+	c := newPlanCache(4)
+
+	// Missing journal: cold start, not an error.
+	if n, err := c.load(filepath.Join(t.TempDir(), "nope.wal")); n != 0 || err != nil {
+		t.Fatalf("missing journal: n=%d err=%v", n, err)
+	}
+
+	// A validly-framed journal from some other tool is rejected by the
+	// header check, not silently replayed.
+	dir := t.TempDir()
+	alienPath := filepath.Join(dir, "alien.wal")
+	alienHdr, err := engine.EncodeFramed("h", planJournalHeader{Version: planJournalVersion, Tool: "nosrw"})
+	if err != nil {
+		t.Fatalf("frame alien header: %v", err)
+	}
+	if err := os.WriteFile(alienPath, alienHdr, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := c.load(alienPath); err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("alien journal: err = %v, want header mismatch", err)
+	}
+
+	// Corruption before the final record (here: a bit flipped in the
+	// header, followed by a plan record) fails the frame CRC and is
+	// rejected — only a torn *tail* is tolerated.
+	tornPath := filepath.Join(dir, "torn.wal")
+	full := newPlanCache(4)
+	full.put(entry("s1", `{"n":1}`))
+	if err := full.save(tornPath); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	data, err := os.ReadFile(tornPath)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	corrupt := bytes.Replace(data, []byte(`"wrsnd"`), []byte(`"dnsrw"`), 1)
+	if bytes.Equal(corrupt, data) {
+		t.Fatalf("corruption did not apply")
+	}
+	if err := os.WriteFile(tornPath, corrupt, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := c.load(tornPath); err == nil {
+		t.Fatalf("mid-file corruption accepted")
+	}
+
+	// A torn tail (the last record truncated mid-frame) drops only the
+	// torn record: the journal loads with what survived.
+	tailPath := filepath.Join(dir, "tail.wal")
+	if err := os.WriteFile(tailPath, data[:len(data)-3], 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	d := newPlanCache(4)
+	if n, err := d.load(tailPath); err != nil || n != 0 {
+		t.Fatalf("torn tail: n=%d err=%v, want 0 restored and no error", n, err)
+	}
+}

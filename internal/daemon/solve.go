@@ -1,0 +1,124 @@
+package daemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"wrsn/internal/engine"
+	"wrsn/internal/model"
+	"wrsn/internal/solver"
+)
+
+// PanicError is a solver panic recovered by the daemon's per-request
+// isolation: the request fails with a structured 500 while the daemon
+// keeps serving. It carries the panic value's message and stack for the
+// error response and logs.
+type PanicError struct {
+	Value string
+	Stack string
+}
+
+func (e *PanicError) Error() string { return "panic: " + e.Value }
+
+// retryable classifies a solve failure for the retry loop. Deadline and
+// cancellation failures must fail fast (re-running cannot beat an
+// expired clock); a structurally unsupported instance kind can never
+// succeed; everything else — panics, injected chaos, transient solver
+// errors — gets the configured attempt budget, mirroring how the sweep
+// engine retries CellErrors.
+func retryable(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return false
+	}
+	if errors.Is(err, solver.ErrUnsupportedInstance) {
+		return false
+	}
+	return true
+}
+
+// ctxCause returns the context's cancellation cause, falling back to its
+// error — surfacing "request deadline (…) exceeded" instead of a bare
+// context.DeadlineExceeded.
+func ctxCause(ctx context.Context) error {
+	if cause := context.Cause(ctx); cause != nil {
+		return cause
+	}
+	return ctx.Err()
+}
+
+// runSolve executes one cache-miss solve under the daemon's protections:
+// fail-fast on an already-expired deadline (the WithTimeoutCause cause
+// surfaces, and no retry attempt is burned), per-attempt panic
+// isolation, deterministic chaos injection, and RetryPolicy backoff
+// derived from the request's canonical key so reruns of the same request
+// replay the same delays. It returns the solver result, the number of
+// retries beyond the first attempt, and the terminal error.
+func (s *Server) runSolve(ctx context.Context, name string, fn engine.SolveFunc, inst model.Instance, key uint64) (*solver.Result, int, error) {
+	attempts := s.cfg.Retry.Attempts()
+	retries := 0
+	for attempt := 1; ; attempt++ {
+		// An expired or cancelled request fails fast with its cause; the
+		// remaining attempt budget is irrelevant against a dead clock.
+		if ctx.Err() != nil {
+			return nil, retries, ctxCause(ctx)
+		}
+		if attempt > 1 {
+			retries++
+			s.stats.retries.Add(1)
+			if !sleepCtx(ctx, s.cfg.Retry.Backoff(attempt-1, int64(key))) {
+				return nil, retries, ctxCause(ctx)
+			}
+		}
+		res, err := s.attemptSolve(ctx, name, fn, inst, key, attempt)
+		if err == nil {
+			return res, retries, nil
+		}
+		// A failure observed after the deadline fired is the deadline's
+		// fault: surface the timeout cause, not the attempt's error.
+		if ctx.Err() != nil && errors.Is(err, context.DeadlineExceeded) {
+			return nil, retries, ctxCause(ctx)
+		}
+		if !retryable(err) || attempt >= attempts {
+			return nil, retries, err
+		}
+	}
+}
+
+// attemptSolve runs one panic-isolated, chaos-injected solver attempt.
+func (s *Server) attemptSolve(ctx context.Context, name string, fn engine.SolveFunc, inst model.Instance, key uint64, attempt int) (res *solver.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.stats.panicsRecovered.Add(1)
+			err = &PanicError{Value: fmt.Sprint(v), Stack: string(debug.Stack())}
+		}
+	}()
+	if s.cfg.Chaos.Enabled() {
+		// The chaos draw is keyed by the request's canonical key and the
+		// attempt number, exactly like cell chaos: the same request
+		// always draws the same faults, and a panicked attempt usually
+		// succeeds on retry.
+		if cerr := s.cfg.Chaos.Inject(ctx, "wrsnd:"+name, int(uint32(key)), int(uint32(key>>32)), attempt); cerr != nil {
+			return nil, cerr
+		}
+	}
+	return fn(ctx, inst)
+}
+
+// sleepCtx sleeps for d unless ctx is cancelled first, reporting whether
+// the full sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -57,6 +57,27 @@ func (c *ChaosConfig) enabled() bool {
 	return c != nil && (c.PanicFrac > 0 || c.ErrorFrac > 0 || (c.LatencyFrac > 0 && c.Latency > 0))
 }
 
+// Enabled reports whether any attempt-level fault kind is configured —
+// the exported form non-sweep consumers (the wrsnd planning daemon)
+// gate their injection calls on. Safe on a nil config.
+func (c *ChaosConfig) Enabled() bool { return c.enabled() }
+
+// Inject runs the configured attempt-level faults for one externally
+// identified attempt: scope names the injection site (a sweep ID for
+// cells, "wrsnd:<solver>" for daemon requests), a and b are arbitrary
+// coordinates identifying the work unit (the daemon passes the two
+// halves of the request's canonical cache key), and attempt numbers the
+// retry. Faults are drawn exactly like cell faults — deterministically
+// from (Seed, scope, a, b, attempt) — so a panic injected into attempt 1
+// is usually absorbed by attempt 2, which is what the retry machinery
+// under test is supposed to deliver.
+func (c *ChaosConfig) Inject(ctx context.Context, scope string, a, b, attempt int) error {
+	if !c.enabled() {
+		return nil
+	}
+	return c.inject(ctx, scope, a, b, 0, attempt)
+}
+
 // WorkerFault is the fate drawn for one shard lease execution.
 type WorkerFault struct {
 	// Kill aborts the worker mid-shard without committing its segment.

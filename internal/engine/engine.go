@@ -186,7 +186,9 @@ type Sweep struct {
 
 // Limiter bounds cell concurrency across sweeps: sweeps running in
 // parallel share one Limiter so their combined active cells never
-// exceed its size.
+// exceed its size. The exported Acquire/TryAcquire/Release hooks let
+// other schedulers (the wrsnd planning daemon) share the same budget
+// with sweep cells.
 type Limiter chan struct{}
 
 // NewLimiter returns a Limiter admitting n concurrent cells.
@@ -197,8 +199,43 @@ func NewLimiter(n int) Limiter {
 	return make(Limiter, n)
 }
 
-func (l Limiter) acquire() { l <- struct{}{} }
-func (l Limiter) release() { <-l }
+// Acquire blocks until a slot is free or ctx is cancelled, reporting
+// whether a slot was taken. A false return means ctx was cancelled and
+// the caller holds nothing — it must not Release. This is the only
+// blocking path into the limiter, so a cancelled waiter can never leak a
+// goroutine behind a saturated pool.
+func (l Limiter) Acquire(ctx context.Context) bool {
+	select {
+	case l <- struct{}{}:
+		return true
+	default:
+	}
+	select {
+	case l <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// TryAcquire takes a slot without blocking, reporting whether it got one.
+func (l Limiter) TryAcquire() bool {
+	select {
+	case l <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a previously acquired slot.
+func (l Limiter) Release() { <-l }
+
+// InFlight returns the number of currently held slots.
+func (l Limiter) InFlight() int { return len(l) }
+
+// Cap returns the limiter's slot capacity.
+func (l Limiter) Cap() int { return cap(l) }
 
 // RunConfig tunes sweep execution. The zero value runs with GOMAXPROCS
 // workers, no per-cell timeout, no retries, no checkpointing and no
@@ -660,10 +697,6 @@ func (r *runner) instance(pi, si int) (*Instance, error) {
 func (r *runner) runCell(ctx, workCtx context.Context, idx int) {
 	c := r.cells[idx]
 	algo := &r.sw.Algorithms[c.algo]
-	if r.cfg.Limiter != nil {
-		r.cfg.Limiter.acquire()
-		defer r.cfg.Limiter.release()
-	}
 
 	finish := func(d time.Duration, evals int64, attempt int, err error) {
 		r.errs[idx] = err
@@ -692,6 +725,17 @@ func (r *runner) runCell(ctx, workCtx context.Context, idx int) {
 	if ctx.Err() != nil {
 		cancelled(0, 0)
 		return
+	}
+	if r.cfg.Limiter != nil {
+		// Wait for a shared slot, but give up as soon as the sweep is
+		// cancelled: a cell queued behind a saturated shared Limiter must
+		// not keep its worker goroutine pinned until some other sweep
+		// releases a slot.
+		if !r.cfg.Limiter.Acquire(ctx) {
+			cancelled(0, 0)
+			return
+		}
+		defer r.cfg.Limiter.Release()
 	}
 	inst, err := r.instance(c.point, c.seed)
 	if err != nil {

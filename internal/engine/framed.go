@@ -1,0 +1,55 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// FramedRecord is one decoded line of a CRC-framed JSONL file — the
+// PR 5 journal format (journal.go) exposed generically so other
+// crash-safe stores (the wrsnd plan-cache journal) can reuse the exact
+// framing, CRC validation and torn-tail semantics without reimplementing
+// them.
+type FramedRecord struct {
+	// Kind is the caller-defined record kind tag.
+	Kind string
+	// Rec is the CRC-validated payload.
+	Rec json.RawMessage
+}
+
+// EncodeFramed frames one record as a CRC-32 JSONL line (newline
+// included): the payload is marshalled, checksummed with CRC-32 (IEEE)
+// and wrapped in the journal line envelope. A file of EncodeFramed lines
+// round-trips through DecodeFramed.
+func EncodeFramed(kind string, rec interface{}) ([]byte, error) {
+	return encodeLine(kind, rec)
+}
+
+// DecodeFramed replays CRC-framed JSONL bytes into records plus the byte
+// length of the valid prefix. Like the checkpoint journal's replay it is
+// torn-tail tolerant: an unterminated, corrupt or CRC-failing *final*
+// line is the artifact of a crash mid-append and is silently excluded
+// from validLen (the caller may truncate it away); corruption anywhere
+// earlier returns ErrJournalCorrupt.
+func DecodeFramed(data []byte) (recs []FramedRecord, validLen int, err error) {
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// Unterminated final line: the append never completed.
+			return recs, off, nil
+		}
+		next := off + nl + 1
+		kind, raw, lerr := decodeLine(data[off : off+nl])
+		if lerr != nil {
+			if next >= len(data) {
+				return recs, off, nil // torn tail: keep the valid prefix
+			}
+			return nil, 0, fmt.Errorf("%w: record at byte %d: %v", ErrJournalCorrupt, off, lerr)
+		}
+		recs = append(recs, FramedRecord{Kind: kind, Rec: raw})
+		off = next
+	}
+	return recs, off, nil
+}

@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// settleGoroutines polls until the goroutine count returns to (roughly)
+// the baseline, dumping stacks on timeout — the leak gate for the
+// early-cancellation paths. Run under -race in CI.
+func settleGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	var n int
+	for {
+		runtime.GC()
+		n = runtime.NumGoroutine()
+		if n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	t.Fatalf("goroutine leak: %d at baseline, %d after settling\n%s", baseline, n, buf)
+}
+
+// TestRunNoLeakOnCancelUnderSaturatedLimiter pins the regression where a
+// cell queued behind a fully-occupied shared Limiter kept its worker
+// goroutine pinned (and Run blocked) after the sweep's context was
+// cancelled: the limiter wait must give up on cancellation, not wait for
+// some other sweep to release a slot that may never come.
+func TestRunNoLeakOnCancelUnderSaturatedLimiter(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	lim := NewLimiter(1)
+	if !lim.TryAcquire() {
+		t.Fatalf("fresh limiter has no free slot")
+	}
+	// The only slot is now held by "another sweep" and never released
+	// until after Run must already have returned.
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	sw := testSweep()
+	sw.Algorithms[0].Run = func(ctx context.Context, inst *Instance) (CellResult, error) {
+		ran.Add(1)
+		return CellResult{Values: []float64{1}, Evaluations: 1}, nil
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, sw, RunConfig{Workers: 4, Limiter: lim})
+		done <- err
+	}()
+	// Give the workers time to park on the saturated limiter, then
+	// cancel the sweep out from under them.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Fatalf("Run still blocked 10s after cancellation with a saturated shared limiter\n%s", buf)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d cells ran despite the slot never being free", ran.Load())
+	}
+	lim.Release()
+	settleGoroutines(t, baseline)
+}
+
+// TestRunNoLeakOnEarlyCancellation cancels a sweep while cells are
+// mid-solve and requires every engine goroutine (workers, drain timer,
+// progress plumbing) to exit.
+func TestRunNoLeakOnEarlyCancellation(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := make(chan struct{}, 64)
+	sw := testSweep()
+	for i := range sw.Algorithms {
+		sw.Algorithms[i].Run = func(ctx context.Context, inst *Instance) (CellResult, error) {
+			started <- struct{}{}
+			<-ctx.Done()
+			return CellResult{}, ctx.Err()
+		}
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, sw, RunConfig{Workers: 4, DrainGrace: 100 * time.Millisecond})
+		done <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("Run did not return after cancellation")
+	}
+	settleGoroutines(t, baseline)
+}
+
+// TestRetryNoAttemptsAfterCancellation: a cancelled sweep burns no retry
+// budget — cells observed after cancellation fail once with the
+// cancellation error instead of sleeping through MaxAttempts backoffs.
+func TestRetryNoAttemptsAfterCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var attempts atomic.Int64
+	sw := testSweep()
+	for i := range sw.Algorithms {
+		sw.Algorithms[i].Run = func(ctx context.Context, inst *Instance) (CellResult, error) {
+			attempts.Add(1)
+			return CellResult{}, errors.New("always failing")
+		}
+	}
+	start := time.Now()
+	_, err := Run(ctx, sw, RunConfig{
+		Workers: 2,
+		Retry:   RetryPolicy{MaxAttempts: 5, BaseDelay: time.Second, MaxDelay: 5 * time.Second},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	if got := attempts.Load(); got != 0 {
+		t.Fatalf("%d attempts ran under a pre-cancelled context, want 0", got)
+	}
+	// 5 attempts with 1s base backoff would take seconds; failing fast
+	// must not.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled sweep took %s, should fail fast", elapsed)
+	}
+}

@@ -89,14 +89,20 @@ func Solvers() []string {
 	return names
 }
 
-// Infos returns every registry entry, sorted by name, with the instance
-// kinds each solver accepts.
+// Infos returns every registry entry with the instance kinds each
+// solver accepts, in fully stable order: entries sorted by name and
+// each entry's kinds sorted lexically. Nothing about the registry map's
+// iteration order or a registration's kind declaration order leaks into
+// the result, so listings built on it (-list-solvers) are byte-stable
+// across runs.
 func Infos() []SolverInfo {
 	registry.RLock()
 	defer registry.RUnlock()
 	infos := make([]SolverInfo, 0, len(registry.m))
 	for name, e := range registry.m {
-		infos = append(infos, SolverInfo{Name: name, Kinds: append([]string(nil), e.kinds...)})
+		kinds := append([]string(nil), e.kinds...)
+		sort.Strings(kinds)
+		infos = append(infos, SolverInfo{Name: name, Kinds: kinds})
 	}
 	sort.Slice(infos, func(a, b int) bool { return infos[a].Name < infos[b].Name })
 	return infos

@@ -35,6 +35,11 @@ func (p RetryPolicy) attempts() int {
 	return p.MaxAttempts
 }
 
+// Attempts returns the effective attempt budget (always >= 1) — the
+// exported form external retry loops (the wrsnd planning daemon) drive
+// their attempt counters from.
+func (p RetryPolicy) Attempts() int { return p.attempts() }
+
 // Backoff returns the deterministic delay before retry number retry
 // (1 = first retry) of the cell whose instance seed is seed.
 func (p RetryPolicy) Backoff(retry int, seed int64) time.Duration {

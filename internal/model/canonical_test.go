@@ -1,0 +1,103 @@
+package model
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"wrsn/internal/geom"
+)
+
+func testProblem(t *testing.T, seed int64) *Problem {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	p, err := GenerateProblem(rng, GenSpec{
+		Field: geom.Field{Width: 200, Height: 200},
+		Posts: 6,
+		Nodes: 10,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return p
+}
+
+func TestCanonicalSignatureStable(t *testing.T) {
+	p := testProblem(t, 1)
+	s1, err := CanonicalSignature(p)
+	if err != nil {
+		t.Fatalf("signature: %v", err)
+	}
+	s2, err := CanonicalSignature(p)
+	if err != nil {
+		t.Fatalf("signature: %v", err)
+	}
+	if s1 != s2 {
+		t.Fatalf("signature not stable:\n%s\n%s", s1, s2)
+	}
+	if !strings.HasPrefix(s1, KindDeployment+":") {
+		t.Fatalf("signature %q does not start with the instance kind", s1[:40])
+	}
+
+	// A decoded copy of the same problem — the daemon's request path —
+	// must sign identically.
+	q := *p
+	s3, err := CanonicalSignature(&q)
+	if err != nil {
+		t.Fatalf("signature: %v", err)
+	}
+	if s3 != s1 {
+		t.Fatalf("copied problem signs differently")
+	}
+}
+
+func TestCanonicalSignatureDistinguishes(t *testing.T) {
+	p := testProblem(t, 1)
+	s1, err := CanonicalSignature(p)
+	if err != nil {
+		t.Fatalf("signature: %v", err)
+	}
+
+	q := *p
+	q.Nodes++
+	s2, err := CanonicalSignature(&q)
+	if err != nil {
+		t.Fatalf("signature: %v", err)
+	}
+	if s1 == s2 {
+		t.Fatalf("different node budgets share a signature")
+	}
+	if CanonicalKey(s1) == CanonicalKey(s2) {
+		t.Fatalf("different signatures share a key (possible but astronomically unlikely; the mixer is broken)")
+	}
+
+	r := testProblem(t, 2)
+	s3, err := CanonicalSignature(r)
+	if err != nil {
+		t.Fatalf("signature: %v", err)
+	}
+	if s3 == s1 {
+		t.Fatalf("different instances share a signature")
+	}
+}
+
+func TestCanonicalKeyStable(t *testing.T) {
+	// The key must be a pure function of the signature bytes and stay
+	// pinned across releases: journaled plan caches replay across daemon
+	// restarts keyed by it.
+	cases := []struct {
+		sig  string
+		want uint64
+	}{
+		{"", 0x6e789e6aa1b965f4},
+		{"deployment:{}", 0x0ee0286768e53e4c},
+	}
+	for _, c := range cases {
+		if got := CanonicalKey(c.sig); got != c.want {
+			t.Errorf("CanonicalKey(%q) = %#x, want %#x", c.sig, got, c.want)
+		}
+	}
+	if CanonicalKey("a") == CanonicalKey("b") {
+		t.Errorf("single-byte signatures collide")
+	}
+}
