@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -59,25 +60,19 @@ func startWrsnd(t *testing.T, extraArgs ...string) (base string, shutdown func()
 }
 
 type lockedBuffer struct {
-	mu  chan struct{}
+	mu  sync.Mutex
 	buf bytes.Buffer
 }
 
-func (b *lockedBuffer) lock() func() {
-	if b.mu == nil {
-		b.mu = make(chan struct{}, 1)
-	}
-	b.mu <- struct{}{}
-	return func() { <-b.mu }
-}
-
 func (b *lockedBuffer) Write(p []byte) (int, error) {
-	defer b.lock()()
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	return b.buf.Write(p)
 }
 
 func (b *lockedBuffer) String() string {
-	defer b.lock()()
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	return b.buf.String()
 }
 

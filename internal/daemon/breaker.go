@@ -45,6 +45,7 @@ type breaker struct {
 	state    string
 	fails    int // consecutive failures while closed
 	openedAt time.Time
+	probeAt  time.Time // when the in-flight half-open probe was admitted
 	trips    int64
 }
 
@@ -52,28 +53,65 @@ func newBreaker(cfg BreakerConfig) *breaker {
 	return &breaker{cfg: cfg.withDefaults(), state: breakerClosed}
 }
 
-// allow reports whether a request may proceed now. When it may not,
-// retryAfter is how long until the breaker will half-open.
-func (b *breaker) allow(now time.Time) (ok bool, retryAfter time.Duration) {
+// maxProbeRetryAfter caps the retry hint handed to clients rejected while
+// a half-open probe is in flight: the probe resolves within one request
+// deadline, far sooner than a full cooldown.
+const maxProbeRetryAfter = time.Second
+
+// allow reports whether a request may proceed now. probe is true when the
+// admitted request is the half-open probe whose outcome decides the
+// circuit; its caller must resolve it via success, failure or
+// revertProbe on every exit path. When ok is false, retryAfter is how
+// long the client should back off.
+func (b *breaker) allow(now time.Time) (ok, probe bool, retryAfter time.Duration) {
 	if b.cfg.Threshold <= 0 {
-		return true, 0
+		return true, false, 0
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case breakerOpen:
 		if wait := b.cfg.Cooldown - now.Sub(b.openedAt); wait > 0 {
-			return false, wait
+			return false, false, wait
 		}
 		// Cooldown elapsed: admit exactly one probe.
 		b.state = breakerHalfOpen
-		return true, 0
+		b.probeAt = now
+		return true, true, 0
 	case breakerHalfOpen:
-		// A probe is already in flight; hold further traffic until it
-		// resolves.
-		return false, b.cfg.Cooldown
+		// Backstop against a lost probe (a crash between admission and
+		// bookkeeping): a probe older than a full cooldown is presumed
+		// dead and a new one is admitted in its place.
+		if now.Sub(b.probeAt) >= b.cfg.Cooldown {
+			b.probeAt = now
+			return true, true, 0
+		}
+		// A probe is in flight; hold further traffic until it resolves,
+		// which takes at most one request deadline — not a cooldown.
+		wait := b.cfg.Cooldown - now.Sub(b.probeAt)
+		if wait > maxProbeRetryAfter {
+			wait = maxProbeRetryAfter
+		}
+		return false, false, wait
 	default:
-		return true, 0
+		return true, false, 0
+	}
+}
+
+// revertProbe returns a half-open breaker to open with a fresh cooldown
+// when its probe ended without a verdict (client disconnect, drain
+// abandonment, shed at admission). Without it the breaker would stay
+// half-open forever, rejecting every request for the solver. Not a trip:
+// the solver was never observed failing.
+func (b *breaker) revertProbe(now time.Time) {
+	if b.cfg.Threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.state = breakerOpen
+		b.openedAt = now
 	}
 }
 

@@ -9,11 +9,16 @@ func TestBreakerDisabled(t *testing.T) {
 	b := newBreaker(BreakerConfig{})
 	now := time.Unix(0, 0)
 	for i := 0; i < 100; i++ {
-		if ok, _ := b.allow(now); !ok {
+		ok, probe, _ := b.allow(now)
+		if !ok {
 			t.Fatalf("disabled breaker rejected a request")
+		}
+		if probe {
+			t.Fatalf("disabled breaker admitted a probe")
 		}
 		b.failure(now)
 	}
+	b.revertProbe(now)
 	if state, trips := b.snapshot(); state != breakerClosed || trips != 0 {
 		t.Fatalf("disabled breaker moved to %s with %d trips", state, trips)
 	}
@@ -31,7 +36,7 @@ func TestBreakerLifecycle(t *testing.T) {
 	b.success()
 	b.failure(now)
 	b.failure(now)
-	if ok, _ := b.allow(now); !ok {
+	if ok, _, _ := b.allow(now); !ok {
 		t.Fatalf("breaker open below the consecutive-failure threshold")
 	}
 
@@ -42,7 +47,7 @@ func TestBreakerLifecycle(t *testing.T) {
 	if state, trips := b.snapshot(); state != breakerOpen || trips != 1 {
 		t.Fatalf("after trip: state %s, trips %d", state, trips)
 	}
-	ok, retryAfter := b.allow(now.Add(time.Second))
+	ok, _, retryAfter := b.allow(now.Add(time.Second))
 	if ok {
 		t.Fatalf("open breaker admitted a request inside the cooldown")
 	}
@@ -51,33 +56,111 @@ func TestBreakerLifecycle(t *testing.T) {
 	}
 
 	// After the cooldown exactly one probe is admitted; concurrent
-	// traffic keeps shedding while the probe is in flight.
+	// traffic keeps shedding while the probe is in flight, with a short
+	// retry hint — the probe resolves within one request deadline, not a
+	// full cooldown.
 	probeAt := now.Add(cfg.Cooldown)
-	if ok, _ := b.allow(probeAt); !ok {
-		t.Fatalf("cooldown elapsed but no probe admitted")
+	ok, probe, _ := b.allow(probeAt)
+	if !ok || !probe {
+		t.Fatalf("cooldown elapsed but no probe admitted (ok=%v probe=%v)", ok, probe)
 	}
-	if ok, _ := b.allow(probeAt); ok {
+	ok, _, retryAfter = b.allow(probeAt.Add(100 * time.Millisecond))
+	if ok {
 		t.Fatalf("second request admitted while the probe is in flight")
+	}
+	if retryAfter > maxProbeRetryAfter {
+		t.Fatalf("half-open retryAfter = %s, want <= %s", retryAfter, maxProbeRetryAfter)
 	}
 
 	// A failed probe re-opens for a fresh cooldown.
 	if !b.failure(probeAt) {
 		t.Fatalf("failed probe did not report a trip")
 	}
-	if ok, _ := b.allow(probeAt.Add(cfg.Cooldown / 2)); ok {
+	if ok, _, _ := b.allow(probeAt.Add(cfg.Cooldown / 2)); ok {
 		t.Fatalf("re-opened breaker admitted a request mid-cooldown")
 	}
 
 	// A successful probe after the next cooldown closes the circuit.
 	probe2 := probeAt.Add(cfg.Cooldown)
-	if ok, _ := b.allow(probe2); !ok {
+	if ok, _, _ := b.allow(probe2); !ok {
 		t.Fatalf("second probe not admitted")
 	}
 	b.success()
 	if state, trips := b.snapshot(); state != breakerClosed || trips != 2 {
 		t.Fatalf("after successful probe: state %s, trips %d", state, trips)
 	}
-	if ok, _ := b.allow(probe2); !ok {
+	if ok, _, _ := b.allow(probe2); !ok {
 		t.Fatalf("closed breaker rejected a request")
+	}
+}
+
+// A probe that ends without a verdict (client disconnect, shed at
+// admission, drain abandonment) must not wedge the breaker half-open:
+// revertProbe returns it to open for a fresh cooldown, after which a new
+// probe is admitted.
+func TestBreakerRevertProbe(t *testing.T) {
+	cfg := BreakerConfig{Threshold: 1, Cooldown: 10 * time.Second}
+	b := newBreaker(cfg)
+	now := time.Unix(2000, 0)
+	b.failure(now) // trip
+
+	probeAt := now.Add(cfg.Cooldown)
+	if ok, probe, _ := b.allow(probeAt); !ok || !probe {
+		t.Fatalf("probe not admitted after cooldown (ok=%v probe=%v)", ok, probe)
+	}
+
+	revertAt := probeAt.Add(2 * time.Second)
+	b.revertProbe(revertAt)
+	if state, trips := b.snapshot(); state != breakerOpen || trips != 1 {
+		t.Fatalf("after revert: state %s trips %d, want open/1 (a revert is not a trip)", state, trips)
+	}
+
+	// The fresh cooldown runs from the revert, not the original trip.
+	if ok, _, _ := b.allow(revertAt.Add(cfg.Cooldown - time.Second)); ok {
+		t.Fatalf("reverted breaker admitted a request before its fresh cooldown elapsed")
+	}
+	ok, probe, _ := b.allow(revertAt.Add(cfg.Cooldown))
+	if !ok || !probe {
+		t.Fatalf("no new probe after the post-revert cooldown (ok=%v probe=%v)", ok, probe)
+	}
+	b.success()
+	if state, _ := b.snapshot(); state != breakerClosed {
+		t.Fatalf("successful probe after revert left state %s", state)
+	}
+
+	// revertProbe after the verdict is a no-op — the circuit stays
+	// closed.
+	b.revertProbe(revertAt.Add(cfg.Cooldown))
+	if state, _ := b.snapshot(); state != breakerClosed {
+		t.Fatalf("revertProbe after success moved state to %s", state)
+	}
+}
+
+// Even if a probe's outcome is lost entirely (no success, failure, or
+// revert), a half-open state older than one cooldown self-heals by
+// admitting a replacement probe.
+func TestBreakerLostProbeBackstop(t *testing.T) {
+	cfg := BreakerConfig{Threshold: 1, Cooldown: 10 * time.Second}
+	b := newBreaker(cfg)
+	now := time.Unix(3000, 0)
+	b.failure(now) // trip
+
+	probeAt := now.Add(cfg.Cooldown)
+	if ok, probe, _ := b.allow(probeAt); !ok || !probe {
+		t.Fatalf("probe not admitted after cooldown")
+	}
+	// The probe vanishes. Inside one cooldown traffic still sheds...
+	if ok, _, _ := b.allow(probeAt.Add(cfg.Cooldown - time.Millisecond)); ok {
+		t.Fatalf("request admitted while the probe was still presumed alive")
+	}
+	// ...but once the probe is a full cooldown old, a new one is
+	// admitted in its place instead of rejecting forever.
+	ok, probe, _ := b.allow(probeAt.Add(cfg.Cooldown))
+	if !ok || !probe {
+		t.Fatalf("lost probe never replaced (ok=%v probe=%v)", ok, probe)
+	}
+	b.success()
+	if state, _ := b.snapshot(); state != breakerClosed {
+		t.Fatalf("replacement probe success left state %s", state)
 	}
 }

@@ -242,6 +242,7 @@ type serverStats struct {
 	hits, misses           atomic.Int64
 	shed, drainRejects     atomic.Int64
 	malformed, unsupported atomic.Int64
+	tooLarge               atomic.Int64
 	timeouts, canceled     atomic.Int64
 	panics, solverErrors   atomic.Int64
 	panicsRecovered        atomic.Int64
@@ -263,6 +264,7 @@ type Stats struct {
 	Shed            int64             `json:"shed"`
 	DrainRejects    int64             `json:"drain_rejects"`
 	Malformed       int64             `json:"malformed"`
+	TooLarge        int64             `json:"too_large"`
 	Unsupported     int64             `json:"unsupported"`
 	Timeouts        int64             `json:"timeouts"`
 	Canceled        int64             `json:"canceled"`
@@ -476,6 +478,7 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		Shed:            s.stats.shed.Load(),
 		DrainRejects:    s.stats.drainRejects.Load(),
 		Malformed:       s.stats.malformed.Load(),
+		TooLarge:        s.stats.tooLarge.Load(),
 		Unsupported:     s.stats.unsupported.Load(),
 		Timeouts:        s.stats.timeouts.Load(),
 		Canceled:        s.stats.canceled.Load(),
@@ -519,7 +522,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			s.stats.malformed.Add(1)
+			s.stats.tooLarge.Add(1)
 			writeError(w, http.StatusRequestEntityTooLarge, ClassTooLarge,
 				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit), 0)
 			return
@@ -583,11 +586,24 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	s.stats.misses.Add(1)
 
 	br := s.breaker(req.Solver)
-	if ok, retryAfter := br.allow(s.cfg.now()); !ok {
+	allowed, probe, retryAfter := br.allow(s.cfg.now())
+	if !allowed {
 		s.stats.breakerRejects.Add(1)
 		writeError(w, http.StatusServiceUnavailable, ClassBreakerOpen,
 			fmt.Sprintf("solver %q circuit breaker is open", req.Solver), retryAfter)
 		return
+	}
+	// If this request is the half-open probe, every exit below must
+	// resolve it: success/failure record a verdict, and any verdict-free
+	// exit (shed at admission, client disconnect, drain abandonment)
+	// reverts to open so the breaker can't wedge half-open forever.
+	probeResolved := false
+	if probe {
+		defer func() {
+			if !probeResolved {
+				br.revertProbe(s.cfg.now())
+			}
+		}()
 	}
 
 	// Request context: client disconnect + drain abandonment + deadline,
@@ -634,11 +650,13 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if solveFault(err) {
 			br.failure(s.cfg.now())
+			probeResolved = true
 		}
 		s.writeSolveError(w, err)
 		return
 	}
 	br.success()
+	probeResolved = true
 
 	plan, err := encodePlan(inst.Kind(), res)
 	if err != nil {

@@ -286,6 +286,11 @@ func TestPlanRequestRejections(t *testing.T) {
 			}
 		})
 	}
+	// Oversized bodies land in their own counter, not malformed, so
+	// /statz can tell the two fault classes apart.
+	if st := getStats(t, client, base); st.TooLarge != 1 || st.Malformed != 3 {
+		t.Fatalf("statz too_large=%d malformed=%d, want 1 and 3", st.TooLarge, st.Malformed)
+	}
 }
 
 func TestAdmissionControlSheds(t *testing.T) {
@@ -425,6 +430,103 @@ func TestBreakerTripsAndRecovers(t *testing.T) {
 	}
 	if st := getStats(t, client, base); st.BreakerTrips != 1 || st.BreakerRejects != 1 {
 		t.Fatalf("breaker stats: trips %d rejects %d, want 1 and 1", st.BreakerTrips, st.BreakerRejects)
+	}
+}
+
+// TestBreakerProbeCanceled pins the verdict-free probe exit: when the
+// half-open probe's client disconnects mid-solve (context.Canceled is
+// not a solver fault, so neither success nor failure is recorded), the
+// breaker must revert to open and admit a fresh probe after the next
+// cooldown instead of wedging half-open and rejecting forever.
+func TestBreakerProbeCanceled(t *testing.T) {
+	const (
+		modeFail = iota
+		modeBlock
+		modeOK
+	)
+	var mode atomic.Int64
+	started := make(chan struct{}, 1)
+	setHook(t, func(ctx context.Context, inst model.Instance) (*solver.Result, error) {
+		switch mode.Load() {
+		case modeFail:
+			return nil, errors.New("wedged")
+		case modeBlock:
+			started <- struct{}{}
+			<-ctx.Done()
+			return nil, context.Cause(ctx)
+		default:
+			return fakeResult(3), nil
+		}
+	})
+
+	clock := struct {
+		sync.Mutex
+		t time.Time
+	}{t: time.Unix(6000, 0)}
+	now := func() time.Time { clock.Lock(); defer clock.Unlock(); return clock.t }
+	advance := func(d time.Duration) { clock.Lock(); clock.t = clock.t.Add(d); clock.Unlock() }
+
+	s, base := startDaemon(t, Config{
+		Breaker: BreakerConfig{Threshold: 2, Cooldown: time.Minute},
+		now:     now,
+	})
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+
+	// Trip the breaker.
+	mode.Store(modeFail)
+	for i := int64(0); i < 2; i++ {
+		code, data := postPlan(t, client, base, planBody(t, "test-hook", deployProblem(t, 40+i), nil, 0))
+		if code != http.StatusInternalServerError {
+			t.Fatalf("failure %d: status %d body %s", i, code, data)
+		}
+	}
+
+	// Cooldown elapses; the probe is admitted but its client disconnects
+	// mid-solve, so the solve ends with context.Canceled and no verdict.
+	mode.Store(modeBlock)
+	advance(61 * time.Second)
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/plan",
+		bytes.NewReader(planBody(t, "test-hook", deployProblem(t, 42), nil, 0)))
+	if err != nil {
+		t.Fatalf("building probe request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	probeDone := make(chan error, 1)
+	go func() {
+		resp, err := client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		probeDone <- err
+	}()
+	<-started // the probe solve is in flight
+	cancel()
+	if err := <-probeDone; err == nil {
+		t.Fatalf("canceled probe request unexpectedly completed")
+	}
+	waitFor(t, "probe reverted to open", func() bool {
+		state, _ := s.breaker("test-hook").snapshot()
+		return state == breakerOpen
+	})
+
+	// Reverted to open: still shedding inside the fresh cooldown...
+	code, data := postPlan(t, client, base, planBody(t, "test-hook", deployProblem(t, 43), nil, 0))
+	if code != http.StatusServiceUnavailable || errorClass(t, data) != ClassBreakerOpen {
+		t.Fatalf("post-revert request: status %d body %s, want 503 breaker_open", code, data)
+	}
+	// ...and after it elapses a new probe is admitted and can close the
+	// circuit. Under the stuck-half-open bug this rejected forever.
+	mode.Store(modeOK)
+	advance(61 * time.Second)
+	code, data = postPlan(t, client, base, planBody(t, "test-hook", deployProblem(t, 44), nil, 0))
+	if code != http.StatusOK {
+		t.Fatalf("replacement probe: status %d body %s", code, data)
+	}
+	if state, _ := s.breaker("test-hook").snapshot(); state != breakerClosed {
+		t.Fatalf("breaker state after recovered probe: %s", state)
 	}
 }
 
